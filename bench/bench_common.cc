@@ -1,0 +1,52 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ldpm {
+namespace bench {
+
+BenchArgs Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  return args;
+}
+
+void Banner(const std::string& id, const std::string& title,
+            const BenchArgs& args) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("mode: %s (run with --full for paper-scale parameters)\n",
+              args.full ? "FULL" : "quick");
+  std::printf("==============================================================\n");
+}
+
+void Row(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string TvCell(const BinaryDataset& source, ProtocolKind kind, int k,
+                   double epsilon, size_t n, int reps, uint64_t seed) {
+  SimulationOptions options;
+  options.kind = kind;
+  options.config.k = k;
+  options.config.epsilon = epsilon;
+  options.num_users = n;
+  options.seed = seed;
+  auto result = RunRepeated(source, options, reps);
+  if (!result.ok()) return "err:" + std::string(StatusCodeToString(result.status().code()));
+  return WithError(result->mean_tv.mean, result->mean_tv.standard_error, 4);
+}
+
+}  // namespace bench
+}  // namespace ldpm

@@ -1,0 +1,41 @@
+// Shared machinery for the figure/table bench binaries.
+//
+// Every bench prints the rows/series of one paper table or figure. Defaults
+// are sized to finish in seconds; pass --full for paper-scale parameters
+// (the paper's N, repetition count, and sweep ranges).
+
+#ifndef LDPM_BENCH_BENCH_COMMON_H_
+#define LDPM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace ldpm {
+namespace bench {
+
+/// Command-line options shared by all benches.
+struct BenchArgs {
+  bool full = false;   ///< paper-scale parameters
+  uint64_t seed = 42;  ///< base RNG seed
+};
+
+/// Parses --full and --seed=<n>; ignores unknown flags.
+BenchArgs Parse(int argc, char** argv);
+
+/// Prints the standard bench banner.
+void Banner(const std::string& id, const std::string& title,
+            const BenchArgs& args);
+
+/// Prints one row of fixed-width cells.
+void Row(const std::vector<std::string>& cells, int width = 14);
+
+/// Runs RunRepeated and returns "mean±err" (or "ERROR: ..." on failure).
+std::string TvCell(const BinaryDataset& source, ProtocolKind kind, int k,
+                   double epsilon, size_t n, int reps, uint64_t seed);
+
+}  // namespace bench
+}  // namespace ldpm
+
+#endif  // LDPM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,38 @@
+// Figure 3 of the paper: the pairwise Pearson-correlation heatmap of the
+// NYC taxi attributes, plus the numeric coefficients for the six pairs the
+// association test (Figure 7) focuses on.
+
+#include <cstdio>
+
+#include "analysis/correlation.h"
+#include "bench_common.h"
+#include "data/taxi.h"
+
+using namespace ldpm;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::Parse(argc, argv);
+  bench::Banner("Figure 3", "attribute correlation heatmap of NYC taxi data",
+                args);
+  const size_t n = args.full ? 3000000 : 500000;
+
+  auto data = GenerateTaxiDataset(n, args.seed);
+  if (!data.ok()) return 1;
+  auto corr = CorrelationMatrix(data->rows(), data->dimensions());
+  if (!corr.ok()) return 1;
+
+  std::vector<std::string> names;
+  for (int a = 0; a < data->dimensions(); ++a) {
+    names.push_back(data->attribute_name(a));
+  }
+  std::printf("%s\n", RenderHeatmap(*corr, names).c_str());
+
+  std::printf("pairs highlighted by the paper (N = %zu):\n", n);
+  bench::Row({"pair", "pearson", "expected"}, 28);
+  for (const auto& pair : TaxiTestPairs::All()) {
+    bench::Row({pair.label, Fixed((*corr)[pair.a][pair.b], 3),
+                pair.expected_dependent ? "strong +" : "~0"},
+               28);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 5 of the paper: effect of varying the marginal size k from 1 to 7
+// on the taxi data with N = 2^18, e^eps = 3, d = 8.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/taxi.h"
+
+using namespace ldpm;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::Parse(argc, argv);
+  bench::Banner("Figure 5", "TV distance vs marginal size k (taxi, d = 8)",
+                args);
+  const size_t n = args.full ? (1u << 18) : (1u << 16);
+  const int reps = args.full ? 10 : 3;
+  const double eps = 1.0986122886681098;  // e^eps = 3
+
+  auto data = GenerateTaxiDataset(args.full ? 1000000 : 400000, args.seed);
+  if (!data.ok()) return 1;
+
+  std::printf("N = %zu, eps = ln 3, %d reps\n\n", n, reps);
+  std::vector<std::string> header = {"k"};
+  for (ProtocolKind kind : CoreProtocolKinds()) {
+    header.push_back(std::string(ProtocolKindName(kind)));
+  }
+  bench::Row(header);
+  for (int k = 1; k <= 7; ++k) {
+    std::vector<std::string> cells = {std::to_string(k)};
+    for (ProtocolKind kind : CoreProtocolKinds()) {
+      cells.push_back(bench::TvCell(*data, kind, k, eps, n, reps,
+                                    args.seed + 100 * k));
+    }
+    bench::Row(cells);
+  }
+  std::printf(
+      "\npaper shape to verify: InpHT best for k <= d/2 = 4; InpRR becomes "
+      "competitive for large k (at 2^d bits of communication).\n");
+  return 0;
+}

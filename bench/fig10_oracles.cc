@@ -1,0 +1,101 @@
+// Figure 10 of the paper (Appendix B.2): marginal materialization through
+// generic frequency oracles (InpOLH, InpHTCMS) vs InpHT on lightly skewed
+// synthetic data, as the dimensionality d grows. OLH's O(N 2^d) decode hits
+// its work cap at large d exactly where the paper reports 12-hour timeouts.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/marginal.h"
+#include "data/synthetic.h"
+#include "oracle/cms.h"
+#include "oracle/olh.h"
+#include "protocols/factory.h"
+
+using namespace ldpm;
+
+namespace {
+
+struct OracleRun {
+  std::string tv = "-";
+  std::string seconds = "-";
+};
+
+OracleRun RunProtocol(MarginalProtocol& protocol, const BinaryDataset& data,
+                      size_t n, uint64_t seed) {
+  OracleRun out;
+  Rng rng(seed);
+  const BinaryDataset population = data.SampleWithReplacement(n, rng);
+  const auto start = std::chrono::steady_clock::now();
+  if (Status s = protocol.AbsorbPopulation(population.rows(), rng); !s.ok()) {
+    out.tv = "err";
+    return out;
+  }
+  double total = 0.0;
+  int count = 0;
+  for (uint64_t beta : KWaySelectors(data.dimensions(), 2)) {
+    auto truth = population.Marginal(beta);
+    auto estimate = protocol.EstimateMarginal(beta);
+    if (!truth.ok() || !estimate.ok()) {
+      out.tv = "timeout";  // the work-cap path, matching the paper
+      return out;
+    }
+    total += truth->TotalVariationDistance(*estimate);
+    ++count;
+  }
+  out.tv = Fixed(total / count, 4);
+  out.seconds =
+      Fixed(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            2);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::Parse(argc, argv);
+  bench::Banner("Figure 10",
+                "frequency-oracle methods vs d (lightly skewed synthetic, "
+                "e^eps = 3, k = 2)",
+                args);
+  const double eps = 1.0986122886681098;
+  const std::vector<int> dims =
+      args.full ? std::vector<int>{4, 8, 12, 16} : std::vector<int>{4, 8, 12};
+  const size_t n = args.full ? (1u << 16) : (1u << 14);
+
+  std::printf("N = %zu (OLH decode is O(N 2^d); 'timeout' = exceeded work "
+              "cap, as in the paper for d >= 12..16)\n\n",
+              n);
+  bench::Row({"d", "InpHT tv", "(s)", "InpOLH tv", "(s)", "InpHTCMS tv", "(s)"},
+             13);
+  for (int d : dims) {
+    auto data = GenerateLightlySkewed(200000, d, 1.0, args.seed + d);
+    if (!data.ok()) return 1;
+
+    ProtocolConfig config;
+    config.d = d;
+    config.k = 2;
+    config.epsilon = eps;
+
+    auto ht = CreateProtocol(ProtocolKind::kInpHT, config);
+    auto olh = InpOlhProtocol::Create(config);
+    auto cms = InpHtCmsProtocol::Create(config);
+    if (!ht.ok() || !olh.ok() || !cms.ok()) return 1;
+
+    const OracleRun r_ht = RunProtocol(**ht, *data, n, args.seed + 1);
+    const OracleRun r_olh = RunProtocol(**olh, *data, n, args.seed + 2);
+    const OracleRun r_cms = RunProtocol(**cms, *data, n, args.seed + 3);
+    bench::Row({std::to_string(d), r_ht.tv, r_ht.seconds, r_olh.tv,
+                r_olh.seconds, r_cms.tv, r_cms.seconds},
+               13);
+  }
+  std::printf(
+      "\npaper shape to verify: InpOLH tracks InpHT at small d but its "
+      "decode cost explodes (timeouts); InpHTCMS is fast but not "
+      "competitive on low-frequency cells; InpHT remains the method of "
+      "choice.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks for protocol client/aggregator throughput
+// (google-benchmark): the Section 5 claim that user and aggregator costs
+// are linear in the message size.
+
+#include <benchmark/benchmark.h>
+
+#include "protocols/factory.h"
+
+namespace {
+
+using ldpm::CreateProtocol;
+using ldpm::ProtocolConfig;
+using ldpm::ProtocolKind;
+
+ProtocolConfig MakeConfig(int d, int k) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = 1.0;
+  return c;
+}
+
+void EncodeBenchmark(benchmark::State& state, ProtocolKind kind) {
+  const int d = static_cast<int>(state.range(0));
+  auto p = CreateProtocol(kind, MakeConfig(d, 2));
+  LDPM_CHECK(p.ok());
+  ldpm::Rng rng(1);
+  const uint64_t domain_mask = (uint64_t{1} << d) - 1;
+  for (auto _ : state) {
+    auto report = (*p)->Encode(rng() & domain_mask, rng);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EncodeInpHT(benchmark::State& state) {
+  EncodeBenchmark(state, ProtocolKind::kInpHT);
+}
+BENCHMARK(BM_EncodeInpHT)->Arg(8)->Arg(16);
+
+void BM_EncodeInpPS(benchmark::State& state) {
+  EncodeBenchmark(state, ProtocolKind::kInpPS);
+}
+BENCHMARK(BM_EncodeInpPS)->Arg(8)->Arg(16);
+
+void BM_EncodeInpRR(benchmark::State& state) {
+  EncodeBenchmark(state, ProtocolKind::kInpRR);  // O(2^d) per user
+}
+BENCHMARK(BM_EncodeInpRR)->Arg(8)->Arg(16);
+
+void BM_EncodeMargPS(benchmark::State& state) {
+  EncodeBenchmark(state, ProtocolKind::kMargPS);
+}
+BENCHMARK(BM_EncodeMargPS)->Arg(8)->Arg(16);
+
+void BM_EncodeMargHT(benchmark::State& state) {
+  EncodeBenchmark(state, ProtocolKind::kMargHT);
+}
+BENCHMARK(BM_EncodeMargHT)->Arg(8)->Arg(16);
+
+void BM_EncodeInpEM(benchmark::State& state) {
+  EncodeBenchmark(state, ProtocolKind::kInpEM);
+}
+BENCHMARK(BM_EncodeInpEM)->Arg(8)->Arg(16);
+
+void AbsorbEstimateBenchmark(benchmark::State& state, ProtocolKind kind) {
+  const int d = 8;
+  auto p = CreateProtocol(kind, MakeConfig(d, 2));
+  LDPM_CHECK(p.ok());
+  ldpm::Rng rng(2);
+  std::vector<uint64_t> rows(1 << 14);
+  for (auto& r : rows) r = rng.UniformInt(1u << d);
+  LDPM_CHECK((*p)->AbsorbPopulation(rows, rng).ok());
+  for (auto _ : state) {
+    auto m = (*p)->EstimateMarginal(0b11);
+    benchmark::DoNotOptimize(m);
+  }
+}
+
+void BM_EstimateInpHT(benchmark::State& state) {
+  AbsorbEstimateBenchmark(state, ProtocolKind::kInpHT);
+}
+BENCHMARK(BM_EstimateInpHT);
+
+void BM_EstimateMargPS(benchmark::State& state) {
+  AbsorbEstimateBenchmark(state, ProtocolKind::kMargPS);
+}
+BENCHMARK(BM_EstimateMargPS);
+
+void BM_EstimateInpEM(benchmark::State& state) {
+  AbsorbEstimateBenchmark(state, ProtocolKind::kInpEM);
+}
+BENCHMARK(BM_EstimateInpEM);
+
+void BM_AbsorbPopulationInpHT(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto p = CreateProtocol(ProtocolKind::kInpHT, MakeConfig(8, 2));
+  LDPM_CHECK(p.ok());
+  ldpm::Rng rng(3);
+  std::vector<uint64_t> rows(n);
+  for (auto& r : rows) r = rng.UniformInt(256);
+  for (auto _ : state) {
+    (*p)->Reset();
+    LDPM_CHECK((*p)->AbsorbPopulation(rows, rng).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AbsorbPopulationInpHT)->Range(1 << 12, 1 << 16);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// The paper's Section 6.3 extension: marginals over non-binary
+// (categorical) attributes via binary encoding (Corollary 6.1).
+//
+// We model a tiny survey: payment method (cash / card / app), party size
+// bucket (1 / 2 / 3-4 / 5+), and time of day (morning / afternoon /
+// evening / night), collect it under eps-LDP with InpHT over the encoded
+// bits, and reconstruct a categorical 2-way marginal.
+
+#include <cstdio>
+
+#include "core/encoding.h"
+#include "core/marginal.h"
+#include "data/dataset.h"
+#include "protocols/factory.h"
+
+using namespace ldpm;
+
+int main() {
+  // 1. The categorical domain: r = {3, 4, 4} -> d2 = 2 + 2 + 2 bits.
+  auto domain = CategoricalDomain::Create({3, 4, 4});
+  if (!domain.ok()) return 1;
+  std::printf("categorical domain: payment(3) x party(4) x time(4), encoded "
+              "into %d bits\n\n",
+              domain->binary_dimension());
+
+  // 2. Synthesize correlated categorical data: app payers skew to evening,
+  //    larger parties skew to card payments.
+  Rng rng(11);
+  std::vector<uint64_t> rows;
+  const size_t n = 200000;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t payment = static_cast<uint32_t>(rng.UniformInt(3));
+    uint32_t party = static_cast<uint32_t>(rng.UniformInt(4));
+    if (payment == 1 && rng.Bernoulli(0.5)) party = 2 + static_cast<uint32_t>(rng.UniformInt(2));
+    uint32_t time = static_cast<uint32_t>(rng.UniformInt(4));
+    if (payment == 2 && rng.Bernoulli(0.6)) time = 2;
+    auto packed = domain->Encode({payment, party, time});
+    if (!packed.ok()) return 1;
+    rows.push_back(*packed);
+  }
+
+  // 3. LDP collection over the encoded bits. The marginal over attributes
+  //    {payment, time} spans k2 = 2 + 2 encoded bits (Corollary 6.1), so
+  //    configure k = 4.
+  ProtocolConfig config;
+  config.d = domain->binary_dimension();
+  config.k = 4;
+  config.epsilon = 1.4;
+  auto protocol = CreateProtocol(ProtocolKind::kInpHT, config);
+  if (!protocol.ok()) return 1;
+  Rng sim(12);
+  if (Status s = (*protocol)->AbsorbPopulation(rows, sim); !s.ok()) return 1;
+
+  // 4. Reconstruct the categorical marginal payment x time.
+  auto beta = domain->SelectorForAttributes({0, 2});
+  if (!beta.ok()) return 1;
+  auto binary_est = (*protocol)->EstimateMarginal(*beta);
+  auto binary_exact = MarginalFromRows(rows, config.d, *beta);
+  if (!binary_est.ok() || !binary_exact.ok()) return 1;
+  auto cat_est = ToCategoricalMarginal(*domain, {0, 2}, *binary_est);
+  auto cat_exact = ToCategoricalMarginal(*domain, {0, 2}, *binary_exact);
+  if (!cat_est.ok() || !cat_exact.ok()) return 1;
+
+  const char* payments[3] = {"cash", "card", "app"};
+  const char* times[4] = {"morning", "afternoon", "evening", "night"};
+  std::printf("%-10s %-10s %10s %10s\n", "payment", "time", "exact",
+              "private");
+  for (uint32_t t = 0; t < 4; ++t) {
+    for (uint32_t p = 0; p < 3; ++p) {
+      const size_t idx = p + 3 * t;  // mixed radix, attrs[0] fastest
+      std::printf("%-10s %-10s %10.4f %10.4f\n", payments[p], times[t],
+                  cat_exact->probabilities[idx], cat_est->probabilities[idx]);
+    }
+  }
+  std::printf("\nestimated mass on invalid codes (noise artifact): %.4f\n",
+              cat_est->invalid_mass);
+  std::printf("the 'app -> evening' spike should be clearly visible in the "
+              "private column.\n");
+  return 0;
+}

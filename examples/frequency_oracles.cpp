@@ -1,0 +1,91 @@
+// Appendix B.2 companion: using generic LDP frequency oracles (OLH and
+// Apple's Hadamard count-mean sketch) to materialize marginals, and why the
+// purpose-built InpHT protocol wins.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/marginal.h"
+#include "data/synthetic.h"
+#include "oracle/cms.h"
+#include "oracle/olh.h"
+#include "protocols/factory.h"
+
+using namespace ldpm;
+
+namespace {
+
+template <typename Fn>
+double TimedSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Evaluate(const char* name, MarginalProtocol& protocol,
+              const BinaryDataset& data) {
+  Rng rng(5);
+  double encode_s = TimedSeconds([&] {
+    LDPM_CHECK(protocol.AbsorbPopulation(data.rows(), rng).ok());
+  });
+  double mean_tv = 0.0;
+  int count = 0;
+  bool capped = false;
+  double decode_s = TimedSeconds([&] {
+    for (uint64_t beta : KWaySelectors(data.dimensions(), 2)) {
+      auto truth = data.Marginal(beta);
+      auto est = protocol.EstimateMarginal(beta);
+      if (!est.ok()) {
+        capped = true;
+        return;
+      }
+      LDPM_CHECK(truth.ok());
+      mean_tv += truth->TotalVariationDistance(*est);
+      ++count;
+    }
+  });
+  if (capped) {
+    std::printf("%-10s  %8s  encode %.2fs  (decode exceeded work cap — the "
+                "paper's OLH timeout regime)\n",
+                name, "n/a", encode_s);
+    return;
+  }
+  std::printf("%-10s  tv=%.4f  encode %.2fs  decode %.2fs  (%.1f bits/user)\n",
+              name, mean_tv / count, encode_s, decode_s,
+              protocol.total_report_bits() /
+                  static_cast<double>(protocol.reports_absorbed()));
+}
+
+}  // namespace
+
+int main() {
+  const int d = 10;
+  auto data = GenerateLightlySkewed(60000, d, 1.0, /*seed=*/31);
+  if (!data.ok()) return 1;
+  std::printf("lightly skewed population: %zu users over %d attributes "
+              "(2^%d cells), e^eps = 3\n\n",
+              data->size(), d, d);
+
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 1.0986;
+
+  auto ht = CreateProtocol(ProtocolKind::kInpHT, config);
+  auto olh = InpOlhProtocol::Create(config);
+  auto cms = InpHtCmsProtocol::Create(config);
+  if (!ht.ok() || !olh.ok() || !cms.ok()) return 1;
+
+  Evaluate("InpHT", **ht, *data);
+  Evaluate("InpOLH", **olh, *data);
+  Evaluate("InpHTCMS", **cms, *data);
+
+  std::printf(
+      "\ntakeaway (paper Appendix B.2): OLH matches InpHT's accuracy at "
+      "small d but its aggregator cost is O(N * 2^d); the sketch oracle is "
+      "fast but least accurate on low-frequency cells; InpHT gives the "
+      "best of both.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: collect 2-way marginals from 100K simulated users under
+// eps-LDP with the paper's best protocol (InpHT), and compare against the
+// exact (non-private) marginal.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "protocols/factory.h"
+
+using namespace ldpm;
+
+int main() {
+  // 1. A population: 100K users with 6 binary attributes (independent
+  //    Bernoullis here; see the other examples for realistic data).
+  auto data =
+      GenerateIndependent(100000, {0.3, 0.6, 0.5, 0.2, 0.7, 0.4}, /*seed=*/7);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Configure the protocol: d attributes, marginals up to k = 2,
+  //    privacy budget eps = ln 3.
+  ProtocolConfig config;
+  config.d = data->dimensions();
+  config.k = 2;
+  config.epsilon = 1.0986;  // ln 3
+  auto protocol = CreateProtocol(ProtocolKind::kInpHT, config);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "protocol: %s\n",
+                 protocol.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Client side: every user encodes their private value into one tiny
+  //    LDP report (d + 1 bits for InpHT) — here simulated in a loop.
+  Rng rng(42);
+  for (uint64_t user_value : data->rows()) {
+    const Report report = (*protocol)->Encode(user_value, rng);
+    if (Status s = (*protocol)->Absorb(report); !s.ok()) {
+      std::fprintf(stderr, "absorb: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("absorbed %llu reports, %.1f bits/user\n\n",
+              static_cast<unsigned long long>((*protocol)->reports_absorbed()),
+              (*protocol)->total_report_bits() /
+                  static_cast<double>((*protocol)->reports_absorbed()));
+
+  // 4. Aggregator side: reconstruct any k-way marginal on demand.
+  const uint64_t beta = 0b000011;  // attributes 0 and 1
+  auto estimate = (*protocol)->EstimateMarginal(beta);
+  auto exact = data->Marginal(beta);
+  if (!estimate.ok() || !exact.ok()) return 1;
+
+  std::printf("marginal of attributes {0, 1}:\n");
+  std::printf("  cell   exact     private\n");
+  for (uint64_t cell = 0; cell < estimate->size(); ++cell) {
+    std::printf("  [%d%d]   %.4f    %.4f\n", static_cast<int>(cell >> 1) & 1,
+                static_cast<int>(cell & 1), exact->at_compact(cell),
+                estimate->at_compact(cell));
+  }
+  std::printf("\ntotal variation distance: %.5f\n",
+              exact->TotalVariationDistance(*estimate));
+  return 0;
+}

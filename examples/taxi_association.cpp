@@ -1,0 +1,79 @@
+// The paper's Section 6.1 use case: association testing on taxi trips.
+//
+// A taxi service provider wants to know which trip attributes are
+// correlated — e.g. do card payers tip more? do night pickups imply night
+// drop-offs? — without ever seeing an individual trip. Each (simulated)
+// rider submits one eps-LDP report; the aggregator reconstructs the 2-way
+// marginals and runs chi-squared independence tests on them.
+//
+// Under LDP the mechanism noise inflates the raw chi-squared statistic, so
+// comparing it to the classic critical value 3.841 over-reports dependence
+// (the paper's footnote 3). This example therefore classifies with the
+// library's Monte-Carlo noise-aware critical value.
+
+#include <cstdio>
+
+#include "analysis/chi_square.h"
+#include "analysis/private_chi_square.h"
+#include "data/taxi.h"
+#include "protocols/factory.h"
+
+using namespace ldpm;
+
+int main() {
+  const size_t n = 1u << 18;  // 256K trips, as in the paper's Figure 7
+  const double epsilon = 1.1;
+
+  auto data = GenerateTaxiDataset(n, /*seed=*/2024);
+  if (!data.ok()) return 1;
+  std::printf("collected %zu trips over %d binary attributes (Table 1 "
+              "schema), eps = %.1f\n\n",
+              data->size(), data->dimensions(), epsilon);
+
+  ProtocolConfig config;
+  config.d = data->dimensions();
+  config.k = 2;
+  config.epsilon = epsilon;
+  auto protocol = CreateProtocol(ProtocolKind::kInpHT, config);
+  if (!protocol.ok()) return 1;
+
+  Rng rng(99);
+  if (Status s = (*protocol)->AbsorbPopulation(data->rows(), rng); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-28s %12s %12s %12s   verdict (noise-aware, alpha = 0.05)\n",
+              "pair", "chi2(true)", "chi2(priv)", "crit(priv)");
+  for (const auto& pair : TaxiTestPairs::All()) {
+    const uint64_t beta = (uint64_t{1} << pair.a) | (uint64_t{1} << pair.b);
+
+    auto exact = data->Marginal(beta);
+    auto priv = (*protocol)->EstimateMarginal(beta);
+    if (!exact.ok() || !priv.ok()) return 1;
+    auto exact_test =
+        ChiSquareIndependenceTest(*exact, static_cast<double>(n));
+    if (!exact_test.ok()) return 1;
+
+    PrivateChiSquareOptions mc;
+    mc.replicates = 60;
+    mc.num_users = 1 << 14;
+    mc.seed = 1000 + beta;
+    auto priv_test = NoiseAwareChiSquareTest(
+        ProtocolKind::kInpHT, config, beta, *priv, static_cast<double>(n), mc);
+    if (!priv_test.ok()) return 1;
+
+    std::printf("%-28s %12.1f %12.1f %12.1f   %s%s\n", pair.label,
+                exact_test->statistic, priv_test->statistic,
+                priv_test->critical_value,
+                priv_test->reject_independence ? "DEPENDENT" : "independent",
+                priv_test->reject_independence == pair.expected_dependent
+                    ? ""
+                    : "  << disagrees with ground truth");
+  }
+  std::printf("\n(noise-unaware critical value would be 3.841; the "
+              "noise-aware one absorbs the LDP noise floor)\n");
+  std::printf("every verdict above should match the ground truth — the "
+              "paper's InpHT result.\n");
+  return 0;
+}

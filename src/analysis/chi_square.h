@@ -1,0 +1,41 @@
+// Chi-squared independence testing over 2-way marginals (Section 6.1), plus
+// the chi-squared distribution machinery (CDF, critical values) it needs.
+
+#ifndef LDPM_ANALYSIS_CHI_SQUARE_H_
+#define LDPM_ANALYSIS_CHI_SQUARE_H_
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// CDF of the chi-squared distribution with `dof` degrees of freedom at x,
+/// computed via the regularized lower incomplete gamma function P(dof/2, x/2).
+StatusOr<double> ChiSquaredCdf(double x, int dof);
+
+/// The critical value c with P[X > c] = significance for a chi-squared
+/// variable with `dof` degrees of freedom (e.g. dof=1, significance=0.05
+/// gives 3.841).
+StatusOr<double> ChiSquaredCriticalValue(int dof, double significance);
+
+/// Outcome of a chi-squared test of independence.
+struct ChiSquareResult {
+  double statistic = 0.0;        ///< the chi-squared test statistic
+  int degrees_of_freedom = 0;    ///< (r-1)(c-1); 1 for binary pairs
+  double critical_value = 0.0;   ///< threshold at the chosen significance
+  double p_value = 1.0;          ///< P[X >= statistic] under independence
+  bool reject_independence = false;  ///< statistic > critical_value
+};
+
+/// Tests independence of the two attributes of a 2-way marginal
+/// (|beta| == 2 required). `n` is the population size behind the marginal
+/// (the statistic scales linearly with it). Noisy marginals are projected
+/// onto the simplex before testing, matching how an analyst would consume a
+/// privately reconstructed table.
+StatusOr<ChiSquareResult> ChiSquareIndependenceTest(const MarginalTable& joint,
+                                                    double n,
+                                                    double significance = 0.05);
+
+}  // namespace ldpm
+
+#endif  // LDPM_ANALYSIS_CHI_SQUARE_H_

@@ -1,0 +1,95 @@
+#include "analysis/chow_liu.h"
+
+#include <limits>
+#include <string>
+
+#include "analysis/mutual_information.h"
+#include "core/bits.h"
+
+namespace ldpm {
+
+StatusOr<ChowLiuTree> BuildChowLiuTree(
+    const std::vector<std::vector<double>>& mi) {
+  const int d = static_cast<int>(mi.size());
+  if (d < 2) {
+    return Status::InvalidArgument("BuildChowLiuTree: need at least 2 nodes");
+  }
+  for (int i = 0; i < d; ++i) {
+    if (static_cast<int>(mi[i].size()) != d) {
+      return Status::InvalidArgument("BuildChowLiuTree: matrix not square");
+    }
+  }
+
+  // Prim's algorithm, maximizing weight.
+  ChowLiuTree tree;
+  tree.d = d;
+  std::vector<bool> in_tree(d, false);
+  std::vector<double> best_weight(d, -std::numeric_limits<double>::infinity());
+  std::vector<int> best_parent(d, -1);
+  in_tree[0] = true;
+  for (int v = 1; v < d; ++v) {
+    best_weight[v] = mi[0][v];
+    best_parent[v] = 0;
+  }
+  for (int step = 1; step < d; ++step) {
+    int pick = -1;
+    double pick_weight = -std::numeric_limits<double>::infinity();
+    for (int v = 0; v < d; ++v) {
+      if (!in_tree[v] && best_weight[v] > pick_weight) {
+        pick = v;
+        pick_weight = best_weight[v];
+      }
+    }
+    LDPM_CHECK(pick >= 0);
+    in_tree[pick] = true;
+    tree.edges.push_back({best_parent[pick], pick, pick_weight});
+    tree.total_mutual_information += pick_weight;
+    for (int v = 0; v < d; ++v) {
+      if (!in_tree[v] && mi[pick][v] > best_weight[v]) {
+        best_weight[v] = mi[pick][v];
+        best_parent[v] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+StatusOr<ChowLiuTree> BuildChowLiuTreeFromMarginals(
+    int d, const PairwiseMarginalProvider& provider) {
+  if (d < 2 || d > kMaxDimensions) {
+    return Status::InvalidArgument("BuildChowLiuTreeFromMarginals: bad d");
+  }
+  std::vector<std::vector<double>> mi(d, std::vector<double>(d, 0.0));
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      const uint64_t beta = (uint64_t{1} << a) | (uint64_t{1} << b);
+      auto joint = provider(beta);
+      if (!joint.ok()) return joint.status();
+      auto value = MutualInformation(*joint);
+      if (!value.ok()) return value.status();
+      mi[a][b] = *value;
+      mi[b][a] = *value;
+    }
+  }
+  return BuildChowLiuTree(mi);
+}
+
+StatusOr<double> ScoreTreeAgainst(
+    const ChowLiuTree& tree,
+    const std::vector<std::vector<double>>& reference_mi) {
+  const int d = static_cast<int>(reference_mi.size());
+  if (tree.d != d) {
+    return Status::InvalidArgument(
+        "ScoreTreeAgainst: dimension mismatch between tree and matrix");
+  }
+  double total = 0.0;
+  for (const ChowLiuEdge& e : tree.edges) {
+    if (e.a < 0 || e.a >= d || e.b < 0 || e.b >= d) {
+      return Status::OutOfRange("ScoreTreeAgainst: edge endpoint out of range");
+    }
+    total += reference_mi[e.a][e.b];
+  }
+  return total;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,63 @@
+// Chow-Liu dependency-tree learning (Section 6.2).
+//
+// Chow & Liu (1968): the tree-structured distribution closest in KL
+// divergence to the data is the maximum-weight spanning tree of the
+// complete graph whose edge weights are pairwise mutual informations. With
+// private 2-way marginals as input this gives the paper's Bayesian-modeling
+// application (Figure 8): compare the *true* total MI of the tree learned
+// from private marginals against the non-private tree.
+
+#ifndef LDPM_ANALYSIS_CHOW_LIU_H_
+#define LDPM_ANALYSIS_CHOW_LIU_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// One edge of a learned dependency tree.
+struct ChowLiuEdge {
+  int a = 0;
+  int b = 0;
+  double mutual_information = 0.0;  ///< the weight used when learning
+};
+
+/// A learned dependency tree over d attributes: d-1 edges (or fewer if MI
+/// weights were all zero and ties broke arbitrarily — still a spanning
+/// tree, just with zero-weight edges).
+struct ChowLiuTree {
+  int d = 0;
+  std::vector<ChowLiuEdge> edges;
+  /// Sum of edge mutual informations under the weights used for learning.
+  double total_mutual_information = 0.0;
+};
+
+/// Learns the maximum-MI spanning tree from a full pairwise MI matrix.
+/// `mi` must be a symmetric d x d matrix with non-negative entries.
+/// O(d^2) (Prim's algorithm on a dense graph).
+StatusOr<ChowLiuTree> BuildChowLiuTree(
+    const std::vector<std::vector<double>>& mi);
+
+/// Callback supplying 2-way marginals by selector; plugged with either
+/// exact marginals or a protocol's EstimateMarginal.
+using PairwiseMarginalProvider =
+    std::function<StatusOr<MarginalTable>(uint64_t beta)>;
+
+/// Computes all C(d,2) pairwise MIs from a marginal provider and learns the
+/// tree.
+StatusOr<ChowLiuTree> BuildChowLiuTreeFromMarginals(
+    int d, const PairwiseMarginalProvider& provider);
+
+/// Re-scores a tree's edges against reference (e.g. exact) pairwise MI:
+/// returns the total *reference* MI of the tree's edge set. This is the
+/// Figure 8 metric: how much true dependence the privately learned
+/// structure captures.
+StatusOr<double> ScoreTreeAgainst(const ChowLiuTree& tree,
+                                  const std::vector<std::vector<double>>& reference_mi);
+
+}  // namespace ldpm
+
+#endif  // LDPM_ANALYSIS_CHOW_LIU_H_

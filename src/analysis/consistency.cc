@@ -1,0 +1,73 @@
+#include "analysis/consistency.h"
+
+#include <unordered_map>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+StatusOr<FourierCoefficients> FitSharedCoefficients(
+    const std::vector<MarginalTable>& marginals, int d,
+    const std::vector<double>& weights) {
+  if (marginals.empty()) {
+    return Status::InvalidArgument("FitSharedCoefficients: no marginals");
+  }
+  if (!weights.empty() && weights.size() != marginals.size()) {
+    return Status::InvalidArgument(
+        "FitSharedCoefficients: weights/marginals length mismatch");
+  }
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    if (marginals[i].dimensions() != d) {
+      return Status::InvalidArgument(
+          "FitSharedCoefficients: marginal dimension mismatch");
+    }
+    if (!weights.empty() && !(weights[i] >= 0.0)) {
+      return Status::InvalidArgument(
+          "FitSharedCoefficients: weights must be non-negative");
+    }
+  }
+
+  // Accumulate weighted coefficient votes. For alpha ⪯ beta, the marginal's
+  // implied estimate is f_alpha = sum_gamma C_beta[gamma] (-1)^{<alpha,gamma>},
+  // computed on compact indices (the inner product restricted to beta's bits
+  // equals the full-width one because alpha ⪯ beta).
+  std::unordered_map<uint64_t, double> sums;
+  std::unordered_map<uint64_t, double> totals;
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    const MarginalTable& m = marginals[i];
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w == 0.0) continue;
+    const uint64_t cells = m.size();
+    // FWHT of the compact cell vector gives all 2^k implied coefficients.
+    std::vector<double> spectrum(m.values());
+    FastWalshHadamard(spectrum);
+    for (uint64_t r = 1; r < cells; ++r) {
+      const uint64_t alpha = DepositBits(r, m.beta());
+      sums[alpha] += w * spectrum[r];
+      totals[alpha] += w;
+    }
+  }
+
+  FourierCoefficients fitted(d);
+  for (const auto& [alpha, total] : totals) {
+    fitted.Set(alpha, sums[alpha] / total);
+  }
+  return fitted;
+}
+
+StatusOr<std::vector<MarginalTable>> MakeConsistent(
+    const std::vector<MarginalTable>& marginals, int d,
+    const std::vector<double>& weights) {
+  auto fitted = FitSharedCoefficients(marginals, d, weights);
+  if (!fitted.ok()) return fitted.status();
+  std::vector<MarginalTable> out;
+  out.reserve(marginals.size());
+  for (const MarginalTable& m : marginals) {
+    auto rebuilt = fitted->ReconstructMarginal(m.beta());
+    if (!rebuilt.ok()) return rebuilt.status();
+    out.push_back(*std::move(rebuilt));
+  }
+  return out;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,109 @@
+#include "analysis/correlation.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+StatusOr<double> PhiCoefficient(const MarginalTable& joint) {
+  if (joint.order() != 2) {
+    return Status::InvalidArgument("PhiCoefficient: requires a 2-way marginal");
+  }
+  MarginalTable cleaned = joint;
+  cleaned.ProjectToSimplex();
+  const double p00 = cleaned.at_compact(0);
+  const double p10 = cleaned.at_compact(1);
+  const double p01 = cleaned.at_compact(2);
+  const double p11 = cleaned.at_compact(3);
+  const double pa = p10 + p11;
+  const double pb = p01 + p11;
+  const double denom = pa * (1.0 - pa) * pb * (1.0 - pb);
+  if (denom <= 0.0) return 0.0;
+  return (p11 * p00 - p10 * p01) / std::sqrt(denom);
+}
+
+StatusOr<std::vector<std::vector<double>>> CorrelationMatrix(
+    const std::vector<uint64_t>& rows, int d) {
+  if (d < 1 || d > kMaxDimensions) {
+    return Status::InvalidArgument("CorrelationMatrix: bad dimension");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CorrelationMatrix: empty dataset");
+  }
+  const double n = static_cast<double>(rows.size());
+
+  // Single pass: per-attribute means and pairwise co-occurrence counts.
+  std::vector<double> mean(d, 0.0);
+  std::vector<std::vector<double>> co(d, std::vector<double>(d, 0.0));
+  for (uint64_t row : rows) {
+    for (int a = 0; a < d; ++a) {
+      if (!((row >> a) & 1)) continue;
+      mean[a] += 1.0;
+      for (int b = a + 1; b < d; ++b) {
+        if ((row >> b) & 1) co[a][b] += 1.0;
+      }
+    }
+  }
+  for (int a = 0; a < d; ++a) mean[a] /= n;
+
+  std::vector<std::vector<double>> corr(d, std::vector<double>(d, 0.0));
+  for (int a = 0; a < d; ++a) {
+    corr[a][a] = 1.0;
+    for (int b = a + 1; b < d; ++b) {
+      const double p11 = co[a][b] / n;
+      const double cov = p11 - mean[a] * mean[b];
+      const double denom = mean[a] * (1.0 - mean[a]) * mean[b] * (1.0 - mean[b]);
+      const double r = denom > 0.0 ? cov / std::sqrt(denom) : 0.0;
+      corr[a][b] = r;
+      corr[b][a] = r;
+    }
+  }
+  return corr;
+}
+
+std::string RenderHeatmap(const std::vector<std::vector<double>>& matrix,
+                          const std::vector<std::string>& names) {
+  const size_t d = matrix.size();
+  // Shade buckets from strong negative to strong positive correlation.
+  auto shade = [](double r) -> const char* {
+    if (r >= 0.75) return "@@";
+    if (r >= 0.45) return "##";
+    if (r >= 0.20) return "++";
+    if (r >= 0.05) return "..";
+    if (r > -0.05) return "  ";
+    if (r > -0.20) return ",,";
+    if (r > -0.45) return "--";
+    return "==";
+  };
+
+  size_t label_width = 0;
+  for (const auto& name : names) label_width = std::max(label_width, name.size());
+  label_width = std::max<size_t>(label_width, 4);
+
+  std::string out;
+  // Header row with column indices.
+  out.append(label_width + 1, ' ');
+  for (size_t c = 0; c < d; ++c) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%2u ", static_cast<unsigned>(c));
+    out += buf;
+  }
+  out += "\n";
+  for (size_t r = 0; r < d; ++r) {
+    std::string label = r < names.size() ? names[r] : std::to_string(r);
+    label.resize(label_width, ' ');
+    out += label;
+    out += " ";
+    for (size_t c = 0; c < d; ++c) {
+      out += shade(matrix[r][c]);
+      out += " ";
+    }
+    out += "\n";
+  }
+  out += "legend: @@ >=.75  ## >=.45  ++ >=.20  .. >=.05  (blank) ~0  ,, <-.05  -- <-.20  == <-.45\n";
+  return out;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,32 @@
+// Pairwise correlation of binary attributes (the phi / Pearson coefficient
+// behind Figure 3's heatmap).
+
+#ifndef LDPM_ANALYSIS_CORRELATION_H_
+#define LDPM_ANALYSIS_CORRELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// The phi coefficient (= Pearson correlation for binary variables) of a
+/// 2-way marginal:
+///   phi = (p11 p00 - p10 p01) / sqrt(pa (1-pa) pb (1-pb)).
+/// Returns 0 when either attribute is constant (undefined correlation).
+StatusOr<double> PhiCoefficient(const MarginalTable& joint);
+
+/// Exact d x d correlation matrix of packed binary rows. Diagonal is 1.
+StatusOr<std::vector<std::vector<double>>> CorrelationMatrix(
+    const std::vector<uint64_t>& rows, int d);
+
+/// Renders a correlation matrix as an ASCII heatmap (rows/cols labeled with
+/// `names`, cells bucketed into character shades) — the Figure 3 rendering.
+std::string RenderHeatmap(const std::vector<std::vector<double>>& matrix,
+                          const std::vector<std::string>& names);
+
+}  // namespace ldpm
+
+#endif  // LDPM_ANALYSIS_CORRELATION_H_

@@ -1,0 +1,54 @@
+#include "analysis/mutual_information.h"
+
+#include <cmath>
+
+namespace ldpm {
+
+double Entropy(const MarginalTable& table) {
+  MarginalTable cleaned = table;
+  cleaned.ProjectToSimplex();
+  double h = 0.0;
+  for (uint64_t i = 0; i < cleaned.size(); ++i) {
+    const double p = cleaned.at_compact(i);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+StatusOr<double> MutualInformation(const MarginalTable& joint) {
+  if (joint.order() != 2) {
+    return Status::InvalidArgument(
+        "MutualInformation: requires a 2-way marginal");
+  }
+  MarginalTable cleaned = joint;
+  cleaned.ProjectToSimplex();
+
+  const double p00 = cleaned.at_compact(0);
+  const double p10 = cleaned.at_compact(1);
+  const double p01 = cleaned.at_compact(2);
+  const double p11 = cleaned.at_compact(3);
+  const double pa[2] = {p00 + p01, p10 + p11};  // P[A = a]
+  const double pb[2] = {p00 + p10, p01 + p11};  // P[B = b]
+
+  double mi = 0.0;
+  const double joint_p[2][2] = {{p00, p01}, {p10, p11}};
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const double pab = joint_p[a][b];
+      if (pab <= 0.0) continue;
+      const double denom = pa[a] * pb[b];
+      if (denom <= 0.0) continue;
+      mi += pab * std::log(pab / denom);
+    }
+  }
+  // Floating point cancellation can produce a tiny negative; MI >= 0.
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+StatusOr<double> MutualInformationBits(const MarginalTable& joint) {
+  auto nats = MutualInformation(joint);
+  if (!nats.ok()) return nats.status();
+  return *nats / std::log(2.0);
+}
+
+}  // namespace ldpm

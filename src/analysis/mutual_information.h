@@ -1,0 +1,27 @@
+// Entropy and mutual information over marginal tables (Section 6.2).
+
+#ifndef LDPM_ANALYSIS_MUTUAL_INFORMATION_H_
+#define LDPM_ANALYSIS_MUTUAL_INFORMATION_H_
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Shannon entropy (in nats) of a marginal table treated as a distribution.
+/// Negative cells are clamped to zero and the table renormalized first, so
+/// noisy private estimates are handled gracefully.
+double Entropy(const MarginalTable& table);
+
+/// Mutual information (in nats) between the two attributes of a 2-way
+/// marginal:
+///   MI(A,B) = sum_{i,j} p(i,j) ln( p(i,j) / (p(i) p(j)) )
+/// Noisy inputs are projected onto the simplex first. Always >= 0.
+StatusOr<double> MutualInformation(const MarginalTable& joint);
+
+/// Mutual information in bits (log base 2).
+StatusOr<double> MutualInformationBits(const MarginalTable& joint);
+
+}  // namespace ldpm
+
+#endif  // LDPM_ANALYSIS_MUTUAL_INFORMATION_H_

@@ -1,0 +1,183 @@
+#include "analysis/tree_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/bits.h"
+#include "core/marginal.h"
+
+namespace ldpm {
+namespace {
+
+double Clamp01(double p, double smoothing) {
+  return std::min(1.0 - smoothing, std::max(smoothing, p));
+}
+
+}  // namespace
+
+StatusOr<TreeModel> TreeModel::Fit(const ChowLiuTree& tree,
+                                   const PairwiseMarginalProvider& provider,
+                                   double smoothing) {
+  const int d = tree.d;
+  if (d < 2 || d > kMaxDimensions) {
+    return Status::InvalidArgument("TreeModel: bad tree dimension");
+  }
+  if (!(smoothing > 0.0) || !(smoothing < 0.5)) {
+    return Status::InvalidArgument("TreeModel: smoothing must be in (0, 0.5)");
+  }
+  if (static_cast<int>(tree.edges.size()) != d - 1) {
+    return Status::InvalidArgument(
+        "TreeModel: tree must have exactly d - 1 edges");
+  }
+
+  // Build adjacency and orient the tree away from node 0.
+  std::vector<std::vector<int>> adjacent(d);
+  for (const ChowLiuEdge& e : tree.edges) {
+    if (e.a < 0 || e.a >= d || e.b < 0 || e.b >= d || e.a == e.b) {
+      return Status::InvalidArgument("TreeModel: edge endpoint out of range");
+    }
+    adjacent[e.a].push_back(e.b);
+    adjacent[e.b].push_back(e.a);
+  }
+  std::vector<Node> nodes(d);
+  std::vector<int> order;
+  order.reserve(d);
+  std::vector<bool> visited(d, false);
+  std::vector<int> stack = {0};
+  visited[0] = true;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (int u : adjacent[v]) {
+      if (visited[u]) continue;
+      visited[u] = true;
+      nodes[u].parent = v;
+      stack.push_back(u);
+    }
+  }
+  if (static_cast<int>(order.size()) != d) {
+    return Status::InvalidArgument("TreeModel: edges do not form a tree");
+  }
+
+  // Fit CPTs from 2-way marginals. For each child c with parent p, pull the
+  // joint over {c, p} and condition.
+  for (int v : order) {
+    if (nodes[v].parent < 0) {
+      // Root: its 1-way marginal, obtained by marginalizing any pairwise
+      // table that contains it.
+      const int other = (v + 1) % d;
+      const uint64_t beta = (uint64_t{1} << v) | (uint64_t{1} << other);
+      auto joint = provider(beta);
+      if (!joint.ok()) return joint.status();
+      MarginalTable cleaned = *joint;
+      cleaned.ProjectToSimplex();
+      auto one_way = MarginalizeTable(cleaned, uint64_t{1} << v);
+      if (!one_way.ok()) return one_way.status();
+      nodes[v].p_root = Clamp01(one_way->at_compact(1), smoothing);
+      continue;
+    }
+    const int p = nodes[v].parent;
+    const uint64_t beta = (uint64_t{1} << v) | (uint64_t{1} << p);
+    auto joint = provider(beta);
+    if (!joint.ok()) return joint.status();
+    MarginalTable cleaned = *joint;
+    cleaned.ProjectToSimplex();
+    // Compact layout: bit 0 of the compact index is the lower attribute id.
+    const bool child_low = v < p;
+    auto cell = [&](int child_bit, int parent_bit) {
+      const uint64_t low = child_low ? child_bit : parent_bit;
+      const uint64_t high = child_low ? parent_bit : child_bit;
+      return cleaned.at_compact(low | (high << 1));
+    };
+    for (int parent_bit = 0; parent_bit < 2; ++parent_bit) {
+      const double denom = cell(0, parent_bit) + cell(1, parent_bit);
+      const double conditional =
+          denom > 0.0 ? cell(1, parent_bit) / denom : 0.5;
+      nodes[v].p_given_parent[parent_bit] = Clamp01(conditional, smoothing);
+    }
+  }
+  return TreeModel(d, tree, std::move(nodes), std::move(order));
+}
+
+StatusOr<TreeModel> TreeModel::LearnAndFit(
+    int d, const PairwiseMarginalProvider& provider, double smoothing) {
+  auto tree = BuildChowLiuTreeFromMarginals(d, provider);
+  if (!tree.ok()) return tree.status();
+  return Fit(*tree, provider, smoothing);
+}
+
+double TreeModel::JointProbability(uint64_t row) const {
+  double p = 1.0;
+  for (int v : topological_order_) {
+    const int bit = static_cast<int>((row >> v) & 1);
+    const Node& node = nodes_[v];
+    double p_one;
+    if (node.parent < 0) {
+      p_one = node.p_root;
+    } else {
+      const int parent_bit = static_cast<int>((row >> node.parent) & 1);
+      p_one = node.p_given_parent[parent_bit];
+    }
+    p *= bit ? p_one : 1.0 - p_one;
+  }
+  return p;
+}
+
+StatusOr<double> TreeModel::MeanLogLikelihood(
+    const std::vector<uint64_t>& rows) const {
+  if (rows.empty()) {
+    return Status::InvalidArgument("TreeModel: empty dataset");
+  }
+  double total = 0.0;
+  for (uint64_t row : rows) {
+    const double p = JointProbability(row);
+    if (!(p > 0.0)) {
+      return Status::Internal("TreeModel: zero probability row");
+    }
+    total += std::log(p);
+  }
+  return total / static_cast<double>(rows.size());
+}
+
+std::vector<uint64_t> TreeModel::Sample(size_t n, Rng& rng) const {
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t row = 0;
+    for (int v : topological_order_) {
+      const Node& node = nodes_[v];
+      double p_one;
+      if (node.parent < 0) {
+        p_one = node.p_root;
+      } else {
+        const int parent_bit = static_cast<int>((row >> node.parent) & 1);
+        p_one = node.p_given_parent[parent_bit];
+      }
+      if (rng.Bernoulli(p_one)) row |= uint64_t{1} << v;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+StatusOr<double> TreeModel::AttributeMean(int attribute) const {
+  if (attribute < 0 || attribute >= d_) {
+    return Status::OutOfRange("TreeModel: attribute out of range");
+  }
+  // Propagate marginal means down the topological order.
+  std::vector<double> mean(d_, 0.0);
+  for (int v : topological_order_) {
+    const Node& node = nodes_[v];
+    if (node.parent < 0) {
+      mean[v] = node.p_root;
+    } else {
+      const double pm = mean[node.parent];
+      mean[v] = pm * node.p_given_parent[1] + (1.0 - pm) * node.p_given_parent[0];
+    }
+  }
+  return mean[attribute];
+}
+
+}  // namespace ldpm

@@ -1,0 +1,79 @@
+// Tree-structured Bayesian models fitted from (private) marginals — the
+// payoff of the paper's Section 6.2 application.
+//
+// Chow & Liu's result is that the best tree-structured approximation of a
+// joint distribution multiplies conditional probability tables (CPTs) along
+// a spanning tree: P(x) = P(x_root) * prod_edges P(x_child | x_parent).
+// Every CPT derives from a 2-way marginal, so the entire high-dimensional
+// model can be fitted from exactly the statistics the LDP protocols
+// release. TreeModel does that fitting, and then supports the downstream
+// tasks the paper's motivation lists: evaluating joint probabilities,
+// scoring held-out data, and generating synthetic populations.
+
+#ifndef LDPM_ANALYSIS_TREE_MODEL_H_
+#define LDPM_ANALYSIS_TREE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/chow_liu.h"
+#include "core/random.h"
+
+namespace ldpm {
+
+/// A fitted binary tree-structured distribution over d attributes.
+class TreeModel {
+ public:
+  /// Fits CPTs for the given tree structure from a pairwise-marginal
+  /// provider (exact dataset marginals or a protocol's EstimateMarginal).
+  /// Marginals are projected to the simplex and conditionals floored at
+  /// `smoothing` to keep the model proper under noise.
+  static StatusOr<TreeModel> Fit(const ChowLiuTree& tree,
+                                 const PairwiseMarginalProvider& provider,
+                                 double smoothing = 1e-6);
+
+  /// Learns the structure with Chow-Liu *and* fits the CPTs, all from the
+  /// same provider.
+  static StatusOr<TreeModel> LearnAndFit(
+      int d, const PairwiseMarginalProvider& provider,
+      double smoothing = 1e-6);
+
+  int dimensions() const { return d_; }
+  const ChowLiuTree& tree() const { return tree_; }
+
+  /// P[row] under the model; row packs the d attribute bits.
+  double JointProbability(uint64_t row) const;
+
+  /// Mean log-likelihood (nats per row) of a dataset under the model.
+  StatusOr<double> MeanLogLikelihood(const std::vector<uint64_t>& rows) const;
+
+  /// Draws n rows from the model.
+  std::vector<uint64_t> Sample(size_t n, Rng& rng) const;
+
+  /// Marginal mean P[attribute = 1] implied by the model.
+  StatusOr<double> AttributeMean(int attribute) const;
+
+ private:
+  struct Node {
+    int parent = -1;          // -1 for the root
+    double p_root = 0.5;      // P[x = 1] if root
+    // P[x = 1 | parent = 0], P[x = 1 | parent = 1] otherwise.
+    double p_given_parent[2] = {0.5, 0.5};
+  };
+
+  TreeModel(int d, ChowLiuTree tree, std::vector<Node> nodes,
+            std::vector<int> order)
+      : d_(d),
+        tree_(std::move(tree)),
+        nodes_(std::move(nodes)),
+        topological_order_(std::move(order)) {}
+
+  int d_;
+  ChowLiuTree tree_;
+  std::vector<Node> nodes_;
+  std::vector<int> topological_order_;  // parents before children
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_ANALYSIS_TREE_MODEL_H_

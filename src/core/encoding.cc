@@ -1,0 +1,142 @@
+#include "core/encoding.h"
+
+#include <bit>
+#include <string>
+
+#include "core/bits.h"
+
+namespace ldpm {
+namespace {
+
+int BitsFor(uint32_t cardinality) {
+  // ceil(log2 r): width of the binary code for values 0..r-1.
+  return std::bit_width(cardinality - 1);
+}
+
+}  // namespace
+
+CategoricalDomain::CategoricalDomain(std::vector<uint32_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)) {
+  bits_.reserve(cardinalities_.size());
+  masks_.reserve(cardinalities_.size());
+  for (uint32_t r : cardinalities_) {
+    const int b = BitsFor(r);
+    bits_.push_back(b);
+    masks_.push_back(((uint64_t{1} << b) - 1) << total_bits_);
+    total_bits_ += b;
+  }
+}
+
+StatusOr<CategoricalDomain> CategoricalDomain::Create(
+    std::vector<uint32_t> cardinalities) {
+  if (cardinalities.empty()) {
+    return Status::InvalidArgument("CategoricalDomain: no attributes");
+  }
+  int total = 0;
+  for (uint32_t r : cardinalities) {
+    if (r < 2) {
+      return Status::InvalidArgument(
+          "CategoricalDomain: every cardinality must be >= 2");
+    }
+    total += BitsFor(r);
+  }
+  if (total > kMaxDimensions) {
+    return Status::InvalidArgument(
+        "CategoricalDomain: encoded width " + std::to_string(total) +
+        " exceeds kMaxDimensions");
+  }
+  return CategoricalDomain(std::move(cardinalities));
+}
+
+StatusOr<uint64_t> CategoricalDomain::Encode(
+    const std::vector<uint32_t>& values) const {
+  if (values.size() != cardinalities_.size()) {
+    return Status::InvalidArgument("Encode: tuple arity mismatch");
+  }
+  uint64_t packed = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= cardinalities_[i]) {
+      return Status::OutOfRange("Encode: value out of range for attribute " +
+                                std::to_string(i));
+    }
+    packed |= DepositBits(values[i], masks_[i]);
+  }
+  return packed;
+}
+
+StatusOr<std::vector<uint32_t>> CategoricalDomain::Decode(uint64_t packed) const {
+  if (total_bits_ < 64 && packed >= (uint64_t{1} << total_bits_)) {
+    return Status::OutOfRange("Decode: row outside encoded domain");
+  }
+  std::vector<uint32_t> values(cardinalities_.size());
+  for (size_t i = 0; i < cardinalities_.size(); ++i) {
+    const uint64_t code = ExtractBits(packed, masks_[i]);
+    if (code >= cardinalities_[i]) {
+      return Status::OutOfRange("Decode: invalid code for attribute " +
+                                std::to_string(i));
+    }
+    values[i] = static_cast<uint32_t>(code);
+  }
+  return values;
+}
+
+StatusOr<uint64_t> CategoricalDomain::SelectorForAttributes(
+    const std::vector<int>& attrs) const {
+  uint64_t beta = 0;
+  for (int a : attrs) {
+    if (a < 0 || a >= num_attributes()) {
+      return Status::OutOfRange("SelectorForAttributes: attribute id " +
+                                std::to_string(a) + " out of range");
+    }
+    if (beta & masks_[a]) {
+      return Status::InvalidArgument(
+          "SelectorForAttributes: duplicate attribute " + std::to_string(a));
+    }
+    beta |= masks_[a];
+  }
+  return beta;
+}
+
+StatusOr<CategoricalMarginal> ToCategoricalMarginal(
+    const CategoricalDomain& domain, const std::vector<int>& attrs,
+    const MarginalTable& binary_marginal) {
+  auto beta = domain.SelectorForAttributes(attrs);
+  if (!beta.ok()) return beta.status();
+  if (*beta != binary_marginal.beta()) {
+    return Status::InvalidArgument(
+        "ToCategoricalMarginal: marginal selector does not match attributes");
+  }
+
+  CategoricalMarginal out;
+  out.attributes = attrs;
+  uint64_t cells = 1;
+  for (int a : attrs) cells *= domain.cardinality(a);
+  out.probabilities.assign(cells, 0.0);
+
+  // Walk every cell of the binary marginal, decode each attribute's code,
+  // and accumulate into the mixed-radix categorical cell.
+  for (uint64_t idx = 0; idx < binary_marginal.size(); ++idx) {
+    const uint64_t gamma = binary_marginal.CompactToCell(idx);
+    uint64_t cat_index = 0;
+    uint64_t radix = 1;
+    bool valid = true;
+    for (int a : attrs) {
+      const uint64_t code = ExtractBits(gamma, domain.attribute_mask(a));
+      if (code >= domain.cardinality(a)) {
+        valid = false;
+        break;
+      }
+      cat_index += code * radix;
+      radix *= domain.cardinality(a);
+    }
+    const double p = binary_marginal.at_compact(idx);
+    if (valid) {
+      out.probabilities[cat_index] += p;
+    } else {
+      out.invalid_mass += p;
+    }
+  }
+  return out;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,86 @@
+// Categorical-attribute support (Section 6.3 of the paper).
+//
+// A CategoricalDomain describes d attributes with cardinalities r_1..r_d.
+// Each attribute is binary-encoded into ceil(log2 r_i) bits, giving an
+// effective binary dimension d2 = sum_i ceil(log2 r_i). All the binary
+// protocols then run unchanged over the encoded domain (Corollary 6.1), and
+// this header converts the reconstructed binary marginals back into
+// categorical marginal tables.
+
+#ifndef LDPM_CORE_ENCODING_H_
+#define LDPM_CORE_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Describes a mixed categorical domain and its packed binary encoding.
+class CategoricalDomain {
+ public:
+  /// Creates a domain from per-attribute cardinalities. Every cardinality
+  /// must be >= 2 and the total encoded width must fit kMaxDimensions.
+  static StatusOr<CategoricalDomain> Create(std::vector<uint32_t> cardinalities);
+
+  /// Number of categorical attributes d.
+  int num_attributes() const { return static_cast<int>(cardinalities_.size()); }
+
+  /// Cardinality r_i of attribute i.
+  uint32_t cardinality(int i) const { return cardinalities_[i]; }
+
+  /// Encoded width of attribute i: ceil(log2 r_i).
+  int attribute_bits(int i) const { return bits_[i]; }
+
+  /// Total binary dimension d2 = sum_i ceil(log2 r_i).
+  int binary_dimension() const { return total_bits_; }
+
+  /// Mask (within the packed encoding) of the bits carrying attribute i.
+  uint64_t attribute_mask(int i) const { return masks_[i]; }
+
+  /// Packs one categorical tuple into its binary encoding. Fails if the
+  /// tuple length or any value is out of range.
+  StatusOr<uint64_t> Encode(const std::vector<uint32_t>& values) const;
+
+  /// Unpacks a binary-encoded row back to categorical values. Fails if any
+  /// attribute's bit pattern exceeds its cardinality (an *invalid code*,
+  /// possible only for non-power-of-two cardinalities).
+  StatusOr<std::vector<uint32_t>> Decode(uint64_t packed) const;
+
+  /// The binary marginal selector covering all encoded bits of the given
+  /// attributes (duplicates rejected). Its order is the k2 of Corollary 6.1.
+  StatusOr<uint64_t> SelectorForAttributes(const std::vector<int>& attrs) const;
+
+ private:
+  explicit CategoricalDomain(std::vector<uint32_t> cardinalities);
+
+  std::vector<uint32_t> cardinalities_;
+  std::vector<int> bits_;
+  std::vector<uint64_t> masks_;
+  int total_bits_ = 0;
+};
+
+/// A categorical marginal recovered from a binary-encoded estimate.
+struct CategoricalMarginal {
+  /// Attribute ids, in the caller's order.
+  std::vector<int> attributes;
+  /// Probabilities indexed mixed-radix: attributes[0] is the fastest-varying
+  /// digit. Size = product of the attributes' cardinalities.
+  std::vector<double> probabilities;
+  /// Estimated probability mass that landed on invalid bit patterns (codes
+  /// >= r_i). Zero for exact inputs; noise can place mass there.
+  double invalid_mass = 0.0;
+};
+
+/// Folds a binary marginal over SelectorForAttributes(attrs) back into a
+/// categorical marginal. Mass on invalid codes is reported, not
+/// redistributed.
+StatusOr<CategoricalMarginal> ToCategoricalMarginal(
+    const CategoricalDomain& domain, const std::vector<int>& attrs,
+    const MarginalTable& binary_marginal);
+
+}  // namespace ldpm
+
+#endif  // LDPM_CORE_ENCODING_H_

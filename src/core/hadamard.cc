@@ -1,0 +1,94 @@
+#include "core/hadamard.h"
+
+#include <bit>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+void FastWalshHadamard(std::vector<double>& data) {
+  LDPM_CHECK(!data.empty() && std::has_single_bit(data.size()));
+  const size_t n = data.size();
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t block = 0; block < n; block += len << 1) {
+      for (size_t i = block; i < block + len; ++i) {
+        const double a = data[i];
+        const double b = data[i + len];
+        data[i] = a + b;
+        data[i + len] = a - b;
+      }
+    }
+  }
+}
+
+void InverseFastWalshHadamard(std::vector<double>& data) {
+  FastWalshHadamard(data);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (double& v : data) v *= scale;
+}
+
+double FourierCoefficient(const ContingencyTable& t, uint64_t alpha) {
+  double sum = 0.0;
+  for (uint64_t eta = 0; eta < t.size(); ++eta) {
+    sum += HadamardSign(alpha, eta) * t[eta];
+  }
+  return sum;
+}
+
+StatusOr<double> FourierCoefficients::Get(uint64_t alpha) const {
+  if (alpha == 0) return 1.0;
+  auto it = coeffs_.find(alpha);
+  if (it == coeffs_.end()) {
+    return Status::NotFound("FourierCoefficients: coefficient not present");
+  }
+  return it->second;
+}
+
+StatusOr<MarginalTable> FourierCoefficients::ReconstructMarginal(
+    uint64_t beta) const {
+  if (d_ < 64 && beta >= (uint64_t{1} << d_)) {
+    return Status::OutOfRange("ReconstructMarginal: beta outside domain");
+  }
+  MarginalTable m(d_, beta);
+  const int k = m.order();
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << k);
+
+  // Gather the needed coefficients once (2^k of them including f_0 = 1).
+  std::vector<uint64_t> alphas;
+  std::vector<double> coeffs;
+  alphas.reserve(m.size());
+  coeffs.reserve(m.size());
+  Status missing = Status::OK();
+  ForEachSubset(beta, [&](uint64_t alpha) {
+    if (!missing.ok()) return;
+    auto c = Get(alpha);
+    if (!c.ok()) {
+      missing = c.status();
+      return;
+    }
+    alphas.push_back(alpha);
+    coeffs.push_back(*c);
+  });
+  if (!missing.ok()) return missing;
+
+  for (uint64_t idx = 0; idx < m.size(); ++idx) {
+    const uint64_t gamma = m.CompactToCell(idx);
+    double v = 0.0;
+    for (size_t a = 0; a < alphas.size(); ++a) {
+      v += coeffs[a] * HadamardSign(alphas[a], gamma);
+    }
+    m.at_compact(idx) = v * scale;
+  }
+  return m;
+}
+
+FourierCoefficients FourierCoefficients::FromTable(const ContingencyTable& t,
+                                                   int k) {
+  FourierCoefficients fc(t.dimensions());
+  ForEachLowOrderMask(t.dimensions(), k, [&](uint64_t alpha) {
+    fc.Set(alpha, FourierCoefficient(t, alpha));
+  });
+  return fc;
+}
+
+}  // namespace ldpm

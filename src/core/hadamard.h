@@ -1,0 +1,83 @@
+// Hadamard (Boolean Fourier) transform machinery (Definition 3.5 and
+// Lemma 3.7 of the paper).
+//
+// Convention: ldpm works with *unnormalized* Fourier coefficients
+//
+//     f_alpha = sum_eta t[eta] * (-1)^{<alpha, eta>},
+//
+// so that for a probability vector t, f_0 = 1 and every |f_alpha| <= 1, and a
+// single user's coefficient is the signed bit (-1)^{<alpha, j_i>}. The
+// paper's orthonormal coefficients are theta_alpha = 2^{-d/2} f_alpha.
+//
+// Marginal reconstruction (Lemma 3.7 restated in this convention):
+//
+//     C_beta(t)[gamma] = 2^{-k} * sum_{alpha ⪯ beta} f_alpha (-1)^{<alpha, gamma>}
+
+#ifndef LDPM_CORE_HADAMARD_H_
+#define LDPM_CORE_HADAMARD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// In-place fast Walsh–Hadamard transform of a length-2^d vector:
+/// data[alpha] <- sum_eta data[eta] * (-1)^{<alpha, eta>}. O(d 2^d).
+/// Self-inverse up to a factor of 2^d. Check-fails unless the size is a
+/// power of two.
+void FastWalshHadamard(std::vector<double>& data);
+
+/// Applies the inverse transform: FWHT followed by division by 2^d.
+void InverseFastWalshHadamard(std::vector<double>& data);
+
+/// Directly evaluates one unnormalized coefficient f_alpha of a table.
+/// O(2^d); useful for testing and for sparse needs.
+double FourierCoefficient(const ContingencyTable& t, uint64_t alpha);
+
+/// A sparse bag of estimated Fourier coefficients, sufficient to reconstruct
+/// any marginal whose selector's coefficients are all present. This is the
+/// aggregator-side data structure of the Hadamard protocols.
+class FourierCoefficients {
+ public:
+  /// Creates an empty coefficient set over a d-attribute domain. f_0 is
+  /// implicitly 1 (the coefficient of any probability distribution).
+  explicit FourierCoefficients(int d) : d_(d) {}
+
+  /// Sets (or overwrites) the estimate for f_alpha.
+  void Set(uint64_t alpha, double value) { coeffs_[alpha] = value; }
+
+  /// Returns the estimate for f_alpha; alpha = 0 always yields 1.
+  /// Returns NotFound for coefficients never set.
+  StatusOr<double> Get(uint64_t alpha) const;
+
+  /// True if alpha = 0 or a value has been stored for alpha.
+  bool Contains(uint64_t alpha) const {
+    return alpha == 0 || coeffs_.count(alpha) > 0;
+  }
+
+  /// Number of explicitly stored coefficients.
+  size_t size() const { return coeffs_.size(); }
+
+  int dimensions() const { return d_; }
+
+  /// Reconstructs the marginal C_beta from the stored coefficients using
+  /// Lemma 3.7. Every nonzero alpha ⪯ beta must be present (else NotFound).
+  /// O(4^k) for a k-way marginal.
+  StatusOr<MarginalTable> ReconstructMarginal(uint64_t beta) const;
+
+  /// Computes the exact low-order coefficients (|alpha| <= k, alpha != 0) of
+  /// a known table; used by tests and the non-private reference path.
+  static FourierCoefficients FromTable(const ContingencyTable& t, int k);
+
+ private:
+  int d_;
+  std::unordered_map<uint64_t, double> coeffs_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_CORE_HADAMARD_H_

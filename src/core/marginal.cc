@@ -1,0 +1,62 @@
+#include "core/marginal.h"
+
+#include <string>
+
+namespace ldpm {
+
+StatusOr<MarginalTable> ComputeMarginal(const ContingencyTable& t,
+                                        uint64_t beta) {
+  if (t.dimensions() > 0 && beta >= t.size()) {
+    return Status::OutOfRange("ComputeMarginal: beta outside domain");
+  }
+  MarginalTable m(t.dimensions(), beta);
+  for (uint64_t cell = 0; cell < t.size(); ++cell) {
+    m.at_compact(ExtractBits(cell, beta)) += t[cell];
+  }
+  return m;
+}
+
+StatusOr<MarginalTable> MarginalizeTable(const MarginalTable& super,
+                                         uint64_t sub) {
+  if (!IsSubset(sub, super.beta())) {
+    return Status::InvalidArgument(
+        "MarginalizeTable: sub-selector is not a subset of the source");
+  }
+  MarginalTable m(super.dimensions(), sub);
+  for (uint64_t idx = 0; idx < super.size(); ++idx) {
+    const uint64_t cell = super.CompactToCell(idx);
+    m.at_compact(ExtractBits(cell, sub)) += super.at_compact(idx);
+  }
+  return m;
+}
+
+std::vector<uint64_t> KWaySelectors(int d, int k) {
+  std::vector<uint64_t> out;
+  out.reserve(BinomialCoefficient(d, k));
+  ForEachMaskWithPopcount(d, k, [&](uint64_t m) { out.push_back(m); });
+  return out;
+}
+
+std::vector<uint64_t> FullKWaySelectors(int d, int k) {
+  return LowOrderMasks(d, k);
+}
+
+StatusOr<MarginalTable> MarginalFromRows(const std::vector<uint64_t>& rows,
+                                         int d, uint64_t beta) {
+  if (d < 0 || d > kMaxDimensions) {
+    return Status::InvalidArgument("MarginalFromRows: bad dimension d = " +
+                                   std::to_string(d));
+  }
+  if (d < 64 && beta >= (uint64_t{1} << d)) {
+    return Status::OutOfRange("MarginalFromRows: beta outside domain");
+  }
+  MarginalTable m(d, beta);
+  if (rows.empty()) return m;
+  const double w = 1.0 / static_cast<double>(rows.size());
+  for (uint64_t row : rows) {
+    m.at_compact(ExtractBits(row, beta)) += w;
+  }
+  return m;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,40 @@
+// The marginal operator C_beta and helpers for enumerating marginal
+// selectors (Definition 3.2 / 3.3 of the paper).
+
+#ifndef LDPM_CORE_MARGINAL_H_
+#define LDPM_CORE_MARGINAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Computes the marginal C_beta(t) of a full table by summing out every
+/// attribute not selected by beta (equation (3) of the paper). O(2^d).
+StatusOr<MarginalTable> ComputeMarginal(const ContingencyTable& t,
+                                        uint64_t beta);
+
+/// Marginalizes an existing marginal table further: given C_beta and a
+/// selector sub ⪯ beta, returns C_sub. O(2^|beta|).
+StatusOr<MarginalTable> MarginalizeTable(const MarginalTable& super,
+                                         uint64_t sub);
+
+/// All C(d, k) selectors of exactly-k-way marginals, ascending.
+std::vector<uint64_t> KWaySelectors(int d, int k);
+
+/// All selectors of the "full set of k-way marginals": every beta with
+/// 1 <= |beta| <= k, grouped by order.
+std::vector<uint64_t> FullKWaySelectors(int d, int k);
+
+/// Computes the exact marginal of a list of packed user rows (each row a
+/// point of {0,1}^d) without materializing the 2^d table: O(N) time,
+/// O(2^k) space.
+StatusOr<MarginalTable> MarginalFromRows(const std::vector<uint64_t>& rows,
+                                         int d, uint64_t beta);
+
+}  // namespace ldpm
+
+#endif  // LDPM_CORE_MARGINAL_H_

@@ -1,0 +1,79 @@
+#include "core/orthonormal_basis.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+
+StatusOr<AttributeBasis> AttributeBasis::Helmert(uint32_t r) {
+  if (r < 2) {
+    return Status::InvalidArgument(
+        "AttributeBasis: cardinality must be >= 2, got " + std::to_string(r));
+  }
+  if (r > 4096) {
+    return Status::InvalidArgument(
+        "AttributeBasis: cardinality too large for a dense basis");
+  }
+  std::vector<double> values(static_cast<size_t>(r) * r, 0.0);
+  std::vector<double> max_abs(r, 0.0);
+
+  // e_0 = all ones.
+  for (uint32_t x = 0; x < r; ++x) values[x] = 1.0;
+  max_abs[0] = 1.0;
+
+  for (uint32_t t = 1; t < r; ++t) {
+    const double a = std::sqrt(static_cast<double>(r) /
+                               (static_cast<double>(t) * (t + 1.0)));
+    for (uint32_t x = 0; x < t; ++x) values[t * r + x] = a;
+    values[t * r + t] = -static_cast<double>(t) * a;
+    max_abs[t] = static_cast<double>(t) * a;
+  }
+  return AttributeBasis(r, std::move(values), std::move(max_abs));
+}
+
+StatusOr<AttributeBasis> AttributeBasis::Fourier(uint32_t r) {
+  if (r < 2) {
+    return Status::InvalidArgument(
+        "AttributeBasis: cardinality must be >= 2, got " + std::to_string(r));
+  }
+  if (r > 4096) {
+    return Status::InvalidArgument(
+        "AttributeBasis: cardinality too large for a dense basis");
+  }
+  std::vector<double> values(static_cast<size_t>(r) * r, 0.0);
+  std::vector<double> max_abs(r, 0.0);
+
+  for (uint32_t x = 0; x < r; ++x) values[x] = 1.0;
+  max_abs[0] = 1.0;
+
+  const double sqrt2 = std::sqrt(2.0);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  uint32_t t = 1;
+  for (uint32_t j = 1; 2 * j < r; ++j) {
+    for (uint32_t x = 0; x < r; ++x) {
+      const double angle = two_pi * j * x / static_cast<double>(r);
+      values[t * r + x] = sqrt2 * std::cos(angle);
+      values[(t + 1) * r + x] = sqrt2 * std::sin(angle);
+    }
+    t += 2;
+  }
+  if (r % 2 == 0) {
+    // The Nyquist character (-1)^x completes the basis for even r.
+    for (uint32_t x = 0; x < r; ++x) {
+      values[t * r + x] = (x % 2 == 0) ? 1.0 : -1.0;
+    }
+    t += 1;
+  }
+  LDPM_CHECK(t == r);
+
+  for (uint32_t row = 1; row < r; ++row) {
+    double m = 0.0;
+    for (uint32_t x = 0; x < r; ++x) {
+      m = std::max(m, std::fabs(values[row * r + x]));
+    }
+    max_abs[row] = m;
+  }
+  return AttributeBasis(r, std::move(values), std::move(max_abs));
+}
+
+}  // namespace ldpm

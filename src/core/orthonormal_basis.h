@@ -1,0 +1,70 @@
+// Orthonormal function bases over a single categorical attribute — the
+// per-coordinate building block of the Efron-Stein decomposition the paper
+// conjectures about in Section 6.3.
+//
+// For an attribute with r values, AttributeBasis holds r vectors
+// e_0, ..., e_{r-1} of R^r that are orthonormal under the *uniform* inner
+// product <u, v> = (1/r) sum_x u(x) v(x), with e_0 identically 1. The
+// tensor products of such bases across attributes give the Efron-Stein
+// decomposition of the product domain: the coefficients supported on a set
+// S of attributes capture exactly the |S|-way interactions, so (like the
+// binary Hadamard case, Lemma 3.7) a k-way marginal needs only the
+// coefficients whose support has size at most k.
+//
+// The concrete basis is the normalized Helmert contrast system:
+//   e_t(x) = a_t        for x < t,
+//   e_t(t) = -t * a_t,
+//   e_t(x) = 0          for x > t,      a_t = sqrt(r / (t (t+1))).
+// For r = 2 this is exactly the Hadamard character chi(x) = (-1)^x.
+
+#ifndef LDPM_CORE_ORTHONORMAL_BASIS_H_
+#define LDPM_CORE_ORTHONORMAL_BASIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace ldpm {
+
+class AttributeBasis {
+ public:
+  /// Builds the normalized Helmert basis for an attribute of cardinality
+  /// r >= 2.
+  static StatusOr<AttributeBasis> Helmert(uint32_t r);
+
+  /// Builds the real trigonometric (discrete Fourier) orthonormal basis:
+  /// e_0 = 1, then sqrt(2) cos(2 pi j x / r) and sqrt(2) sin(2 pi j x / r)
+  /// pairs (plus (-1)^x when r is even). Unlike Helmert, every entry is
+  /// bounded by sqrt(2) *independent of r*, which keeps the bounded-value
+  /// LDP release tight for large-cardinality attributes.
+  static StatusOr<AttributeBasis> Fourier(uint32_t r);
+
+  /// Attribute cardinality r.
+  uint32_t cardinality() const { return r_; }
+
+  /// e_t(x); t and x both in [0, r).
+  double Value(uint32_t t, uint32_t x) const {
+    LDPM_DCHECK(t < r_ && x < r_);
+    return values_[t * r_ + x];
+  }
+
+  /// max_x |e_t(x)| — the bound used by the bounded-value LDP release.
+  double MaxAbs(uint32_t t) const {
+    LDPM_DCHECK(t < r_);
+    return max_abs_[t];
+  }
+
+ private:
+  AttributeBasis(uint32_t r, std::vector<double> values,
+                 std::vector<double> max_abs)
+      : r_(r), values_(std::move(values)), max_abs_(std::move(max_abs)) {}
+
+  uint32_t r_;
+  std::vector<double> values_;  // row-major r x r
+  std::vector<double> max_abs_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_CORE_ORTHONORMAL_BASIS_H_

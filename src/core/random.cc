@@ -1,0 +1,140 @@
+#include "core/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace ldpm {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the (probability ~2^-256) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork() { return Rng((*this)() ^ 0xA3EC647659359ACDull); }
+
+double Rng::UniformDouble() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  LDPM_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::UniformInRange(uint64_t lo, uint64_t hi) {
+  LDPM_DCHECK(lo <= hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  std::binomial_distribution<uint64_t> dist(n, p);
+  return dist(*this);
+}
+
+double Rng::Gaussian() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(*this);
+}
+
+StatusOr<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasSampler: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("AliasSampler: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AliasSampler: weights sum to zero");
+  }
+
+  const size_t n = weights.size();
+  AliasSampler sampler;
+  sampler.prob_.assign(n, 0.0);
+  sampler.alias_.assign(n, 0);
+  sampler.normalized_.resize(n);
+
+  // Vose's stable construction: partition scaled probabilities into
+  // under-full and over-full buckets and pair them up.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    sampler.normalized_[i] = weights[i] / total;
+    scaled[i] = sampler.normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    sampler.prob_[s] = scaled[s];
+    sampler.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) sampler.prob_[i] = 1.0;
+  for (uint32_t i : small) sampler.prob_[i] = 1.0;  // numeric leftovers
+  return sampler;
+}
+
+uint64_t AliasSampler::Sample(Rng& rng) const {
+  const uint64_t bucket = rng.UniformInt(prob_.size());
+  return rng.Bernoulli(prob_[bucket]) ? bucket : alias_[bucket];
+}
+
+}  // namespace ldpm

@@ -1,0 +1,41 @@
+#include "core/status.h"
+
+namespace ldpm {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotFound:
+      return "NotFound";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "LDPM_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ldpm

@@ -1,0 +1,152 @@
+// Status / StatusOr error model for ldpm.
+//
+// The public API of ldpm reports recoverable errors through Status values
+// rather than exceptions (following the RocksDB / Arrow idiom for database
+// libraries). Internal invariant violations use the LDPM_CHECK macros and
+// abort, since they indicate programmer error rather than bad input.
+
+#ifndef LDPM_CORE_STATUS_H_
+#define LDPM_CORE_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ldpm {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-range value.
+  kOutOfRange = 2,        ///< Index or domain bound exceeded.
+  kFailedPrecondition = 3,///< Object not in the required state for the call.
+  kUnimplemented = 4,     ///< Feature intentionally not provided.
+  kInternal = 5,          ///< Invariant violation surfaced as a soft error.
+  kNotFound = 6,          ///< Lookup key absent.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are ordered-comparable only on OK-ness.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr in
+/// miniature: check ok() before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, so functions can `return value;`).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// Access to the held value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts with a diagnostic if `expr` is false. Enabled in all build types;
+/// use for cheap invariants on internal interfaces.
+#define LDPM_CHECK(expr)                                       \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::ldpm::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#ifndef NDEBUG
+#define LDPM_DCHECK(expr) LDPM_CHECK(expr)
+#else
+#define LDPM_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#endif
+
+/// Propagates a non-OK status out of the enclosing function.
+#define LDPM_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::ldpm::Status _ldpm_st = (expr);       \
+    if (!_ldpm_st.ok()) return _ldpm_st;    \
+  } while (0)
+
+}  // namespace ldpm
+
+#endif  // LDPM_CORE_STATUS_H_

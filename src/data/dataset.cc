@@ -1,0 +1,108 @@
+#include "data/dataset.h"
+
+#include <string>
+
+#include "core/bits.h"
+#include "core/marginal.h"
+
+namespace ldpm {
+
+StatusOr<BinaryDataset> BinaryDataset::Create(int d,
+                                              std::vector<uint64_t> rows,
+                                              std::vector<std::string> names) {
+  if (d < 1 || d > kMaxDimensions) {
+    return Status::InvalidArgument("BinaryDataset: d must be in [1, " +
+                                   std::to_string(kMaxDimensions) + "]");
+  }
+  if (!names.empty() && static_cast<int>(names.size()) != d) {
+    return Status::InvalidArgument(
+        "BinaryDataset: attribute name count must equal d");
+  }
+  if (d < 64) {
+    const uint64_t limit = uint64_t{1} << d;
+    for (uint64_t row : rows) {
+      if (row >= limit) {
+        return Status::OutOfRange("BinaryDataset: row exceeds the d-bit domain");
+      }
+    }
+  }
+  return BinaryDataset(d, std::move(rows), std::move(names));
+}
+
+std::string BinaryDataset::attribute_name(int i) const {
+  LDPM_DCHECK(i >= 0 && i < d_);
+  if (i < static_cast<int>(names_.size())) return names_[i];
+  return "attr" + std::to_string(i);
+}
+
+StatusOr<MarginalTable> BinaryDataset::Marginal(uint64_t beta) const {
+  return MarginalFromRows(rows_, d_, beta);
+}
+
+StatusOr<double> BinaryDataset::AttributeMean(int attribute) const {
+  if (attribute < 0 || attribute >= d_) {
+    return Status::OutOfRange("BinaryDataset: attribute index out of range");
+  }
+  if (rows_.empty()) {
+    return Status::FailedPrecondition("BinaryDataset: empty dataset");
+  }
+  uint64_t count = 0;
+  for (uint64_t row : rows_) count += (row >> attribute) & 1;
+  return static_cast<double>(count) / static_cast<double>(rows_.size());
+}
+
+StatusOr<ContingencyTable> BinaryDataset::Histogram() const {
+  auto table = ContingencyTable::Zero(d_);
+  if (!table.ok()) return table.status();
+  if (rows_.empty()) {
+    return Status::FailedPrecondition("BinaryDataset: empty dataset");
+  }
+  const double w = 1.0 / static_cast<double>(rows_.size());
+  for (uint64_t row : rows_) table->Add(row, w);
+  return table;
+}
+
+BinaryDataset BinaryDataset::SampleWithReplacement(size_t n, Rng& rng) const {
+  LDPM_CHECK(!rows_.empty());
+  std::vector<uint64_t> sampled;
+  sampled.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sampled.push_back(rows_[rng.UniformInt(rows_.size())]);
+  }
+  return BinaryDataset(d_, std::move(sampled), names_);
+}
+
+StatusOr<BinaryDataset> BinaryDataset::DuplicateColumns(int target_d) const {
+  if (target_d < d_) {
+    return Status::InvalidArgument(
+        "DuplicateColumns: target dimension below current");
+  }
+  if (target_d > kMaxDimensions) {
+    return Status::InvalidArgument("DuplicateColumns: target dimension too large");
+  }
+  if (target_d == d_) return *this;
+
+  std::vector<uint64_t> wide;
+  wide.reserve(rows_.size());
+  for (uint64_t row : rows_) {
+    uint64_t out = row;
+    for (int b = d_; b < target_d; ++b) {
+      const int src = b % d_;
+      if ((row >> src) & 1) out |= uint64_t{1} << b;
+    }
+    wide.push_back(out);
+  }
+  std::vector<std::string> names;
+  if (!names_.empty()) {
+    names.reserve(target_d);
+    for (int b = 0; b < target_d; ++b) {
+      const int src = b % d_;
+      const int copy = b / d_;
+      names.push_back(copy == 0 ? names_[src]
+                                : names_[src] + "#" + std::to_string(copy));
+    }
+  }
+  return BinaryDataset(target_d, std::move(wide), std::move(names));
+}
+
+}  // namespace ldpm

@@ -1,0 +1,65 @@
+// The binary dataset substrate: N users x d binary attributes, each row
+// packed into a uint64_t (attribute 0 = bit 0).
+
+#ifndef LDPM_DATA_DATASET_H_
+#define LDPM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/random.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// An immutable-ish collection of users' packed attribute rows with
+/// optional attribute names.
+class BinaryDataset {
+ public:
+  /// Wraps rows over a d-attribute domain. Every row must fit in d bits;
+  /// `names`, if given, must have exactly d entries.
+  static StatusOr<BinaryDataset> Create(int d, std::vector<uint64_t> rows,
+                                        std::vector<std::string> names = {});
+
+  int dimensions() const { return d_; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<uint64_t>& rows() const { return rows_; }
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  /// Name of one attribute ("attr<i>" when unnamed).
+  std::string attribute_name(int i) const;
+
+  /// Exact marginal of the dataset for selector beta (O(N)).
+  StatusOr<MarginalTable> Marginal(uint64_t beta) const;
+
+  /// Exact empirical mean of one attribute.
+  StatusOr<double> AttributeMean(int attribute) const;
+
+  /// Dense normalized histogram over the 2^d cells. Requires
+  /// d <= kMaxDenseDimensions.
+  StatusOr<ContingencyTable> Histogram() const;
+
+  /// Draws n rows uniformly with replacement (the paper's per-experiment
+  /// population sampling).
+  BinaryDataset SampleWithReplacement(size_t n, Rng& rng) const;
+
+  /// Widens the dataset to `target_d` attributes by duplicating columns
+  /// cyclically (the paper's Figure 6 device for large d). Duplicated
+  /// columns inherit names with a "#<copy>" suffix.
+  StatusOr<BinaryDataset> DuplicateColumns(int target_d) const;
+
+ private:
+  BinaryDataset(int d, std::vector<uint64_t> rows,
+                std::vector<std::string> names)
+      : d_(d), rows_(std::move(rows)), names_(std::move(names)) {}
+
+  int d_;
+  std::vector<uint64_t> rows_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_DATA_DATASET_H_

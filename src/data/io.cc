@@ -1,0 +1,124 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/bits.h"
+
+namespace ldpm {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(Trim(cell));
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+}  // namespace
+
+StatusOr<BinaryDataset> ParseCsvDataset(const std::string& text,
+                                        bool has_header) {
+  std::istringstream stream(text);
+  std::string line;
+  std::vector<std::string> names;
+  std::vector<uint64_t> rows;
+  int d = -1;
+  size_t line_number = 0;
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(trimmed);
+
+    if (has_header && names.empty() && d < 0) {
+      names = cells;
+      d = static_cast<int>(cells.size());
+      if (d < 1 || d > kMaxDimensions) {
+        return Status::InvalidArgument("CSV: header arity out of range");
+      }
+      continue;
+    }
+    if (d < 0) {
+      d = static_cast<int>(cells.size());
+      if (d < 1 || d > kMaxDimensions) {
+        return Status::InvalidArgument("CSV: row arity out of range");
+      }
+    }
+    if (static_cast<int>(cells.size()) != d) {
+      return Status::InvalidArgument(
+          "CSV: line " + std::to_string(line_number) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(d));
+    }
+    uint64_t row = 0;
+    for (int j = 0; j < d; ++j) {
+      if (cells[j] == "1") {
+        row |= uint64_t{1} << j;
+      } else if (cells[j] != "0") {
+        return Status::InvalidArgument(
+            "CSV: line " + std::to_string(line_number) + " cell " +
+            std::to_string(j) + " is '" + cells[j] + "', expected 0 or 1");
+      }
+    }
+    rows.push_back(row);
+  }
+  if (d < 0) {
+    return Status::InvalidArgument("CSV: no data found");
+  }
+  return BinaryDataset::Create(d, std::move(rows), std::move(names));
+}
+
+std::string WriteCsvDataset(const BinaryDataset& dataset) {
+  std::ostringstream out;
+  if (!dataset.attribute_names().empty()) {
+    for (int j = 0; j < dataset.dimensions(); ++j) {
+      if (j) out << ",";
+      out << dataset.attribute_name(j);
+    }
+    out << "\n";
+  }
+  for (uint64_t row : dataset.rows()) {
+    for (int j = 0; j < dataset.dimensions(); ++j) {
+      if (j) out << ",";
+      out << ((row >> j) & 1);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<BinaryDataset> LoadCsvDataset(const std::string& path,
+                                       bool has_header) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvDataset(buffer.str(), has_header);
+}
+
+Status SaveCsvDataset(const BinaryDataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot write " + path);
+  }
+  file << WriteCsvDataset(dataset);
+  if (!file) {
+    return Status::Internal("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace ldpm

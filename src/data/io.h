@@ -1,0 +1,35 @@
+// CSV import/export for binary datasets — the adoption path for running
+// the protocols on real data (e.g. an actual NYC-taxi extraction).
+//
+// Format: an optional header row with attribute names, then one row per
+// user with d comma-separated 0/1 values. Whitespace around cells is
+// tolerated; anything else is rejected with a precise error.
+
+#ifndef LDPM_DATA_IO_H_
+#define LDPM_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ldpm {
+
+/// Parses CSV text into a dataset. When `has_header` the first row supplies
+/// attribute names; otherwise attributes are unnamed and d is inferred from
+/// the first data row.
+StatusOr<BinaryDataset> ParseCsvDataset(const std::string& text,
+                                        bool has_header = true);
+
+/// Renders a dataset back to CSV (header included when names exist).
+std::string WriteCsvDataset(const BinaryDataset& dataset);
+
+/// Reads a dataset from a file path.
+StatusOr<BinaryDataset> LoadCsvDataset(const std::string& path,
+                                       bool has_header = true);
+
+/// Writes a dataset to a file path.
+Status SaveCsvDataset(const BinaryDataset& dataset, const std::string& path);
+
+}  // namespace ldpm
+
+#endif  // LDPM_DATA_IO_H_

@@ -1,0 +1,58 @@
+#include "data/movielens.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+namespace {
+
+constexpr const char* kGenreNames[kMovielensGenres] = {
+    "Drama",   "Comedy",  "Thriller", "Action",    "Romance",   "Adventure",
+    "Crime",   "Sci-Fi",  "Horror",   "Fantasy",   "Children",  "Mystery",
+    "Musical", "War",     "Western",  "Animation", "Film-Noir",
+};
+
+// Base rate pi_g of rating at least one top-1000 movie per genre; decays
+// from mainstream to niche.
+constexpr double kBaseRates[kMovielensGenres] = {
+    0.82, 0.78, 0.66, 0.62, 0.55, 0.52, 0.47, 0.44, 0.36,
+    0.33, 0.30, 0.28, 0.22, 0.20, 0.17, 0.16, 0.12,
+};
+
+// Coupling between the activity latent and every genre; larger values give
+// stronger positive pairwise correlation.
+constexpr double kActivityCoupling = 1.2;
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double Logit(double p) { return std::log(p / (1.0 - p)); }
+
+}  // namespace
+
+StatusOr<BinaryDataset> GenerateMovielensDataset(size_t n, int d,
+                                                 uint64_t seed) {
+  if (d < 1 || d > kMovielensGenres) {
+    return Status::InvalidArgument(
+        "GenerateMovielensDataset: d must be in [1, " +
+        std::to_string(kMovielensGenres) +
+        "]; widen with DuplicateColumns beyond that");
+  }
+  Rng rng(seed);
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double activity = rng.Gaussian();
+    uint64_t row = 0;
+    for (int g = 0; g < d; ++g) {
+      const double p =
+          Sigmoid(Logit(kBaseRates[g]) + kActivityCoupling * activity);
+      if (rng.Bernoulli(p)) row |= uint64_t{1} << g;
+    }
+    rows.push_back(row);
+  }
+  std::vector<std::string> names;
+  names.reserve(d);
+  for (int g = 0; g < d; ++g) names.emplace_back(kGenreNames[g]);
+  return BinaryDataset::Create(d, std::move(rows), std::move(names));
+}
+
+}  // namespace ldpm

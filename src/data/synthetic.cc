@@ -1,0 +1,117 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+StatusOr<BinaryDataset> GenerateIndependent(size_t n,
+                                            const std::vector<double>& probs,
+                                            uint64_t seed) {
+  const int d = static_cast<int>(probs.size());
+  if (d < 1 || d > kMaxDimensions) {
+    return Status::InvalidArgument("GenerateIndependent: bad dimension");
+  }
+  for (double p : probs) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument(
+          "GenerateIndependent: probabilities must lie in [0, 1]");
+    }
+  }
+  Rng rng(seed);
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t row = 0;
+    for (int j = 0; j < d; ++j) {
+      if (rng.Bernoulli(probs[j])) row |= uint64_t{1} << j;
+    }
+    rows.push_back(row);
+  }
+  return BinaryDataset::Create(d, std::move(rows));
+}
+
+StatusOr<BinaryDataset> GenerateLightlySkewed(size_t n, int d, double skew,
+                                              uint64_t seed) {
+  if (d < 1 || d > kMaxDenseDimensions) {
+    return Status::InvalidArgument("GenerateLightlySkewed: bad dimension");
+  }
+  if (!(skew >= 0.0) || !std::isfinite(skew)) {
+    return Status::InvalidArgument("GenerateLightlySkewed: bad skew");
+  }
+  Rng rng(seed);
+  const uint64_t cells = uint64_t{1} << d;
+
+  // Zipf-style weights over a random permutation of the cells.
+  std::vector<uint64_t> perm(cells);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (uint64_t i = cells - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.UniformInt(i + 1)]);
+  }
+  std::vector<double> weights(cells);
+  for (uint64_t rank = 0; rank < cells; ++rank) {
+    weights[perm[rank]] = std::pow(static_cast<double>(rank + 1), -skew);
+  }
+  auto sampler = AliasSampler::Create(weights);
+  if (!sampler.ok()) return sampler.status();
+
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rows.push_back(sampler->Sample(rng));
+  return BinaryDataset::Create(d, std::move(rows));
+}
+
+StatusOr<PlantedTree> GeneratePlantedTree(size_t n, int d, double flip,
+                                          uint64_t seed) {
+  if (d < 2 || d > kMaxDimensions) {
+    return Status::InvalidArgument("GeneratePlantedTree: bad dimension");
+  }
+  if (!(flip > 0.0) || !(flip < 0.5)) {
+    return Status::InvalidArgument(
+        "GeneratePlantedTree: flip must lie in (0, 0.5)");
+  }
+  Rng rng(seed);
+
+  // Random recursive tree: node v > 0 attaches to a uniform earlier node,
+  // so parents always precede children and sampling is a single pass.
+  std::vector<int> parent(d, -1);
+  for (int v = 1; v < d; ++v) {
+    parent[v] = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(v)));
+  }
+
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  std::vector<int> bits(d, 0);
+  for (size_t i = 0; i < n; ++i) {
+    bits[0] = rng.Bernoulli(0.5) ? 1 : 0;
+    for (int v = 1; v < d; ++v) {
+      const int pv = bits[parent[v]];
+      bits[v] = rng.Bernoulli(flip) ? 1 - pv : pv;
+    }
+    uint64_t row = 0;
+    for (int v = 0; v < d; ++v) {
+      if (bits[v]) row |= uint64_t{1} << v;
+    }
+    rows.push_back(row);
+  }
+
+  // Exact per-edge MI of a binary symmetric channel with uniform input:
+  // ln 2 - H(flip).
+  const double edge_mi = std::log(2.0) + flip * std::log(flip) +
+                         (1.0 - flip) * std::log(1.0 - flip);
+  ChowLiuTree tree;
+  tree.d = d;
+  for (int v = 1; v < d; ++v) {
+    tree.edges.push_back({parent[v], v, edge_mi});
+    tree.total_mutual_information += edge_mi;
+  }
+
+  auto data = BinaryDataset::Create(d, std::move(rows));
+  if (!data.ok()) return data.status();
+  return PlantedTree{*std::move(data), std::move(tree)};
+}
+
+}  // namespace ldpm

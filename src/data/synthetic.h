@@ -1,0 +1,43 @@
+// Generic synthetic dataset generators: independent attributes, the
+// lightly-skewed multinomial of the paper's Appendix B.2 (Figure 10), and a
+// planted dependency tree for testing structure learners.
+
+#ifndef LDPM_DATA_SYNTHETIC_H_
+#define LDPM_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/chow_liu.h"
+#include "data/dataset.h"
+
+namespace ldpm {
+
+/// Independent attributes: bit j is Bernoulli(probs[j]).
+StatusOr<BinaryDataset> GenerateIndependent(size_t n,
+                                            const std::vector<double>& probs,
+                                            uint64_t seed);
+
+/// A lightly skewed multinomial over the full 2^d-cell domain: cell
+/// probabilities proportional to rank^{-skew} under a random (seeded)
+/// permutation of the cells, so the skew is not aligned with the bit
+/// structure. skew ~ 1 matches the appendix's "lightly skewed" setting.
+/// Requires d <= kMaxDenseDimensions.
+StatusOr<BinaryDataset> GenerateLightlySkewed(size_t n, int d, double skew,
+                                              uint64_t seed);
+
+/// A planted dependency tree together with data sampled from it.
+struct PlantedTree {
+  BinaryDataset data;
+  ChowLiuTree tree;  ///< the generating structure with exact edge MIs
+};
+
+/// Samples from a random tree-structured distribution: a uniform random
+/// spanning tree, root ~ Bernoulli(1/2), each child equal to its parent
+/// with probability 1 - flip. flip in (0, 0.5) gives informative edges.
+StatusOr<PlantedTree> GeneratePlantedTree(size_t n, int d, double flip,
+                                          uint64_t seed);
+
+}  // namespace ldpm
+
+#endif  // LDPM_DATA_SYNTHETIC_H_

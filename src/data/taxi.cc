@@ -1,0 +1,90 @@
+#include "data/taxi.h"
+
+namespace ldpm {
+namespace {
+
+// Route classes and their probabilities: exactly the Figure 2 marginal.
+// Order: (M_pick, M_drop) = (1,1), (1,0), (0,1), (0,0).
+constexpr double kRouteProbs[4] = {0.55, 0.15, 0.10, 0.20};
+
+// P(Far = 1 | route class): Manhattan-internal trips are short; trips
+// touching the outer boroughs/airports are much longer.
+constexpr double kFarGivenRoute[4] = {0.04, 0.38, 0.38, 0.60};
+
+// Toll depends on distance (bridges/tunnels on long trips).
+constexpr double kTollGivenFar = 0.72;
+constexpr double kTollGivenNear = 0.04;
+
+// Night latent and its two noisy observations.
+constexpr double kNightRate = 0.35;
+constexpr double kNightPickFlip = 0.05;
+constexpr double kNightDropFlip = 0.08;
+
+// Card-user latent and its two noisy observations.
+constexpr double kCardRate = 0.60;
+constexpr double kCcFlip = 0.05;
+constexpr double kTipFlip = 0.15;
+
+}  // namespace
+
+StatusOr<BinaryDataset> GenerateTaxiDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Route class (drives M_pick, M_drop, Far, Toll).
+    const double u = rng.UniformDouble();
+    int route = 3;
+    double acc = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      acc += kRouteProbs[c];
+      if (u < acc) {
+        route = c;
+        break;
+      }
+    }
+    const bool m_pick = route == 0 || route == 1;
+    const bool m_drop = route == 0 || route == 2;
+    const bool far = rng.Bernoulli(kFarGivenRoute[route]);
+    const bool toll = rng.Bernoulli(far ? kTollGivenFar : kTollGivenNear);
+
+    // Night latent (drives both pickup/drop-off night flags).
+    const bool night = rng.Bernoulli(kNightRate);
+    const bool night_pick = rng.Bernoulli(kNightPickFlip) ? !night : night;
+    const bool night_drop = rng.Bernoulli(kNightDropFlip) ? !night : night;
+
+    // Card-user latent (drives payment mode and tipping).
+    const bool card = rng.Bernoulli(kCardRate);
+    const bool cc = rng.Bernoulli(kCcFlip) ? !card : card;
+    const bool tip = rng.Bernoulli(kTipFlip) ? !card : card;
+
+    uint64_t row = 0;
+    row |= uint64_t{cc} << kTaxiCC;
+    row |= uint64_t{toll} << kTaxiToll;
+    row |= uint64_t{far} << kTaxiFar;
+    row |= uint64_t{night_pick} << kTaxiNightPick;
+    row |= uint64_t{night_drop} << kTaxiNightDrop;
+    row |= uint64_t{m_pick} << kTaxiMPick;
+    row |= uint64_t{m_drop} << kTaxiMDrop;
+    row |= uint64_t{tip} << kTaxiTip;
+    rows.push_back(row);
+  }
+  return BinaryDataset::Create(
+      kTaxiDimensions, std::move(rows),
+      {"CC", "Toll", "Far", "Night_pick", "Night_drop", "M_pick", "M_drop",
+       "Tip"});
+}
+
+const std::vector<TaxiTestPairs::Pair>& TaxiTestPairs::All() {
+  static const std::vector<Pair> kPairs = {
+      {kTaxiNightPick, kTaxiNightDrop, "(Night_pick, Night_drop)", true},
+      {kTaxiToll, kTaxiFar, "(Toll, Far)", true},
+      {kTaxiCC, kTaxiTip, "(CC, Tip)", true},
+      {kTaxiMDrop, kTaxiCC, "(M_drop, CC)", false},
+      {kTaxiFar, kTaxiNightPick, "(Far, Night_pick)", false},
+      {kTaxiToll, kTaxiNightPick, "(Toll, Night_pick)", false},
+  };
+  return kPairs;
+}
+
+}  // namespace ldpm

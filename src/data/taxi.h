@@ -1,0 +1,61 @@
+// Synthetic NYC-taxi-like dataset (substitution for the paper's NYC TLC
+// trip records; see DESIGN.md).
+//
+// The paper derives 8 binary attributes from Manhattan yellow-cab trips
+// (its Table 1) and relies on their qualitative correlation structure
+// (its Figure 3): strong positive association within the pairs
+// (Night_pick, Night_drop), (Toll, Far), (CC, Tip), (M_pick, M_drop), and
+// near-independence for (M_drop, CC), (Far, Night_pick),
+// (Toll, Night_pick). The 2-way M_pick/M_drop marginal is the paper's
+// Figure 2: [0.55, 0.15; 0.10, 0.20].
+//
+// This generator reproduces those moments with a latent-class model:
+//   * a 4-way trip-route class fixes (M_pick, M_drop) at exactly the
+//     Figure 2 proportions and drives trip distance (Far), which drives
+//     Toll;
+//   * an independent night latent drives both Night_pick and Night_drop;
+//   * an independent card-user latent drives both CC and Tip.
+// Independence between the three latents yields the near-zero pairs.
+
+#ifndef LDPM_DATA_TAXI_H_
+#define LDPM_DATA_TAXI_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace ldpm {
+
+/// Attribute indices of the taxi schema (Table 1 of the paper).
+enum TaxiAttribute : int {
+  kTaxiCC = 0,         ///< paid by credit card
+  kTaxiToll = 1,       ///< paid a toll
+  kTaxiFar = 2,        ///< trip distance >= 10 miles
+  kTaxiNightPick = 3,  ///< pickup at/after 8 PM
+  kTaxiNightDrop = 4,  ///< drop-off at/before 3 AM
+  kTaxiMPick = 5,      ///< origin in Manhattan
+  kTaxiMDrop = 6,      ///< destination in Manhattan
+  kTaxiTip = 7,        ///< tip >= 25% of fare
+};
+
+/// Number of taxi attributes.
+inline constexpr int kTaxiDimensions = 8;
+
+/// Generates n synthetic trips. Deterministic given the seed.
+StatusOr<BinaryDataset> GenerateTaxiDataset(size_t n, uint64_t seed);
+
+/// The attribute-pair lists the paper's association test focuses on
+/// (Figure 7): three strongly dependent pairs and three ~independent pairs.
+struct TaxiTestPairs {
+  struct Pair {
+    int a;
+    int b;
+    const char* label;
+    bool expected_dependent;
+  };
+  static const std::vector<Pair>& All();
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_DATA_TAXI_H_

@@ -1,0 +1,18 @@
+#include "mechanisms/bounded_value.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+
+StatusOr<BoundedValueMechanism> BoundedValueMechanism::Create(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "BoundedValueMechanism: epsilon must be finite and > 0, got " +
+        std::to_string(epsilon));
+  }
+  const double e = std::exp(epsilon);
+  return BoundedValueMechanism(e / (1.0 + e));
+}
+
+}  // namespace ldpm

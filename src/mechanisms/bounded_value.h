@@ -1,0 +1,64 @@
+// One-bit eps-LDP release of a bounded real value.
+//
+// Generalizes randomized response from {-1,+1} inputs to any v in [-B, B]:
+// the user reports a sign s in {-1,+1} with
+//
+//     P[s = +1] = 1/2 + (2p - 1) * v / (2B),     p = e^eps / (1 + e^eps).
+//
+// Over all v in [-B, B] the report probability stays within [1-p, p], so
+// the worst-case likelihood ratio between any two inputs is p/(1-p) =
+// e^eps — exactly eps-LDP. The estimator B * s / (2p - 1) is unbiased for
+// v. For v in {-B, +B} the mechanism degenerates to plain randomized
+// response, which is how the Hadamard protocols are recovered as a special
+// case.
+//
+// This is the primitive behind the Efron-Stein protocol (InpES): the
+// sampled orthonormal-basis coefficient of a categorical attribute tuple is
+// a bounded real value rather than a signed bit.
+
+#ifndef LDPM_MECHANISMS_BOUNDED_VALUE_H_
+#define LDPM_MECHANISMS_BOUNDED_VALUE_H_
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+class BoundedValueMechanism {
+ public:
+  /// Builds the eps-LDP mechanism. Fails for non-positive or non-finite eps.
+  static StatusOr<BoundedValueMechanism> Create(double epsilon);
+
+  /// Probability weight p = e^eps/(1+e^eps) shaping the channel.
+  double keep_probability() const { return p_; }
+
+  /// Releases one sign for a value v with |v| <= bound (checked in debug
+  /// builds; callers clamp). bound must be > 0.
+  int Perturb(double value, double bound, Rng& rng) const {
+    LDPM_DCHECK(bound > 0.0);
+    LDPM_DCHECK(value >= -bound - 1e-9 && value <= bound + 1e-9);
+    const double p_plus = 0.5 + (2.0 * p_ - 1.0) * value / (2.0 * bound);
+    return rng.Bernoulli(p_plus) ? +1 : -1;
+  }
+
+  /// Unbiases the mean of reported signs back to a value estimate:
+  /// E[s] = (2p-1) v / B, so v_hat = B * mean / (2p-1).
+  double UnbiasSignMean(double mean_sign, double bound) const {
+    return bound * mean_sign / (2.0 * p_ - 1.0);
+  }
+
+  /// Per-report variance bound of the unbiased estimate: at most
+  /// (B / (2p-1))^2.
+  double VarianceBound(double bound) const {
+    const double scale = bound / (2.0 * p_ - 1.0);
+    return scale * scale;
+  }
+
+ private:
+  explicit BoundedValueMechanism(double p) : p_(p) {}
+  double p_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_MECHANISMS_BOUNDED_VALUE_H_

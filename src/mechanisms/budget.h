@@ -1,0 +1,76 @@
+// Privacy-budget accounting (Section 3.1: Budget Splitting, and the standard
+// sequential-composition rule from the DP literature).
+//
+// A PrivacyBudget tracks an epsilon allowance and the portions spent on it.
+// Budget splitting (the BS primitive of the paper, used by InpEM) divides
+// the allowance evenly across m sub-mechanisms; sequential composition adds
+// the epsilons of mechanisms run on the same input.
+
+#ifndef LDPM_MECHANISMS_BUDGET_H_
+#define LDPM_MECHANISMS_BUDGET_H_
+
+#include <cmath>
+#include <string>
+
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Tracks an epsilon allowance. Spend() debits; the object check-fails
+/// nothing but returns errors when overdrawn, so protocol code can surface
+/// misconfiguration as Status.
+class PrivacyBudget {
+ public:
+  /// A budget of `epsilon` total. Fails for non-positive or non-finite eps.
+  static StatusOr<PrivacyBudget> Create(double epsilon) {
+    if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+      return Status::InvalidArgument(
+          "PrivacyBudget: epsilon must be finite and > 0, got " +
+          std::to_string(epsilon));
+    }
+    return PrivacyBudget(epsilon);
+  }
+
+  /// Total allowance.
+  double total() const { return total_; }
+
+  /// Amount already spent.
+  double spent() const { return spent_; }
+
+  /// Amount still available.
+  double remaining() const { return total_ - spent_; }
+
+  /// Debits `epsilon` from the budget. Fails (and debits nothing) if the
+  /// remaining allowance is insufficient (tolerance 1e-9 for float drift).
+  Status Spend(double epsilon) {
+    if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+      return Status::InvalidArgument("PrivacyBudget::Spend: bad epsilon");
+    }
+    if (epsilon > remaining() + 1e-9) {
+      return Status::FailedPrecondition(
+          "PrivacyBudget::Spend: overdraw (requested " +
+          std::to_string(epsilon) + ", remaining " +
+          std::to_string(remaining()) + ")");
+    }
+    spent_ += epsilon;
+    return Status::OK();
+  }
+
+  /// The per-piece epsilon when splitting the *remaining* budget evenly
+  /// across m sub-mechanisms (the BS primitive).
+  StatusOr<double> SplitEvenly(int m) const {
+    if (m <= 0) {
+      return Status::InvalidArgument("PrivacyBudget::SplitEvenly: m must be > 0");
+    }
+    return remaining() / static_cast<double>(m);
+  }
+
+ private:
+  explicit PrivacyBudget(double epsilon) : total_(epsilon) {}
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_MECHANISMS_BUDGET_H_

@@ -1,0 +1,31 @@
+#include "mechanisms/direct_encoding.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+
+StatusOr<DirectEncoding> DirectEncoding::Create(double epsilon, uint64_t m) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "DirectEncoding: epsilon must be finite and > 0, got " +
+        std::to_string(epsilon));
+  }
+  if (m < 2) {
+    return Status::InvalidArgument(
+        "DirectEncoding: domain size must be >= 2, got " + std::to_string(m));
+  }
+  const double e = std::exp(epsilon);
+  const double ps = e / (e + static_cast<double>(m) - 1.0);
+  return DirectEncoding(ps, m);
+}
+
+uint64_t DirectEncoding::Perturb(uint64_t value, Rng& rng) const {
+  LDPM_DCHECK(value < m_);
+  if (rng.Bernoulli(ps_)) return value;
+  // Uniform over the m-1 other values: draw from [0, m-1) and skip `value`.
+  const uint64_t other = rng.UniformInt(m_ - 1);
+  return other < value ? other : other + 1;
+}
+
+}  // namespace ldpm

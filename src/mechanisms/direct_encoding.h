@@ -1,0 +1,58 @@
+// Preferential sampling (PS; also "generalized randomized response" or
+// "direct encoding"), Section 3.1 / Fact 3.1 of the paper.
+//
+// Over a domain of m values, the user reports their true value with
+// probability p_s = e^eps / (e^eps + m - 1) and each specific wrong value
+// with probability (1 - p_s)/(m - 1), achieving exactly eps-LDP.
+//
+// Aggregator-side unbiasing (Section 4.1, with D = m - 1): if F_j is the
+// observed fraction of reports equal to j, the unbiased frequency estimate
+// is f_hat_j = (D * F_j + p_s - 1) / (D * p_s + p_s - 1).
+
+#ifndef LDPM_MECHANISMS_DIRECT_ENCODING_H_
+#define LDPM_MECHANISMS_DIRECT_ENCODING_H_
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Preferential sampling over a domain of m >= 2 values.
+class DirectEncoding {
+ public:
+  /// Builds the eps-LDP mechanism over a domain of m values.
+  static StatusOr<DirectEncoding> Create(double epsilon, uint64_t m);
+
+  /// Probability of reporting the true value.
+  double ps() const { return ps_; }
+
+  /// Domain size m.
+  uint64_t domain_size() const { return m_; }
+
+  /// Perturbs a value in [0, m): keeps it with probability p_s, otherwise
+  /// reports a uniformly random *different* value.
+  uint64_t Perturb(uint64_t value, Rng& rng) const;
+
+  /// Unbiases an observed report frequency F_j into an estimate of the true
+  /// input frequency f_j.
+  double UnbiasFrequency(double observed_frequency) const {
+    const double D = static_cast<double>(m_ - 1);
+    return (D * observed_frequency + ps_ - 1.0) / (D * ps_ + ps_ - 1.0);
+  }
+
+  /// Same, for raw counts out of n reports.
+  double UnbiasCount(double count, double n) const {
+    return n * UnbiasFrequency(count / n);
+  }
+
+ private:
+  DirectEncoding(double ps, uint64_t m) : ps_(ps), m_(m) {}
+  double ps_;
+  uint64_t m_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_MECHANISMS_DIRECT_ENCODING_H_

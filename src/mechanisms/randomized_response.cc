@@ -1,0 +1,31 @@
+#include "mechanisms/randomized_response.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+
+StatusOr<RandomizedResponse> RandomizedResponse::FromEpsilon(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "RandomizedResponse: epsilon must be finite and > 0, got " +
+        std::to_string(epsilon));
+  }
+  const double e = std::exp(epsilon);
+  return RandomizedResponse(e / (1.0 + e));
+}
+
+StatusOr<RandomizedResponse> RandomizedResponse::FromKeepProbability(double p) {
+  if (!(p > 0.5) || !(p < 1.0)) {
+    return Status::InvalidArgument(
+        "RandomizedResponse: keep probability must lie in (0.5, 1), got " +
+        std::to_string(p));
+  }
+  return RandomizedResponse(p);
+}
+
+double RandomizedResponse::epsilon() const {
+  return std::log(p_ / (1.0 - p_));
+}
+
+}  // namespace ldpm

@@ -1,0 +1,71 @@
+// Single-bit randomized response (Warner 1965), the canonical epsilon-LDP
+// primitive (Section 3.1 of the paper).
+//
+// The user reports their true bit with probability p = e^eps / (1 + e^eps)
+// and the flipped bit otherwise, giving exactly eps-LDP
+// (e^eps = p / (1 - p)). The aggregator-side unbiasing for {-1,+1}-valued
+// reports divides by (2p - 1).
+
+#ifndef LDPM_MECHANISMS_RANDOMIZED_RESPONSE_H_
+#define LDPM_MECHANISMS_RANDOMIZED_RESPONSE_H_
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// One-bit randomized response with keep probability p > 1/2.
+class RandomizedResponse {
+ public:
+  /// Mechanism achieving exactly eps-LDP: p = e^eps / (1 + e^eps).
+  /// Fails for eps <= 0 or non-finite eps.
+  static StatusOr<RandomizedResponse> FromEpsilon(double epsilon);
+
+  /// Mechanism with an explicit keep probability in (1/2, 1).
+  static StatusOr<RandomizedResponse> FromKeepProbability(double p);
+
+  /// Probability of reporting the true value.
+  double keep_probability() const { return p_; }
+
+  /// The epsilon this mechanism satisfies: ln(p / (1 - p)).
+  double epsilon() const;
+
+  /// Perturbs a {0,1} bit.
+  int PerturbBit(int bit, Rng& rng) const {
+    LDPM_DCHECK(bit == 0 || bit == 1);
+    return rng.Bernoulli(p_) ? bit : 1 - bit;
+  }
+
+  /// Perturbs a {-1,+1} sign (the Hadamard-coefficient case).
+  int PerturbSign(int sign, Rng& rng) const {
+    LDPM_DCHECK(sign == -1 || sign == 1);
+    return rng.Bernoulli(p_) ? sign : -sign;
+  }
+
+  /// Unbiases the mean of {-1,+1} reports: E[report] = (2p-1) * truth.
+  double UnbiasSignMean(double observed_mean) const {
+    return observed_mean / (2.0 * p_ - 1.0);
+  }
+
+  /// Unbiases the mean of {0,1} reports: E[report] = p*f + (1-p)(1-f).
+  double UnbiasBitMean(double observed_mean) const {
+    return (observed_mean - (1.0 - p_)) / (2.0 * p_ - 1.0);
+  }
+
+  /// Variance of one unbiased {-1,+1} report around its mean, maximized over
+  /// inputs: (1 - (2p-1)^2 * truth^2) / (2p-1)^2 <= 4p(1-p)/(2p-1)^2 + ...;
+  /// we return the exact worst case 1/(2p-1)^2 - truth^2 at truth = 0,
+  /// i.e. 1/(2p-1)^2.
+  double SignEstimatorVarianceBound() const {
+    const double denom = 2.0 * p_ - 1.0;
+    return 1.0 / (denom * denom);
+  }
+
+ private:
+  explicit RandomizedResponse(double p) : p_(p) {}
+  double p_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_MECHANISMS_RANDOMIZED_RESPONSE_H_

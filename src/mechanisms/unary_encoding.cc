@@ -1,0 +1,61 @@
+#include "mechanisms/unary_encoding.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+
+StatusOr<UnaryEncoding> UnaryEncoding::Create(double epsilon,
+                                              UnaryVariant variant) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "UnaryEncoding: epsilon must be finite and > 0, got " +
+        std::to_string(epsilon));
+  }
+  switch (variant) {
+    case UnaryVariant::kVanilla: {
+      const double e_half = std::exp(epsilon / 2.0);
+      const double p1 = e_half / (1.0 + e_half);
+      return UnaryEncoding(p1, 1.0 - p1, variant);
+    }
+    case UnaryVariant::kOptimized: {
+      const double e = std::exp(epsilon);
+      return UnaryEncoding(0.5, 1.0 / (e + 1.0), variant);
+    }
+  }
+  return Status::InvalidArgument("UnaryEncoding: unknown variant");
+}
+
+std::vector<uint8_t> UnaryEncoding::Perturb(const std::vector<uint8_t>& bits,
+                                            Rng& rng) const {
+  std::vector<uint8_t> out(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    const double keep_as_one = bits[i] ? p1_ : p0_;
+    out[i] = rng.Bernoulli(keep_as_one) ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<uint64_t> UnaryEncoding::PerturbOneHot(uint64_t m,
+                                                   uint64_t hot_index,
+                                                   Rng& rng) const {
+  LDPM_DCHECK(hot_index < m);
+  std::vector<uint64_t> ones;
+  // Expected number of reported ones is ~ m * p0, so reserve accordingly.
+  ones.reserve(static_cast<size_t>(static_cast<double>(m) * p0_) + 2);
+  for (uint64_t i = 0; i < m; ++i) {
+    const double keep_as_one = (i == hot_index) ? p1_ : p0_;
+    if (rng.Bernoulli(keep_as_one)) ones.push_back(i);
+  }
+  return ones;
+}
+
+double UnaryEncoding::EstimatorVariance(int b) const {
+  // Unbiased per-user estimate is (report - p0) / (p1 - p0); its variance is
+  // q(1-q)/(p1-p0)^2 where q is the report probability for true bit b.
+  const double q = b ? p1_ : p0_;
+  const double denom = (p1_ - p0_) * (p1_ - p0_);
+  return q * (1.0 - q) / denom;
+}
+
+}  // namespace ldpm

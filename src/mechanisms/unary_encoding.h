@@ -1,0 +1,77 @@
+// Parallel randomized response over one-hot vectors (PRR; "Basic RAPPOR" /
+// "Unary Encoding"), Section 3.1 / Fact 3.2 of the paper.
+//
+// Each of the m positions of a sparse {0,1} vector passes through an
+// independent biased coin: a 1 is reported truthfully with probability p1, a
+// 0 becomes a 1 with probability p0. Two parameterizations are provided:
+//
+//  * kVanilla   — symmetric (eps/2)-RR per bit: p1 = e^{eps/2}/(1+e^{eps/2}),
+//                 p0 = 1 - p1. The paper's default description.
+//  * kOptimized — Wang et al. (USENIX Sec'17) "Optimized Unary Encoding":
+//                 p1 = 1/2, p0 = 1/(e^eps + 1); lower variance, same eps.
+//
+// Both satisfy exactly eps-LDP on one-hot inputs because adjacent inputs
+// differ in two positions and the worst-case likelihood ratio is
+// (p1/p0) * ((1-p0)/(1-p1)) = e^eps.
+
+#ifndef LDPM_MECHANISMS_UNARY_ENCODING_H_
+#define LDPM_MECHANISMS_UNARY_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Probability parameterization of unary encoding.
+enum class UnaryVariant {
+  kVanilla,    ///< symmetric per-bit (eps/2)-RR
+  kOptimized,  ///< Wang et al. optimized probabilities
+};
+
+/// Parallel randomized response over m-bit one-hot vectors.
+class UnaryEncoding {
+ public:
+  /// Builds the mechanism for a given epsilon and variant.
+  static StatusOr<UnaryEncoding> Create(double epsilon,
+                                        UnaryVariant variant = UnaryVariant::kOptimized);
+
+  /// Probability a true 1 is reported as 1.
+  double p1() const { return p1_; }
+  /// Probability a true 0 is reported as 1.
+  double p0() const { return p0_; }
+  UnaryVariant variant() const { return variant_; }
+
+  /// Perturbs a dense bit vector in place-of-copy form. O(m).
+  std::vector<uint8_t> Perturb(const std::vector<uint8_t>& bits, Rng& rng) const;
+
+  /// Perturbs the one-hot vector of length m with the single 1 at
+  /// `hot_index`, returning the positions reported as 1. O(m) draws but
+  /// avoids materializing the input. Intended for the faithful per-user
+  /// simulation path at moderate m.
+  std::vector<uint64_t> PerturbOneHot(uint64_t m, uint64_t hot_index,
+                                      Rng& rng) const;
+
+  /// Unbiases an aggregated count: given that `count` of `n` users reported
+  /// a 1 at some position, returns an unbiased estimate of the number of
+  /// users whose true bit was 1: (count - n*p0) / (p1 - p0).
+  double UnbiasCount(double count, double n) const {
+    return (count - n * p0_) / (p1_ - p0_);
+  }
+
+  /// Per-user variance of the unbiased estimate when the true bit is b.
+  double EstimatorVariance(int b) const;
+
+ private:
+  UnaryEncoding(double p1, double p0, UnaryVariant v)
+      : p1_(p1), p0_(p0), variant_(v) {}
+  double p1_;
+  double p0_;
+  UnaryVariant variant_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_MECHANISMS_UNARY_ENCODING_H_

@@ -1,0 +1,82 @@
+// InpHTCMS: marginal materialization via Apple's Hadamard Count-Mean Sketch
+// frequency oracle (Appendix B.2; "Learning with Privacy at Scale", 2017).
+//
+// A fixed bank of g three-wise-independent hash functions maps the 2^d-cell
+// domain into a sketch of width w. Each user picks one hash row l uniformly,
+// hashes their value to v = h_l(j) in [w], and releases one uniformly
+// sampled Hadamard coefficient of the one-hot row e_v, perturbed with
+// eps-RR. Communication: log2(g) + log2(w) + 1 bits.
+//
+// The aggregator reconstructs each sketch row in the Hadamard domain
+// (Horvitz-Thompson unbiasing over the (l, m) sampling), inverts the
+// transform, and answers point queries with the debiased count-mean
+// estimator
+//
+//   f_hat(x) = ( (1/g) * sum_l  row_l[h_l(x)] * w/(w-1)  -  N/(w-1) ) / N.
+//
+// Marginals are answered by aggregating estimated frequencies over the
+// domain, like InpOLH — but decoding is O(g*w*log w + 2^d * g), fast.
+
+#ifndef LDPM_ORACLE_CMS_H_
+#define LDPM_ORACLE_CMS_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "mechanisms/randomized_response.h"
+#include "oracle/hash.h"
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+/// Sketch geometry for InpHTCMS. The defaults are the paper's experimental
+/// setting (g = 5 hash functions, width w = 256).
+struct CmsParams {
+  int num_hashes = 5;
+  int width = 256;  ///< must be a power of two (Hadamard over the row)
+};
+
+class InpHtCmsProtocol final : public MarginalProtocol {
+ public:
+  /// Creates the protocol. The hash bank is drawn deterministically from
+  /// `hash_seed` so client and aggregator share it.
+  static StatusOr<std::unique_ptr<InpHtCmsProtocol>> Create(
+      const ProtocolConfig& config, const CmsParams& params = CmsParams(),
+      uint64_t hash_seed = 0xC0FFEE);
+
+  std::string_view name() const override { return "InpHTCMS"; }
+
+  Report Encode(uint64_t user_value, Rng& rng) const override;
+  Status Absorb(const Report& report) override;
+  StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
+  void Reset() override;
+
+  double TheoreticalBitsPerUser() const override {
+    return std::ceil(std::log2(static_cast<double>(params_.num_hashes))) +
+           std::ceil(std::log2(static_cast<double>(params_.width))) + 1.0;
+  }
+
+  const CmsParams& params() const { return params_; }
+
+  /// Point-queries the decoded oracle: estimated frequency of one value.
+  StatusOr<double> EstimateFrequency(uint64_t value) const;
+
+ private:
+  InpHtCmsProtocol(const ProtocolConfig& config, const CmsParams& params,
+                   RandomizedResponse rr, std::vector<ThreeWiseHash> hashes);
+
+  Status EnsureDecoded() const;
+
+  CmsParams params_;
+  RandomizedResponse rr_;
+  std::vector<ThreeWiseHash> hashes_;
+  // sign_sums_[l][m]: sum of reported signs for hash row l, coefficient m.
+  std::vector<std::vector<double>> sign_sums_;
+  mutable std::vector<std::vector<double>> rows_;  // decoded count rows
+  mutable bool decoded_ = false;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_ORACLE_CMS_H_

@@ -1,0 +1,49 @@
+#include "oracle/hash.h"
+
+namespace ldpm {
+
+StatusOr<UniversalHash> UniversalHash::Random(uint64_t range, Rng& rng) {
+  if (range < 1) {
+    return Status::InvalidArgument("UniversalHash: range must be >= 1");
+  }
+  const uint64_t a = 1 + rng.UniformInt(kHashPrime - 1);  // a in [1, p)
+  const uint64_t b = rng.UniformInt(kHashPrime);          // b in [0, p)
+  return UniversalHash(a, b, range);
+}
+
+StatusOr<UniversalHash> UniversalHash::FromCoefficients(uint64_t a, uint64_t b,
+                                                        uint64_t range) {
+  if (range < 1) {
+    return Status::InvalidArgument("UniversalHash: range must be >= 1");
+  }
+  if (a == 0 || a >= kHashPrime || b >= kHashPrime) {
+    return Status::InvalidArgument(
+        "UniversalHash: coefficients must satisfy 0 < a < p, 0 <= b < p");
+  }
+  return UniversalHash(a, b, range);
+}
+
+StatusOr<ThreeWiseHash> ThreeWiseHash::Random(uint64_t range, Rng& rng) {
+  if (range < 1) {
+    return Status::InvalidArgument("ThreeWiseHash: range must be >= 1");
+  }
+  const uint64_t a = rng.UniformInt(kHashPrime);
+  const uint64_t b = rng.UniformInt(kHashPrime);
+  const uint64_t c = rng.UniformInt(kHashPrime);
+  return ThreeWiseHash(a, b, c, range);
+}
+
+StatusOr<ThreeWiseHash> ThreeWiseHash::FromCoefficients(uint64_t a, uint64_t b,
+                                                        uint64_t c,
+                                                        uint64_t range) {
+  if (range < 1) {
+    return Status::InvalidArgument("ThreeWiseHash: range must be >= 1");
+  }
+  if (a >= kHashPrime || b >= kHashPrime || c >= kHashPrime) {
+    return Status::InvalidArgument(
+        "ThreeWiseHash: coefficients must be < the field prime");
+  }
+  return ThreeWiseHash(a, b, c, range);
+}
+
+}  // namespace ldpm

@@ -1,0 +1,104 @@
+// Hash families over the Mersenne-prime field GF(2^61 - 1), used by the
+// frequency-oracle baselines of Appendix B.2.
+//
+//  * UniversalHash  — degree-1 polynomial: 2-universal, the family used by
+//                     optimized local hashing (OLH).
+//  * ThreeWiseHash  — degree-2 polynomial: 3-wise independent, the family
+//                     Apple's count-mean sketch calls for.
+//
+// Both map a 64-bit key into [0, range). Evaluation is branch-free modular
+// arithmetic using 128-bit intermediates.
+
+#ifndef LDPM_ORACLE_HASH_H_
+#define LDPM_ORACLE_HASH_H_
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// The Mersenne prime 2^61 - 1 used as the field modulus.
+inline constexpr uint64_t kHashPrime = (uint64_t{1} << 61) - 1;
+
+namespace internal {
+
+/// (a * b) mod (2^61 - 1) via 128-bit multiply and Mersenne folding.
+inline uint64_t MulModPrime(uint64_t a, uint64_t b) {
+  const __uint128_t product = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(product & kHashPrime);
+  uint64_t hi = static_cast<uint64_t>(product >> 61);
+  uint64_t sum = lo + hi;
+  if (sum >= kHashPrime) sum -= kHashPrime;
+  return sum;
+}
+
+inline uint64_t AddModPrime(uint64_t a, uint64_t b) {
+  uint64_t sum = a + b;  // both < 2^61, no overflow
+  if (sum >= kHashPrime) sum -= kHashPrime;
+  return sum;
+}
+
+}  // namespace internal
+
+/// h(x) = ((a*x + b) mod p) mod range, with a != 0. 2-universal.
+class UniversalHash {
+ public:
+  /// Draws a random member of the family. Fails for range < 1.
+  static StatusOr<UniversalHash> Random(uint64_t range, Rng& rng);
+
+  /// Reconstructs a member from its coefficients (for report decoding:
+  /// the client transmits (a, b) so the aggregator can re-evaluate).
+  static StatusOr<UniversalHash> FromCoefficients(uint64_t a, uint64_t b,
+                                                  uint64_t range);
+
+  uint64_t operator()(uint64_t x) const {
+    return internal::AddModPrime(internal::MulModPrime(a_, x % kHashPrime), b_) %
+           range_;
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+  uint64_t range() const { return range_; }
+
+ private:
+  UniversalHash(uint64_t a, uint64_t b, uint64_t range)
+      : a_(a), b_(b), range_(range) {}
+  uint64_t a_, b_, range_;
+};
+
+/// h(x) = ((a*x^2 + b*x + c) mod p) mod range, with a != 0 allowed to be
+/// any field element alongside b, c. 3-wise independent.
+class ThreeWiseHash {
+ public:
+  /// Draws a random member of the family. Fails for range < 1.
+  static StatusOr<ThreeWiseHash> Random(uint64_t range, Rng& rng);
+
+  /// Reconstructs a member from its coefficients.
+  static StatusOr<ThreeWiseHash> FromCoefficients(uint64_t a, uint64_t b,
+                                                  uint64_t c, uint64_t range);
+
+  uint64_t operator()(uint64_t x) const {
+    const uint64_t xm = x % kHashPrime;
+    uint64_t v = internal::MulModPrime(a_, xm);
+    v = internal::AddModPrime(v, b_);
+    v = internal::MulModPrime(v, xm);  // (a*x + b) * x = a*x^2 + b*x
+    v = internal::AddModPrime(v, c_);
+    return v % range_;
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+  uint64_t c() const { return c_; }
+  uint64_t range() const { return range_; }
+
+ private:
+  ThreeWiseHash(uint64_t a, uint64_t b, uint64_t c, uint64_t range)
+      : a_(a), b_(b), c_(c), range_(range) {}
+  uint64_t a_, b_, c_, range_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_ORACLE_HASH_H_

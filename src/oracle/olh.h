@@ -1,0 +1,78 @@
+// InpOLH: marginal materialization via the Optimized Local Hashing frequency
+// oracle of Wang et al. (USENIX Security'17), Appendix B.2 of the paper.
+//
+// Client: draws a fresh universal hash h : [2^d] -> [g] with
+// g = round(e^eps) + 1, hashes their value, and releases the hashed value
+// through eps-GRR over [g]. The report carries the hash coefficients (a, b)
+// plus the perturbed value.
+//
+// Aggregator: for each candidate v of the 2^d-cell domain, counts the
+// supporting reports (h_i(v) == y_i) and unbiases with
+// f_hat(v) = (C_v/N - 1/g) / (p - 1/g). This support pass is O(N * 2^d) —
+// the reason the paper reports OLH timing out beyond small d — so decoding
+// enforces a work cap.
+//
+// Marginals are answered generically by aggregating the estimated full
+// distribution (the "frequency oracle" approach the appendix evaluates).
+
+#ifndef LDPM_ORACLE_OLH_H_
+#define LDPM_ORACLE_OLH_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "oracle/hash.h"
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+class InpOlhProtocol final : public MarginalProtocol {
+ public:
+  /// Work cap for the aggregator's support-counting pass (N * 2^d hash
+  /// evaluations). EstimateMarginal fails cleanly beyond it, mirroring the
+  /// paper's 12-hour timeout for OLH at d >= 12.
+  static constexpr double kDefaultWorkCap = 2e9;
+
+  static StatusOr<std::unique_ptr<InpOlhProtocol>> Create(
+      const ProtocolConfig& config);
+
+  std::string_view name() const override { return "InpOLH"; }
+
+  Report Encode(uint64_t user_value, Rng& rng) const override;
+  Status Absorb(const Report& report) override;
+  StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
+  void Reset() override;
+
+  /// Hash seeds dominate: 2 field elements + the perturbed value.
+  double TheoreticalBitsPerUser() const override {
+    return 2.0 * 61.0 + std::ceil(std::log2(static_cast<double>(g_)));
+  }
+
+  /// The GRR range g = round(e^eps) + 1.
+  uint64_t g() const { return g_; }
+
+  /// Probability of reporting the true hashed value.
+  double keep_probability() const { return ps_; }
+
+ private:
+  InpOlhProtocol(const ProtocolConfig& config, uint64_t g, double ps)
+      : MarginalProtocol(config), g_(g), ps_(ps) {}
+
+  /// Runs (or reuses) the O(N 2^d) support-counting pass.
+  Status EnsureFrequencies() const;
+
+  struct OlhReport {
+    uint64_t a, b, y;
+  };
+
+  uint64_t g_;
+  double ps_;
+  std::vector<OlhReport> reports_;
+  mutable std::vector<double> frequencies_;  // lazily decoded, size 2^d
+  mutable bool decoded_ = false;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_ORACLE_OLH_H_

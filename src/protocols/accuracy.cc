@@ -1,0 +1,57 @@
+#include "protocols/accuracy.h"
+
+#include <cmath>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+StatusOr<double> ErrorScalingFactor(ProtocolKind kind, int d, int k) {
+  if (d < 1 || d > kMaxDimensions || k < 1 || k > d) {
+    return Status::InvalidArgument("ErrorScalingFactor: bad (d, k)");
+  }
+  const double dk = static_cast<double>(d);
+  const double kk = static_cast<double>(k);
+  switch (kind) {
+    case ProtocolKind::kInpRR:
+      return std::exp2((dk + kk) / 2.0);
+    case ProtocolKind::kInpPS:
+      return std::exp2(dk + kk / 2.0);
+    case ProtocolKind::kInpHT:
+      return std::exp2(kk / 2.0) *
+             std::sqrt(static_cast<double>(LowOrderCoefficientCount(d, k)));
+    case ProtocolKind::kMargRR:
+      return std::exp2(kk) *
+             std::sqrt(static_cast<double>(BinomialCoefficient(d, k)));
+    case ProtocolKind::kMargPS:
+    case ProtocolKind::kMargHT:
+      return std::exp2(3.0 * kk / 2.0) *
+             std::sqrt(static_cast<double>(BinomialCoefficient(d, k)));
+    case ProtocolKind::kInpEM:
+      return Status::Unimplemented(
+          "InpEM is a heuristic without a worst-case accuracy bound");
+  }
+  return Status::InvalidArgument("ErrorScalingFactor: unknown kind");
+}
+
+StatusOr<double> PredictedError(ProtocolKind kind, int d, int k, double eps,
+                                uint64_t n) {
+  if (!(eps > 0.0) || n == 0) {
+    return Status::InvalidArgument("PredictedError: bad eps or n");
+  }
+  auto factor = ErrorScalingFactor(kind, d, k);
+  if (!factor.ok()) return factor.status();
+  return *factor / (eps * std::sqrt(static_cast<double>(n)));
+}
+
+StatusOr<double> PredictedErrorRatio(ProtocolKind kind, int d_a, int k_a,
+                                     double eps_a, uint64_t n_a, int d_b,
+                                     int k_b, double eps_b, uint64_t n_b) {
+  auto a = PredictedError(kind, d_a, k_a, eps_a, n_a);
+  if (!a.ok()) return a.status();
+  auto b = PredictedError(kind, d_b, k_b, eps_b, n_b);
+  if (!b.ok()) return b.status();
+  return *a / *b;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,40 @@
+// Closed-form accuracy predictions from the paper's Section 4 theorems —
+// the Table 2 "error behavior" column as callable functions. Constants and
+// logarithmic factors are suppressed (the O~ convention), so predictions
+// are meaningful as *ratios* between configurations, which is exactly how
+// the accuracy-bound tests and benches consume them.
+
+#ifndef LDPM_PROTOCOLS_ACCURACY_H_
+#define LDPM_PROTOCOLS_ACCURACY_H_
+
+#include <cstdint>
+
+#include "protocols/factory.h"
+
+namespace ldpm {
+
+/// The error-scaling factor multiplying 1/(eps sqrt(N)) in the total
+/// variation bound of each protocol:
+///   InpRR  2^{(d+k)/2}                      (Theorem 4.3)
+///   InpPS  2^{d + k/2}                      (Theorem 4.4)
+///   InpHT  2^{k/2} sqrt(|T|)                (Theorem 4.5)
+///   MargRR 2^k sqrt(C(d,k))                 (Section 4.3)
+///   MargPS 2^{3k/2} sqrt(C(d,k))            (Lemma 4.6)
+///   MargHT 2^{3k/2} sqrt(C(d,k))            (Lemma 4.6)
+/// InpEM has no worst-case guarantee: Unimplemented.
+StatusOr<double> ErrorScalingFactor(ProtocolKind kind, int d, int k);
+
+/// factor(kind, d, k) / (eps * sqrt(n)) — the O~ bound with constant 1.
+StatusOr<double> PredictedError(ProtocolKind kind, int d, int k, double eps,
+                                uint64_t n);
+
+/// Predicted ratio of errors between two configurations of the same
+/// protocol; the suppressed constant cancels, so this is directly
+/// comparable to measured TV ratios.
+StatusOr<double> PredictedErrorRatio(ProtocolKind kind, int d_a, int k_a,
+                                     double eps_a, uint64_t n_a, int d_b,
+                                     int k_b, double eps_b, uint64_t n_b);
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_ACCURACY_H_

@@ -1,0 +1,43 @@
+// Name-based construction of marginal-release protocols.
+
+#ifndef LDPM_PROTOCOLS_FACTORY_H_
+#define LDPM_PROTOCOLS_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+/// The seven protocols of the paper (six new algorithms + the EM baseline).
+enum class ProtocolKind {
+  kInpRR,
+  kInpPS,
+  kInpHT,
+  kMargRR,
+  kMargPS,
+  kMargHT,
+  kInpEM,
+};
+
+/// All protocol kinds, in the paper's presentation order.
+const std::vector<ProtocolKind>& AllProtocolKinds();
+
+/// The six unbiased protocols of Section 4 (everything except InpEM).
+const std::vector<ProtocolKind>& CoreProtocolKinds();
+
+/// Display name ("InpHT", ...).
+std::string_view ProtocolKindName(ProtocolKind kind);
+
+/// Parses a display name back to a kind.
+StatusOr<ProtocolKind> ProtocolKindFromName(std::string_view name);
+
+/// Builds a protocol instance of the given kind.
+StatusOr<std::unique_ptr<MarginalProtocol>> CreateProtocol(
+    ProtocolKind kind, const ProtocolConfig& config);
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_FACTORY_H_

@@ -1,0 +1,125 @@
+#include "protocols/inp_em.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+StatusOr<std::unique_ptr<InpEmProtocol>> InpEmProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateCommon(config));
+  if (!(config.em_convergence_threshold > 0.0)) {
+    return Status::InvalidArgument(
+        "InpEM: convergence threshold must be > 0");
+  }
+  if (config.em_max_iterations < 1) {
+    return Status::InvalidArgument("InpEM: iteration cap must be >= 1");
+  }
+  auto rr = RandomizedResponse::FromEpsilon(config.epsilon /
+                                            static_cast<double>(config.d));
+  if (!rr.ok()) return rr.status();
+  return std::unique_ptr<InpEmProtocol>(new InpEmProtocol(config, *rr));
+}
+
+Report InpEmProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  Report report;
+  uint64_t out = 0;
+  for (int b = 0; b < config_.d; ++b) {
+    const int bit = static_cast<int>((user_value >> b) & 1);
+    if (per_bit_rr_.PerturbBit(bit, rng)) out |= uint64_t{1} << b;
+  }
+  report.value = out;
+  report.bits = static_cast<double>(config_.d);
+  return report;
+}
+
+Status InpEmProtocol::Absorb(const Report& report) {
+  if (config_.d < 64 && report.value >= (uint64_t{1} << config_.d)) {
+    return Status::InvalidArgument("InpEM::Absorb: response outside domain");
+  }
+  reports_.push_back(report.value);
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+StatusOr<EmDecodeResult> InpEmProtocol::Decode(uint64_t beta) const {
+  if (config_.d < 64 && beta >= (uint64_t{1} << config_.d)) {
+    return Status::OutOfRange("InpEM: beta outside domain");
+  }
+  const int k = Popcount(beta);
+  if (k < 1 || k > 20) {
+    return Status::InvalidArgument("InpEM: marginal order must be in [1, 20]");
+  }
+  if (reports_.empty()) {
+    return Status::FailedPrecondition("InpEM: no reports absorbed");
+  }
+
+  const uint64_t cells = uint64_t{1} << k;
+
+  // Observed counts over the 2^k response combinations for beta's bits.
+  std::vector<double> observed(cells, 0.0);
+  for (uint64_t r : reports_) observed[ExtractBits(r, beta)] += 1.0;
+  const double n = static_cast<double>(reports_.size());
+  for (double& o : observed) o /= n;
+
+  // Channel likelihoods Q(y|z) depend only on the Hamming distance between
+  // observed y and latent z across the k projected bits.
+  const double p = per_bit_rr_.keep_probability();
+  std::vector<double> q_by_distance(k + 1);
+  for (int h = 0; h <= k; ++h) {
+    q_by_distance[h] = std::pow(1.0 - p, h) * std::pow(p, k - h);
+  }
+
+  EmDecodeResult result{MarginalTable::Uniform(config_.d, beta)};
+  std::vector<double> mu(result.estimate.values());
+  std::vector<double> next(cells, 0.0);
+
+  for (int iter = 1; iter <= config_.em_max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // E + M fused: next(z) = sum_y obs(y) * mu(z) Q(y|z) / sum_z' mu(z')Q(y|z')
+    for (uint64_t y = 0; y < cells; ++y) {
+      if (observed[y] == 0.0) continue;
+      double denom = 0.0;
+      for (uint64_t z = 0; z < cells; ++z) {
+        denom += mu[z] * q_by_distance[Popcount(y ^ z)];
+      }
+      if (denom <= 0.0) continue;
+      const double w = observed[y] / denom;
+      for (uint64_t z = 0; z < cells; ++z) {
+        next[z] += w * mu[z] * q_by_distance[Popcount(y ^ z)];
+      }
+    }
+
+    // "Change in the current guess" is measured as the max per-cell move
+    // (L-infinity); see the header note on the failure criterion.
+    double change = 0.0;
+    for (uint64_t z = 0; z < cells; ++z) {
+      change = std::max(change, std::fabs(next[z] - mu[z]));
+    }
+    mu = next;
+    result.iterations = iter;
+    result.final_change = change;
+    if (change < config_.em_convergence_threshold) {
+      result.failed_to_leave_prior = (iter == 1);
+      break;
+    }
+  }
+
+  result.estimate.values() = mu;
+  return result;
+}
+
+StatusOr<MarginalTable> InpEmProtocol::EstimateMarginal(uint64_t beta) const {
+  auto decoded = Decode(beta);
+  if (!decoded.ok()) return decoded.status();
+  return PostProcess(std::move(decoded->estimate));
+}
+
+void InpEmProtocol::Reset() {
+  reports_.clear();
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

@@ -1,0 +1,230 @@
+#include "protocols/inp_es.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+namespace {
+
+// Enumerates all coefficients with support size in [1, k]: for every
+// attribute subset (chosen recursively) every combination of nonzero basis
+// levels.
+void EnumerateCoefficients(
+    const std::vector<uint32_t>& cardinalities, int k, int first_attr,
+    std::vector<std::pair<int, uint32_t>>& partial,
+    std::vector<std::vector<std::pair<int, uint32_t>>>& out) {
+  if (!partial.empty()) out.push_back(partial);
+  if (static_cast<int>(partial.size()) == k) return;
+  const int d = static_cast<int>(cardinalities.size());
+  for (int attr = first_attr; attr < d; ++attr) {
+    for (uint32_t level = 1; level < cardinalities[attr]; ++level) {
+      partial.emplace_back(attr, level);
+      EnumerateCoefficients(cardinalities, k, attr + 1, partial, out);
+      partial.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+InpEsProtocol::InpEsProtocol(Config config, BoundedValueMechanism mechanism,
+                             std::vector<AttributeBasis> bases,
+                             std::vector<Coefficient> coefficients)
+    : config_(std::move(config)),
+      mechanism_(mechanism),
+      bases_(std::move(bases)),
+      coefficients_(std::move(coefficients)) {
+  sign_sums_.assign(coefficients_.size(), 0.0);
+  counts_.assign(coefficients_.size(), 0);
+}
+
+StatusOr<std::unique_ptr<InpEsProtocol>> InpEsProtocol::Create(
+    const Config& config) {
+  const int d = static_cast<int>(config.cardinalities.size());
+  if (d < 1) {
+    return Status::InvalidArgument("InpES: no attributes");
+  }
+  if (config.k < 1 || config.k > d) {
+    return Status::InvalidArgument("InpES: k must be in [1, d]");
+  }
+  if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
+    return Status::InvalidArgument("InpES: epsilon must be finite and > 0");
+  }
+
+  std::vector<AttributeBasis> bases;
+  bases.reserve(d);
+  for (uint32_t r : config.cardinalities) {
+    auto basis = config.basis == BasisKind::kHelmert
+                     ? AttributeBasis::Helmert(r)
+                     : AttributeBasis::Fourier(r);
+    if (!basis.ok()) return basis.status();
+    bases.push_back(*std::move(basis));
+  }
+
+  std::vector<std::vector<std::pair<int, uint32_t>>> supports;
+  std::vector<std::pair<int, uint32_t>> partial;
+  EnumerateCoefficients(config.cardinalities, config.k, 0, partial, supports);
+  if (supports.empty() || supports.size() > (size_t{1} << 24)) {
+    return Status::InvalidArgument("InpES: coefficient set size out of range");
+  }
+  std::vector<Coefficient> coefficients;
+  coefficients.reserve(supports.size());
+  for (auto& support : supports) {
+    Coefficient c;
+    c.bound = 1.0;
+    for (const auto& [attr, level] : support) {
+      c.bound *= bases[attr].MaxAbs(level);
+    }
+    c.support = std::move(support);
+    coefficients.push_back(std::move(c));
+  }
+
+  auto mechanism = BoundedValueMechanism::Create(config.epsilon);
+  if (!mechanism.ok()) return mechanism.status();
+  return std::unique_ptr<InpEsProtocol>(new InpEsProtocol(
+      config, *mechanism, std::move(bases), std::move(coefficients)));
+}
+
+double InpEsProtocol::CoefficientValue(
+    const Coefficient& c, const std::vector<uint32_t>& values) const {
+  double v = 1.0;
+  for (const auto& [attr, level] : c.support) {
+    v *= bases_[attr].Value(level, values[attr]);
+  }
+  return v;
+}
+
+StatusOr<EsReport> InpEsProtocol::Encode(const std::vector<uint32_t>& values,
+                                         Rng& rng) const {
+  if (values.size() != config_.cardinalities.size()) {
+    return Status::InvalidArgument("InpES::Encode: tuple arity mismatch");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= config_.cardinalities[i]) {
+      return Status::OutOfRange("InpES::Encode: value out of range");
+    }
+  }
+  EsReport report;
+  report.coefficient =
+      static_cast<uint32_t>(rng.UniformInt(coefficients_.size()));
+  const Coefficient& c = coefficients_[report.coefficient];
+  report.sign = mechanism_.Perturb(CoefficientValue(c, values), c.bound, rng);
+  report.bits = TheoreticalBitsPerUser();
+  return report;
+}
+
+Status InpEsProtocol::Absorb(const EsReport& report) {
+  if (report.coefficient >= coefficients_.size()) {
+    return Status::InvalidArgument("InpES::Absorb: unknown coefficient");
+  }
+  if (report.sign != -1 && report.sign != 1) {
+    return Status::InvalidArgument("InpES::Absorb: sign must be -1 or +1");
+  }
+  sign_sums_[report.coefficient] += static_cast<double>(report.sign);
+  counts_[report.coefficient] += 1;
+  ++reports_absorbed_;
+  return Status::OK();
+}
+
+Status InpEsProtocol::AbsorbPopulation(
+    const std::vector<std::vector<uint32_t>>& rows, Rng& rng) {
+  for (const auto& row : rows) {
+    auto report = Encode(row, rng);
+    if (!report.ok()) return report.status();
+    LDPM_RETURN_IF_ERROR(Absorb(*report));
+  }
+  return Status::OK();
+}
+
+StatusOr<CategoricalMarginal> InpEsProtocol::EstimateMarginal(
+    const std::vector<int>& attrs) const {
+  const int d = static_cast<int>(config_.cardinalities.size());
+  if (attrs.empty() || static_cast<int>(attrs.size()) > config_.k) {
+    return Status::InvalidArgument(
+        "InpES: marginal order must lie in [1, k]");
+  }
+  std::vector<int> sorted = attrs;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] < 0 || sorted[i] >= d) {
+      return Status::OutOfRange("InpES: attribute id out of range");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument("InpES: duplicate attribute");
+    }
+  }
+  if (reports_absorbed_ == 0) {
+    return Status::FailedPrecondition("InpES: no reports absorbed");
+  }
+
+  // Position of each attribute within the caller's order (for mixed radix).
+  std::vector<int> position(d, -1);
+  uint64_t cells = 1;
+  std::vector<uint64_t> radix(attrs.size(), 1);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    position[attrs[i]] = static_cast<int>(i);
+    radix[i] = cells;
+    cells *= config_.cardinalities[attrs[i]];
+  }
+
+  CategoricalMarginal out;
+  out.attributes = attrs;
+  out.probabilities.assign(cells, 1.0);  // the f_empty = 1 term
+
+  const double expected_per_coeff =
+      static_cast<double>(reports_absorbed_) /
+      static_cast<double>(coefficients_.size());
+  for (size_t ci = 0; ci < coefficients_.size(); ++ci) {
+    const Coefficient& c = coefficients_[ci];
+    // Only coefficients supported inside the queried attribute set count.
+    bool inside = true;
+    for (const auto& [attr, level] : c.support) {
+      (void)level;
+      if (position[attr] < 0) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+
+    double mean_sign = 0.0;
+    if (config_.estimator == EstimatorKind::kRatio) {
+      mean_sign = counts_[ci] > 0
+                      ? sign_sums_[ci] / static_cast<double>(counts_[ci])
+                      : 0.0;
+    } else {
+      mean_sign = sign_sums_[ci] / expected_per_coeff;
+    }
+    const double f_hat = mechanism_.UnbiasSignMean(mean_sign, c.bound);
+
+    // Accumulate f_hat * prod e_{t_i}(gamma_i) into every cell.
+    for (uint64_t cell = 0; cell < cells; ++cell) {
+      double term = f_hat;
+      for (const auto& [attr, level] : c.support) {
+        const int pos = position[attr];
+        const uint32_t gamma =
+            static_cast<uint32_t>((cell / radix[pos]) %
+                                  config_.cardinalities[attr]);
+        term *= bases_[attr].Value(level, gamma);
+      }
+      out.probabilities[cell] += term;
+    }
+  }
+
+  const double scale = 1.0 / static_cast<double>(cells);
+  for (double& p : out.probabilities) p *= scale;
+  return out;
+}
+
+double InpEsProtocol::TheoreticalBitsPerUser() const {
+  return std::ceil(std::log2(static_cast<double>(coefficients_.size()))) + 1.0;
+}
+
+void InpEsProtocol::Reset() {
+  sign_sums_.assign(sign_sums_.size(), 0.0);
+  counts_.assign(counts_.size(), 0);
+  reports_absorbed_ = 0;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,124 @@
+// InpES: marginal release for categorical attributes via the Efron-Stein
+// decomposition — the paper's Section 6.3 conjecture, realized.
+//
+// Section 6.3 suggests that instead of binary-encoding r-ary attributes and
+// running InpHT, one could sample coefficients of an orthogonal
+// decomposition that generalizes the Hadamard transform to non-binary
+// domains (the Efron-Stein decomposition), and conjectures such a scheme
+// "will be among the best solutions" for low-order marginals.
+//
+// InpES implements it:
+//  * each attribute i carries a Helmert orthonormal basis of R^{r_i}
+//    (core/orthonormal_basis.h) whose tensor products across attributes
+//    form the Efron-Stein system;
+//  * a k-way marginal needs only coefficients whose support (the set of
+//    attributes with a nonzero basis index) has size <= k, exactly
+//    mirroring Lemma 3.7;
+//  * a user's coefficient value prod_i e_{t_i}(x_i) is a bounded real, so
+//    it is released through the one-bit bounded-value mechanism
+//    (mechanisms/bounded_value.h) — eps-LDP, one sign bit on the wire.
+//
+// For all-binary domains the Helmert basis is the Hadamard character and
+// InpES coincides with InpHT (tested).
+//
+// Communication: ceil(log2 |T|) + 1 bits, |T| = sum over attribute subsets
+// S, 1 <= |S| <= k, of prod_{i in S} (r_i - 1).
+
+#ifndef LDPM_PROTOCOLS_INP_ES_H_
+#define LDPM_PROTOCOLS_INP_ES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/orthonormal_basis.h"
+#include "core/random.h"
+#include "core/status.h"
+#include "mechanisms/bounded_value.h"
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+/// Which per-attribute orthonormal basis the Efron-Stein system uses.
+enum class BasisKind {
+  kHelmert,  ///< classic contrasts; entries grow like sqrt(r)
+  kFourier,  ///< trigonometric characters; entries bounded by sqrt(2)
+};
+
+/// One user's InpES report: a coefficient id and a perturbed sign.
+struct EsReport {
+  uint32_t coefficient = 0;
+  int sign = 0;
+  double bits = 0.0;
+};
+
+class InpEsProtocol {
+ public:
+  struct Config {
+    /// Cardinalities r_1..r_d of the categorical attributes (each >= 2).
+    std::vector<uint32_t> cardinalities;
+    /// Maximum marginal order served.
+    int k = 2;
+    double epsilon = 1.0;
+    EstimatorKind estimator = EstimatorKind::kRatio;
+    /// Per-attribute basis; kFourier keeps the release bound r-independent.
+    BasisKind basis = BasisKind::kFourier;
+  };
+
+  static StatusOr<std::unique_ptr<InpEsProtocol>> Create(const Config& config);
+
+  const Config& config() const { return config_; }
+
+  /// Number of sampled coefficients |T|.
+  size_t coefficient_count() const { return coefficients_.size(); }
+
+  /// Client half: encodes one categorical tuple (values[i] < r_i).
+  StatusOr<EsReport> Encode(const std::vector<uint32_t>& values,
+                            Rng& rng) const;
+
+  /// Aggregator half.
+  Status Absorb(const EsReport& report);
+
+  /// Convenience per-user loop over a population of tuples.
+  Status AbsorbPopulation(const std::vector<std::vector<uint32_t>>& rows,
+                          Rng& rng);
+
+  /// Estimates the marginal over the given attributes (distinct ids,
+  /// 1 <= count <= k). Cells are mixed-radix with attrs[0] fastest, the
+  /// CategoricalMarginal convention.
+  StatusOr<CategoricalMarginal> EstimateMarginal(
+      const std::vector<int>& attrs) const;
+
+  double TheoreticalBitsPerUser() const;
+
+  uint64_t reports_absorbed() const { return reports_absorbed_; }
+  void Reset();
+
+ private:
+  /// One Efron-Stein coefficient: its supporting (attribute, level >= 1)
+  /// pairs and the release bound prod MaxAbs.
+  struct Coefficient {
+    std::vector<std::pair<int, uint32_t>> support;
+    double bound = 1.0;
+  };
+
+  InpEsProtocol(Config config, BoundedValueMechanism mechanism,
+                std::vector<AttributeBasis> bases,
+                std::vector<Coefficient> coefficients);
+
+  double CoefficientValue(const Coefficient& c,
+                          const std::vector<uint32_t>& values) const;
+
+  Config config_;
+  BoundedValueMechanism mechanism_;
+  std::vector<AttributeBasis> bases_;
+  std::vector<Coefficient> coefficients_;
+  std::vector<double> sign_sums_;
+  std::vector<uint64_t> counts_;
+  uint64_t reports_absorbed_ = 0;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_INP_ES_H_

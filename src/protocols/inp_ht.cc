@@ -1,0 +1,106 @@
+#include "protocols/inp_ht.h"
+
+#include <string>
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+InpHtProtocol::InpHtProtocol(const ProtocolConfig& config,
+                             RandomizedResponse rr,
+                             std::vector<uint64_t> alphas)
+    : MarginalProtocol(config), rr_(rr), alphas_(std::move(alphas)) {
+  alpha_index_.reserve(alphas_.size());
+  for (size_t i = 0; i < alphas_.size(); ++i) alpha_index_[alphas_[i]] = i;
+  sign_sums_.assign(alphas_.size(), 0.0);
+  counts_.assign(alphas_.size(), 0);
+}
+
+StatusOr<std::unique_ptr<InpHtProtocol>> InpHtProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateCommon(config));
+  const uint64_t t_size = LowOrderCoefficientCount(config.d, config.k);
+  // Keep the coefficient table addressable; |T| = O(d^k) so this only
+  // triggers for extreme (d, k) combinations.
+  if (t_size > (uint64_t{1} << 28)) {
+    return Status::InvalidArgument(
+        "InpHT: coefficient set too large (|T| = " + std::to_string(t_size) +
+        ")");
+  }
+  auto rr = RandomizedResponse::FromEpsilon(config.epsilon);
+  if (!rr.ok()) return rr.status();
+  return std::unique_ptr<InpHtProtocol>(
+      new InpHtProtocol(config, *rr, LowOrderMasks(config.d, config.k)));
+}
+
+Report InpHtProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  Report report;
+  const size_t pick = rng.UniformInt(alphas_.size());
+  const uint64_t alpha = alphas_[pick];
+  const int sign = HadamardSignInt(user_value, alpha);
+  report.selector = alpha;
+  report.sign = rr_.PerturbSign(sign, rng);
+  report.bits = static_cast<double>(config_.d) + 1.0;
+  return report;
+}
+
+Status InpHtProtocol::Absorb(const Report& report) {
+  auto it = alpha_index_.find(report.selector);
+  if (it == alpha_index_.end()) {
+    return Status::InvalidArgument(
+        "InpHT::Absorb: coefficient index not in the sampled set T");
+  }
+  if (report.sign != -1 && report.sign != 1) {
+    return Status::InvalidArgument("InpHT::Absorb: sign must be -1 or +1");
+  }
+  sign_sums_[it->second] += static_cast<double>(report.sign);
+  counts_[it->second] += 1;
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+StatusOr<FourierCoefficients> InpHtProtocol::EstimateCoefficients() const {
+  const uint64_t n = reports_absorbed();
+  if (n == 0) {
+    return Status::FailedPrecondition("InpHT: no reports absorbed");
+  }
+  FourierCoefficients fc(config_.d);
+  const double expected_per_coeff =
+      static_cast<double>(n) / static_cast<double>(alphas_.size());
+  for (size_t i = 0; i < alphas_.size(); ++i) {
+    double raw_mean = 0.0;
+    if (config_.estimator == EstimatorKind::kRatio) {
+      raw_mean = counts_[i] > 0
+                     ? sign_sums_[i] / static_cast<double>(counts_[i])
+                     : 0.0;
+    } else {
+      raw_mean = sign_sums_[i] / expected_per_coeff;
+    }
+    fc.Set(alphas_[i], rr_.UnbiasSignMean(raw_mean));
+  }
+  return fc;
+}
+
+StatusOr<MarginalTable> InpHtProtocol::EstimateMarginal(uint64_t beta) const {
+  if (config_.d < 64 && beta >= (uint64_t{1} << config_.d)) {
+    return Status::OutOfRange("InpHT: beta outside domain");
+  }
+  if (Popcount(beta) > config_.k) {
+    return Status::InvalidArgument(
+        "InpHT: query order exceeds configured k = " +
+        std::to_string(config_.k));
+  }
+  auto fc = EstimateCoefficients();
+  if (!fc.ok()) return fc.status();
+  auto m = fc->ReconstructMarginal(beta);
+  if (!m.ok()) return m.status();
+  return PostProcess(*std::move(m));
+}
+
+void InpHtProtocol::Reset() {
+  sign_sums_.assign(sign_sums_.size(), 0.0);
+  counts_.assign(counts_.size(), 0);
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

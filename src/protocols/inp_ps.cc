@@ -1,0 +1,62 @@
+#include "protocols/inp_ps.h"
+
+#include <string>
+
+#include "core/marginal.h"
+
+namespace ldpm {
+
+StatusOr<std::unique_ptr<InpPsProtocol>> InpPsProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateCommon(config));
+  if (config.d > kMaxDenseDimensions) {
+    return Status::InvalidArgument(
+        "InpPS: d = " + std::to_string(config.d) +
+        " exceeds the dense-table limit");
+  }
+  auto direct =
+      DirectEncoding::Create(config.epsilon, uint64_t{1} << config.d);
+  if (!direct.ok()) return direct.status();
+  return std::unique_ptr<InpPsProtocol>(new InpPsProtocol(config, *direct));
+}
+
+Report InpPsProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  LDPM_DCHECK(user_value < (uint64_t{1} << config_.d));
+  Report report;
+  report.value = direct_.Perturb(user_value, rng);
+  report.bits = static_cast<double>(config_.d);
+  return report;
+}
+
+Status InpPsProtocol::Absorb(const Report& report) {
+  if (report.value >= counts_.size()) {
+    return Status::InvalidArgument("InpPS::Absorb: value outside domain");
+  }
+  counts_[report.value] += 1.0;
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+StatusOr<MarginalTable> InpPsProtocol::EstimateMarginal(uint64_t beta) const {
+  if (beta >= counts_.size()) {
+    return Status::OutOfRange("InpPS: beta outside domain");
+  }
+  const uint64_t n = reports_absorbed();
+  if (n == 0) {
+    return Status::FailedPrecondition("InpPS: no reports absorbed");
+  }
+  MarginalTable m(config_.d, beta);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (uint64_t cell = 0; cell < counts_.size(); ++cell) {
+    const double f_hat = direct_.UnbiasFrequency(counts_[cell] * inv_n);
+    m.at_compact(ExtractBits(cell, beta)) += f_hat;
+  }
+  return PostProcess(std::move(m));
+}
+
+void InpPsProtocol::Reset() {
+  counts_.assign(counts_.size(), 0.0);
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

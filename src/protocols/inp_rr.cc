@@ -1,0 +1,95 @@
+#include "protocols/inp_rr.h"
+
+#include <string>
+
+#include "core/marginal.h"
+
+namespace ldpm {
+
+StatusOr<std::unique_ptr<InpRrProtocol>> InpRrProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateCommon(config));
+  if (config.d > kMaxDenseDimensions) {
+    return Status::InvalidArgument(
+        "InpRR: d = " + std::to_string(config.d) +
+        " exceeds the dense-table limit (the protocol is O(2^d) per user)");
+  }
+  auto unary = UnaryEncoding::Create(config.epsilon, config.unary_variant);
+  if (!unary.ok()) return unary.status();
+  return std::unique_ptr<InpRrProtocol>(new InpRrProtocol(config, *unary));
+}
+
+Report InpRrProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  const uint64_t domain = uint64_t{1} << config_.d;
+  LDPM_DCHECK(user_value < domain);
+  Report report;
+  report.ones = unary_.PerturbOneHot(domain, user_value, rng);
+  report.bits = static_cast<double>(domain);
+  return report;
+}
+
+Status InpRrProtocol::Absorb(const Report& report) {
+  const uint64_t domain = uint64_t{1} << config_.d;
+  for (uint64_t pos : report.ones) {
+    if (pos >= domain) {
+      return Status::InvalidArgument("InpRR::Absorb: position outside domain");
+    }
+  }
+  for (uint64_t pos : report.ones) counts_[pos] += 1.0;
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+Status InpRrProtocol::AbsorbPopulation(const std::vector<uint64_t>& rows,
+                                       Rng& rng) {
+  const uint64_t domain = uint64_t{1} << config_.d;
+  // True histogram of the population.
+  std::vector<uint64_t> histogram(domain, 0);
+  for (uint64_t row : rows) {
+    if (row >= domain) {
+      return Status::InvalidArgument("InpRR: row outside domain");
+    }
+    ++histogram[row];
+  }
+  const uint64_t n = rows.size();
+  // Each cell's aggregate reported-one count is the sum of N independent
+  // coins: Binomial(n_j, p1) from users whose true cell is j plus
+  // Binomial(N - n_j, p0) from everyone else. Cells are independent given
+  // the inputs, so sampling per cell matches the per-user path in
+  // distribution exactly.
+  for (uint64_t cell = 0; cell < domain; ++cell) {
+    counts_[cell] += static_cast<double>(rng.Binomial(histogram[cell], unary_.p1())) +
+                     static_cast<double>(rng.Binomial(n - histogram[cell], unary_.p0()));
+  }
+  Report accounting;
+  accounting.bits = static_cast<double>(domain);
+  for (uint64_t i = 0; i < n; ++i) NoteAbsorbed(accounting);
+  return Status::OK();
+}
+
+StatusOr<MarginalTable> InpRrProtocol::EstimateMarginal(uint64_t beta) const {
+  const uint64_t domain = uint64_t{1} << config_.d;
+  if (beta >= domain) {
+    return Status::OutOfRange("InpRR: beta outside domain");
+  }
+  const uint64_t n = reports_absorbed();
+  if (n == 0) {
+    return Status::FailedPrecondition("InpRR: no reports absorbed");
+  }
+  // Unbias each cell and aggregate straight into the marginal.
+  MarginalTable m(config_.d, beta);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (uint64_t cell = 0; cell < domain; ++cell) {
+    const double t_hat =
+        unary_.UnbiasCount(counts_[cell], static_cast<double>(n)) * inv_n;
+    m.at_compact(ExtractBits(cell, beta)) += t_hat;
+  }
+  return PostProcess(std::move(m));
+}
+
+void InpRrProtocol::Reset() {
+  counts_.assign(counts_.size(), 0.0);
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

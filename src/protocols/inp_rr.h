@@ -1,0 +1,59 @@
+// InpRR: parallel randomized response on the full one-hot input
+// (Section 4.2, Theorem 4.3).
+//
+// Each user expands their value into the 2^d one-hot vector and perturbs
+// every cell with (eps/2)-RR (or the Wang-optimized probabilities). The
+// aggregator unbiases the per-cell counts into an estimate of the full
+// distribution and answers any marginal by aggregation.
+//
+// Communication: 2^d bits per user. Error: O~(2^{(d+k)/2} / (eps sqrt(N))).
+
+#ifndef LDPM_PROTOCOLS_INP_RR_H_
+#define LDPM_PROTOCOLS_INP_RR_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+class InpRrProtocol final : public MarginalProtocol {
+ public:
+  /// Creates the protocol. Requires d <= kMaxDenseDimensions since the
+  /// aggregator materializes the full 2^d count vector.
+  static StatusOr<std::unique_ptr<InpRrProtocol>> Create(
+      const ProtocolConfig& config);
+
+  std::string_view name() const override { return "InpRR"; }
+
+  Report Encode(uint64_t user_value, Rng& rng) const override;
+  Status Absorb(const Report& report) override;
+
+  /// Distribution-exact fast path: samples the aggregate per-cell report
+  /// counts directly via binomials, avoiding the O(N 2^d) per-user loop.
+  Status AbsorbPopulation(const std::vector<uint64_t>& rows, Rng& rng) override;
+
+  StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
+  void Reset() override;
+
+  double TheoreticalBitsPerUser() const override {
+    return static_cast<double>(uint64_t{1} << config_.d);
+  }
+
+  /// The underlying unary-encoding mechanism (for tests).
+  const UnaryEncoding& mechanism() const { return unary_; }
+
+ private:
+  InpRrProtocol(const ProtocolConfig& config, UnaryEncoding unary)
+      : MarginalProtocol(config), unary_(unary) {
+    counts_.assign(uint64_t{1} << config_.d, 0.0);
+  }
+
+  UnaryEncoding unary_;
+  std::vector<double> counts_;  // reported-one counts per cell
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_INP_RR_H_

@@ -1,0 +1,73 @@
+// Shared machinery for the marginal-perturbation protocols MargRR, MargPS
+// and MargHT (Section 4.3).
+//
+// All three share the same outer structure: each user uniformly samples one
+// of the C(d, k) exactly-k-way marginal selectors, materializes *their own*
+// (sparse, one-hot) marginal, and releases it through a mechanism that
+// differs per protocol. The aggregator keeps per-selector state; queries for
+// a lower-order marginal beta' (|beta'| < k) are answered by marginalizing
+// every sampled superset's estimate and averaging, weighted by how many
+// users reported each superset.
+
+#ifndef LDPM_PROTOCOLS_MARG_COMMON_H_
+#define LDPM_PROTOCOLS_MARG_COMMON_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+class MargProtocolBase : public MarginalProtocol {
+ public:
+  /// The C(d, k) selectors users sample from.
+  const std::vector<uint64_t>& selectors() const { return selectors_; }
+
+  /// Number of users that sampled each selector so far.
+  const std::vector<uint64_t>& selector_counts() const { return selector_counts_; }
+
+  StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
+
+ protected:
+  MargProtocolBase(const ProtocolConfig& config);
+
+  /// Validates (d, k) bounds shared by the Marg protocols: the per-user
+  /// marginal has 2^k cells, which must stay materializable.
+  static Status ValidateMarg(const ProtocolConfig& config);
+
+  /// Uniformly samples a selector index in [0, C(d,k)).
+  size_t SampleSelectorIndex(Rng& rng) const {
+    return rng.UniformInt(selectors_.size());
+  }
+
+  /// Index of a selector, or NotFound for selectors outside the k-way set.
+  StatusOr<size_t> SelectorIndexOf(uint64_t beta) const;
+
+  /// Per-user effective sample size for the selector at `idx` under the
+  /// configured estimator: the observed count (ratio) or N / C(d,k)
+  /// (Horvitz–Thompson).
+  double EffectiveSelectorCount(size_t idx) const;
+
+  /// Bookkeeping: record that a report for selector `idx` arrived.
+  void NoteSelectorReport(size_t idx) { ++selector_counts_[idx]; }
+
+  void ResetSelectorCounts() {
+    selector_counts_.assign(selector_counts_.size(), 0);
+  }
+
+  /// Estimates the exactly-k-way marginal for the selector at index `idx`
+  /// *without* post-processing. Implemented by each concrete protocol.
+  /// Selectors with zero reports should return the all-zero table.
+  virtual StatusOr<MarginalTable> EstimateExactKWay(size_t idx) const = 0;
+
+ private:
+  std::vector<uint64_t> selectors_;
+  std::unordered_map<uint64_t, size_t> selector_index_;
+  std::vector<uint64_t> selector_counts_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_MARG_COMMON_H_

@@ -1,0 +1,107 @@
+#include "protocols/marg_ht.h"
+
+#include "core/bits.h"
+
+namespace ldpm {
+
+MargHtProtocol::MargHtProtocol(const ProtocolConfig& config,
+                               RandomizedResponse rr)
+    : MargProtocolBase(config), rr_(rr) {
+  const uint64_t cells = uint64_t{1} << config_.k;
+  sign_sums_.assign(selectors().size(), std::vector<double>(cells, 0.0));
+  coeff_counts_.assign(selectors().size(), std::vector<uint64_t>(cells, 0));
+}
+
+StatusOr<std::unique_ptr<MargHtProtocol>> MargHtProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateMarg(config));
+  auto rr = RandomizedResponse::FromEpsilon(config.epsilon);
+  if (!rr.ok()) return rr.status();
+  return std::unique_ptr<MargHtProtocol>(new MargHtProtocol(config, *rr));
+}
+
+Report MargHtProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  Report report;
+  const size_t idx = SampleSelectorIndex(rng);
+  const uint64_t beta = selectors()[idx];
+  // Sample a compact coefficient index r; alpha = DepositBits(r, beta).
+  // Without the zero coefficient, r is uniform over [1, 2^k).
+  uint64_t r;
+  if (config_.sample_zero_coefficient) {
+    r = rng.UniformInt(uint64_t{1} << config_.k);
+  } else {
+    r = 1 + rng.UniformInt((uint64_t{1} << config_.k) - 1);
+  }
+  const uint64_t alpha = DepositBits(r, beta);
+  const int sign = HadamardSignInt(user_value, alpha);
+  report.selector = beta;
+  report.value = r;
+  report.sign = rr_.PerturbSign(sign, rng);
+  report.bits = TheoreticalBitsPerUser();
+  return report;
+}
+
+Status MargHtProtocol::Absorb(const Report& report) {
+  auto idx = SelectorIndexOf(report.selector);
+  if (!idx.ok()) {
+    return Status::InvalidArgument("MargHT::Absorb: unknown selector");
+  }
+  if (report.value >= (uint64_t{1} << config_.k) ||
+      (report.value == 0 && !config_.sample_zero_coefficient)) {
+    return Status::InvalidArgument(
+        "MargHT::Absorb: coefficient index outside the sampled set");
+  }
+  if (report.sign != -1 && report.sign != 1) {
+    return Status::InvalidArgument("MargHT::Absorb: sign must be -1 or +1");
+  }
+  sign_sums_[*idx][report.value] += static_cast<double>(report.sign);
+  coeff_counts_[*idx][report.value] += 1;
+  NoteSelectorReport(*idx);
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+StatusOr<MarginalTable> MargHtProtocol::EstimateExactKWay(size_t idx) const {
+  const uint64_t cells = uint64_t{1} << config_.k;
+  // Estimate the 2^k - 1 informative coefficients of this marginal; f_0 = 1.
+  std::vector<double> f(cells, 0.0);
+  f[0] = 1.0;
+  const double expected_per_coeff =
+      static_cast<double>(reports_absorbed()) /
+      (static_cast<double>(selectors().size()) *
+       static_cast<double>(CoefficientChoices()));
+  for (uint64_t r = 1; r < cells; ++r) {
+    double raw_mean = 0.0;
+    if (config_.estimator == EstimatorKind::kRatio) {
+      const uint64_t cnt = coeff_counts_[idx][r];
+      raw_mean = cnt > 0 ? sign_sums_[idx][r] / static_cast<double>(cnt) : 0.0;
+    } else {
+      raw_mean = expected_per_coeff > 0.0
+                     ? sign_sums_[idx][r] / expected_per_coeff
+                     : 0.0;
+    }
+    f[r] = rr_.UnbiasSignMean(raw_mean);
+  }
+
+  // Reconstruct the 2^k cells: C[c] = 2^{-k} sum_r f_r (-1)^{<r, c>}, where
+  // compact indices inherit the inner product from the deposited masks.
+  MarginalTable m(config_.d, selectors()[idx]);
+  const double scale = 1.0 / static_cast<double>(cells);
+  for (uint64_t c = 0; c < cells; ++c) {
+    double v = 0.0;
+    for (uint64_t r = 0; r < cells; ++r) {
+      v += f[r] * HadamardSign(r, c);
+    }
+    m.at_compact(c) = v * scale;
+  }
+  return m;
+}
+
+void MargHtProtocol::Reset() {
+  for (auto& s : sign_sums_) s.assign(s.size(), 0.0);
+  for (auto& c : coeff_counts_) c.assign(c.size(), 0);
+  ResetSelectorCounts();
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

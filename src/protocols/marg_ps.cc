@@ -1,0 +1,64 @@
+#include "protocols/marg_ps.h"
+
+namespace ldpm {
+
+MargPsProtocol::MargPsProtocol(const ProtocolConfig& config,
+                               DirectEncoding direct)
+    : MargProtocolBase(config), direct_(direct) {
+  counts_.assign(selectors().size(),
+                 std::vector<double>(uint64_t{1} << config_.k, 0.0));
+}
+
+StatusOr<std::unique_ptr<MargPsProtocol>> MargPsProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateMarg(config));
+  auto direct =
+      DirectEncoding::Create(config.epsilon, uint64_t{1} << config.k);
+  if (!direct.ok()) return direct.status();
+  return std::unique_ptr<MargPsProtocol>(new MargPsProtocol(config, *direct));
+}
+
+Report MargPsProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  Report report;
+  const size_t idx = SampleSelectorIndex(rng);
+  const uint64_t beta = selectors()[idx];
+  const uint64_t hot = ExtractBits(user_value, beta);
+  report.selector = beta;
+  report.value = direct_.Perturb(hot, rng);
+  report.bits = TheoreticalBitsPerUser();
+  return report;
+}
+
+Status MargPsProtocol::Absorb(const Report& report) {
+  auto idx = SelectorIndexOf(report.selector);
+  if (!idx.ok()) {
+    return Status::InvalidArgument("MargPS::Absorb: unknown selector");
+  }
+  if (report.value >= (uint64_t{1} << config_.k)) {
+    return Status::InvalidArgument("MargPS::Absorb: cell outside marginal");
+  }
+  counts_[*idx][report.value] += 1.0;
+  NoteSelectorReport(*idx);
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+StatusOr<MarginalTable> MargPsProtocol::EstimateExactKWay(size_t idx) const {
+  MarginalTable m(config_.d, selectors()[idx]);
+  const double n = EffectiveSelectorCount(idx);
+  if (n <= 0.0) return m;
+  for (uint64_t c = 0; c < m.size(); ++c) {
+    m.at_compact(c) = direct_.UnbiasFrequency(counts_[idx][c] / n);
+  }
+  return m;
+}
+
+void MargPsProtocol::Reset() {
+  for (auto& per_selector : counts_) {
+    per_selector.assign(per_selector.size(), 0.0);
+  }
+  ResetSelectorCounts();
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

@@ -1,0 +1,66 @@
+#include "protocols/marg_rr.h"
+
+namespace ldpm {
+
+MargRrProtocol::MargRrProtocol(const ProtocolConfig& config,
+                               UnaryEncoding unary)
+    : MargProtocolBase(config), unary_(unary) {
+  counts_.assign(selectors().size(),
+                 std::vector<double>(uint64_t{1} << config_.k, 0.0));
+}
+
+StatusOr<std::unique_ptr<MargRrProtocol>> MargRrProtocol::Create(
+    const ProtocolConfig& config) {
+  LDPM_RETURN_IF_ERROR(ValidateMarg(config));
+  auto unary = UnaryEncoding::Create(config.epsilon, config.unary_variant);
+  if (!unary.ok()) return unary.status();
+  return std::unique_ptr<MargRrProtocol>(new MargRrProtocol(config, *unary));
+}
+
+Report MargRrProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  Report report;
+  const size_t idx = SampleSelectorIndex(rng);
+  const uint64_t beta = selectors()[idx];
+  const uint64_t hot = ExtractBits(user_value, beta);
+  report.selector = beta;
+  report.ones = unary_.PerturbOneHot(uint64_t{1} << config_.k, hot, rng);
+  report.bits = TheoreticalBitsPerUser();
+  return report;
+}
+
+Status MargRrProtocol::Absorb(const Report& report) {
+  auto idx = SelectorIndexOf(report.selector);
+  if (!idx.ok()) {
+    return Status::InvalidArgument("MargRR::Absorb: unknown selector");
+  }
+  const uint64_t cells = uint64_t{1} << config_.k;
+  for (uint64_t pos : report.ones) {
+    if (pos >= cells) {
+      return Status::InvalidArgument("MargRR::Absorb: cell outside marginal");
+    }
+  }
+  for (uint64_t pos : report.ones) counts_[*idx][pos] += 1.0;
+  NoteSelectorReport(*idx);
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+StatusOr<MarginalTable> MargRrProtocol::EstimateExactKWay(size_t idx) const {
+  MarginalTable m(config_.d, selectors()[idx]);
+  const double n = EffectiveSelectorCount(idx);
+  if (n <= 0.0) return m;  // no reports for this selector: all-zero table
+  for (uint64_t c = 0; c < m.size(); ++c) {
+    m.at_compact(c) = unary_.UnbiasCount(counts_[idx][c], n) / n;
+  }
+  return m;
+}
+
+void MargRrProtocol::Reset() {
+  for (auto& per_selector : counts_) {
+    per_selector.assign(per_selector.size(), 0.0);
+  }
+  ResetSelectorCounts();
+  ResetBookkeeping();
+}
+
+}  // namespace ldpm

@@ -1,0 +1,34 @@
+#include "protocols/protocol.h"
+
+#include <cmath>
+#include <string>
+
+namespace ldpm {
+
+Status MarginalProtocol::ValidateCommon(const ProtocolConfig& config) {
+  if (config.d < 1 || config.d > kMaxDimensions) {
+    return Status::InvalidArgument("ProtocolConfig: d must be in [1, " +
+                                   std::to_string(kMaxDimensions) + "], got " +
+                                   std::to_string(config.d));
+  }
+  if (config.k < 1 || config.k > config.d) {
+    return Status::InvalidArgument(
+        "ProtocolConfig: k must be in [1, d], got k = " +
+        std::to_string(config.k) + " with d = " + std::to_string(config.d));
+  }
+  if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
+    return Status::InvalidArgument(
+        "ProtocolConfig: epsilon must be finite and > 0");
+  }
+  return Status::OK();
+}
+
+Status MarginalProtocol::AbsorbPopulation(const std::vector<uint64_t>& rows,
+                                          Rng& rng) {
+  for (uint64_t row : rows) {
+    LDPM_RETURN_IF_ERROR(Absorb(Encode(row, rng)));
+  }
+  return Status::OK();
+}
+
+}  // namespace ldpm

@@ -1,0 +1,167 @@
+// The shared client/aggregator interface implemented by every marginal-
+// release protocol of the paper (Section 4).
+//
+// A MarginalProtocol bundles the two halves of an LDP deployment:
+//
+//  * the *client* half — Encode(): runs on the user's device, consumes the
+//    user's private d-bit attribute vector plus local randomness, and emits
+//    exactly one Report. Encode is const and stateless: a report reveals
+//    only what the mechanism's eps-LDP channel allows.
+//  * the *aggregator* half — Absorb()/EstimateMarginal(): accumulates
+//    reports and answers k-way marginal queries over the collected data.
+//
+// AbsorbPopulation() is a distribution-exact fast path used by benches: the
+// default implementation just loops Encode+Absorb per user; protocols whose
+// per-user cost is super-constant (InpRR, whose reports are 2^d bits)
+// override it with equivalent aggregate sampling.
+
+#ifndef LDPM_PROTOCOLS_PROTOCOL_H_
+#define LDPM_PROTOCOLS_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/random.h"
+#include "core/status.h"
+#include "mechanisms/unary_encoding.h"
+
+namespace ldpm {
+
+/// How aggregate estimates are normalized for protocols where each user
+/// samples which piece of information to report.
+enum class EstimatorKind {
+  /// Divide by the number of users that actually reported each piece
+  /// (Algorithm 2 of the paper). Conditionally unbiased, lower variance.
+  kRatio,
+  /// Divide by the expected number of reporters N * p_s (Horvitz-Thompson;
+  /// the estimator the paper's proofs analyze). Unconditionally unbiased.
+  kHorvitzThompson,
+};
+
+/// One user's LDP report. Field usage varies by protocol; unused fields are
+/// left zero/empty. `bits` is the exact wire size of the message per the
+/// paper's Table 2 accounting.
+struct Report {
+  /// Marginal selector beta (Marg* protocols) or coefficient index alpha
+  /// (InpHT).
+  uint64_t selector = 0;
+  /// Reported cell/value index (PS-style protocols), packed reported bit
+  /// vector (InpEM), or coefficient index alpha (MargHT).
+  uint64_t value = 0;
+  /// Secondary payload (e.g. the second hash coefficient of InpOLH).
+  uint64_t aux = 0;
+  /// Perturbed Hadamard coefficient in {-1, +1} (HT protocols); 0 otherwise.
+  int sign = 0;
+  /// Positions reported as 1 (PRR-style protocols).
+  std::vector<uint64_t> ones;
+  /// Wire size of this report in bits.
+  double bits = 0.0;
+};
+
+/// Configuration shared by all protocols.
+struct ProtocolConfig {
+  /// Number of binary attributes.
+  int d = 0;
+  /// Target marginal order: the aggregator must be able to answer every
+  /// k'-way marginal with k' <= k (Definition 3.4).
+  int k = 2;
+  /// The LDP privacy parameter.
+  double epsilon = 1.0;
+  /// Normalization of sampled-piece estimates (see EstimatorKind).
+  EstimatorKind estimator = EstimatorKind::kRatio;
+  /// Probability parameterization for PRR-based protocols.
+  UnaryVariant unary_variant = UnaryVariant::kOptimized;
+  /// MargHT only: if true, users may sample the constant zero coefficient
+  /// (the paper-literal 2^k-way sampling); if false (default) only the
+  /// 2^k - 1 informative coefficients are sampled.
+  bool sample_zero_coefficient = false;
+  /// If true, EstimateMarginal post-processes estimates onto the
+  /// probability simplex (clamp negatives, renormalize).
+  bool project_to_simplex = false;
+  /// InpEM only: EM convergence threshold Omega (paper: 1e-5).
+  double em_convergence_threshold = 1e-5;
+  /// InpEM only: iteration cap as a safety net.
+  int em_max_iterations = 200000;
+};
+
+/// Abstract base for all marginal-release protocols.
+class MarginalProtocol {
+ public:
+  virtual ~MarginalProtocol() = default;
+
+  /// Short protocol name matching the paper ("InpHT", "MargPS", ...).
+  virtual std::string_view name() const = 0;
+
+  /// The configuration the protocol was created with.
+  const ProtocolConfig& config() const { return config_; }
+
+  // ---- Client half -------------------------------------------------------
+
+  /// Encodes one user's private value (a point of {0,1}^d packed into the
+  /// low d bits) into a single LDP report.
+  virtual Report Encode(uint64_t user_value, Rng& rng) const = 0;
+
+  // ---- Aggregator half ---------------------------------------------------
+
+  /// Accumulates one report. Malformed reports (selector/value outside the
+  /// protocol's domain) are rejected with a Status and leave state intact.
+  virtual Status Absorb(const Report& report) = 0;
+
+  /// Feeds an entire population through the protocol. Equivalent in
+  /// distribution to calling Encode+Absorb once per row; overridden by
+  /// protocols with expensive per-user reports.
+  virtual Status AbsorbPopulation(const std::vector<uint64_t>& rows, Rng& rng);
+
+  /// Estimates the marginal for selector beta from the absorbed reports.
+  /// Protocols that materialize only k-way information reject |beta| > k.
+  virtual StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const = 0;
+
+  /// Clears all aggregator state (reports absorbed so far).
+  virtual void Reset() = 0;
+
+  /// Number of reports absorbed.
+  uint64_t reports_absorbed() const { return reports_absorbed_; }
+
+  /// Total measured communication of absorbed reports, in bits.
+  double total_report_bits() const { return total_report_bits_; }
+
+  /// Closed-form per-user communication in bits (Table 2 of the paper).
+  virtual double TheoreticalBitsPerUser() const = 0;
+
+ protected:
+  explicit MarginalProtocol(const ProtocolConfig& config) : config_(config) {}
+
+  /// Validates fields common to all protocols.
+  static Status ValidateCommon(const ProtocolConfig& config);
+
+  /// Bookkeeping helper for Absorb implementations.
+  void NoteAbsorbed(const Report& report) {
+    ++reports_absorbed_;
+    total_report_bits_ += report.bits;
+  }
+
+  void ResetBookkeeping() {
+    reports_absorbed_ = 0;
+    total_report_bits_ = 0.0;
+  }
+
+  /// Applies the configured post-processing to a finished estimate.
+  MarginalTable PostProcess(MarginalTable m) const {
+    if (config_.project_to_simplex) m.ProjectToSimplex();
+    return m;
+  }
+
+  ProtocolConfig config_;
+
+ private:
+  uint64_t reports_absorbed_ = 0;
+  double total_report_bits_ = 0.0;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_PROTOCOL_H_

@@ -1,0 +1,203 @@
+#include "protocols/wire.h"
+
+#include <string>
+
+#include "core/bits.h"
+
+namespace ldpm {
+namespace {
+
+// Little-endian bit cursor over a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(uint64_t total_bits)
+      : bytes_((total_bits + 7) / 8, 0) {}
+
+  void WriteBit(bool bit) {
+    LDPM_DCHECK(cursor_ / 8 < bytes_.size());
+    if (bit) bytes_[cursor_ / 8] |= static_cast<uint8_t>(1u << (cursor_ % 8));
+    ++cursor_;
+  }
+
+  void WriteBits(uint64_t value, int width) {
+    for (int b = 0; b < width; ++b) WriteBit((value >> b) & 1);
+  }
+
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t cursor_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ReadBit() {
+    LDPM_DCHECK(cursor_ / 8 < bytes_.size());
+    const bool bit = (bytes_[cursor_ / 8] >> (cursor_ % 8)) & 1;
+    ++cursor_;
+    return bit;
+  }
+
+  uint64_t ReadBits(int width) {
+    uint64_t value = 0;
+    for (int b = 0; b < width; ++b) {
+      if (ReadBit()) value |= uint64_t{1} << b;
+    }
+    return value;
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  uint64_t cursor_ = 0;
+};
+
+}  // namespace
+
+StatusOr<uint64_t> WireBits(ProtocolKind kind, const ProtocolConfig& config) {
+  const uint64_t d = static_cast<uint64_t>(config.d);
+  const uint64_t cells = uint64_t{1} << config.k;
+  switch (kind) {
+    case ProtocolKind::kInpRR:
+      return uint64_t{1} << config.d;
+    case ProtocolKind::kInpPS:
+      return d;
+    case ProtocolKind::kInpHT:
+      return d + 1;
+    case ProtocolKind::kMargRR:
+      return d + cells;
+    case ProtocolKind::kMargPS:
+      return d + static_cast<uint64_t>(config.k);
+    case ProtocolKind::kMargHT:
+      return d + static_cast<uint64_t>(config.k) + 1;
+    case ProtocolKind::kInpEM:
+      return d;
+  }
+  return Status::InvalidArgument("WireBits: unknown protocol kind");
+}
+
+StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
+                                               const ProtocolConfig& config,
+                                               const Report& report) {
+  auto bits = WireBits(kind, config);
+  if (!bits.ok()) return bits.status();
+  BitWriter writer(*bits);
+
+  switch (kind) {
+    case ProtocolKind::kInpRR: {
+      const uint64_t domain = uint64_t{1} << config.d;
+      std::vector<uint8_t> bitmap(domain, 0);
+      for (uint64_t pos : report.ones) {
+        if (pos >= domain) {
+          return Status::InvalidArgument("SerializeReport: position outside domain");
+        }
+        bitmap[pos] = 1;
+      }
+      for (uint64_t pos = 0; pos < domain; ++pos) writer.WriteBit(bitmap[pos]);
+      break;
+    }
+    case ProtocolKind::kInpPS:
+    case ProtocolKind::kInpEM: {
+      if (config.d < 64 && report.value >= (uint64_t{1} << config.d)) {
+        return Status::InvalidArgument("SerializeReport: value outside domain");
+      }
+      writer.WriteBits(report.value, config.d);
+      break;
+    }
+    case ProtocolKind::kInpHT: {
+      if (report.sign != -1 && report.sign != 1) {
+        return Status::InvalidArgument("SerializeReport: bad sign");
+      }
+      writer.WriteBits(report.selector, config.d);
+      writer.WriteBit(report.sign > 0);
+      break;
+    }
+    case ProtocolKind::kMargRR: {
+      const uint64_t cells = uint64_t{1} << config.k;
+      std::vector<uint8_t> bitmap(cells, 0);
+      for (uint64_t pos : report.ones) {
+        if (pos >= cells) {
+          return Status::InvalidArgument("SerializeReport: cell outside marginal");
+        }
+        bitmap[pos] = 1;
+      }
+      writer.WriteBits(report.selector, config.d);
+      for (uint64_t pos = 0; pos < cells; ++pos) writer.WriteBit(bitmap[pos]);
+      break;
+    }
+    case ProtocolKind::kMargPS: {
+      writer.WriteBits(report.selector, config.d);
+      writer.WriteBits(report.value, config.k);
+      break;
+    }
+    case ProtocolKind::kMargHT: {
+      if (report.sign != -1 && report.sign != 1) {
+        return Status::InvalidArgument("SerializeReport: bad sign");
+      }
+      writer.WriteBits(report.selector, config.d);
+      writer.WriteBits(report.value, config.k);
+      writer.WriteBit(report.sign > 0);
+      break;
+    }
+  }
+  return writer.Take();
+}
+
+StatusOr<Report> DeserializeReport(ProtocolKind kind,
+                                   const ProtocolConfig& config,
+                                   const std::vector<uint8_t>& bytes) {
+  auto bits = WireBits(kind, config);
+  if (!bits.ok()) return bits.status();
+  if (bytes.size() != (*bits + 7) / 8) {
+    return Status::InvalidArgument(
+        "DeserializeReport: expected " + std::to_string((*bits + 7) / 8) +
+        " bytes, got " + std::to_string(bytes.size()));
+  }
+  BitReader reader(bytes);
+  Report report;
+  report.bits = static_cast<double>(*bits);
+
+  switch (kind) {
+    case ProtocolKind::kInpRR: {
+      const uint64_t domain = uint64_t{1} << config.d;
+      for (uint64_t pos = 0; pos < domain; ++pos) {
+        if (reader.ReadBit()) report.ones.push_back(pos);
+      }
+      break;
+    }
+    case ProtocolKind::kInpPS:
+    case ProtocolKind::kInpEM: {
+      report.value = reader.ReadBits(config.d);
+      break;
+    }
+    case ProtocolKind::kInpHT: {
+      report.selector = reader.ReadBits(config.d);
+      report.sign = reader.ReadBit() ? 1 : -1;
+      break;
+    }
+    case ProtocolKind::kMargRR: {
+      report.selector = reader.ReadBits(config.d);
+      const uint64_t cells = uint64_t{1} << config.k;
+      for (uint64_t pos = 0; pos < cells; ++pos) {
+        if (reader.ReadBit()) report.ones.push_back(pos);
+      }
+      break;
+    }
+    case ProtocolKind::kMargPS: {
+      report.selector = reader.ReadBits(config.d);
+      report.value = reader.ReadBits(config.k);
+      break;
+    }
+    case ProtocolKind::kMargHT: {
+      report.selector = reader.ReadBits(config.d);
+      report.value = reader.ReadBits(config.k);
+      report.sign = reader.ReadBit() ? 1 : -1;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,46 @@
+// Compact wire format for LDP reports.
+//
+// Table 2's communication costs are exact bit counts; this module realizes
+// them: each protocol's Report serializes into ceil(bits / 8) bytes using
+// the layouts below (all fields little-endian bit order, bit 0 first).
+//
+//   InpRR   2^d bits   bitmap of reported ones
+//   InpPS   d bits     reported cell index
+//   InpHT   d + 1      coefficient mask alpha, then 1 sign bit (1 = +1)
+//   MargRR  d + 2^k    selector mask beta, then the 2^k reported cells
+//   MargPS  d + k      selector mask beta, then the compact cell index
+//   MargHT  d + k + 1  selector mask, compact coefficient index, sign bit
+//   InpEM   d bits     the d perturbed attribute bits
+//
+// Deserialization checks the buffer length and re-validates domains; a
+// deserialized report is accepted by the matching protocol's Absorb().
+// (InpOLH is excluded: its report carries two 61-bit field elements and is
+// documented by its own class.)
+
+#ifndef LDPM_PROTOCOLS_WIRE_H_
+#define LDPM_PROTOCOLS_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/factory.h"
+
+namespace ldpm {
+
+/// Exact wire size in bits of a report of `kind` under `config`
+/// (Table 2 of the paper). Unimplemented for kInpOLH-like externals.
+StatusOr<uint64_t> WireBits(ProtocolKind kind, const ProtocolConfig& config);
+
+/// Serializes a report into ceil(WireBits / 8) bytes.
+StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
+                                               const ProtocolConfig& config,
+                                               const Report& report);
+
+/// Parses a report; the inverse of SerializeReport.
+StatusOr<Report> DeserializeReport(ProtocolKind kind,
+                                   const ProtocolConfig& config,
+                                   const std::vector<uint8_t>& bytes);
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_WIRE_H_

@@ -1,0 +1,67 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <future>
+
+namespace ldpm {
+
+StatusOr<RepeatedResult> RunRepeated(const BinaryDataset& source,
+                                     const SimulationOptions& options,
+                                     int repetitions, bool parallel) {
+  if (repetitions < 1) {
+    return Status::InvalidArgument("RunRepeated: repetitions must be >= 1");
+  }
+
+  std::vector<StatusOr<SimulationResult>> runs;
+  runs.reserve(repetitions);
+  if (parallel && repetitions > 1) {
+    std::vector<std::future<StatusOr<SimulationResult>>> futures;
+    futures.reserve(repetitions);
+    for (int r = 0; r < repetitions; ++r) {
+      SimulationOptions rep = options;
+      rep.seed = options.seed + static_cast<uint64_t>(r);
+      futures.push_back(std::async(std::launch::async, [&source, rep]() {
+        return RunSimulation(source, rep);
+      }));
+    }
+    for (auto& f : futures) runs.push_back(f.get());
+  } else {
+    for (int r = 0; r < repetitions; ++r) {
+      SimulationOptions rep = options;
+      rep.seed = options.seed + static_cast<uint64_t>(r);
+      runs.push_back(RunSimulation(source, rep));
+    }
+  }
+
+  RepeatedResult result;
+  std::vector<double> tvs;
+  tvs.reserve(repetitions);
+  double bits = 0.0;
+  for (auto& run : runs) {
+    if (!run.ok()) return run.status();
+    result.protocol = run->protocol;
+    tvs.push_back(run->mean_tv);
+    bits += run->bits_per_user;
+  }
+  auto stats = Summarize(tvs);
+  if (!stats.ok()) return stats.status();
+  result.mean_tv = *stats;
+  result.bits_per_user = bits / static_cast<double>(repetitions);
+  result.repetitions = repetitions;
+  return result;
+}
+
+std::string Fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string WithError(double value, double err, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, value, precision,
+                err);
+  return buf;
+}
+
+}  // namespace ldpm

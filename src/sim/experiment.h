@@ -1,0 +1,37 @@
+// Repetition and sweep machinery on top of the simulator: the paper repeats
+// every reconstruction 10 times and reports means with error bars.
+
+#ifndef LDPM_SIM_EXPERIMENT_H_
+#define LDPM_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ldpm {
+
+/// Aggregated outcome of repeated runs of one configuration.
+struct RepeatedResult {
+  std::string protocol;
+  SummaryStats mean_tv;  ///< distribution of per-run mean TV distances
+  double bits_per_user = 0.0;
+  int repetitions = 0;
+};
+
+/// Runs `repetitions` independent simulations (seeds options.seed,
+/// options.seed + 1, ...), optionally across threads, and summarizes the
+/// per-run mean TV distances.
+StatusOr<RepeatedResult> RunRepeated(const BinaryDataset& source,
+                                     const SimulationOptions& options,
+                                     int repetitions, bool parallel = true);
+
+/// printf-style fixed precision rendering used by the bench tables.
+std::string Fixed(double value, int precision);
+
+/// Renders "value ± err" with the given precision.
+std::string WithError(double value, double err, int precision);
+
+}  // namespace ldpm
+
+#endif  // LDPM_SIM_EXPERIMENT_H_

@@ -1,0 +1,59 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldpm {
+
+StatusOr<SummaryStats> Summarize(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Summarize: empty sample");
+  }
+  SummaryStats stats;
+  stats.count = values.size();
+  stats.min = values[0];
+  stats.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double diff = v - stats.mean;
+      ss += diff * diff;
+    }
+    stats.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+    stats.standard_error =
+        stats.stddev / std::sqrt(static_cast<double>(values.size()));
+  }
+  return stats;
+}
+
+StatusOr<double> L1Distance(const MarginalTable& a, const MarginalTable& b) {
+  if (a.beta() != b.beta() || a.dimensions() != b.dimensions()) {
+    return Status::InvalidArgument("L1Distance: selector mismatch");
+  }
+  double l1 = 0.0;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    l1 += std::fabs(a.at_compact(i) - b.at_compact(i));
+  }
+  return l1;
+}
+
+StatusOr<double> MaxAbsoluteError(const MarginalTable& a,
+                                  const MarginalTable& b) {
+  if (a.beta() != b.beta() || a.dimensions() != b.dimensions()) {
+    return Status::InvalidArgument("MaxAbsoluteError: selector mismatch");
+  }
+  double max_err = 0.0;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(a.at_compact(i) - b.at_compact(i)));
+  }
+  return max_err;
+}
+
+}  // namespace ldpm

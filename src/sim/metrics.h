@@ -1,0 +1,35 @@
+// Error metrics and summary statistics for experiments.
+
+#ifndef LDPM_SIM_METRICS_H_
+#define LDPM_SIM_METRICS_H_
+
+#include <vector>
+
+#include "core/contingency_table.h"
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Five-number-ish summary of a sample of measurements.
+struct SummaryStats {
+  double mean = 0.0;
+  double stddev = 0.0;        ///< sample standard deviation (n-1)
+  double standard_error = 0.0;///< stddev / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+/// Summarizes a non-empty sample.
+StatusOr<SummaryStats> Summarize(const std::vector<double>& values);
+
+/// L1 distance between two same-selector marginals (TV = L1 / 2).
+StatusOr<double> L1Distance(const MarginalTable& a, const MarginalTable& b);
+
+/// Maximum absolute per-cell error between two same-selector marginals.
+StatusOr<double> MaxAbsoluteError(const MarginalTable& a,
+                                  const MarginalTable& b);
+
+}  // namespace ldpm
+
+#endif  // LDPM_SIM_METRICS_H_

@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+
+#include "core/marginal.h"
+
+namespace ldpm {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+StatusOr<SimulationResult> RunSimulation(const BinaryDataset& source,
+                                         const SimulationOptions& options) {
+  if (source.size() == 0) {
+    return Status::InvalidArgument("RunSimulation: empty source dataset");
+  }
+  if (options.num_users == 0) {
+    return Status::InvalidArgument("RunSimulation: num_users must be > 0");
+  }
+  ProtocolConfig config = options.config;
+  config.d = source.dimensions();
+
+  const int eval_order =
+      options.eval_order == 0 ? config.k : options.eval_order;
+  if (eval_order < 1 || eval_order > config.k) {
+    return Status::InvalidArgument(
+        "RunSimulation: eval_order must lie in [1, k]");
+  }
+
+  auto protocol = CreateProtocol(options.kind, config);
+  if (!protocol.ok()) return protocol.status();
+
+  Rng rng(options.seed);
+  const BinaryDataset population =
+      source.SampleWithReplacement(options.num_users, rng);
+
+  SimulationResult result;
+  result.protocol = std::string((*protocol)->name());
+
+  const auto encode_start = std::chrono::steady_clock::now();
+  if (options.use_fast_path) {
+    LDPM_RETURN_IF_ERROR((*protocol)->AbsorbPopulation(population.rows(), rng));
+  } else {
+    for (uint64_t row : population.rows()) {
+      LDPM_RETURN_IF_ERROR((*protocol)->Absorb((*protocol)->Encode(row, rng)));
+    }
+  }
+  result.encode_absorb_seconds = SecondsSince(encode_start);
+  result.bits_per_user = (*protocol)->total_report_bits() /
+                         static_cast<double>((*protocol)->reports_absorbed());
+
+  const auto estimate_start = std::chrono::steady_clock::now();
+  double tv_sum = 0.0;
+  double tv_max = 0.0;
+  int count = 0;
+  for (uint64_t beta : KWaySelectors(config.d, eval_order)) {
+    auto truth = population.Marginal(beta);
+    if (!truth.ok()) return truth.status();
+    auto estimate = (*protocol)->EstimateMarginal(beta);
+    if (!estimate.ok()) return estimate.status();
+    const double tv = truth->TotalVariationDistance(*estimate);
+    tv_sum += tv;
+    tv_max = std::max(tv_max, tv);
+    ++count;
+  }
+  result.estimate_seconds = SecondsSince(estimate_start);
+  result.mean_tv = tv_sum / static_cast<double>(count);
+  result.max_tv = tv_max;
+  result.num_marginals = count;
+  return result;
+}
+
+}  // namespace ldpm

@@ -1,0 +1,158 @@
+#include "analysis/chi_square.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(ChiSquaredCdf, KnownValues) {
+  // Standard table values.
+  auto at = [](double x, int dof) {
+    auto v = ChiSquaredCdf(x, dof);
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_NEAR(at(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(at(6.635, 1), 0.99, 1e-3);
+  EXPECT_NEAR(at(5.991, 2), 0.95, 1e-3);
+  EXPECT_NEAR(at(7.815, 3), 0.95, 1e-3);
+  EXPECT_NEAR(at(0.0, 1), 0.0, 1e-12);
+}
+
+TEST(ChiSquaredCdf, MonotoneIncreasing) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 30.0; x += 0.5) {
+    auto v = ChiSquaredCdf(x, 4);
+    ASSERT_TRUE(v.ok());
+    EXPECT_GE(*v, prev);
+    prev = *v;
+  }
+}
+
+TEST(ChiSquaredCdf, ChiSquare1IsSquaredNormal) {
+  // For dof = 1, P[X <= x] = 2 Phi(sqrt(x)) - 1.
+  for (double x : {0.5, 1.0, 2.0, 4.0}) {
+    auto v = ChiSquaredCdf(x, 1);
+    ASSERT_TRUE(v.ok());
+    const double phi = 0.5 * (1.0 + std::erf(std::sqrt(x) / std::sqrt(2.0)));
+    EXPECT_NEAR(*v, 2.0 * phi - 1.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(ChiSquaredCdf, RejectsBadArguments) {
+  EXPECT_FALSE(ChiSquaredCdf(1.0, 0).ok());
+  EXPECT_FALSE(ChiSquaredCdf(std::numeric_limits<double>::quiet_NaN(), 1).ok());
+}
+
+TEST(ChiSquaredCriticalValue, PaperThreshold) {
+  // The paper's Figure 7 threshold: 95% confidence, 1 dof -> 3.841.
+  auto c = ChiSquaredCriticalValue(1, 0.05);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, 3.841, 5e-3);
+}
+
+TEST(ChiSquaredCriticalValue, MoreDofLargerCritical) {
+  auto c1 = ChiSquaredCriticalValue(1, 0.05);
+  auto c4 = ChiSquaredCriticalValue(4, 0.05);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c4.ok());
+  EXPECT_LT(*c1, *c4);
+}
+
+TEST(ChiSquaredCriticalValue, InverseOfCdf) {
+  for (int dof : {1, 2, 5, 10}) {
+    for (double sig : {0.1, 0.05, 0.01}) {
+      auto c = ChiSquaredCriticalValue(dof, sig);
+      ASSERT_TRUE(c.ok());
+      auto cdf = ChiSquaredCdf(*c, dof);
+      ASSERT_TRUE(cdf.ok());
+      EXPECT_NEAR(*cdf, 1.0 - sig, 1e-9);
+    }
+  }
+}
+
+TEST(ChiSquaredCriticalValue, RejectsBadSignificance) {
+  EXPECT_FALSE(ChiSquaredCriticalValue(1, 0.0).ok());
+  EXPECT_FALSE(ChiSquaredCriticalValue(1, 1.0).ok());
+  EXPECT_FALSE(ChiSquaredCriticalValue(0, 0.05).ok());
+}
+
+MarginalTable MakeJoint(double p00, double p10, double p01, double p11) {
+  MarginalTable m(2, 0b11);
+  m.at_compact(0) = p00;
+  m.at_compact(1) = p10;
+  m.at_compact(2) = p01;
+  m.at_compact(3) = p11;
+  return m;
+}
+
+TEST(ChiSquareIndependenceTest, IndependentTableAccepted) {
+  // P[A] = 0.4, P[B] = 0.3, exactly independent.
+  const double pa = 0.4, pb = 0.3;
+  const MarginalTable joint = MakeJoint((1 - pa) * (1 - pb), pa * (1 - pb),
+                                        (1 - pa) * pb, pa * pb);
+  auto result = ChiSquareIndependenceTest(joint, 1e6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 0.0, 1e-6);
+  EXPECT_FALSE(result->reject_independence);
+  EXPECT_NEAR(result->p_value, 1.0, 1e-6);
+}
+
+TEST(ChiSquareIndependenceTest, StronglyDependentTableRejected) {
+  // Perfect correlation: mass only on (0,0) and (1,1).
+  const MarginalTable joint = MakeJoint(0.5, 0.0, 0.0, 0.5);
+  auto result = ChiSquareIndependenceTest(joint, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->reject_independence);
+  EXPECT_NEAR(result->statistic, 1000.0, 1e-6);  // chi2 = N * phi^2, phi = 1
+  EXPECT_LT(result->p_value, 1e-6);
+}
+
+TEST(ChiSquareIndependenceTest, StatisticScalesWithN) {
+  const MarginalTable joint = MakeJoint(0.3, 0.2, 0.2, 0.3);
+  auto small = ChiSquareIndependenceTest(joint, 100);
+  auto large = ChiSquareIndependenceTest(joint, 10000);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_NEAR(large->statistic, 100.0 * small->statistic, 1e-6);
+}
+
+TEST(ChiSquareIndependenceTest, AgreesWithHandComputedTable) {
+  // Observed counts 30/20/20/30 of N = 100: chi2 = N(ad - bc)^2 /
+  // (row/col products) = 100 * (0.09 - 0.04)^2 / (0.5^4) = 4.
+  const MarginalTable joint = MakeJoint(0.3, 0.2, 0.2, 0.3);
+  auto result = ChiSquareIndependenceTest(joint, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 4.0, 1e-9);
+  EXPECT_TRUE(result->reject_independence);  // 4 > 3.841, barely
+}
+
+TEST(ChiSquareIndependenceTest, NoisyTableProjectedFirst) {
+  // Slightly negative cell (private estimate artifact) must not break the
+  // test.
+  const MarginalTable joint = MakeJoint(0.55, -0.03, 0.18, 0.30);
+  auto result = ChiSquareIndependenceTest(joint, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->statistic, 0.0);
+}
+
+TEST(ChiSquareIndependenceTest, DegenerateMarginalHandled) {
+  // Attribute A constant: expected counts contain zeros; statistic stays
+  // finite and independence is not rejected.
+  const MarginalTable joint = MakeJoint(0.6, 0.0, 0.4, 0.0);
+  auto result = ChiSquareIndependenceTest(joint, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->reject_independence);
+}
+
+TEST(ChiSquareIndependenceTest, RejectsBadInputs) {
+  MarginalTable not_2way(3, 0b111);
+  EXPECT_FALSE(ChiSquareIndependenceTest(not_2way, 100).ok());
+  const MarginalTable joint = MakeJoint(0.25, 0.25, 0.25, 0.25);
+  EXPECT_FALSE(ChiSquareIndependenceTest(joint, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,137 @@
+#include "analysis/chow_liu.h"
+
+#include <cmath>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ldpm {
+namespace {
+
+TEST(BuildChowLiuTree, RejectsBadMatrices) {
+  EXPECT_FALSE(BuildChowLiuTree({{0.0}}).ok());  // single node
+  EXPECT_FALSE(BuildChowLiuTree({{0.0, 1.0}, {1.0}}).ok());  // ragged
+}
+
+TEST(BuildChowLiuTree, TwoNodesSingleEdge) {
+  auto tree = BuildChowLiuTree({{0.0, 0.7}, {0.7, 0.0}});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->edges.size(), 1u);
+  EXPECT_NEAR(tree->total_mutual_information, 0.7, 1e-12);
+}
+
+TEST(BuildChowLiuTree, PicksMaximumWeightSpanningTree) {
+  // Weights: chain 0-1 (0.9), 1-2 (0.8) beats any tree through 0-2 (0.1).
+  const std::vector<std::vector<double>> mi = {
+      {0.0, 0.9, 0.1},
+      {0.9, 0.0, 0.8},
+      {0.1, 0.8, 0.0},
+  };
+  auto tree = BuildChowLiuTree(mi);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->edges.size(), 2u);
+  EXPECT_NEAR(tree->total_mutual_information, 1.7, 1e-12);
+  std::set<std::pair<int, int>> edges;
+  for (const auto& e : tree->edges) {
+    edges.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+  }
+  EXPECT_TRUE(edges.count({0, 1}));
+  EXPECT_TRUE(edges.count({1, 2}));
+  EXPECT_FALSE(edges.count({0, 2}));
+}
+
+TEST(BuildChowLiuTree, SpanningTreeHasNoCycles) {
+  // Complete graph with arbitrary weights: result must span d nodes with
+  // d - 1 edges and connect everything.
+  const int d = 8;
+  std::vector<std::vector<double>> mi(d, std::vector<double>(d, 0.0));
+  Rng rng(61);
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      mi[a][b] = mi[b][a] = rng.UniformDouble();
+    }
+  }
+  auto tree = BuildChowLiuTree(mi);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->edges.size(), static_cast<size_t>(d - 1));
+  // Union-find connectivity check.
+  std::vector<int> parent(d);
+  for (int i = 0; i < d; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (const auto& e : tree->edges) {
+    const int ra = find(e.a), rb = find(e.b);
+    EXPECT_NE(ra, rb) << "cycle introduced by edge " << e.a << "-" << e.b;
+    parent[ra] = rb;
+  }
+  for (int i = 1; i < d; ++i) EXPECT_EQ(find(0), find(i));
+}
+
+TEST(BuildChowLiuTreeFromMarginals, RecoversPlantedTree) {
+  // Sample a known tree-structured distribution and confirm Chow-Liu
+  // recovers exactly the generating edges from exact marginals.
+  auto planted = GeneratePlantedTree(200000, 7, 0.15, 63);
+  ASSERT_TRUE(planted.ok());
+  const BinaryDataset& data = planted->data;
+
+  auto learned = BuildChowLiuTreeFromMarginals(
+      7, [&](uint64_t beta) { return data.Marginal(beta); });
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->edges.size(), 6u);
+
+  std::set<std::pair<int, int>> truth;
+  for (const auto& e : planted->tree.edges) {
+    truth.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+  }
+  for (const auto& e : learned->edges) {
+    EXPECT_TRUE(truth.count({std::min(e.a, e.b), std::max(e.a, e.b)}))
+        << "non-planted edge " << e.a << "-" << e.b;
+  }
+}
+
+TEST(BuildChowLiuTreeFromMarginals, TotalMiNearTheory) {
+  auto planted = GeneratePlantedTree(300000, 6, 0.2, 67);
+  ASSERT_TRUE(planted.ok());
+  auto learned = BuildChowLiuTreeFromMarginals(
+      6, [&](uint64_t beta) { return planted->data.Marginal(beta); });
+  ASSERT_TRUE(learned.ok());
+  EXPECT_NEAR(learned->total_mutual_information,
+              planted->tree.total_mutual_information,
+              0.05 * planted->tree.total_mutual_information);
+}
+
+TEST(BuildChowLiuTreeFromMarginals, PropagatesProviderErrors) {
+  auto learned = BuildChowLiuTreeFromMarginals(4, [](uint64_t) {
+    return StatusOr<MarginalTable>(Status::Internal("provider broke"));
+  });
+  EXPECT_FALSE(learned.ok());
+  EXPECT_EQ(learned.status().code(), StatusCode::kInternal);
+}
+
+TEST(ScoreTreeAgainst, SumsReferenceWeightsOverEdges) {
+  ChowLiuTree tree;
+  tree.d = 3;
+  tree.edges = {{0, 1, 0.9}, {1, 2, 0.8}};
+  const std::vector<std::vector<double>> reference = {
+      {0.0, 0.5, 0.3},
+      {0.5, 0.0, 0.2},
+      {0.3, 0.2, 0.0},
+  };
+  auto score = ScoreTreeAgainst(tree, reference);
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(*score, 0.7, 1e-12);  // 0.5 + 0.2 under the reference weights
+}
+
+TEST(ScoreTreeAgainst, RejectsMismatchedDimensions) {
+  ChowLiuTree tree;
+  tree.d = 3;
+  EXPECT_FALSE(ScoreTreeAgainst(tree, {{0.0, 1.0}, {1.0, 0.0}}).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

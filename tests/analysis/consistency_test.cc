@@ -1,0 +1,168 @@
+#include "analysis/consistency.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "core/random.h"
+#include "protocols/marg_ps.h"
+
+namespace ldpm {
+namespace {
+
+// A random distribution over d attributes and its exact k-way marginals.
+ContingencyTable RandomDistribution(int d, uint64_t seed) {
+  Rng rng(seed);
+  auto t = ContingencyTable::Zero(d);
+  LDPM_CHECK(t.ok());
+  for (uint64_t c = 0; c < t->size(); ++c) (*t)[c] = rng.UniformDouble();
+  LDPM_CHECK(t->Normalize().ok());
+  return *std::move(t);
+}
+
+TEST(FitSharedCoefficients, ValidatesInputs) {
+  EXPECT_FALSE(FitSharedCoefficients({}, 4).ok());
+  std::vector<MarginalTable> ms = {MarginalTable::Uniform(4, 0b11)};
+  EXPECT_FALSE(FitSharedCoefficients(ms, 4, {1.0, 2.0}).ok());
+  EXPECT_FALSE(FitSharedCoefficients(ms, 5).ok());  // dimension mismatch
+  EXPECT_FALSE(FitSharedCoefficients(ms, 4, {-1.0}).ok());
+}
+
+TEST(FitSharedCoefficients, ExactMarginalsGiveExactCoefficients) {
+  const ContingencyTable t = RandomDistribution(5, 31);
+  std::vector<MarginalTable> marginals;
+  for (uint64_t beta : KWaySelectors(5, 2)) {
+    auto m = ComputeMarginal(t, beta);
+    ASSERT_TRUE(m.ok());
+    marginals.push_back(*std::move(m));
+  }
+  auto fitted = FitSharedCoefficients(marginals, 5);
+  ASSERT_TRUE(fitted.ok());
+  for (uint64_t alpha : LowOrderMasks(5, 2)) {
+    auto f = fitted->Get(alpha);
+    ASSERT_TRUE(f.ok());
+    EXPECT_NEAR(*f, FourierCoefficient(t, alpha), 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(MakeConsistent, ExactInputsAreFixedPoints) {
+  const ContingencyTable t = RandomDistribution(5, 37);
+  std::vector<MarginalTable> marginals;
+  for (uint64_t beta : KWaySelectors(5, 2)) {
+    auto m = ComputeMarginal(t, beta);
+    ASSERT_TRUE(m.ok());
+    marginals.push_back(*std::move(m));
+  }
+  auto consistent = MakeConsistent(marginals, 5);
+  ASSERT_TRUE(consistent.ok());
+  for (size_t i = 0; i < marginals.size(); ++i) {
+    EXPECT_NEAR(marginals[i].TotalVariationDistance((*consistent)[i]), 0.0,
+                1e-9);
+  }
+}
+
+TEST(MakeConsistent, OutputsAgreeOnOverlaps) {
+  // Noisy MargPS estimates disagree on shared attributes; the consistent
+  // versions must agree exactly.
+  const int d = 5;
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 0.8;
+  auto p = MargPsProtocol::Create(config);
+  ASSERT_TRUE(p.ok());
+  Rng data_rng(41);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 60000; ++i) rows.push_back(data_rng.UniformInt(32));
+  Rng rng(42);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+
+  std::vector<MarginalTable> estimates;
+  std::vector<uint64_t> selectors = KWaySelectors(d, 2);
+  for (uint64_t beta : selectors) {
+    auto m = (*p)->EstimateMarginal(beta);
+    ASSERT_TRUE(m.ok());
+    estimates.push_back(*std::move(m));
+  }
+
+  // Raw MargPS estimates of {0,1} and {0,2} should disagree about attr 0.
+  auto sub_a = MarginalizeTable(estimates[0], 1);  // beta 0b00011 -> attr 0
+  auto sub_b = MarginalizeTable(estimates[1], 1);  // beta 0b00101 -> attr 0
+  ASSERT_TRUE(sub_a.ok());
+  ASSERT_TRUE(sub_b.ok());
+  const double raw_gap = sub_a->TotalVariationDistance(*sub_b);
+  EXPECT_GT(raw_gap, 0.0);
+
+  auto consistent = MakeConsistent(estimates, d);
+  ASSERT_TRUE(consistent.ok());
+  for (size_t i = 0; i < selectors.size(); ++i) {
+    for (size_t j = i + 1; j < selectors.size(); ++j) {
+      const uint64_t common = selectors[i] & selectors[j];
+      if (common == 0) continue;
+      auto ca = MarginalizeTable((*consistent)[i], common);
+      auto cb = MarginalizeTable((*consistent)[j], common);
+      ASSERT_TRUE(ca.ok());
+      ASSERT_TRUE(cb.ok());
+      EXPECT_NEAR(ca->TotalVariationDistance(*cb), 0.0, 1e-9)
+          << "selectors " << selectors[i] << " & " << selectors[j];
+    }
+  }
+}
+
+TEST(MakeConsistent, DoesNotHurtAccuracy) {
+  // Averaging shared coefficients should help (or at least not hurt) the
+  // mean error against the truth.
+  const int d = 5;
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 1.0;
+  auto p = MargPsProtocol::Create(config);
+  ASSERT_TRUE(p.ok());
+  Rng data_rng(51);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 80000; ++i) {
+    uint64_t row = data_rng.UniformInt(2);
+    row |= (data_rng.Bernoulli(0.75) ? (row & 1) : data_rng.UniformInt(2)) << 1;
+    row |= data_rng.UniformInt(8) << 2;
+    rows.push_back(row);
+  }
+  Rng rng(52);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+
+  std::vector<MarginalTable> estimates;
+  std::vector<uint64_t> selectors = KWaySelectors(d, 2);
+  for (uint64_t beta : selectors) {
+    auto m = (*p)->EstimateMarginal(beta);
+    ASSERT_TRUE(m.ok());
+    estimates.push_back(*std::move(m));
+  }
+  auto consistent = MakeConsistent(estimates, d);
+  ASSERT_TRUE(consistent.ok());
+
+  double raw_tv = 0.0, consistent_tv = 0.0;
+  for (size_t i = 0; i < selectors.size(); ++i) {
+    auto truth = MarginalFromRows(rows, d, selectors[i]);
+    ASSERT_TRUE(truth.ok());
+    raw_tv += truth->TotalVariationDistance(estimates[i]);
+    consistent_tv += truth->TotalVariationDistance((*consistent)[i]);
+  }
+  EXPECT_LE(consistent_tv, raw_tv * 1.05);
+}
+
+TEST(MakeConsistent, WeightsShiftTheFit) {
+  // Two conflicting 1-way estimates: weights decide the blend.
+  MarginalTable a(3, 0b001), b(3, 0b001);
+  a.at_compact(0) = 1.0;  // says attr0 = 0 always
+  b.at_compact(1) = 1.0;  // says attr0 = 1 always
+  auto blended = MakeConsistent({a, b}, 3, {3.0, 1.0});
+  ASSERT_TRUE(blended.ok());
+  EXPECT_NEAR((*blended)[0].at_compact(0), 0.75, 1e-9);
+  EXPECT_NEAR((*blended)[0].at_compact(1), 0.25, 1e-9);
+  // Both outputs identical (same selector, shared fit).
+  EXPECT_NEAR((*blended)[1].at_compact(0), 0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,128 @@
+#include "analysis/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace ldpm {
+namespace {
+
+MarginalTable MakeJoint(double p00, double p10, double p01, double p11) {
+  MarginalTable m(2, 0b11);
+  m.at_compact(0) = p00;
+  m.at_compact(1) = p10;
+  m.at_compact(2) = p01;
+  m.at_compact(3) = p11;
+  return m;
+}
+
+TEST(PhiCoefficient, PerfectCorrelationIsOne) {
+  auto phi = PhiCoefficient(MakeJoint(0.5, 0.0, 0.0, 0.5));
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(*phi, 1.0, 1e-12);
+}
+
+TEST(PhiCoefficient, PerfectAntiCorrelationIsMinusOne) {
+  auto phi = PhiCoefficient(MakeJoint(0.0, 0.5, 0.5, 0.0));
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(*phi, -1.0, 1e-12);
+}
+
+TEST(PhiCoefficient, IndependenceIsZero) {
+  const double pa = 0.3, pb = 0.7;
+  auto phi = PhiCoefficient(MakeJoint((1 - pa) * (1 - pb), pa * (1 - pb),
+                                      (1 - pa) * pb, pa * pb));
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(*phi, 0.0, 1e-12);
+}
+
+TEST(PhiCoefficient, ConstantAttributeGivesZero) {
+  auto phi = PhiCoefficient(MakeJoint(0.6, 0.0, 0.4, 0.0));
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(*phi, 0.0);
+}
+
+TEST(PhiCoefficient, RejectsNon2Way) {
+  MarginalTable m(3, 0b111);
+  EXPECT_FALSE(PhiCoefficient(m).ok());
+}
+
+TEST(PhiCoefficient, MatchesPearsonDefinition) {
+  // phi = (p11 - pa pb) / sqrt(pa qa pb qb) for binary variables.
+  const MarginalTable joint = MakeJoint(0.4, 0.15, 0.1, 0.35);
+  const double pa = 0.15 + 0.35, pb = 0.1 + 0.35;
+  const double expected = (0.35 - pa * pb) /
+                          std::sqrt(pa * (1 - pa) * pb * (1 - pb));
+  auto phi = PhiCoefficient(joint);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(*phi, expected, 1e-12);
+}
+
+TEST(CorrelationMatrix, DiagonalIsOne) {
+  Rng rng(71);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 2000; ++i) rows.push_back(rng.UniformInt(16));
+  auto corr = CorrelationMatrix(rows, 4);
+  ASSERT_TRUE(corr.ok());
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ((*corr)[i][i], 1.0);
+}
+
+TEST(CorrelationMatrix, SymmetricAndBounded) {
+  Rng rng(73);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t row = rng.UniformInt(2);
+    row |= (rng.Bernoulli(0.8) ? row & 1 : rng.UniformInt(2)) << 1;  // corr
+    row |= rng.UniformInt(2) << 2;
+    rows.push_back(row);
+  }
+  auto corr = CorrelationMatrix(rows, 3);
+  ASSERT_TRUE(corr.ok());
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_NEAR((*corr)[a][b], (*corr)[b][a], 1e-12);
+      EXPECT_LE(std::fabs((*corr)[a][b]), 1.0 + 1e-12);
+    }
+  }
+  // Attribute 1 was derived from attribute 0 most of the time.
+  EXPECT_GT((*corr)[0][1], 0.5);
+  // Attribute 2 is independent noise.
+  EXPECT_NEAR((*corr)[0][2], 0.0, 0.05);
+}
+
+TEST(CorrelationMatrix, DuplicatedColumnPerfectlyCorrelated) {
+  Rng rng(79);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t b = rng.UniformInt(2);
+    rows.push_back(b | (b << 1));
+  }
+  auto corr = CorrelationMatrix(rows, 2);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR((*corr)[0][1], 1.0, 1e-12);
+}
+
+TEST(CorrelationMatrix, RejectsBadInput) {
+  EXPECT_FALSE(CorrelationMatrix({}, 3).ok());
+  EXPECT_FALSE(CorrelationMatrix({0}, 0).ok());
+}
+
+TEST(RenderHeatmap, ContainsLabelsAndLegend) {
+  const std::vector<std::vector<double>> m = {{1.0, 0.5}, {0.5, 1.0}};
+  const std::string text = RenderHeatmap(m, {"Alpha", "Beta"});
+  EXPECT_NE(text.find("Alpha"), std::string::npos);
+  EXPECT_NE(text.find("Beta"), std::string::npos);
+  EXPECT_NE(text.find("legend"), std::string::npos);
+  EXPECT_NE(text.find("@@"), std::string::npos);  // the 1.0 diagonal
+}
+
+TEST(RenderHeatmap, NegativeShadesDistinct) {
+  const std::vector<std::vector<double>> m = {{1.0, -0.8}, {-0.8, 1.0}};
+  const std::string text = RenderHeatmap(m, {"A", "B"});
+  EXPECT_NE(text.find("=="), std::string::npos);  // strong negative shade
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,113 @@
+#include "analysis/mutual_information.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+MarginalTable MakeJoint(double p00, double p10, double p01, double p11) {
+  MarginalTable m(2, 0b11);
+  m.at_compact(0) = p00;
+  m.at_compact(1) = p10;
+  m.at_compact(2) = p01;
+  m.at_compact(3) = p11;
+  return m;
+}
+
+TEST(Entropy, UniformIsLogCells) {
+  EXPECT_NEAR(Entropy(MarginalTable::Uniform(4, 0b0011)), std::log(4.0), 1e-12);
+  EXPECT_NEAR(Entropy(MarginalTable::Uniform(4, 0b0111)), std::log(8.0), 1e-12);
+}
+
+TEST(Entropy, PointMassIsZero) {
+  MarginalTable m(3, 0b011);
+  m.at_compact(2) = 1.0;
+  EXPECT_NEAR(Entropy(m), 0.0, 1e-12);
+}
+
+TEST(Entropy, HandlesUnnormalizedAndNegativeCells) {
+  MarginalTable m(2, 0b11);
+  m.at_compact(0) = 2.0;
+  m.at_compact(1) = -0.5;  // clamped
+  m.at_compact(2) = 2.0;
+  m.at_compact(3) = 0.0;
+  EXPECT_NEAR(Entropy(m), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformation, IndependentVariablesHaveZeroMi) {
+  const double pa = 0.35, pb = 0.6;
+  const MarginalTable joint = MakeJoint((1 - pa) * (1 - pb), pa * (1 - pb),
+                                        (1 - pa) * pb, pa * pb);
+  auto mi = MutualInformation(joint);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_NEAR(*mi, 0.0, 1e-12);
+}
+
+TEST(MutualInformation, PerfectlyCorrelatedUniformBitsGiveLn2) {
+  const MarginalTable joint = MakeJoint(0.5, 0.0, 0.0, 0.5);
+  auto mi = MutualInformation(joint);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_NEAR(*mi, std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformation, PerfectlyAntiCorrelatedAlsoLn2) {
+  const MarginalTable joint = MakeJoint(0.0, 0.5, 0.5, 0.0);
+  auto mi = MutualInformation(joint);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_NEAR(*mi, std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformation, BinarySymmetricChannelClosedForm) {
+  // X ~ Bernoulli(1/2), Y = X flipped with prob q: MI = ln2 - H(q).
+  for (double q : {0.05, 0.1, 0.25, 0.4}) {
+    const MarginalTable joint =
+        MakeJoint(0.5 * (1 - q), 0.5 * q, 0.5 * q, 0.5 * (1 - q));
+    auto mi = MutualInformation(joint);
+    ASSERT_TRUE(mi.ok());
+    const double expected =
+        std::log(2.0) + q * std::log(q) + (1 - q) * std::log(1 - q);
+    EXPECT_NEAR(*mi, expected, 1e-12) << "q=" << q;
+  }
+}
+
+TEST(MutualInformation, SymmetricInArguments) {
+  // Swapping the two attributes (transposing the table) preserves MI.
+  const MarginalTable joint = MakeJoint(0.4, 0.1, 0.2, 0.3);
+  const MarginalTable swapped = MakeJoint(0.4, 0.2, 0.1, 0.3);
+  auto a = MutualInformation(joint);
+  auto b = MutualInformation(swapped);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(*a, *b, 1e-12);
+}
+
+TEST(MutualInformation, NonNegativeOnNoisyInput) {
+  const MarginalTable joint = MakeJoint(0.26, 0.24, 0.27, 0.23);
+  auto mi = MutualInformation(joint);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_GE(*mi, 0.0);
+}
+
+TEST(MutualInformation, BoundedByMinEntropy) {
+  const MarginalTable joint = MakeJoint(0.45, 0.05, 0.1, 0.4);
+  auto mi = MutualInformation(joint);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_LE(*mi, std::log(2.0) + 1e-12);
+}
+
+TEST(MutualInformation, RejectsNon2Way) {
+  MarginalTable one_way(3, 0b001);
+  EXPECT_FALSE(MutualInformation(one_way).ok());
+}
+
+TEST(MutualInformationBits, NatsToBitsConversion) {
+  const MarginalTable joint = MakeJoint(0.5, 0.0, 0.0, 0.5);
+  auto bits = MutualInformationBits(joint);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_NEAR(*bits, 1.0, 1e-12);  // one full bit of shared information
+}
+
+}  // namespace
+}  // namespace ldpm

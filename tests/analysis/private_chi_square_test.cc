@@ -1,0 +1,121 @@
+#include "analysis/private_chi_square.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = 2;
+  c.epsilon = eps;
+  return c;
+}
+
+PrivateChiSquareOptions FastOptions(uint64_t seed) {
+  PrivateChiSquareOptions o;
+  o.replicates = 30;
+  o.num_users = 1 << 12;
+  o.seed = seed;
+  return o;
+}
+
+TEST(PrivateChiSquareCriticalValue, ValidatesInputs) {
+  EXPECT_FALSE(PrivateChiSquareCriticalValue(ProtocolKind::kInpHT,
+                                             Config(6, 1.0), 0b111, 0.5, 0.5,
+                                             FastOptions(1))
+                   .ok());
+  EXPECT_FALSE(PrivateChiSquareCriticalValue(ProtocolKind::kInpHT,
+                                             Config(6, 1.0), 0b11, 1.5, 0.5,
+                                             FastOptions(1))
+                   .ok());
+  PrivateChiSquareOptions too_few = FastOptions(1);
+  too_few.replicates = 3;
+  EXPECT_FALSE(PrivateChiSquareCriticalValue(ProtocolKind::kInpHT,
+                                             Config(6, 1.0), 0b11, 0.5, 0.5,
+                                             too_few)
+                   .ok());
+}
+
+TEST(PrivateChiSquareCriticalValue, ExceedsNoiseUnawareValue) {
+  auto critical = PrivateChiSquareCriticalValue(
+      ProtocolKind::kInpHT, Config(8, 1.1), 0b11, 0.4, 0.6, FastOptions(3));
+  ASSERT_TRUE(critical.ok()) << critical.status().ToString();
+  // The LDP noise floor dominates: far above 3.841.
+  EXPECT_GT(*critical, 10.0);
+}
+
+TEST(PrivateChiSquareCriticalValue, ShrinksWithEpsilon) {
+  // More budget -> less noise -> smaller corrected critical value.
+  auto tight = PrivateChiSquareCriticalValue(
+      ProtocolKind::kInpHT, Config(8, 0.4), 0b11, 0.5, 0.5, FastOptions(5));
+  auto loose = PrivateChiSquareCriticalValue(
+      ProtocolKind::kInpHT, Config(8, 2.0), 0b11, 0.5, 0.5, FastOptions(5));
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(*tight, *loose);
+}
+
+TEST(PrivateChiSquareCriticalValue, DeterministicGivenSeed) {
+  auto a = PrivateChiSquareCriticalValue(ProtocolKind::kMargPS, Config(6, 1.0),
+                                         0b101, 0.3, 0.7, FastOptions(7));
+  auto b = PrivateChiSquareCriticalValue(ProtocolKind::kMargPS, Config(6, 1.0),
+                                         0b101, 0.3, 0.7, FastOptions(7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(NoiseAwareChiSquareTest, AcceptsIndependentPair) {
+  // End to end on truly independent attributes: the corrected verdict must
+  // be "independent" despite a noise-inflated raw statistic.
+  auto data = GenerateIndependent(1 << 15, {0.4, 0.6, 0.5, 0.3}, 11);
+  ASSERT_TRUE(data.ok());
+  const ProtocolConfig config = Config(4, 1.1);
+  auto p = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(p.ok());
+  Rng rng(12);
+  ASSERT_TRUE((*p)->AbsorbPopulation(data->rows(), rng).ok());
+  auto marginal = (*p)->EstimateMarginal(0b11);
+  ASSERT_TRUE(marginal.ok());
+  auto result = NoiseAwareChiSquareTest(ProtocolKind::kInpHT, config, 0b11,
+                                        *marginal,
+                                        static_cast<double>(data->size()),
+                                        FastOptions(13));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->reject_independence)
+      << "statistic=" << result->statistic
+      << " critical=" << result->critical_value;
+  EXPECT_GT(result->p_value, 0.05);
+}
+
+TEST(NoiseAwareChiSquareTest, DetectsStrongDependence) {
+  // Perfectly coupled bits: dependence must survive the correction.
+  Rng data_rng(17);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < (1 << 15); ++i) {
+    const uint64_t b = data_rng.UniformInt(2);
+    rows.push_back(b | (b << 1) | (data_rng.UniformInt(4) << 2));
+  }
+  const ProtocolConfig config = Config(4, 1.1);
+  auto p = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(p.ok());
+  Rng rng(18);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  auto marginal = (*p)->EstimateMarginal(0b11);
+  ASSERT_TRUE(marginal.ok());
+  auto result = NoiseAwareChiSquareTest(ProtocolKind::kInpHT, config, 0b11,
+                                        *marginal, static_cast<double>(rows.size()),
+                                        FastOptions(19));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->reject_independence);
+  EXPECT_LT(result->p_value, 0.1);
+}
+
+}  // namespace
+}  // namespace ldpm

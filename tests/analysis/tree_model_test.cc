@@ -1,0 +1,153 @@
+#include "analysis/tree_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "protocols/inp_ht.h"
+
+namespace ldpm {
+namespace {
+
+PairwiseMarginalProvider ExactProvider(const BinaryDataset& data) {
+  return [&data](uint64_t beta) { return data.Marginal(beta); };
+}
+
+TEST(TreeModel, FitValidatesInputs) {
+  ChowLiuTree bad_tree;
+  bad_tree.d = 4;
+  bad_tree.edges = {{0, 1, 0.1}};  // too few edges
+  auto data = GenerateIndependent(100, {0.5, 0.5, 0.5, 0.5}, 1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(TreeModel::Fit(bad_tree, ExactProvider(*data)).ok());
+
+  ChowLiuTree cyclic;
+  cyclic.d = 3;
+  cyclic.edges = {{0, 1, 0.1}, {0, 1, 0.1}};  // duplicate edge: not a tree
+  EXPECT_FALSE(TreeModel::Fit(cyclic, ExactProvider(*data)).ok());
+}
+
+TEST(TreeModel, JointProbabilitiesSumToOne) {
+  auto planted = GeneratePlantedTree(50000, 6, 0.2, 3);
+  ASSERT_TRUE(planted.ok());
+  auto model =
+      TreeModel::LearnAndFit(6, ExactProvider(planted->data));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  double total = 0.0;
+  for (uint64_t row = 0; row < 64; ++row) {
+    const double p = model->JointProbability(row);
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TreeModel, RecoversPlantedDistribution) {
+  // Fit on data sampled from a known tree; the model's joint must be close
+  // to the empirical joint cellwise.
+  auto planted = GeneratePlantedTree(300000, 5, 0.2, 5);
+  ASSERT_TRUE(planted.ok());
+  auto model = TreeModel::Fit(planted->tree, ExactProvider(planted->data));
+  ASSERT_TRUE(model.ok());
+  auto hist = planted->data.Histogram();
+  ASSERT_TRUE(hist.ok());
+  for (uint64_t row = 0; row < 32; ++row) {
+    EXPECT_NEAR(model->JointProbability(row), (*hist)[row], 0.01)
+        << "row " << row;
+  }
+}
+
+TEST(TreeModel, AttributeMeansMatchData) {
+  auto planted = GeneratePlantedTree(200000, 6, 0.3, 7);
+  ASSERT_TRUE(planted.ok());
+  auto model = TreeModel::Fit(planted->tree, ExactProvider(planted->data));
+  ASSERT_TRUE(model.ok());
+  for (int a = 0; a < 6; ++a) {
+    auto data_mean = planted->data.AttributeMean(a);
+    auto model_mean = model->AttributeMean(a);
+    ASSERT_TRUE(data_mean.ok());
+    ASSERT_TRUE(model_mean.ok());
+    EXPECT_NEAR(*model_mean, *data_mean, 0.01) << "attr " << a;
+  }
+}
+
+TEST(TreeModel, SamplesMatchModelStatistics) {
+  auto planted = GeneratePlantedTree(100000, 5, 0.25, 9);
+  ASSERT_TRUE(planted.ok());
+  auto model = TreeModel::Fit(planted->tree, ExactProvider(planted->data));
+  ASSERT_TRUE(model.ok());
+  Rng rng(10);
+  const auto sampled = model->Sample(200000, rng);
+  // Empirical joint of the samples ~ model joint.
+  std::vector<double> counts(32, 0.0);
+  for (uint64_t row : sampled) counts[row] += 1.0 / sampled.size();
+  for (uint64_t row = 0; row < 32; ++row) {
+    EXPECT_NEAR(counts[row], model->JointProbability(row), 0.01);
+  }
+}
+
+TEST(TreeModel, LikelihoodPrefersTrueStructure) {
+  // The model fitted with the true tree should score held-out data at
+  // least as well as a deliberately wrong chain structure.
+  auto planted = GeneratePlantedTree(200000, 6, 0.15, 11);
+  ASSERT_TRUE(planted.ok());
+  auto good = TreeModel::Fit(planted->tree, ExactProvider(planted->data));
+  ASSERT_TRUE(good.ok());
+
+  ChowLiuTree chain;
+  chain.d = 6;
+  for (int v = 1; v < 6; ++v) chain.edges.push_back({v - 1, v, 0.0});
+  auto naive = TreeModel::Fit(chain, ExactProvider(planted->data));
+  ASSERT_TRUE(naive.ok());
+
+  auto holdout = GeneratePlantedTree(50000, 6, 0.15, 11);  // same seed: same tree
+  ASSERT_TRUE(holdout.ok());
+  auto ll_good = good->MeanLogLikelihood(holdout->data.rows());
+  auto ll_naive = naive->MeanLogLikelihood(holdout->data.rows());
+  ASSERT_TRUE(ll_good.ok());
+  ASSERT_TRUE(ll_naive.ok());
+  EXPECT_GE(*ll_good, *ll_naive - 1e-9);
+}
+
+TEST(TreeModel, FitsFromPrivateMarginals) {
+  // End to end with InpHT as the marginal provider: the private model's
+  // log-likelihood approaches the exact model's.
+  auto planted = GeneratePlantedTree(200000, 6, 0.2, 13);
+  ASSERT_TRUE(planted.ok());
+
+  ProtocolConfig config;
+  config.d = 6;
+  config.k = 2;
+  config.epsilon = 1.1;
+  auto protocol = InpHtProtocol::Create(config);
+  ASSERT_TRUE(protocol.ok());
+  Rng rng(14);
+  ASSERT_TRUE(
+      (*protocol)->AbsorbPopulation(planted->data.rows(), rng).ok());
+
+  auto private_model = TreeModel::LearnAndFit(
+      6, [&](uint64_t beta) { return (*protocol)->EstimateMarginal(beta); });
+  ASSERT_TRUE(private_model.ok());
+  auto exact_model = TreeModel::LearnAndFit(6, ExactProvider(planted->data));
+  ASSERT_TRUE(exact_model.ok());
+
+  auto ll_private = private_model->MeanLogLikelihood(planted->data.rows());
+  auto ll_exact = exact_model->MeanLogLikelihood(planted->data.rows());
+  ASSERT_TRUE(ll_private.ok());
+  ASSERT_TRUE(ll_exact.ok());
+  // Within 5% of the exact model's (negative) mean log-likelihood.
+  EXPECT_GT(*ll_private, *ll_exact * 1.05);
+}
+
+TEST(TreeModel, MeanLogLikelihoodValidates) {
+  auto planted = GeneratePlantedTree(1000, 4, 0.2, 15);
+  ASSERT_TRUE(planted.ok());
+  auto model = TreeModel::Fit(planted->tree, ExactProvider(planted->data));
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->MeanLogLikelihood({}).ok());
+  EXPECT_FALSE(model->AttributeMean(9).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,158 @@
+#include "core/contingency_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(ContingencyTable, ZeroCreatesAllZeroTable) {
+  auto t = ContingencyTable::Zero(3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->dimensions(), 3);
+  EXPECT_EQ(t->size(), 8u);
+  for (uint64_t c = 0; c < t->size(); ++c) EXPECT_EQ((*t)[c], 0.0);
+  EXPECT_EQ(t->Total(), 0.0);
+}
+
+TEST(ContingencyTable, ZeroRejectsBadDimensions) {
+  EXPECT_FALSE(ContingencyTable::Zero(-1).ok());
+  EXPECT_FALSE(ContingencyTable::Zero(kMaxDenseDimensions + 1).ok());
+  EXPECT_TRUE(ContingencyTable::Zero(0).ok());
+}
+
+TEST(ContingencyTable, FromCellsInfersDimension) {
+  auto t = ContingencyTable::FromCells({0.25, 0.25, 0.25, 0.25});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->dimensions(), 2);
+  EXPECT_DOUBLE_EQ(t->Total(), 1.0);
+}
+
+TEST(ContingencyTable, FromCellsRejectsNonPowerOfTwo) {
+  EXPECT_FALSE(ContingencyTable::FromCells({1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(ContingencyTable::FromCells({}).ok());
+}
+
+TEST(ContingencyTable, AddAccumulates) {
+  auto t = ContingencyTable::Zero(2);
+  ASSERT_TRUE(t.ok());
+  t->Add(0b01, 0.5);
+  t->Add(0b01, 0.25);
+  EXPECT_DOUBLE_EQ((*t)[0b01], 0.75);
+  EXPECT_DOUBLE_EQ(t->Total(), 0.75);
+}
+
+TEST(ContingencyTable, NormalizeMakesDistribution) {
+  auto t = ContingencyTable::FromCells({1.0, 3.0});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->Normalize().ok());
+  EXPECT_DOUBLE_EQ((*t)[0], 0.25);
+  EXPECT_DOUBLE_EQ((*t)[1], 0.75);
+}
+
+TEST(ContingencyTable, NormalizeFailsOnZeroTotal) {
+  auto t = ContingencyTable::Zero(2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Normalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MarginalTable, ConstructionComputesOrder) {
+  MarginalTable m(4, 0b0101);
+  EXPECT_EQ(m.dimensions(), 4);
+  EXPECT_EQ(m.beta(), 0b0101u);
+  EXPECT_EQ(m.order(), 2);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.Total(), 0.0);
+}
+
+TEST(MarginalTable, UniformSumsToOne) {
+  MarginalTable m = MarginalTable::Uniform(5, 0b10101);
+  EXPECT_EQ(m.order(), 3);
+  EXPECT_NEAR(m.Total(), 1.0, 1e-12);
+  for (uint64_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.at_compact(i), 0.125);
+  }
+}
+
+TEST(MarginalTable, FullWidthIndexingIgnoresOffBetaBits) {
+  MarginalTable m(4, 0b0101);
+  m.at(0b0101) = 0.7;
+  // Reading with extra bits outside beta set lands on the same cell.
+  EXPECT_DOUBLE_EQ(m.at(0b1111), 0.7);
+  EXPECT_DOUBLE_EQ(m.at_compact(0b11), 0.7);
+}
+
+TEST(MarginalTable, CompactToCellRoundTrip) {
+  MarginalTable m(6, 0b101100);
+  for (uint64_t idx = 0; idx < m.size(); ++idx) {
+    const uint64_t cell = m.CompactToCell(idx);
+    EXPECT_TRUE(IsSubset(cell, m.beta()));
+    EXPECT_EQ(ExtractBits(cell, m.beta()), idx);
+  }
+}
+
+TEST(MarginalTable, NormalizeAndTotal) {
+  MarginalTable m(3, 0b011);
+  m.at_compact(0) = 1.0;
+  m.at_compact(3) = 3.0;
+  ASSERT_TRUE(m.Normalize().ok());
+  EXPECT_DOUBLE_EQ(m.at_compact(0), 0.25);
+  EXPECT_DOUBLE_EQ(m.at_compact(3), 0.75);
+}
+
+TEST(MarginalTable, NormalizeFailsOnAllZero) {
+  MarginalTable m(3, 0b011);
+  EXPECT_FALSE(m.Normalize().ok());
+}
+
+TEST(MarginalTable, ProjectToSimplexClampsNegatives) {
+  MarginalTable m(2, 0b11);
+  m.at_compact(0) = 0.6;
+  m.at_compact(1) = -0.1;  // noise artifact
+  m.at_compact(2) = 0.3;
+  m.at_compact(3) = 0.3;
+  m.ProjectToSimplex();
+  EXPECT_DOUBLE_EQ(m.at_compact(1), 0.0);
+  EXPECT_NEAR(m.Total(), 1.0, 1e-12);
+  EXPECT_NEAR(m.at_compact(0), 0.5, 1e-12);
+}
+
+TEST(MarginalTable, ProjectToSimplexAllNegativeFallsBackToUniform) {
+  MarginalTable m(2, 0b11);
+  for (uint64_t i = 0; i < 4; ++i) m.at_compact(i) = -1.0;
+  m.ProjectToSimplex();
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(m.at_compact(i), 0.25);
+}
+
+TEST(MarginalTable, TotalVariationDistance) {
+  MarginalTable a(2, 0b11), b(2, 0b11);
+  a.at_compact(0) = 1.0;
+  b.at_compact(3) = 1.0;
+  EXPECT_DOUBLE_EQ(a.TotalVariationDistance(b), 1.0);  // disjoint point masses
+  EXPECT_DOUBLE_EQ(a.TotalVariationDistance(a), 0.0);
+}
+
+TEST(MarginalTable, TotalVariationSymmetric) {
+  MarginalTable a(3, 0b101), b(3, 0b101);
+  a.at_compact(0) = 0.5;
+  a.at_compact(1) = 0.5;
+  b.at_compact(0) = 0.25;
+  b.at_compact(2) = 0.75;
+  EXPECT_DOUBLE_EQ(a.TotalVariationDistance(b), b.TotalVariationDistance(a));
+}
+
+TEST(MarginalTableDeathTest, TvAcrossSelectorsChecks) {
+  MarginalTable a(3, 0b101), b(3, 0b011);
+  EXPECT_DEATH(a.TotalVariationDistance(b), "LDPM_CHECK");
+}
+
+TEST(MarginalTable, ToStringListsAllCells) {
+  MarginalTable m(2, 0b11);
+  m.at_compact(0) = 0.25;
+  const std::string text = m.ToString();
+  EXPECT_NE(text.find("k=2"), std::string::npos);
+  EXPECT_NE(text.find("[00]"), std::string::npos);
+  EXPECT_NE(text.find("[11]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,161 @@
+#include "core/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+
+namespace ldpm {
+namespace {
+
+TEST(CategoricalDomain, CreateComputesWidths) {
+  auto dom = CategoricalDomain::Create({2, 3, 4, 5});
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom->num_attributes(), 4);
+  EXPECT_EQ(dom->attribute_bits(0), 1);  // r=2 -> 1 bit
+  EXPECT_EQ(dom->attribute_bits(1), 2);  // r=3 -> 2 bits
+  EXPECT_EQ(dom->attribute_bits(2), 2);  // r=4 -> 2 bits
+  EXPECT_EQ(dom->attribute_bits(3), 3);  // r=5 -> 3 bits
+  EXPECT_EQ(dom->binary_dimension(), 8);
+}
+
+TEST(CategoricalDomain, MasksAreDisjointAndCover) {
+  auto dom = CategoricalDomain::Create({3, 4, 2});
+  ASSERT_TRUE(dom.ok());
+  uint64_t all = 0;
+  for (int i = 0; i < dom->num_attributes(); ++i) {
+    EXPECT_EQ(all & dom->attribute_mask(i), 0u) << "overlap at attr " << i;
+    all |= dom->attribute_mask(i);
+  }
+  EXPECT_EQ(all, (uint64_t{1} << dom->binary_dimension()) - 1);
+}
+
+TEST(CategoricalDomain, CreateRejectsBadInput) {
+  EXPECT_FALSE(CategoricalDomain::Create({}).ok());
+  EXPECT_FALSE(CategoricalDomain::Create({2, 1}).ok());
+  // 22 attributes x 3 bits = 66 > kMaxDimensions.
+  EXPECT_FALSE(
+      CategoricalDomain::Create(std::vector<uint32_t>(22, 8u)).ok());
+}
+
+TEST(CategoricalDomain, EncodeDecodeRoundTrip) {
+  auto dom = CategoricalDomain::Create({3, 5, 2});
+  ASSERT_TRUE(dom.ok());
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 5; ++b) {
+      for (uint32_t c = 0; c < 2; ++c) {
+        auto packed = dom->Encode({a, b, c});
+        ASSERT_TRUE(packed.ok());
+        auto decoded = dom->Decode(*packed);
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(*decoded, (std::vector<uint32_t>{a, b, c}));
+      }
+    }
+  }
+}
+
+TEST(CategoricalDomain, EncodeRejectsOutOfRange) {
+  auto dom = CategoricalDomain::Create({3, 5});
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom->Encode({3, 0}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dom->Encode({0}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CategoricalDomain, DecodeDetectsInvalidCodes) {
+  // r = 3 uses 2 bits; code 3 is invalid.
+  auto dom = CategoricalDomain::Create({3});
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom->Decode(3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(dom->Decode(2).ok());
+}
+
+TEST(CategoricalDomain, SelectorCoversAttributeBits) {
+  auto dom = CategoricalDomain::Create({4, 3, 2});
+  ASSERT_TRUE(dom.ok());
+  auto beta = dom->SelectorForAttributes({0, 2});
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(*beta, dom->attribute_mask(0) | dom->attribute_mask(2));
+  // k2 of Corollary 6.1: 2 bits + 1 bit.
+  EXPECT_EQ(Popcount(*beta), 3);
+}
+
+TEST(CategoricalDomain, SelectorRejectsDuplicatesAndRange) {
+  auto dom = CategoricalDomain::Create({4, 3});
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ(dom->SelectorForAttributes({0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dom->SelectorForAttributes({2}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ToCategoricalMarginal, ExactDistributionRoundTrips) {
+  // Two attributes with r = 3 and r = 2; build an exact binary contingency
+  // table from a known categorical distribution and check the fold-back.
+  auto dom = CategoricalDomain::Create({3, 2});
+  ASSERT_TRUE(dom.ok());
+  const int d2 = dom->binary_dimension();
+  ASSERT_EQ(d2, 3);
+
+  // P[(a, b)] arbitrary normalized.
+  const double probs[3][2] = {{0.1, 0.2}, {0.25, 0.05}, {0.15, 0.25}};
+  auto table = ContingencyTable::Zero(d2);
+  ASSERT_TRUE(table.ok());
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 2; ++b) {
+      auto packed = dom->Encode({a, b});
+      ASSERT_TRUE(packed.ok());
+      table->Add(*packed, probs[a][b]);
+    }
+  }
+  auto beta = dom->SelectorForAttributes({0, 1});
+  ASSERT_TRUE(beta.ok());
+  auto binary_marginal = ComputeMarginal(*table, *beta);
+  ASSERT_TRUE(binary_marginal.ok());
+
+  auto cat = ToCategoricalMarginal(*dom, {0, 1}, *binary_marginal);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->probabilities.size(), 6u);
+  EXPECT_NEAR(cat->invalid_mass, 0.0, 1e-12);
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = 0; b < 2; ++b) {
+      // Mixed radix: attrs[0] fastest.
+      EXPECT_NEAR(cat->probabilities[a + 3 * b], probs[a][b], 1e-12)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ToCategoricalMarginal, ReportsInvalidMass) {
+  auto dom = CategoricalDomain::Create({3});
+  ASSERT_TRUE(dom.ok());
+  MarginalTable noisy(dom->binary_dimension(), 0b11);
+  noisy.at_compact(0) = 0.4;
+  noisy.at_compact(1) = 0.3;
+  noisy.at_compact(2) = 0.2;
+  noisy.at_compact(3) = 0.1;  // code 3 invalid for r = 3
+  auto cat = ToCategoricalMarginal(*dom, {0}, noisy);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_NEAR(cat->invalid_mass, 0.1, 1e-12);
+  EXPECT_NEAR(cat->probabilities[0] + cat->probabilities[1] +
+                  cat->probabilities[2],
+              0.9, 1e-12);
+}
+
+TEST(ToCategoricalMarginal, RejectsSelectorMismatch) {
+  auto dom = CategoricalDomain::Create({3, 2});
+  ASSERT_TRUE(dom.ok());
+  MarginalTable wrong(dom->binary_dimension(), 0b001);
+  EXPECT_EQ(ToCategoricalMarginal(*dom, {0, 1}, wrong).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CategoricalDomain, PowerOfTwoCardinalitiesHaveNoInvalidCodes) {
+  auto dom = CategoricalDomain::Create({4, 2, 8});
+  ASSERT_TRUE(dom.ok());
+  const uint64_t cells = uint64_t{1} << dom->binary_dimension();
+  for (uint64_t packed = 0; packed < cells; ++packed) {
+    EXPECT_TRUE(dom->Decode(packed).ok()) << packed;
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,171 @@
+#include "core/marginal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace ldpm {
+namespace {
+
+// Builds the paper's d=4 running example with arbitrary cell values.
+ContingencyTable MakeExampleTable() {
+  auto t = ContingencyTable::Zero(4);
+  LDPM_CHECK(t.ok());
+  for (uint64_t cell = 0; cell < 16; ++cell) {
+    (*t)[cell] = static_cast<double>(cell + 1);  // distinct, nonzero
+  }
+  return *std::move(t);
+}
+
+TEST(ComputeMarginal, PaperExample31) {
+  // Example 3.1: d = 4, beta = 0101. Verify all four sums. Note the paper
+  // writes attribute tuples left-to-right; bit 0 here is the last position,
+  // so beta = 0101 selects bits 0 and 2 exactly as in (3).
+  const ContingencyTable t = MakeExampleTable();
+  auto m = ComputeMarginal(t, 0b0101);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->order(), 2);
+  // gamma = 0000: cells 0000, 0010, 1000, 1010.
+  EXPECT_DOUBLE_EQ(m->at(0b0000),
+                   t[0b0000] + t[0b0010] + t[0b1000] + t[0b1010]);
+  EXPECT_DOUBLE_EQ(m->at(0b0001),
+                   t[0b0001] + t[0b0011] + t[0b1001] + t[0b1011]);
+  EXPECT_DOUBLE_EQ(m->at(0b0100),
+                   t[0b0100] + t[0b0110] + t[0b1100] + t[0b1110]);
+  EXPECT_DOUBLE_EQ(m->at(0b0101),
+                   t[0b0101] + t[0b0111] + t[0b1101] + t[0b1111]);
+}
+
+TEST(ComputeMarginal, PreservesTotalMass) {
+  const ContingencyTable t = MakeExampleTable();
+  for (uint64_t beta : {0b0001u, 0b0110u, 0b1111u, 0b0000u}) {
+    auto m = ComputeMarginal(t, beta);
+    ASSERT_TRUE(m.ok());
+    EXPECT_NEAR(m->Total(), t.Total(), 1e-9) << "beta=" << beta;
+  }
+}
+
+TEST(ComputeMarginal, FullSelectorIsIdentity) {
+  const ContingencyTable t = MakeExampleTable();
+  auto m = ComputeMarginal(t, 0b1111);
+  ASSERT_TRUE(m.ok());
+  for (uint64_t cell = 0; cell < 16; ++cell) {
+    EXPECT_DOUBLE_EQ(m->at_compact(cell), t[cell]);
+  }
+}
+
+TEST(ComputeMarginal, EmptySelectorSumsEverything) {
+  const ContingencyTable t = MakeExampleTable();
+  auto m = ComputeMarginal(t, 0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 1u);
+  EXPECT_DOUBLE_EQ(m->at_compact(0), t.Total());
+}
+
+TEST(ComputeMarginal, RejectsBetaOutsideDomain) {
+  const ContingencyTable t = MakeExampleTable();
+  EXPECT_EQ(ComputeMarginal(t, 1 << 5).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(MarginalizeTable, AgreesWithDirectComputation) {
+  const ContingencyTable t = MakeExampleTable();
+  auto big = ComputeMarginal(t, 0b1101);
+  ASSERT_TRUE(big.ok());
+  auto via_table = MarginalizeTable(*big, 0b0101);
+  auto direct = ComputeMarginal(t, 0b0101);
+  ASSERT_TRUE(via_table.ok());
+  ASSERT_TRUE(direct.ok());
+  for (uint64_t i = 0; i < direct->size(); ++i) {
+    EXPECT_NEAR(via_table->at_compact(i), direct->at_compact(i), 1e-9);
+  }
+}
+
+TEST(MarginalizeTable, RejectsNonSubset) {
+  const ContingencyTable t = MakeExampleTable();
+  auto big = ComputeMarginal(t, 0b0101);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(MarginalizeTable(*big, 0b0011).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KWaySelectors, CountsAndOrders) {
+  EXPECT_EQ(KWaySelectors(4, 2).size(), 6u);
+  EXPECT_EQ(KWaySelectors(8, 3).size(), 56u);
+  for (uint64_t beta : KWaySelectors(6, 2)) {
+    EXPECT_EQ(Popcount(beta), 2);
+  }
+}
+
+TEST(FullKWaySelectors, IncludesAllLowerOrders) {
+  const auto selectors = FullKWaySelectors(5, 2);
+  EXPECT_EQ(selectors.size(), 5u + 10u);
+}
+
+TEST(MarginalFromRows, MatchesHistogramPath) {
+  Rng rng(71);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back(rng.UniformInt(32));
+  auto direct = MarginalFromRows(rows, 5, 0b10110);
+  ASSERT_TRUE(direct.ok());
+
+  auto hist = ContingencyTable::Zero(5);
+  ASSERT_TRUE(hist.ok());
+  for (uint64_t r : rows) hist->Add(r, 1.0 / rows.size());
+  auto via_hist = ComputeMarginal(*hist, 0b10110);
+  ASSERT_TRUE(via_hist.ok());
+
+  for (uint64_t i = 0; i < direct->size(); ++i) {
+    EXPECT_NEAR(direct->at_compact(i), via_hist->at_compact(i), 1e-9);
+  }
+}
+
+TEST(MarginalFromRows, EmptyRowsGiveZeroTable) {
+  auto m = MarginalFromRows({}, 4, 0b0011);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Total(), 0.0);
+}
+
+TEST(MarginalFromRows, IsNormalized) {
+  std::vector<uint64_t> rows = {0, 1, 2, 3, 3, 3};
+  auto m = MarginalFromRows(rows, 2, 0b11);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->Total(), 1.0, 1e-12);
+  EXPECT_NEAR(m->at_compact(3), 0.5, 1e-12);
+}
+
+TEST(MarginalFromRows, RejectsBadArguments) {
+  EXPECT_FALSE(MarginalFromRows({0}, -1, 0).ok());
+  EXPECT_FALSE(MarginalFromRows({0}, 3, 0b1000).ok());
+}
+
+// Property: a sub-marginal of a marginal equals the direct sub-marginal,
+// swept over dimensions.
+class MarginalConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalConsistencyTest, TowerProperty) {
+  const int d = GetParam();
+  Rng rng(100 + d);
+  auto t = ContingencyTable::Zero(d);
+  ASSERT_TRUE(t.ok());
+  for (uint64_t c = 0; c < t->size(); ++c) (*t)[c] = rng.UniformDouble();
+
+  // beta = lowest 3 bits (or all if d < 3); sub = lowest bit.
+  const uint64_t beta = (uint64_t{1} << std::min(d, 3)) - 1;
+  const uint64_t sub = 1;
+  auto big = ComputeMarginal(*t, beta);
+  ASSERT_TRUE(big.ok());
+  auto two_step = MarginalizeTable(*big, sub);
+  auto one_step = ComputeMarginal(*t, sub);
+  ASSERT_TRUE(two_step.ok());
+  ASSERT_TRUE(one_step.ok());
+  for (uint64_t i = 0; i < one_step->size(); ++i) {
+    EXPECT_NEAR(two_step->at_compact(i), one_step->at_compact(i), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, MarginalConsistencyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,125 @@
+#include "core/orthonormal_basis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(AttributeBasis, RejectsBadCardinality) {
+  EXPECT_FALSE(AttributeBasis::Helmert(0).ok());
+  EXPECT_FALSE(AttributeBasis::Helmert(1).ok());
+  EXPECT_FALSE(AttributeBasis::Helmert(10000).ok());
+  EXPECT_TRUE(AttributeBasis::Helmert(2).ok());
+}
+
+TEST(AttributeBasis, BinaryCaseIsHadamardCharacter) {
+  auto basis = AttributeBasis::Helmert(2);
+  ASSERT_TRUE(basis.ok());
+  EXPECT_DOUBLE_EQ(basis->Value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(basis->Value(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(basis->Value(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(basis->Value(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(basis->MaxAbs(1), 1.0);
+}
+
+TEST(AttributeBasis, ZerothFunctionIsConstantOne) {
+  for (uint32_t r : {2u, 3u, 5u, 8u, 17u}) {
+    auto basis = AttributeBasis::Helmert(r);
+    ASSERT_TRUE(basis.ok());
+    for (uint32_t x = 0; x < r; ++x) {
+      EXPECT_DOUBLE_EQ(basis->Value(0, x), 1.0) << "r=" << r << " x=" << x;
+    }
+  }
+}
+
+// Orthonormality under the uniform inner product, swept over cardinalities
+// and both constructions.
+class BasisOrthonormalityTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, bool>> {
+ protected:
+  uint32_t r() const { return std::get<0>(GetParam()); }
+  StatusOr<AttributeBasis> Build() const {
+    return std::get<1>(GetParam()) ? AttributeBasis::Fourier(r())
+                                   : AttributeBasis::Helmert(r());
+  }
+};
+
+TEST_P(BasisOrthonormalityTest, UniformInnerProductsAreKronecker) {
+  const uint32_t r = this->r();
+  auto basis = Build();
+  ASSERT_TRUE(basis.ok());
+  for (uint32_t t = 0; t < r; ++t) {
+    for (uint32_t u = 0; u < r; ++u) {
+      double dot = 0.0;
+      for (uint32_t x = 0; x < r; ++x) {
+        dot += basis->Value(t, x) * basis->Value(u, x);
+      }
+      dot /= static_cast<double>(r);
+      EXPECT_NEAR(dot, t == u ? 1.0 : 0.0, 1e-9)
+          << "r=" << r << " t=" << t << " u=" << u;
+    }
+  }
+}
+
+TEST_P(BasisOrthonormalityTest, MaxAbsMatchesEntries) {
+  const uint32_t r = this->r();
+  auto basis = Build();
+  ASSERT_TRUE(basis.ok());
+  for (uint32_t t = 0; t < r; ++t) {
+    double max_abs = 0.0;
+    for (uint32_t x = 0; x < r; ++x) {
+      max_abs = std::max(max_abs, std::fabs(basis->Value(t, x)));
+    }
+    EXPECT_NEAR(basis->MaxAbs(t), max_abs, 1e-12);
+    EXPECT_LE(basis->MaxAbs(t), std::sqrt(static_cast<double>(r)) + 1e-12);
+  }
+}
+
+TEST_P(BasisOrthonormalityTest, ReconstructsPointMasses) {
+  // Completeness: (1/r) sum_t e_t(x) e_t(y) = [x == y] * ... in the uniform
+  // measure convention: sum_t e_t(x) e_t(y) = r * delta_{xy}.
+  const uint32_t r = this->r();
+  auto basis = Build();
+  ASSERT_TRUE(basis.ok());
+  for (uint32_t x = 0; x < r; ++x) {
+    for (uint32_t y = 0; y < r; ++y) {
+      double sum = 0.0;
+      for (uint32_t t = 0; t < r; ++t) {
+        sum += basis->Value(t, x) * basis->Value(t, y);
+      }
+      EXPECT_NEAR(sum, x == y ? static_cast<double>(r) : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cardinalities, BasisOrthonormalityTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 7, 10, 16, 33),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<uint32_t, bool>>& info) {
+      return std::string(std::get<1>(info.param) ? "Fourier" : "Helmert") +
+             "_r" + std::to_string(std::get<0>(info.param));
+    });
+
+TEST(AttributeBasisFourier, EntriesBoundedBySqrt2) {
+  for (uint32_t r : {3u, 5u, 8u, 17u, 64u}) {
+    auto basis = AttributeBasis::Fourier(r);
+    ASSERT_TRUE(basis.ok());
+    for (uint32_t t = 1; t < r; ++t) {
+      EXPECT_LE(basis->MaxAbs(t), std::sqrt(2.0) + 1e-12)
+          << "r=" << r << " t=" << t;
+    }
+  }
+}
+
+TEST(AttributeBasisFourier, BinaryCaseIsHadamard) {
+  auto basis = AttributeBasis::Fourier(2);
+  ASSERT_TRUE(basis.ok());
+  EXPECT_DOUBLE_EQ(basis->Value(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(basis->Value(1, 1), -1.0);
+}
+
+}  // namespace
+}  // namespace ldpm

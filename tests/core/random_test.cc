@@ -1,0 +1,199 @@
+#include "core/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  // The child stream should not simply replay the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  // CLT: sd of the mean = 1/sqrt(12 n) ~ 0.0009; allow 5 sigma.
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  const double p = 0.3;
+  const int n = 200000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += rng.Bernoulli(p);
+  // sd = sqrt(p(1-p)/n) ~ 0.001; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(ones) / n, p, 0.006);
+}
+
+TEST(Rng, UniformIntWithinBound) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(23);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntUnbiasedChiSquare) {
+  // Chi-square goodness of fit against uniform over 10 buckets.
+  Rng rng(31);
+  const int buckets = 10;
+  const int n = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(buckets)];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(n) / buckets;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 9 dof: P[chi2 > 27.9] ~ 0.001.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, UniformInRangeInclusive) {
+  Rng rng(37);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInRange(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10u);
+}
+
+TEST(Rng, BinomialMomentsMatch) {
+  Rng rng(43);
+  const uint64_t n = 1000;
+  const double p = 0.2;
+  const int reps = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(rng.Binomial(n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / reps;
+  const double var = sum_sq / reps - mean * mean;
+  EXPECT_NEAR(mean, n * p, 1.0);            // true sd of mean ~ 0.09
+  EXPECT_NEAR(var, n * p * (1 - p), 12.0);  // ~7.5% tolerance
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(47);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(AliasSampler, RejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, -0.1}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(
+      AliasSampler::Create({1.0, std::numeric_limits<double>::infinity()}).ok());
+}
+
+TEST(AliasSampler, NormalizesProbabilities) {
+  auto s = AliasSampler::Create({2.0, 6.0, 2.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(s->Probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(s->Probability(2), 0.2, 1e-12);
+}
+
+TEST(AliasSampler, EmpiricalFrequenciesMatchWeights) {
+  auto s = AliasSampler::Create({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(53);
+  const int n = 400000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  for (int j = 0; j < 4; ++j) {
+    const double expected = (j + 1) / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, expected, 0.005)
+        << "category " << j;
+  }
+}
+
+TEST(AliasSampler, DegenerateSingleCategory) {
+  auto s = AliasSampler::Create({5.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(59);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightCategoryNeverSampled) {
+  auto s = AliasSampler::Create({1.0, 0.0, 1.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(61);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(s->Sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace ldpm

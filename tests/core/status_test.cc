@@ -1,0 +1,111 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("u").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("i").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("missing thing").ToString(),
+            "NotFound: missing thing");
+}
+
+TEST(StatusCodeToString, AllCodesNamed) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(StatusOr, OkStatusBecomesInternalError) {
+  // Constructing a StatusOr from an OK status is a bug; it must not claim
+  // to hold a value.
+  StatusOr<int> v = Status::OK();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 5u);
+}
+
+Status FailsThenPropagates() {
+  LDPM_RETURN_IF_ERROR(Status::OutOfRange("inner"));
+  return Status::OK();  // unreachable
+}
+
+Status SucceedsAndContinues() {
+  LDPM_RETURN_IF_ERROR(Status::OK());
+  return Status::InvalidArgument("reached end");
+}
+
+TEST(ReturnIfError, PropagatesFirstError) {
+  const Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(ReturnIfError, PassesThroughOk) {
+  const Status s = SucceedsAndContinues();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckMacro, PassingCheckIsNoop) {
+  LDPM_CHECK(1 + 1 == 2);  // must not abort
+  SUCCEED();
+}
+
+TEST(CheckMacroDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(LDPM_CHECK(false), "LDPM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ldpm

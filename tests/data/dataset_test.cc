@@ -1,0 +1,130 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(BinaryDataset, CreateValidatesRows) {
+  EXPECT_TRUE(BinaryDataset::Create(3, {0, 7, 5}).ok());
+  EXPECT_FALSE(BinaryDataset::Create(3, {8}).ok());  // outside 3 bits
+  EXPECT_FALSE(BinaryDataset::Create(0, {0}).ok());
+  EXPECT_FALSE(BinaryDataset::Create(3, {0}, {"only-one-name"}).ok());
+}
+
+TEST(BinaryDataset, AccessorsAndNames) {
+  auto data = BinaryDataset::Create(2, {0, 1, 2, 3}, {"left", "right"});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dimensions(), 2);
+  EXPECT_EQ(data->size(), 4u);
+  EXPECT_EQ(data->attribute_name(0), "left");
+  EXPECT_EQ(data->attribute_name(1), "right");
+  auto unnamed = BinaryDataset::Create(2, {0});
+  ASSERT_TRUE(unnamed.ok());
+  EXPECT_EQ(unnamed->attribute_name(1), "attr1");
+}
+
+TEST(BinaryDataset, MarginalMatchesManualCount) {
+  // Rows over 3 attributes; marginal on bits {0, 2}.
+  auto data = BinaryDataset::Create(3, {0b000, 0b101, 0b101, 0b110});
+  ASSERT_TRUE(data.ok());
+  auto m = data->Marginal(0b101);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->at(0b000), 0.25, 1e-12);
+  EXPECT_NEAR(m->at(0b101), 0.5, 1e-12);
+  EXPECT_NEAR(m->at(0b100), 0.25, 1e-12);  // row 0b110 -> bits {0,2} = 100
+  EXPECT_NEAR(m->at(0b001), 0.0, 1e-12);
+}
+
+TEST(BinaryDataset, AttributeMean) {
+  auto data = BinaryDataset::Create(2, {0b01, 0b01, 0b10, 0b11});
+  ASSERT_TRUE(data.ok());
+  auto mean0 = data->AttributeMean(0);
+  auto mean1 = data->AttributeMean(1);
+  ASSERT_TRUE(mean0.ok());
+  ASSERT_TRUE(mean1.ok());
+  EXPECT_NEAR(*mean0, 0.75, 1e-12);
+  EXPECT_NEAR(*mean1, 0.5, 1e-12);
+  EXPECT_FALSE(data->AttributeMean(2).ok());
+}
+
+TEST(BinaryDataset, HistogramIsNormalized) {
+  auto data = BinaryDataset::Create(2, {0, 0, 1, 3});
+  ASSERT_TRUE(data.ok());
+  auto hist = data->Histogram();
+  ASSERT_TRUE(hist.ok());
+  EXPECT_NEAR(hist->Total(), 1.0, 1e-12);
+  EXPECT_NEAR((*hist)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*hist)[1], 0.25, 1e-12);
+  EXPECT_NEAR((*hist)[3], 0.25, 1e-12);
+}
+
+TEST(BinaryDataset, SampleWithReplacementPreservesDomain) {
+  auto data = BinaryDataset::Create(4, {1, 3, 7, 15, 2});
+  ASSERT_TRUE(data.ok());
+  Rng rng(81);
+  const BinaryDataset sampled = data->SampleWithReplacement(1000, rng);
+  EXPECT_EQ(sampled.size(), 1000u);
+  EXPECT_EQ(sampled.dimensions(), 4);
+  for (uint64_t row : sampled.rows()) {
+    EXPECT_TRUE(row == 1 || row == 3 || row == 7 || row == 15 || row == 2);
+  }
+}
+
+TEST(BinaryDataset, SampleDistributionApproximatesSource) {
+  auto data = BinaryDataset::Create(2, {0, 0, 0, 1});
+  ASSERT_TRUE(data.ok());
+  Rng rng(83);
+  const BinaryDataset sampled = data->SampleWithReplacement(40000, rng);
+  auto m = sampled.Marginal(0b11);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->at_compact(0), 0.75, 0.02);
+  EXPECT_NEAR(m->at_compact(1), 0.25, 0.02);
+}
+
+TEST(BinaryDataset, DuplicateColumnsCopiesCyclically) {
+  auto data = BinaryDataset::Create(2, {0b01, 0b10}, {"a", "b"});
+  ASSERT_TRUE(data.ok());
+  auto wide = data->DuplicateColumns(5);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->dimensions(), 5);
+  // Row 0b01: attr0=1 -> copies at bits 2 and 4 set; attr1=0 -> bit 3 clear.
+  EXPECT_EQ(wide->rows()[0], 0b10101u);
+  EXPECT_EQ(wide->rows()[1], 0b01010u);
+  EXPECT_EQ(wide->attribute_name(2), "a#1");
+  EXPECT_EQ(wide->attribute_name(3), "b#1");
+  EXPECT_EQ(wide->attribute_name(4), "a#2");
+}
+
+TEST(BinaryDataset, DuplicateColumnsPreservesMarginals) {
+  auto data = BinaryDataset::Create(3, {0b001, 0b010, 0b111, 0b110});
+  ASSERT_TRUE(data.ok());
+  auto wide = data->DuplicateColumns(9);
+  ASSERT_TRUE(wide.ok());
+  // The copy of attribute 0 lives at bit 3; their joint marginal must be
+  // perfectly diagonal.
+  auto joint = wide->Marginal((1u << 0) | (1u << 3));
+  ASSERT_TRUE(joint.ok());
+  EXPECT_NEAR(joint->at_compact(0b01), 0.0, 1e-12);
+  EXPECT_NEAR(joint->at_compact(0b10), 0.0, 1e-12);
+}
+
+TEST(BinaryDataset, DuplicateColumnsValidates) {
+  auto data = BinaryDataset::Create(4, {1});
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(data->DuplicateColumns(3).ok());
+  EXPECT_FALSE(data->DuplicateColumns(kMaxDimensions + 1).ok());
+  auto same = data->DuplicateColumns(4);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->dimensions(), 4);
+}
+
+TEST(BinaryDataset, EmptyDatasetOperationsFail) {
+  auto data = BinaryDataset::Create(3, {});
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(data->AttributeMean(0).ok());
+  EXPECT_FALSE(data->Histogram().ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,100 @@
+#include "data/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(CsvParse, HeaderAndRows) {
+  auto data = ParseCsvDataset("a,b,c\n1,0,1\n0,0,0\n1,1,1\n");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->dimensions(), 3);
+  EXPECT_EQ(data->size(), 3u);
+  EXPECT_EQ(data->attribute_name(0), "a");
+  EXPECT_EQ(data->attribute_name(2), "c");
+  EXPECT_EQ(data->rows()[0], 0b101u);
+  EXPECT_EQ(data->rows()[1], 0b000u);
+  EXPECT_EQ(data->rows()[2], 0b111u);
+}
+
+TEST(CsvParse, HeaderlessInfersArity) {
+  auto data = ParseCsvDataset("1,0\n0,1\n", /*has_header=*/false);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->dimensions(), 2);
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_EQ(data->attribute_name(0), "attr0");
+}
+
+TEST(CsvParse, ToleratesWhitespaceAndBlankLines) {
+  auto data = ParseCsvDataset("x,y\n 1 , 0 \n\n0,1\r\n");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->size(), 2u);
+  EXPECT_EQ(data->rows()[0], 0b01u);
+}
+
+TEST(CsvParse, RejectsNonBinaryCells) {
+  auto bad = ParseCsvDataset("a,b\n1,2\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("expected 0 or 1"),
+            std::string::npos);
+}
+
+TEST(CsvParse, RejectsRaggedRows) {
+  auto bad = ParseCsvDataset("a,b\n1,0\n1\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvParse, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsvDataset("").ok());
+  EXPECT_FALSE(ParseCsvDataset("\n\n").ok());
+}
+
+TEST(CsvParse, HeaderOnlyYieldsEmptyDataset) {
+  auto data = ParseCsvDataset("a,b\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 0u);
+  EXPECT_EQ(data->dimensions(), 2);
+}
+
+TEST(CsvWrite, RoundTripsWithNames) {
+  auto original = BinaryDataset::Create(3, {0b101, 0b010}, {"p", "q", "r"});
+  ASSERT_TRUE(original.ok());
+  const std::string text = WriteCsvDataset(*original);
+  auto parsed = ParseCsvDataset(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows(), original->rows());
+  EXPECT_EQ(parsed->attribute_names(), original->attribute_names());
+}
+
+TEST(CsvWrite, RoundTripsWithoutNames) {
+  auto original = BinaryDataset::Create(2, {0b01, 0b11});
+  ASSERT_TRUE(original.ok());
+  const std::string text = WriteCsvDataset(*original);
+  auto parsed = ParseCsvDataset(text, /*has_header=*/false);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows(), original->rows());
+}
+
+TEST(CsvFile, SaveAndLoad) {
+  const std::string path = ::testing::TempDir() + "/ldpm_io_test.csv";
+  auto original = BinaryDataset::Create(4, {0b1010, 0b0101, 0b1111},
+                                        {"w", "x", "y", "z"});
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveCsvDataset(*original, path).ok());
+  auto loaded = LoadCsvDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows(), original->rows());
+  EXPECT_EQ(loaded->attribute_names(), original->attribute_names());
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, LoadMissingFileIsNotFound) {
+  auto missing = LoadCsvDataset("/nonexistent/path/to/data.csv");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ldpm

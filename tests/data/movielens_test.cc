@@ -1,0 +1,83 @@
+#include "data/movielens.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.h"
+
+namespace ldpm {
+namespace {
+
+TEST(MovielensDataset, ValidatesDimension) {
+  EXPECT_FALSE(GenerateMovielensDataset(10, 0, 1).ok());
+  EXPECT_FALSE(GenerateMovielensDataset(10, kMovielensGenres + 1, 1).ok());
+  EXPECT_TRUE(GenerateMovielensDataset(10, kMovielensGenres, 1).ok());
+}
+
+TEST(MovielensDataset, DeterministicGivenSeed) {
+  auto a = GenerateMovielensDataset(500, 8, 77);
+  auto b = GenerateMovielensDataset(500, 8, 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows(), b->rows());
+}
+
+TEST(MovielensDataset, GenreNamesPresent) {
+  auto data = GenerateMovielensDataset(10, 5, 1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->attribute_name(0), "Drama");
+  EXPECT_EQ(data->attribute_name(1), "Comedy");
+}
+
+TEST(MovielensDataset, PopularityDecaysAcrossGenres) {
+  auto data = GenerateMovielensDataset(200000, 17, 91);
+  ASSERT_TRUE(data.ok());
+  auto first = data->AttributeMean(0);    // Drama
+  auto last = data->AttributeMean(16);    // Film-Noir
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(last.ok());
+  EXPECT_GT(*first, 0.7);
+  EXPECT_LT(*last, 0.25);
+  EXPECT_GT(*first, *last + 0.3);
+}
+
+TEST(MovielensDataset, MostPairsPositivelyCorrelated) {
+  // The paper: "In this data, most attribute pairs are positively
+  // correlated." The activity latent guarantees it for ours.
+  auto data = GenerateMovielensDataset(100000, 10, 93);
+  ASSERT_TRUE(data.ok());
+  auto corr = CorrelationMatrix(data->rows(), 10);
+  ASSERT_TRUE(corr.ok());
+  int positive = 0, total = 0;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      positive += (*corr)[a][b] > 0.0 ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_EQ(positive, total);
+  // And the correlations are material, not epsilon.
+  EXPECT_GT((*corr)[0][1], 0.1);
+}
+
+TEST(MovielensDataset, WidensViaDuplicateColumns) {
+  auto data = GenerateMovielensDataset(1000, 17, 95);
+  ASSERT_TRUE(data.ok());
+  auto wide = data->DuplicateColumns(24);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->dimensions(), 24);
+  EXPECT_EQ(wide->attribute_name(17), "Drama#1");
+}
+
+TEST(MovielensDataset, NoDegenerateGenres) {
+  auto data = GenerateMovielensDataset(100000, 17, 97);
+  ASSERT_TRUE(data.ok());
+  for (int g = 0; g < 17; ++g) {
+    auto mean = data->AttributeMean(g);
+    ASSERT_TRUE(mean.ok());
+    EXPECT_GT(*mean, 0.02) << data->attribute_name(g);
+    EXPECT_LT(*mean, 0.98) << data->attribute_name(g);
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,137 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.h"
+
+namespace ldpm {
+namespace {
+
+TEST(GenerateIndependent, MeansMatchProbabilities) {
+  const std::vector<double> probs = {0.1, 0.5, 0.9};
+  auto data = GenerateIndependent(100000, probs, 11);
+  ASSERT_TRUE(data.ok());
+  for (int j = 0; j < 3; ++j) {
+    auto mean = data->AttributeMean(j);
+    ASSERT_TRUE(mean.ok());
+    EXPECT_NEAR(*mean, probs[j], 0.01) << "attr " << j;
+  }
+}
+
+TEST(GenerateIndependent, PairwiseCorrelationsNearZero) {
+  auto data = GenerateIndependent(100000, {0.3, 0.5, 0.7, 0.4}, 13);
+  ASSERT_TRUE(data.ok());
+  auto corr = CorrelationMatrix(data->rows(), 4);
+  ASSERT_TRUE(corr.ok());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_NEAR((*corr)[a][b], 0.0, 0.02);
+    }
+  }
+}
+
+TEST(GenerateIndependent, Validates) {
+  EXPECT_FALSE(GenerateIndependent(10, {}, 1).ok());
+  EXPECT_FALSE(GenerateIndependent(10, {1.5}, 1).ok());
+  EXPECT_FALSE(GenerateIndependent(10, {-0.1}, 1).ok());
+}
+
+TEST(GenerateLightlySkewed, Validates) {
+  EXPECT_FALSE(GenerateLightlySkewed(10, 0, 1.0, 1).ok());
+  EXPECT_FALSE(GenerateLightlySkewed(10, 4, -1.0, 1).ok());
+  EXPECT_TRUE(GenerateLightlySkewed(10, 4, 1.0, 1).ok());
+}
+
+TEST(GenerateLightlySkewed, ZeroSkewIsUniform) {
+  auto data = GenerateLightlySkewed(200000, 4, 0.0, 17);
+  ASSERT_TRUE(data.ok());
+  auto hist = data->Histogram();
+  ASSERT_TRUE(hist.ok());
+  for (uint64_t c = 0; c < hist->size(); ++c) {
+    EXPECT_NEAR((*hist)[c], 1.0 / 16.0, 0.005) << "cell " << c;
+  }
+}
+
+TEST(GenerateLightlySkewed, SkewConcentratesMass) {
+  auto flat = GenerateLightlySkewed(100000, 6, 0.0, 19);
+  auto skewed = GenerateLightlySkewed(100000, 6, 1.5, 19);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(skewed.ok());
+  auto top_mass = [](const BinaryDataset& data) {
+    auto hist = data.Histogram();
+    EXPECT_TRUE(hist.ok());
+    std::vector<double> cells = hist->cells();
+    std::sort(cells.rbegin(), cells.rend());
+    double mass = 0.0;
+    for (int i = 0; i < 4; ++i) mass += cells[i];
+    return mass;
+  };
+  EXPECT_GT(top_mass(*skewed), 2.0 * top_mass(*flat));
+}
+
+TEST(GenerateLightlySkewed, DeterministicGivenSeed) {
+  auto a = GenerateLightlySkewed(1000, 5, 1.0, 23);
+  auto b = GenerateLightlySkewed(1000, 5, 1.0, 23);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows(), b->rows());
+}
+
+TEST(GeneratePlantedTree, Validates) {
+  EXPECT_FALSE(GeneratePlantedTree(10, 1, 0.2, 1).ok());
+  EXPECT_FALSE(GeneratePlantedTree(10, 4, 0.0, 1).ok());
+  EXPECT_FALSE(GeneratePlantedTree(10, 4, 0.5, 1).ok());
+}
+
+TEST(GeneratePlantedTree, TreeShapeIsValid) {
+  auto planted = GeneratePlantedTree(100, 8, 0.2, 29);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_EQ(planted->tree.d, 8);
+  EXPECT_EQ(planted->tree.edges.size(), 7u);
+  for (const auto& e : planted->tree.edges) {
+    EXPECT_LT(e.a, e.b);  // parents precede children by construction
+    EXPECT_GE(e.a, 0);
+    EXPECT_LT(e.b, 8);
+  }
+}
+
+TEST(GeneratePlantedTree, MarginalsAreUniformPerAttribute) {
+  // Root uniform + symmetric channels keep every node marginal at 1/2.
+  auto planted = GeneratePlantedTree(200000, 6, 0.25, 31);
+  ASSERT_TRUE(planted.ok());
+  for (int a = 0; a < 6; ++a) {
+    auto mean = planted->data.AttributeMean(a);
+    ASSERT_TRUE(mean.ok());
+    EXPECT_NEAR(*mean, 0.5, 0.01) << "attr " << a;
+  }
+}
+
+TEST(GeneratePlantedTree, EdgeCorrelationMatchesChannel) {
+  // Adjacent nodes agree with probability 1 - flip: phi = 1 - 2*flip.
+  const double flip = 0.2;
+  auto planted = GeneratePlantedTree(200000, 6, flip, 37);
+  ASSERT_TRUE(planted.ok());
+  auto corr = CorrelationMatrix(planted->data.rows(), 6);
+  ASSERT_TRUE(corr.ok());
+  for (const auto& e : planted->tree.edges) {
+    EXPECT_NEAR((*corr)[e.a][e.b], 1.0 - 2.0 * flip, 0.02)
+        << "edge " << e.a << "-" << e.b;
+  }
+}
+
+TEST(GeneratePlantedTree, ReportedEdgeMiMatchesClosedForm) {
+  const double flip = 0.3;
+  auto planted = GeneratePlantedTree(10, 5, flip, 41);
+  ASSERT_TRUE(planted.ok());
+  const double expected = std::log(2.0) + flip * std::log(flip) +
+                          (1 - flip) * std::log(1 - flip);
+  for (const auto& e : planted->tree.edges) {
+    EXPECT_NEAR(e.mutual_information, expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

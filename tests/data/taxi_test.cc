@@ -1,0 +1,121 @@
+#include "data/taxi.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.h"
+
+namespace ldpm {
+namespace {
+
+class TaxiDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = GenerateTaxiDataset(300000, 12345);
+    ASSERT_TRUE(data.ok());
+    data_ = new BinaryDataset(*std::move(data));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const BinaryDataset* data_;
+};
+
+const BinaryDataset* TaxiDatasetTest::data_ = nullptr;
+
+TEST_F(TaxiDatasetTest, SchemaMatchesTable1) {
+  EXPECT_EQ(data_->dimensions(), 8);
+  EXPECT_EQ(data_->attribute_name(kTaxiCC), "CC");
+  EXPECT_EQ(data_->attribute_name(kTaxiToll), "Toll");
+  EXPECT_EQ(data_->attribute_name(kTaxiFar), "Far");
+  EXPECT_EQ(data_->attribute_name(kTaxiNightPick), "Night_pick");
+  EXPECT_EQ(data_->attribute_name(kTaxiNightDrop), "Night_drop");
+  EXPECT_EQ(data_->attribute_name(kTaxiMPick), "M_pick");
+  EXPECT_EQ(data_->attribute_name(kTaxiMDrop), "M_drop");
+  EXPECT_EQ(data_->attribute_name(kTaxiTip), "Tip");
+}
+
+TEST_F(TaxiDatasetTest, Figure2MarginalReproduced) {
+  // The paper's Figure 2: M_pick/M_drop = [0.55 0.15; 0.10 0.20].
+  const uint64_t beta = (1u << kTaxiMPick) | (1u << kTaxiMDrop);
+  auto m = data_->Marginal(beta);
+  ASSERT_TRUE(m.ok());
+  const double yy = m->at((1u << kTaxiMPick) | (1u << kTaxiMDrop));
+  const double yn = m->at(1u << kTaxiMPick);
+  const double ny = m->at(1u << kTaxiMDrop);
+  const double nn = m->at(0);
+  EXPECT_NEAR(yy, 0.55, 0.01);
+  EXPECT_NEAR(yn, 0.15, 0.01);
+  EXPECT_NEAR(ny, 0.10, 0.01);
+  EXPECT_NEAR(nn, 0.20, 0.01);
+}
+
+TEST_F(TaxiDatasetTest, StrongPositivePairsFromFigure3) {
+  auto corr = CorrelationMatrix(data_->rows(), 8);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_GT((*corr)[kTaxiNightPick][kTaxiNightDrop], 0.5);
+  EXPECT_GT((*corr)[kTaxiToll][kTaxiFar], 0.4);
+  EXPECT_GT((*corr)[kTaxiCC][kTaxiTip], 0.4);
+  EXPECT_GT((*corr)[kTaxiMPick][kTaxiMDrop], 0.3);
+}
+
+TEST_F(TaxiDatasetTest, NearIndependentPairsFromFigure3) {
+  auto corr = CorrelationMatrix(data_->rows(), 8);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR((*corr)[kTaxiMDrop][kTaxiCC], 0.0, 0.02);
+  EXPECT_NEAR((*corr)[kTaxiFar][kTaxiNightPick], 0.0, 0.02);
+  EXPECT_NEAR((*corr)[kTaxiToll][kTaxiNightPick], 0.0, 0.02);
+}
+
+TEST_F(TaxiDatasetTest, DeterministicGivenSeed) {
+  auto a = GenerateTaxiDataset(100, 7);
+  auto b = GenerateTaxiDataset(100, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rows(), b->rows());
+  auto c = GenerateTaxiDataset(100, 8);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->rows(), c->rows());
+}
+
+TEST_F(TaxiDatasetTest, TestPairsListMatchesPaperSelection) {
+  const auto& pairs = TaxiTestPairs::All();
+  ASSERT_EQ(pairs.size(), 6u);
+  int dependent = 0;
+  for (const auto& p : pairs) dependent += p.expected_dependent ? 1 : 0;
+  EXPECT_EQ(dependent, 3);  // three dependent + three independent pairs
+}
+
+TEST_F(TaxiDatasetTest, MarginalMeansAreReasonable) {
+  // Sanity: no attribute is degenerate.
+  for (int a = 0; a < 8; ++a) {
+    auto mean = data_->AttributeMean(a);
+    ASSERT_TRUE(mean.ok());
+    EXPECT_GT(*mean, 0.05) << data_->attribute_name(a);
+    EXPECT_LT(*mean, 0.95) << data_->attribute_name(a);
+  }
+}
+
+TEST_F(TaxiDatasetTest, FarRateHigherOffManhattan) {
+  // Long trips should concentrate outside Manhattan-internal journeys.
+  double far_mm = 0.0, far_oo = 0.0;
+  size_t n_mm = 0, n_oo = 0;
+  for (uint64_t row : data_->rows()) {
+    const bool m_pick = (row >> kTaxiMPick) & 1;
+    const bool m_drop = (row >> kTaxiMDrop) & 1;
+    const bool far = (row >> kTaxiFar) & 1;
+    if (m_pick && m_drop) {
+      far_mm += far;
+      ++n_mm;
+    } else if (!m_pick && !m_drop) {
+      far_oo += far;
+      ++n_oo;
+    }
+  }
+  ASSERT_GT(n_mm, 0u);
+  ASSERT_GT(n_oo, 0u);
+  EXPECT_LT(far_mm / n_mm, far_oo / n_oo);
+}
+
+}  // namespace
+}  // namespace ldpm

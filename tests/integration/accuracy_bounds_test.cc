@@ -1,0 +1,115 @@
+// Empirical confirmation of the paper's accuracy bounds (Section 4 /
+// Table 2): 1/sqrt(N) scaling, the relative ordering of the protocols at
+// the paper's parameter points, and the epsilon dependence.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/movielens.h"
+#include "sim/experiment.h"
+
+namespace ldpm {
+namespace {
+
+double MeanTv(const BinaryDataset& source, ProtocolKind kind, int k,
+              double eps, size_t n, int reps = 3, uint64_t seed = 900) {
+  SimulationOptions o;
+  o.kind = kind;
+  o.config.k = k;
+  o.config.epsilon = eps;
+  o.num_users = n;
+  o.seed = seed;
+  auto result = RunRepeated(source, o, reps);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->mean_tv.mean;
+}
+
+class AccuracyBoundsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = GenerateMovielensDataset(400000, 8, 901);
+    ASSERT_TRUE(data.ok());
+    source_ = new BinaryDataset(*std::move(data));
+  }
+  static void TearDownTestSuite() {
+    delete source_;
+    source_ = nullptr;
+  }
+  static const BinaryDataset* source_;
+};
+
+const BinaryDataset* AccuracyBoundsTest::source_ = nullptr;
+
+TEST_F(AccuracyBoundsTest, ErrorScalesAsInverseSqrtN) {
+  // Section 5.2: "error halves as population quadruples". Check the ratio
+  // for InpHT between N and 16N is near 4 (allow [2.2, 7]).
+  const double tv_small = MeanTv(*source_, ProtocolKind::kInpHT, 2, 1.0, 1 << 12);
+  const double tv_large = MeanTv(*source_, ProtocolKind::kInpHT, 2, 1.0, 1 << 16);
+  const double ratio = tv_small / tv_large;
+  EXPECT_GT(ratio, 2.2) << "small=" << tv_small << " large=" << tv_large;
+  EXPECT_LT(ratio, 7.0) << "small=" << tv_small << " large=" << tv_large;
+}
+
+TEST_F(AccuracyBoundsTest, ErrorDecreasesWithEpsilon) {
+  const double tv_tight = MeanTv(*source_, ProtocolKind::kInpHT, 2, 0.4, 1 << 15);
+  const double tv_loose = MeanTv(*source_, ProtocolKind::kInpHT, 2, 1.4, 1 << 15);
+  EXPECT_GT(tv_tight, tv_loose);
+}
+
+TEST_F(AccuracyBoundsTest, InpHtBeatsInpPsAtD8) {
+  // Table 2: InpPS carries a 2^d factor vs InpHT's d^{k/2}. At d = 8 the
+  // difference is already decisive.
+  const double ht = MeanTv(*source_, ProtocolKind::kInpHT, 2, 1.0, 1 << 15);
+  const double ps = MeanTv(*source_, ProtocolKind::kInpPS, 2, 1.0, 1 << 15);
+  EXPECT_LT(2.0 * ht, ps);
+}
+
+TEST_F(AccuracyBoundsTest, InpHtAmongBestOverall) {
+  // Figure 4's qualitative headline: InpHT achieves the lowest (or near
+  // lowest) error across protocols; grant a 1.35x slack factor.
+  const double ht = MeanTv(*source_, ProtocolKind::kInpHT, 2, 1.0, 1 << 15);
+  for (ProtocolKind kind :
+       {ProtocolKind::kInpPS, ProtocolKind::kMargRR, ProtocolKind::kMargPS,
+        ProtocolKind::kMargHT}) {
+    const double other = MeanTv(*source_, kind, 2, 1.0, 1 << 15);
+    EXPECT_LE(ht, other * 1.35) << ProtocolKindName(kind);
+  }
+}
+
+TEST_F(AccuracyBoundsTest, MargPsBeatsMargRrAtK2) {
+  // Section 5.2: "MargPS achieves better accuracy than MargRR".
+  const double marg_ps = MeanTv(*source_, ProtocolKind::kMargPS, 2, 1.0, 1 << 15);
+  const double marg_rr = MeanTv(*source_, ProtocolKind::kMargRR, 2, 1.0, 1 << 15);
+  EXPECT_LE(marg_ps, marg_rr * 1.1);
+}
+
+TEST_F(AccuracyBoundsTest, ErrorGrowsWithK) {
+  // Figure 5: error increases with marginal size.
+  const double k1 = MeanTv(*source_, ProtocolKind::kInpHT, 1, 1.0, 1 << 15);
+  const double k3 = MeanTv(*source_, ProtocolKind::kInpHT, 3, 1.0, 1 << 15);
+  EXPECT_LT(k1, k3);
+}
+
+TEST_F(AccuracyBoundsTest, OneWayMarginalMethodsComparable) {
+  // For k = 1 the paper finds MargPS, MargRR, MargHT, InpHT largely
+  // indistinguishable. Require them within 2x of one another.
+  const double ht = MeanTv(*source_, ProtocolKind::kInpHT, 1, 1.0, 1 << 15);
+  for (ProtocolKind kind : {ProtocolKind::kMargRR, ProtocolKind::kMargPS,
+                            ProtocolKind::kMargHT}) {
+    const double other = MeanTv(*source_, kind, 1, 1.0, 1 << 15);
+    EXPECT_LT(other, 2.0 * ht + 0.01) << ProtocolKindName(kind);
+    EXPECT_LT(ht, 2.0 * other + 0.01) << ProtocolKindName(kind);
+  }
+}
+
+TEST_F(AccuracyBoundsTest, InpHtAbsoluteErrorIsSmallAtPaperScale) {
+  // At the paper's N = 2^16, eps = ln 3, d = 8, k = 2 grid point, InpHT's
+  // mean TV distance sits below ~0.05 (Figure 4's reading).
+  const double tv =
+      MeanTv(*source_, ProtocolKind::kInpHT, 2, std::log(3.0), 1 << 16);
+  EXPECT_LT(tv, 0.05);
+}
+
+}  // namespace
+}  // namespace ldpm

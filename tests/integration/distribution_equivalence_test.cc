@@ -1,0 +1,194 @@
+// Statistical equivalence of the per-user and population fast paths, and
+// of the report channels against their analytic distributions — formal
+// chi-squared goodness-of-fit checks at fixed seeds.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "analysis/chi_square.h"
+#include "core/marginal.h"
+#include "protocols/factory.h"
+#include "protocols/inp_rr.h"
+
+namespace ldpm {
+namespace {
+
+// Chi-squared goodness of fit of observed counts vs expected probabilities.
+double GoodnessOfFit(const std::vector<double>& observed_counts,
+                     const std::vector<double>& expected_probs, double n) {
+  double chi2 = 0.0;
+  for (size_t i = 0; i < observed_counts.size(); ++i) {
+    const double expected = expected_probs[i] * n;
+    if (expected < 1e-9) continue;
+    const double diff = observed_counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+TEST(DistributionEquivalence, InpPsReportsMatchAnalyticChannel) {
+  // The report distribution of InpPS for a fixed input is exactly
+  // PS(ps, uniform otherwise); verify by goodness of fit.
+  ProtocolConfig config;
+  config.d = 4;
+  config.k = 2;
+  config.epsilon = 1.0;
+  auto p = CreateProtocol(ProtocolKind::kInpPS, config);
+  ASSERT_TRUE(p.ok());
+  Rng rng(21);
+  const uint64_t input = 9;
+  const int n = 200000;
+  std::vector<double> counts(16, 0.0);
+  for (int i = 0; i < n; ++i) {
+    counts[(*p)->Encode(input, rng).value] += 1.0;
+  }
+  const double e = std::exp(1.0);
+  const double ps = e / (e + 15.0);
+  std::vector<double> expected(16, (1.0 - ps) / 15.0);
+  expected[input] = ps;
+  const double chi2 = GoodnessOfFit(counts, expected, n);
+  // 15 dof: P[chi2 > 37.7] ~ 0.001.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(DistributionEquivalence, InpRrFastPathMatchesSlowPathChiSquared) {
+  // Aggregate per-cell counts from the binomial fast path and the per-user
+  // path must be draws from the same distribution. Compare the implied
+  // estimates of each cell across repeated runs via a two-sample check on
+  // the means (CLT bound with generous slack).
+  const int d = 4;
+  const auto make_rows = [] {
+    Rng rng(23);
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 30000; ++i) rows.push_back(rng.UniformInt(13));
+    return rows;
+  };
+  const auto rows = make_rows();
+
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 1.0;
+
+  const int reps = 12;
+  std::vector<double> fast_means, slow_means;
+  for (int r = 0; r < reps; ++r) {
+    auto fast = InpRrProtocol::Create(config);
+    auto slow = InpRrProtocol::Create(config);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    Rng rng_fast(100 + r), rng_slow(200 + r);
+    ASSERT_TRUE((*fast)->AbsorbPopulation(rows, rng_fast).ok());
+    for (uint64_t row : rows) {
+      ASSERT_TRUE((*slow)->Absorb((*slow)->Encode(row, rng_slow)).ok());
+    }
+    auto mf = (*fast)->EstimateMarginal(0b0011);
+    auto ms = (*slow)->EstimateMarginal(0b0011);
+    ASSERT_TRUE(mf.ok());
+    ASSERT_TRUE(ms.ok());
+    fast_means.push_back(mf->at_compact(1));
+    slow_means.push_back(ms->at_compact(1));
+  }
+  // Welch-style comparison of the two means.
+  auto mean_of = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / v.size();
+  };
+  auto var_of = [&](const std::vector<double>& v) {
+    const double m = mean_of(v);
+    double s = 0.0;
+    for (double x : v) s += (x - m) * (x - m);
+    return s / (v.size() - 1);
+  };
+  const double diff = mean_of(fast_means) - mean_of(slow_means);
+  const double se = std::sqrt(var_of(fast_means) / reps +
+                              var_of(slow_means) / reps);
+  EXPECT_LT(std::fabs(diff), 5.0 * se + 1e-6)
+      << "fast=" << mean_of(fast_means) << " slow=" << mean_of(slow_means);
+}
+
+TEST(DistributionEquivalence, MargSelectorSamplingIsUniform) {
+  // Selector sampling of the Marg protocols must be uniform over the
+  // C(d,k) marginals (chi-squared goodness of fit).
+  ProtocolConfig config;
+  config.d = 6;
+  config.k = 2;
+  config.epsilon = 1.0;
+  auto p = CreateProtocol(ProtocolKind::kMargPS, config);
+  ASSERT_TRUE(p.ok());
+  Rng rng(29);
+  std::map<uint64_t, double> counts;
+  const int n = 150000;
+  for (int i = 0; i < n; ++i) {
+    counts[(*p)->Encode(0, rng).selector] += 1.0;
+  }
+  ASSERT_EQ(counts.size(), 15u);
+  double chi2 = 0.0;
+  const double expected = n / 15.0;
+  for (const auto& [selector, count] : counts) {
+    chi2 += (count - expected) * (count - expected) / expected;
+  }
+  // 14 dof: P[chi2 > 36.1] ~ 0.001.
+  EXPECT_LT(chi2, 36.1);
+}
+
+TEST(DistributionEquivalence, InpHtCoefficientSamplingIsUniform) {
+  ProtocolConfig config;
+  config.d = 6;
+  config.k = 2;
+  config.epsilon = 1.0;
+  auto p = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(p.ok());
+  Rng rng(31);
+  std::map<uint64_t, double> counts;
+  const int n = 210000;
+  for (int i = 0; i < n; ++i) {
+    counts[(*p)->Encode(5, rng).selector] += 1.0;
+  }
+  ASSERT_EQ(counts.size(), 21u);  // C(6,1) + C(6,2)
+  double chi2 = 0.0;
+  const double expected = n / 21.0;
+  for (const auto& [alpha, count] : counts) {
+    chi2 += (count - expected) * (count - expected) / expected;
+  }
+  // 20 dof: P[chi2 > 45.3] ~ 0.001.
+  EXPECT_LT(chi2, 45.3);
+}
+
+TEST(DistributionEquivalence, EstimatesAreUnbiasedAcrossRuns) {
+  // Mean of repeated InpHT estimates converges on the truth: the bias of
+  // the averaged estimate shrinks with the number of runs.
+  const int d = 5;
+  Rng data_rng(37);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 20000; ++i) rows.push_back(data_rng.UniformInt(29));
+  auto truth = MarginalFromRows(rows, d, 0b00011);
+  ASSERT_TRUE(truth.ok());
+
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 1.0;
+  const int reps = 40;
+  std::vector<double> cell_means(4, 0.0);
+  for (int r = 0; r < reps; ++r) {
+    auto p = CreateProtocol(ProtocolKind::kInpHT, config);
+    ASSERT_TRUE(p.ok());
+    Rng rng(400 + r);
+    ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+    auto m = (*p)->EstimateMarginal(0b00011);
+    ASSERT_TRUE(m.ok());
+    for (uint64_t c = 0; c < 4; ++c) cell_means[c] += m->at_compact(c) / reps;
+  }
+  // Per-run cell noise is ~0.026 sd; the mean of 40 runs has ~0.004 sd,
+  // so 0.016 is a ~4-sigma band.
+  for (uint64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(cell_means[c], truth->at_compact(c), 0.016) << "cell " << c;
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,219 @@
+// End-to-end integration: datasets -> protocols -> applications, exercising
+// the same pipelines the paper's Section 6 use-cases run.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/chi_square.h"
+#include "analysis/chow_liu.h"
+#include "analysis/mutual_information.h"
+#include "analysis/private_chi_square.h"
+#include "core/encoding.h"
+#include "core/marginal.h"
+#include "data/movielens.h"
+#include "data/taxi.h"
+#include "protocols/factory.h"
+
+namespace ldpm {
+namespace {
+
+std::unique_ptr<MarginalProtocol> MakeAndRun(ProtocolKind kind,
+                                             const BinaryDataset& data,
+                                             double eps, uint64_t seed) {
+  ProtocolConfig config;
+  config.d = data.dimensions();
+  config.k = 2;
+  config.epsilon = eps;
+  auto p = CreateProtocol(kind, config);
+  LDPM_CHECK(p.ok());
+  Rng rng(seed);
+  LDPM_CHECK((*p)->AbsorbPopulation(data.rows(), rng).ok());
+  return *std::move(p);
+}
+
+TEST(EndToEnd, ChiSquareAssociationOnTaxiViaInpHt) {
+  // The Figure 7 pipeline: private 2-way marginals feed the chi-squared
+  // test. Against the *noise-unaware* critical value, LDP noise inflates
+  // the statistic of truly independent pairs (the paper's footnote 3); with
+  // the Monte-Carlo noise-aware critical value, InpHT must classify all six
+  // paper pairs correctly at N = 256K, eps = 1.1.
+  auto data = GenerateTaxiDataset(1 << 18, 501);
+  ASSERT_TRUE(data.ok());
+  auto protocol = MakeAndRun(ProtocolKind::kInpHT, *data, 1.1, 502);
+
+  ProtocolConfig config;
+  config.d = data->dimensions();
+  config.k = 2;
+  config.epsilon = 1.1;
+  PrivateChiSquareOptions mc;
+  mc.replicates = 40;
+  mc.num_users = 1 << 14;
+  for (const auto& pair : TaxiTestPairs::All()) {
+    const uint64_t beta = (uint64_t{1} << pair.a) | (uint64_t{1} << pair.b);
+    auto marginal = protocol->EstimateMarginal(beta);
+    ASSERT_TRUE(marginal.ok());
+    mc.seed = 600 + beta;
+    auto test_result = NoiseAwareChiSquareTest(ProtocolKind::kInpHT, config,
+                                               beta, *marginal,
+                                               static_cast<double>(data->size()),
+                                               mc);
+    ASSERT_TRUE(test_result.ok()) << test_result.status().ToString();
+    EXPECT_EQ(test_result->reject_independence, pair.expected_dependent)
+        << pair.label << " statistic=" << test_result->statistic
+        << " corrected critical=" << test_result->critical_value;
+  }
+}
+
+TEST(EndToEnd, NoiseAwareCriticalValueExceedsPlainOne) {
+  // The corrected critical value must sit far above 3.841: it absorbs the
+  // protocol's noise floor.
+  ProtocolConfig config;
+  config.d = 8;
+  config.k = 2;
+  config.epsilon = 1.1;
+  PrivateChiSquareOptions mc;
+  mc.replicates = 30;
+  mc.num_users = 1 << 13;
+  auto critical = PrivateChiSquareCriticalValue(ProtocolKind::kInpHT, config,
+                                                0b11, 0.5, 0.5, mc);
+  ASSERT_TRUE(critical.ok()) << critical.status().ToString();
+  EXPECT_GT(*critical, 3.841);
+}
+
+TEST(EndToEnd, NonPrivateChiSquareAgreesWithDesign) {
+  auto data = GenerateTaxiDataset(1 << 18, 503);
+  ASSERT_TRUE(data.ok());
+  for (const auto& pair : TaxiTestPairs::All()) {
+    const uint64_t beta = (uint64_t{1} << pair.a) | (uint64_t{1} << pair.b);
+    auto marginal = data->Marginal(beta);
+    ASSERT_TRUE(marginal.ok());
+    auto test_result =
+        ChiSquareIndependenceTest(*marginal, static_cast<double>(data->size()));
+    ASSERT_TRUE(test_result.ok());
+    EXPECT_EQ(test_result->reject_independence, pair.expected_dependent)
+        << pair.label;
+  }
+}
+
+TEST(EndToEnd, ChowLiuOnMovielensViaInpHt) {
+  // The Figure 8 pipeline: trees learned from private InpHT marginals
+  // should capture most of the true dependence at eps ~ 1.1.
+  const int d = 10;
+  auto data = GenerateMovielensDataset(200000, d, 505);
+  ASSERT_TRUE(data.ok());
+
+  // Reference: exact pairwise MI matrix and non-private tree score.
+  std::vector<std::vector<double>> exact_mi(d, std::vector<double>(d, 0.0));
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      auto joint = data->Marginal((1u << a) | (1u << b));
+      ASSERT_TRUE(joint.ok());
+      auto mi = MutualInformation(*joint);
+      ASSERT_TRUE(mi.ok());
+      exact_mi[a][b] = exact_mi[b][a] = *mi;
+    }
+  }
+  auto exact_tree = BuildChowLiuTree(exact_mi);
+  ASSERT_TRUE(exact_tree.ok());
+
+  auto protocol = MakeAndRun(ProtocolKind::kInpHT, *data, 1.1, 506);
+  auto private_tree = BuildChowLiuTreeFromMarginals(
+      d, [&](uint64_t beta) { return protocol->EstimateMarginal(beta); });
+  ASSERT_TRUE(private_tree.ok());
+
+  auto private_score = ScoreTreeAgainst(*private_tree, exact_mi);
+  ASSERT_TRUE(private_score.ok());
+  // Private structure must capture a solid fraction of the true total MI.
+  EXPECT_GT(*private_score, 0.6 * exact_tree->total_mutual_information);
+  EXPECT_LE(*private_score,
+            exact_tree->total_mutual_information + 1e-9);  // optimality
+}
+
+TEST(EndToEnd, Figure2MarginalThroughInpHt) {
+  auto data = GenerateTaxiDataset(1 << 18, 507);
+  ASSERT_TRUE(data.ok());
+  auto protocol = MakeAndRun(ProtocolKind::kInpHT, *data, std::log(3.0), 508);
+  const uint64_t beta = (1u << kTaxiMPick) | (1u << kTaxiMDrop);
+  auto estimate = protocol->EstimateMarginal(beta);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->at((1u << kTaxiMPick) | (1u << kTaxiMDrop)), 0.55,
+              0.03);
+  EXPECT_NEAR(estimate->at(0), 0.20, 0.03);
+}
+
+TEST(EndToEnd, MargPsWeakerThanInpHtOnAssociationEdgeCases) {
+  // The paper observes MargPS committing type I errors on weakly dependent
+  // pairs where InpHT does not. We verify the aggregate: InpHT's chi2
+  // values for the independent pairs must be closer to the non-private
+  // values than MargPS's on average.
+  auto data = GenerateTaxiDataset(1 << 17, 509);
+  ASSERT_TRUE(data.ok());
+  auto ht = MakeAndRun(ProtocolKind::kInpHT, *data, 1.1, 510);
+  auto ps = MakeAndRun(ProtocolKind::kMargPS, *data, 1.1, 511);
+
+  double ht_gap = 0.0, ps_gap = 0.0;
+  for (const auto& pair : TaxiTestPairs::All()) {
+    const uint64_t beta = (uint64_t{1} << pair.a) | (uint64_t{1} << pair.b);
+    auto truth = data->Marginal(beta);
+    ASSERT_TRUE(truth.ok());
+    auto m_ht = ht->EstimateMarginal(beta);
+    auto m_ps = ps->EstimateMarginal(beta);
+    ASSERT_TRUE(m_ht.ok());
+    ASSERT_TRUE(m_ps.ok());
+    ht_gap += truth->TotalVariationDistance(*m_ht);
+    ps_gap += truth->TotalVariationDistance(*m_ps);
+  }
+  EXPECT_LT(ht_gap, ps_gap);
+}
+
+TEST(EndToEnd, CategoricalPipelineViaBinaryEncoding) {
+  // Section 6.3: a 2-way marginal over categorical attributes through the
+  // binary-encoded InpHT protocol.
+  auto domain = CategoricalDomain::Create({3, 4});
+  ASSERT_TRUE(domain.ok());
+  const int d2 = domain->binary_dimension();  // 2 + 2 bits
+
+  // Synthesize categorical data with a known joint.
+  Rng rng(513);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 200000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformInt(3));
+    const uint32_t b = rng.Bernoulli(0.7) ? a % 4 : static_cast<uint32_t>(
+                                                        rng.UniformInt(4));
+    auto packed = domain->Encode({a, b});
+    ASSERT_TRUE(packed.ok());
+    rows.push_back(*packed);
+  }
+
+  ProtocolConfig config;
+  config.d = d2;
+  config.k = 4;  // k2 of Corollary 6.1 for this attribute pair
+  config.epsilon = std::log(3.0);
+  auto p = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(p.ok());
+  Rng sim_rng(514);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, sim_rng).ok());
+
+  auto beta = domain->SelectorForAttributes({0, 1});
+  ASSERT_TRUE(beta.ok());
+  auto binary_marginal = (*p)->EstimateMarginal(*beta);
+  ASSERT_TRUE(binary_marginal.ok());
+  auto cat = ToCategoricalMarginal(*domain, {0, 1}, *binary_marginal);
+  ASSERT_TRUE(cat.ok());
+
+  // Compare against the exact categorical joint.
+  auto exact_binary = MarginalFromRows(rows, d2, *beta);
+  ASSERT_TRUE(exact_binary.ok());
+  auto exact_cat = ToCategoricalMarginal(*domain, {0, 1}, *exact_binary);
+  ASSERT_TRUE(exact_cat.ok());
+  double l1 = 0.0;
+  for (size_t i = 0; i < cat->probabilities.size(); ++i) {
+    l1 += std::fabs(cat->probabilities[i] - exact_cat->probabilities[i]);
+  }
+  EXPECT_LT(l1 / 2.0, 0.05);
+  EXPECT_LT(std::fabs(cat->invalid_mass), 0.05);
+}
+
+}  // namespace
+}  // namespace ldpm

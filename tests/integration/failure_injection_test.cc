@@ -1,0 +1,180 @@
+// Failure injection across the protocol surface: malformed, cross-protocol
+// and boundary reports must surface Status errors and never corrupt
+// aggregator state.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "protocols/factory.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = 1.0;
+  return c;
+}
+
+class CrossProtocolReportTest
+    : public ::testing::TestWithParam<std::tuple<ProtocolKind, ProtocolKind>> {
+};
+
+TEST_P(CrossProtocolReportTest, ForeignReportsNeverCrash) {
+  // Feed reports from protocol A into protocol B's aggregator: B must
+  // either reject them or absorb them as (wrong but well-formed) data —
+  // never crash or corrupt state in a way that breaks later estimation.
+  const ProtocolKind sender_kind = std::get<0>(GetParam());
+  const ProtocolKind receiver_kind = std::get<1>(GetParam());
+  if (sender_kind == receiver_kind) GTEST_SKIP();
+
+  const ProtocolConfig config = Config(6, 2);
+  auto sender = CreateProtocol(sender_kind, config);
+  auto receiver = CreateProtocol(receiver_kind, config);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(receiver.ok());
+
+  Rng rng(1);
+  size_t accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Report foreign = (*sender)->Encode(rng.UniformInt(64), rng);
+    const Status s = (*receiver)->Absorb(foreign);
+    if (s.ok()) ++accepted;
+  }
+  // Bookkeeping must match what was accepted.
+  EXPECT_EQ((*receiver)->reports_absorbed(), accepted);
+  // If anything was accepted, estimation must still work or fail cleanly.
+  if (accepted > 0) {
+    auto estimate = (*receiver)->EstimateMarginal(0b11);
+    if (estimate.ok()) {
+      for (uint64_t c = 0; c < estimate->size(); ++c) {
+        EXPECT_TRUE(std::isfinite(estimate->at_compact(c)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CrossProtocolReportTest,
+    ::testing::Combine(
+        ::testing::Values(ProtocolKind::kInpPS, ProtocolKind::kInpHT,
+                          ProtocolKind::kMargPS, ProtocolKind::kMargHT,
+                          ProtocolKind::kInpEM),
+        ::testing::Values(ProtocolKind::kInpPS, ProtocolKind::kInpHT,
+                          ProtocolKind::kMargPS, ProtocolKind::kMargHT,
+                          ProtocolKind::kInpEM)),
+    [](const ::testing::TestParamInfo<std::tuple<ProtocolKind, ProtocolKind>>&
+           info) {
+      return std::string(ProtocolKindName(std::get<0>(info.param))) + "_into_" +
+             std::string(ProtocolKindName(std::get<1>(info.param)));
+    });
+
+TEST(FailureInjection, DefaultConstructedReportRejectedEverywhere) {
+  // An all-zero Report is malformed for the sign-carrying protocols and
+  // must be rejected; for index protocols it is a legal (cell 0) report.
+  for (ProtocolKind kind : {ProtocolKind::kInpHT, ProtocolKind::kMargRR,
+                            ProtocolKind::kMargPS, ProtocolKind::kMargHT}) {
+    auto p = CreateProtocol(kind, Config(6, 2));
+    ASSERT_TRUE(p.ok());
+    EXPECT_FALSE((*p)->Absorb(Report{}).ok()) << ProtocolKindName(kind);
+    EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  }
+}
+
+TEST(FailureInjection, RejectedReportsLeaveEstimatesUnchanged) {
+  auto p = CreateProtocol(ProtocolKind::kMargPS, Config(5, 2));
+  ASSERT_TRUE(p.ok());
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE((*p)->Absorb((*p)->Encode(rng.UniformInt(32), rng)).ok());
+  }
+  auto before = (*p)->EstimateMarginal(0b00011);
+  ASSERT_TRUE(before.ok());
+
+  Report bad;
+  bad.selector = 0b11111;  // 5-way selector: invalid for k = 2
+  bad.value = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE((*p)->Absorb(bad).ok());
+  }
+  auto after = (*p)->EstimateMarginal(0b00011);
+  ASSERT_TRUE(after.ok());
+  for (uint64_t c = 0; c < before->size(); ++c) {
+    EXPECT_DOUBLE_EQ(before->at_compact(c), after->at_compact(c));
+  }
+}
+
+TEST(FailureInjection, AbsorbPopulationRejectsOutOfDomainRows) {
+  auto p = CreateProtocol(ProtocolKind::kInpRR, Config(4, 2));
+  ASSERT_TRUE(p.ok());
+  Rng rng(5);
+  const std::vector<uint64_t> rows = {3, 7, 16};  // 16 outside 4 bits
+  EXPECT_FALSE((*p)->AbsorbPopulation(rows, rng).ok());
+}
+
+TEST(FailureInjection, QueriesOnEmptyAggregatorsFailCleanly) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    auto p = CreateProtocol(kind, Config(5, 2));
+    ASSERT_TRUE(p.ok());
+    auto estimate = (*p)->EstimateMarginal(0b00011);
+    EXPECT_FALSE(estimate.ok()) << ProtocolKindName(kind);
+    EXPECT_EQ(estimate.status().code(), StatusCode::kFailedPrecondition)
+        << ProtocolKindName(kind);
+  }
+}
+
+TEST(FailureInjection, BetaOutsideDomainRejectedEverywhere) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    auto p = CreateProtocol(kind, Config(4, 2));
+    ASSERT_TRUE(p.ok());
+    Rng rng(7);
+    ASSERT_TRUE((*p)->Absorb((*p)->Encode(1, rng)).ok());
+    EXPECT_FALSE((*p)->EstimateMarginal(uint64_t{1} << 10).ok())
+        << ProtocolKindName(kind);
+  }
+}
+
+TEST(FailureInjection, ExtremeEpsilonsStillSane) {
+  // Very small and fairly large epsilons must not break numerics.
+  for (double eps : {1e-4, 8.0}) {
+    ProtocolConfig config = Config(4, 2);
+    config.epsilon = eps;
+    for (ProtocolKind kind : CoreProtocolKinds()) {
+      auto p = CreateProtocol(kind, config);
+      ASSERT_TRUE(p.ok()) << ProtocolKindName(kind) << " eps=" << eps;
+      Rng rng(9);
+      for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE((*p)->Absorb((*p)->Encode(rng.UniformInt(16), rng)).ok());
+      }
+      auto estimate = (*p)->EstimateMarginal(0b0011);
+      ASSERT_TRUE(estimate.ok());
+      for (uint64_t c = 0; c < estimate->size(); ++c) {
+        EXPECT_TRUE(std::isfinite(estimate->at_compact(c)))
+            << ProtocolKindName(kind) << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, ZeroVarianceDataIsHandled) {
+  // Every user identical: estimates concentrate on one cell; nothing
+  // degenerates (division by zero margins etc.).
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    auto p = CreateProtocol(kind, Config(4, 2));
+    ASSERT_TRUE(p.ok());
+    Rng rng(11);
+    const std::vector<uint64_t> rows(20000, 0b1010);
+    ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+    auto estimate = (*p)->EstimateMarginal(0b0011);
+    ASSERT_TRUE(estimate.ok()) << ProtocolKindName(kind);
+    // The hot compact cell for beta = 0011 of value 1010 is bits {0,1} = 10.
+    EXPECT_GT(estimate->at_compact(0b10), 0.5) << ProtocolKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

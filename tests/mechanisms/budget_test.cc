@@ -1,0 +1,80 @@
+#include "mechanisms/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(PrivacyBudget, CreateValidates) {
+  EXPECT_TRUE(PrivacyBudget::Create(1.0).ok());
+  EXPECT_FALSE(PrivacyBudget::Create(0.0).ok());
+  EXPECT_FALSE(PrivacyBudget::Create(-1.0).ok());
+  EXPECT_FALSE(
+      PrivacyBudget::Create(std::numeric_limits<double>::infinity()).ok());
+}
+
+TEST(PrivacyBudget, SpendTracksRemaining) {
+  auto budget = PrivacyBudget::Create(1.0);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_DOUBLE_EQ(budget->total(), 1.0);
+  EXPECT_DOUBLE_EQ(budget->remaining(), 1.0);
+  ASSERT_TRUE(budget->Spend(0.4).ok());
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.4);
+  EXPECT_NEAR(budget->remaining(), 0.6, 1e-12);
+}
+
+TEST(PrivacyBudget, OverdrawRejectedAndStateIntact) {
+  auto budget = PrivacyBudget::Create(1.0);
+  ASSERT_TRUE(budget.ok());
+  ASSERT_TRUE(budget->Spend(0.9).ok());
+  EXPECT_EQ(budget->Spend(0.2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_NEAR(budget->spent(), 0.9, 1e-12);  // failed spend debits nothing
+}
+
+TEST(PrivacyBudget, SpendRejectsBadEpsilon) {
+  auto budget = PrivacyBudget::Create(1.0);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_FALSE(budget->Spend(0.0).ok());
+  EXPECT_FALSE(budget->Spend(-0.1).ok());
+}
+
+TEST(PrivacyBudget, ExactExhaustionAllowed) {
+  auto budget = PrivacyBudget::Create(1.0);
+  ASSERT_TRUE(budget.ok());
+  ASSERT_TRUE(budget->Spend(0.5).ok());
+  EXPECT_TRUE(budget->Spend(0.5).ok());
+  EXPECT_NEAR(budget->remaining(), 0.0, 1e-12);
+}
+
+TEST(PrivacyBudget, SplitEvenlyIsBudgetSplitting) {
+  // The BS primitive of Section 3.1: eps/m per piece; composition of the m
+  // pieces totals exactly eps.
+  auto budget = PrivacyBudget::Create(2.0);
+  ASSERT_TRUE(budget.ok());
+  auto share = budget->SplitEvenly(8);
+  ASSERT_TRUE(share.ok());
+  EXPECT_DOUBLE_EQ(*share, 0.25);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(budget->Spend(*share).ok()) << "piece " << i;
+  }
+  EXPECT_NEAR(budget->remaining(), 0.0, 1e-9);
+}
+
+TEST(PrivacyBudget, SplitEvenlyOfPartiallySpentBudget) {
+  auto budget = PrivacyBudget::Create(1.0);
+  ASSERT_TRUE(budget.ok());
+  ASSERT_TRUE(budget->Spend(0.5).ok());
+  auto share = budget->SplitEvenly(5);
+  ASSERT_TRUE(share.ok());
+  EXPECT_NEAR(*share, 0.1, 1e-12);
+}
+
+TEST(PrivacyBudget, SplitEvenlyRejectsNonPositiveM) {
+  auto budget = PrivacyBudget::Create(1.0);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_FALSE(budget->SplitEvenly(0).ok());
+  EXPECT_FALSE(budget->SplitEvenly(-3).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

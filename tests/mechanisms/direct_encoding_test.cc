@@ -1,0 +1,112 @@
+#include "mechanisms/direct_encoding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(DirectEncoding, KeepProbabilityMatchesFact31) {
+  // Fact 3.1: e^eps = ps/(1-ps) * (m-1), i.e. ps = e^eps/(e^eps + m - 1).
+  const double eps = std::log(3.0);
+  auto de = DirectEncoding::Create(eps, 16);
+  ASSERT_TRUE(de.ok());
+  EXPECT_NEAR(de->ps(), 3.0 / (3.0 + 15.0), 1e-12);
+  EXPECT_EQ(de->domain_size(), 16u);
+}
+
+TEST(DirectEncoding, BinaryDomainEqualsRandomizedResponse) {
+  // m = 2 reduces PS to 1-bit RR (Section 3.1).
+  const double eps = 1.0;
+  auto de = DirectEncoding::Create(eps, 2);
+  ASSERT_TRUE(de.ok());
+  EXPECT_NEAR(de->ps(), std::exp(eps) / (1.0 + std::exp(eps)), 1e-12);
+}
+
+TEST(DirectEncoding, RejectsBadArguments) {
+  EXPECT_FALSE(DirectEncoding::Create(0.0, 4).ok());
+  EXPECT_FALSE(DirectEncoding::Create(1.0, 1).ok());
+  EXPECT_FALSE(DirectEncoding::Create(1.0, 0).ok());
+}
+
+TEST(DirectEncoding, SatisfiesExactEpsLdp) {
+  // For any pair of inputs and any output, the likelihood ratio is at most
+  // ps / ((1-ps)/(m-1)) = e^eps.
+  for (double eps : {0.3, 1.0, 1.8}) {
+    for (uint64_t m : {2ull, 4ull, 32ull}) {
+      auto de = DirectEncoding::Create(eps, m);
+      ASSERT_TRUE(de.ok());
+      const double q = (1.0 - de->ps()) / static_cast<double>(m - 1);
+      EXPECT_NEAR(de->ps() / q, std::exp(eps), 1e-9)
+          << "eps=" << eps << " m=" << m;
+    }
+  }
+}
+
+TEST(DirectEncoding, PerturbStaysInDomain) {
+  auto de = DirectEncoding::Create(1.0, 8);
+  ASSERT_TRUE(de.ok());
+  Rng rng(301);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(de->Perturb(i % 8, rng), 8u);
+  }
+}
+
+TEST(DirectEncoding, OutputDistributionMatchesChannel) {
+  auto de = DirectEncoding::Create(std::log(3.0), 4);
+  ASSERT_TRUE(de.ok());
+  Rng rng(303);
+  const int n = 400000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) ++counts[de->Perturb(2, rng)];
+  const double q = (1.0 - de->ps()) / 3.0;
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, de->ps(), 0.005);
+  for (int j : {0, 1, 3}) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, q, 0.005) << "j=" << j;
+  }
+}
+
+TEST(DirectEncoding, UnbiasFrequencyInvertsChannel) {
+  // E[F_j] = ps f + (1-f)(1-ps)/D; the paper's estimator must invert this.
+  auto de = DirectEncoding::Create(1.1, 32);
+  ASSERT_TRUE(de.ok());
+  const double D = 31.0;
+  for (double f : {0.0, 0.1, 0.5, 1.0}) {
+    const double observed = de->ps() * f + (1.0 - f) * (1.0 - de->ps()) / D;
+    EXPECT_NEAR(de->UnbiasFrequency(observed), f, 1e-10) << "f=" << f;
+  }
+}
+
+TEST(DirectEncoding, UnbiasCountMatchesFrequencyPath) {
+  auto de = DirectEncoding::Create(0.9, 8);
+  ASSERT_TRUE(de.ok());
+  EXPECT_NEAR(de->UnbiasCount(250.0, 1000.0),
+              1000.0 * de->UnbiasFrequency(0.25), 1e-9);
+}
+
+TEST(DirectEncoding, UnbiasedEmpiricalEstimate) {
+  auto de = DirectEncoding::Create(std::log(3.0), 8);
+  ASSERT_TRUE(de.ok());
+  Rng rng(307);
+  const int n = 400000;
+  // Population concentrated on two values.
+  std::vector<double> counts(8, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t truth = rng.Bernoulli(0.7) ? 1 : 6;
+    counts[de->Perturb(truth, rng)] += 1.0;
+  }
+  EXPECT_NEAR(de->UnbiasFrequency(counts[1] / n), 0.7, 0.01);
+  EXPECT_NEAR(de->UnbiasFrequency(counts[6] / n), 0.3, 0.01);
+  EXPECT_NEAR(de->UnbiasFrequency(counts[0] / n), 0.0, 0.01);
+}
+
+TEST(DirectEncoding, LargeDomainKeepProbabilityVanishes) {
+  // The InpPS failure mode (Section 5.2): ps ~ e^eps / 2^d becomes tiny.
+  auto de = DirectEncoding::Create(1.0, uint64_t{1} << 20);
+  ASSERT_TRUE(de.ok());
+  EXPECT_LT(de->ps(), 1e-4);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,123 @@
+#include "mechanisms/randomized_response.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(RandomizedResponse, FromEpsilonSetsKeepProbability) {
+  auto rr = RandomizedResponse::FromEpsilon(std::log(3.0));
+  ASSERT_TRUE(rr.ok());
+  EXPECT_NEAR(rr->keep_probability(), 0.75, 1e-12);  // e^eps/(1+e^eps) = 3/4
+  EXPECT_NEAR(rr->epsilon(), std::log(3.0), 1e-12);
+}
+
+TEST(RandomizedResponse, RejectsBadEpsilon) {
+  EXPECT_FALSE(RandomizedResponse::FromEpsilon(0.0).ok());
+  EXPECT_FALSE(RandomizedResponse::FromEpsilon(-1.0).ok());
+  EXPECT_FALSE(
+      RandomizedResponse::FromEpsilon(std::numeric_limits<double>::infinity())
+          .ok());
+  EXPECT_FALSE(RandomizedResponse::FromEpsilon(
+                   std::numeric_limits<double>::quiet_NaN())
+                   .ok());
+}
+
+TEST(RandomizedResponse, FromKeepProbabilityValidates) {
+  EXPECT_TRUE(RandomizedResponse::FromKeepProbability(0.75).ok());
+  EXPECT_FALSE(RandomizedResponse::FromKeepProbability(0.5).ok());
+  EXPECT_FALSE(RandomizedResponse::FromKeepProbability(1.0).ok());
+  EXPECT_FALSE(RandomizedResponse::FromKeepProbability(0.3).ok());
+}
+
+TEST(RandomizedResponse, SatisfiesExactLdpRatio) {
+  // Enumerate the 2x2 channel: max over outputs of P[out|1]/P[out|0] must be
+  // exactly e^eps (Section 3.1: e^eps = p/(1-p)).
+  for (double eps : {0.2, 0.5, 1.0, std::log(3.0), 2.0}) {
+    auto rr = RandomizedResponse::FromEpsilon(eps);
+    ASSERT_TRUE(rr.ok());
+    const double p = rr->keep_probability();
+    const double ratio_out1 = p / (1.0 - p);        // output 1: input 1 vs 0
+    const double ratio_out0 = (1.0 - p) / p;        // output 0
+    EXPECT_NEAR(std::max(ratio_out1, 1.0 / ratio_out0), std::exp(eps), 1e-9)
+        << "eps=" << eps;
+    EXPECT_LE(ratio_out1, std::exp(eps) * (1 + 1e-12));
+  }
+}
+
+TEST(RandomizedResponse, PerturbBitFrequencies) {
+  auto rr = RandomizedResponse::FromEpsilon(std::log(3.0));
+  ASSERT_TRUE(rr.ok());
+  Rng rng(101);
+  const int n = 200000;
+  int kept = 0;
+  for (int i = 0; i < n; ++i) kept += rr->PerturbBit(1, rng);
+  EXPECT_NEAR(static_cast<double>(kept) / n, 0.75, 0.005);
+  int zeros_flipped = 0;
+  for (int i = 0; i < n; ++i) zeros_flipped += rr->PerturbBit(0, rng);
+  EXPECT_NEAR(static_cast<double>(zeros_flipped) / n, 0.25, 0.005);
+}
+
+TEST(RandomizedResponse, PerturbSignSymmetric) {
+  auto rr = RandomizedResponse::FromEpsilon(1.0);
+  ASSERT_TRUE(rr.ok());
+  Rng rng(103);
+  const int n = 200000;
+  double sum_pos = 0.0, sum_neg = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum_pos += rr->PerturbSign(+1, rng);
+    sum_neg += rr->PerturbSign(-1, rng);
+  }
+  const double expected = 2.0 * rr->keep_probability() - 1.0;
+  EXPECT_NEAR(sum_pos / n, expected, 0.01);
+  EXPECT_NEAR(sum_neg / n, -expected, 0.01);
+}
+
+TEST(RandomizedResponse, UnbiasSignMeanInvertsChannel) {
+  auto rr = RandomizedResponse::FromEpsilon(1.3);
+  ASSERT_TRUE(rr.ok());
+  // If the true mean is m, the observed mean is (2p-1) m.
+  for (double truth : {-1.0, -0.4, 0.0, 0.7, 1.0}) {
+    const double observed = (2.0 * rr->keep_probability() - 1.0) * truth;
+    EXPECT_NEAR(rr->UnbiasSignMean(observed), truth, 1e-12);
+  }
+}
+
+TEST(RandomizedResponse, UnbiasBitMeanInvertsChannel) {
+  auto rr = RandomizedResponse::FromEpsilon(0.8);
+  ASSERT_TRUE(rr.ok());
+  const double p = rr->keep_probability();
+  for (double truth : {0.0, 0.25, 0.5, 1.0}) {
+    const double observed = p * truth + (1.0 - p) * (1.0 - truth);
+    EXPECT_NEAR(rr->UnbiasBitMean(observed), truth, 1e-12);
+  }
+}
+
+TEST(RandomizedResponse, UnbiasedEmpiricalEstimate) {
+  // End to end: the unbiased estimator recovers the true proportion.
+  auto rr = RandomizedResponse::FromEpsilon(1.0);
+  ASSERT_TRUE(rr.ok());
+  Rng rng(107);
+  const double truth = 0.3;  // fraction of users with bit = 1
+  const int n = 400000;
+  double observed = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int bit = rng.Bernoulli(truth) ? 1 : 0;
+    observed += rr->PerturbBit(bit, rng);
+  }
+  EXPECT_NEAR(rr->UnbiasBitMean(observed / n), truth, 0.01);
+}
+
+TEST(RandomizedResponse, VarianceBoundDecreasesWithEpsilon) {
+  auto low = RandomizedResponse::FromEpsilon(0.2);
+  auto high = RandomizedResponse::FromEpsilon(2.0);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(low->SignEstimatorVarianceBound(),
+            high->SignEstimatorVarianceBound());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,140 @@
+#include "mechanisms/unary_encoding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(UnaryEncoding, VanillaProbabilities) {
+  const double eps = 1.2;
+  auto ue = UnaryEncoding::Create(eps, UnaryVariant::kVanilla);
+  ASSERT_TRUE(ue.ok());
+  const double e_half = std::exp(eps / 2.0);
+  EXPECT_NEAR(ue->p1(), e_half / (1.0 + e_half), 1e-12);
+  EXPECT_NEAR(ue->p0(), 1.0 - ue->p1(), 1e-12);
+}
+
+TEST(UnaryEncoding, OptimizedProbabilities) {
+  const double eps = 1.2;
+  auto ue = UnaryEncoding::Create(eps, UnaryVariant::kOptimized);
+  ASSERT_TRUE(ue.ok());
+  EXPECT_NEAR(ue->p1(), 0.5, 1e-12);
+  EXPECT_NEAR(ue->p0(), 1.0 / (std::exp(eps) + 1.0), 1e-12);
+}
+
+TEST(UnaryEncoding, RejectsBadEpsilon) {
+  EXPECT_FALSE(UnaryEncoding::Create(0.0).ok());
+  EXPECT_FALSE(UnaryEncoding::Create(-2.0).ok());
+}
+
+TEST(UnaryEncoding, BothVariantsSatisfyExactEpsLdpOnOneHot) {
+  // Adjacent one-hot inputs differ at two positions; the worst-case
+  // likelihood ratio is (p1/p0) * ((1-p0)/(1-p1)) and must equal e^eps.
+  for (double eps : {0.4, 1.0, 1.7}) {
+    for (auto variant : {UnaryVariant::kVanilla, UnaryVariant::kOptimized}) {
+      auto ue = UnaryEncoding::Create(eps, variant);
+      ASSERT_TRUE(ue.ok());
+      const double worst =
+          (ue->p1() / ue->p0()) * ((1.0 - ue->p0()) / (1.0 - ue->p1()));
+      EXPECT_NEAR(worst, std::exp(eps), 1e-9)
+          << "eps=" << eps
+          << " variant=" << (variant == UnaryVariant::kVanilla ? "v" : "o");
+    }
+  }
+}
+
+TEST(UnaryEncoding, PerturbPreservesLength) {
+  auto ue = UnaryEncoding::Create(1.0);
+  ASSERT_TRUE(ue.ok());
+  Rng rng(211);
+  std::vector<uint8_t> bits(16, 0);
+  bits[3] = 1;
+  const auto out = ue->Perturb(bits, rng);
+  EXPECT_EQ(out.size(), bits.size());
+  for (uint8_t b : out) EXPECT_LE(b, 1);
+}
+
+TEST(UnaryEncoding, PerturbOneHotMatchesDensePath) {
+  // The sparse one-hot path and the dense path must produce identically
+  // distributed reports; compare per-position one-rates.
+  auto ue = UnaryEncoding::Create(std::log(3.0));
+  ASSERT_TRUE(ue.ok());
+  const uint64_t m = 8;
+  const uint64_t hot = 5;
+  const int n = 100000;
+
+  std::vector<double> rate_sparse(m, 0.0), rate_dense(m, 0.0);
+  Rng rng1(213), rng2(214);
+  std::vector<uint8_t> dense_in(m, 0);
+  dense_in[hot] = 1;
+  for (int i = 0; i < n; ++i) {
+    for (uint64_t pos : ue->PerturbOneHot(m, hot, rng1)) {
+      rate_sparse[pos] += 1.0;
+    }
+    const auto out = ue->Perturb(dense_in, rng2);
+    for (uint64_t j = 0; j < m; ++j) rate_dense[j] += out[j];
+  }
+  for (uint64_t j = 0; j < m; ++j) {
+    rate_sparse[j] /= n;
+    rate_dense[j] /= n;
+    const double expected = (j == hot) ? ue->p1() : ue->p0();
+    EXPECT_NEAR(rate_sparse[j], expected, 0.01) << "sparse pos " << j;
+    EXPECT_NEAR(rate_dense[j], expected, 0.01) << "dense pos " << j;
+  }
+}
+
+TEST(UnaryEncoding, UnbiasCountRecoversTruth) {
+  auto ue = UnaryEncoding::Create(1.0);
+  ASSERT_TRUE(ue.ok());
+  const double n = 10000.0;
+  const double true_ones = 1234.0;
+  const double expected_count = true_ones * ue->p1() + (n - true_ones) * ue->p0();
+  EXPECT_NEAR(ue->UnbiasCount(expected_count, n), true_ones, 1e-9);
+}
+
+TEST(UnaryEncoding, UnbiasedEmpiricalEstimate) {
+  auto ue = UnaryEncoding::Create(std::log(3.0), UnaryVariant::kOptimized);
+  ASSERT_TRUE(ue.ok());
+  Rng rng(217);
+  const uint64_t m = 4;
+  const int n = 200000;
+  // Population: 60% at cell 0, 40% at cell 2.
+  std::vector<double> counts(m, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t hot = rng.Bernoulli(0.6) ? 0 : 2;
+    for (uint64_t pos : ue->PerturbOneHot(m, hot, rng)) counts[pos] += 1.0;
+  }
+  EXPECT_NEAR(ue->UnbiasCount(counts[0], n) / n, 0.6, 0.01);
+  EXPECT_NEAR(ue->UnbiasCount(counts[1], n) / n, 0.0, 0.01);
+  EXPECT_NEAR(ue->UnbiasCount(counts[2], n) / n, 0.4, 0.01);
+  EXPECT_NEAR(ue->UnbiasCount(counts[3], n) / n, 0.0, 0.01);
+}
+
+TEST(UnaryEncoding, OptimizedVarianceNoWorseThanVanilla) {
+  // Wang et al.'s motivation: optimized probabilities lower the estimator
+  // variance for the (dominant) zero cells.
+  for (double eps : {0.5, 1.0, 2.0}) {
+    auto vanilla = UnaryEncoding::Create(eps, UnaryVariant::kVanilla);
+    auto optimized = UnaryEncoding::Create(eps, UnaryVariant::kOptimized);
+    ASSERT_TRUE(vanilla.ok());
+    ASSERT_TRUE(optimized.ok());
+    EXPECT_LE(optimized->EstimatorVariance(0),
+              vanilla->EstimatorVariance(0) * (1 + 1e-9))
+        << "eps=" << eps;
+  }
+}
+
+TEST(UnaryEncoding, EstimatorVarianceFormula) {
+  auto ue = UnaryEncoding::Create(1.0, UnaryVariant::kVanilla);
+  ASSERT_TRUE(ue.ok());
+  const double denom = (ue->p1() - ue->p0()) * (ue->p1() - ue->p0());
+  EXPECT_NEAR(ue->EstimatorVariance(1), ue->p1() * (1 - ue->p1()) / denom,
+              1e-12);
+  EXPECT_NEAR(ue->EstimatorVariance(0), ue->p0() * (1 - ue->p0()) / denom,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,138 @@
+#include "oracle/cms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "../protocols/test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(InpHtCms, CreateValidatesSketchGeometry) {
+  CmsParams bad_width;
+  bad_width.width = 100;  // not a power of two
+  EXPECT_FALSE(InpHtCmsProtocol::Create(Config(6, 2, 1.0), bad_width).ok());
+  CmsParams no_hashes;
+  no_hashes.num_hashes = 0;
+  EXPECT_FALSE(InpHtCmsProtocol::Create(Config(6, 2, 1.0), no_hashes).ok());
+  EXPECT_TRUE(InpHtCmsProtocol::Create(Config(6, 2, 1.0)).ok());
+}
+
+TEST(InpHtCms, DefaultParamsMatchPaper) {
+  auto p = InpHtCmsProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->params().num_hashes, 5);  // g = 5
+  EXPECT_EQ((*p)->params().width, 256);     // w = 256
+}
+
+TEST(InpHtCms, CommunicationIsLogarithmic) {
+  auto p = InpHtCmsProtocol::Create(Config(16, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  // ceil(log2 5) + log2 256 + 1 = 3 + 8 + 1.
+  EXPECT_DOUBLE_EQ((*p)->TheoreticalBitsPerUser(), 12.0);
+}
+
+TEST(InpHtCms, ReportsWithinSketch) {
+  auto p = InpHtCmsProtocol::Create(Config(8, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  Rng rng(41);
+  for (int i = 0; i < 300; ++i) {
+    const Report r = (*p)->Encode(200, rng);
+    EXPECT_LT(r.selector, 5u);
+    EXPECT_LT(r.value, 256u);
+    EXPECT_TRUE(r.sign == 1 || r.sign == -1);
+  }
+}
+
+TEST(InpHtCms, AbsorbRejectsMalformedReports) {
+  auto p = InpHtCmsProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Report bad_row;
+  bad_row.selector = 5;
+  bad_row.value = 0;
+  bad_row.sign = 1;
+  EXPECT_EQ((*p)->Absorb(bad_row).code(), StatusCode::kInvalidArgument);
+  Report bad_sign;
+  bad_sign.selector = 0;
+  bad_sign.value = 0;
+  bad_sign.sign = 3;
+  EXPECT_EQ((*p)->Absorb(bad_sign).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InpHtCms, PointFrequenciesTrackHeavyValues) {
+  // CMS is tuned for heavy hitters: plant a very heavy cell and check its
+  // estimated frequency.
+  const int d = 10;
+  auto p = InpHtCmsProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  Rng data_rng(43);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 120000; ++i) {
+    rows.push_back(data_rng.Bernoulli(0.5) ? 777 : data_rng.UniformInt(1 << d));
+  }
+  test::RunPerUser(**p, rows, 44);
+  auto f = (*p)->EstimateFrequency(777);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(*f, 0.5, 0.06);
+}
+
+TEST(InpHtCms, MarginalRecoveryOnSkewedData) {
+  const int d = 8;
+  auto p = InpHtCmsProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 120000, 45);
+  test::RunPerUser(**p, rows, 46);
+  // CMS is not tuned for uniform-ish tails (the paper's observation), so the
+  // tolerance is loose — but marginals must still be in the ballpark.
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.25);
+  }
+}
+
+TEST(InpHtCms, SharedHashBankIsDeterministic) {
+  auto a = InpHtCmsProtocol::Create(Config(6, 2, 1.0), CmsParams(), 99);
+  auto b = InpHtCmsProtocol::Create(Config(6, 2, 1.0), CmsParams(), 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same seed -> same hash bank -> identical estimates given identical
+  // absorbed reports.
+  const auto rows = test::SkewedRows(6, 30000, 47);
+  Rng ra(48), rb(48);
+  ASSERT_TRUE((*a)->AbsorbPopulation(rows, ra).ok());
+  ASSERT_TRUE((*b)->AbsorbPopulation(rows, rb).ok());
+  auto fa = (*a)->EstimateFrequency(13);
+  auto fb = (*b)->EstimateFrequency(13);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_DOUBLE_EQ(*fa, *fb);
+}
+
+TEST(InpHtCms, EstimateBeforeAbsorbFails) {
+  auto p = InpHtCmsProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->EstimateFrequency(3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InpHtCms, ResetClearsState) {
+  auto p = InpHtCmsProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(6, 1000, 49);
+  test::RunPerUser(**p, rows, 50);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  EXPECT_FALSE((*p)->EstimateFrequency(3).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

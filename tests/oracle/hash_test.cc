@@ -1,0 +1,151 @@
+#include "oracle/hash.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(MulModPrime, SmallValues) {
+  EXPECT_EQ(internal::MulModPrime(3, 4), 12u);
+  EXPECT_EQ(internal::MulModPrime(0, 12345), 0u);
+  EXPECT_EQ(internal::MulModPrime(1, kHashPrime - 1), kHashPrime - 1);
+}
+
+TEST(MulModPrime, WrapsCorrectly) {
+  // (p-1) * (p-1) mod p = 1.
+  EXPECT_EQ(internal::MulModPrime(kHashPrime - 1, kHashPrime - 1), 1u);
+  // 2 * (p-1) mod p = p - 2.
+  EXPECT_EQ(internal::MulModPrime(2, kHashPrime - 1), kHashPrime - 2);
+}
+
+TEST(AddModPrime, Wraps) {
+  EXPECT_EQ(internal::AddModPrime(kHashPrime - 1, 1), 0u);
+  EXPECT_EQ(internal::AddModPrime(5, 6), 11u);
+}
+
+TEST(UniversalHash, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(UniversalHash::Random(0, rng).ok());
+  EXPECT_FALSE(UniversalHash::FromCoefficients(0, 1, 4).ok());       // a = 0
+  EXPECT_FALSE(UniversalHash::FromCoefficients(kHashPrime, 1, 4).ok());
+  EXPECT_TRUE(UniversalHash::FromCoefficients(7, 3, 4).ok());
+}
+
+TEST(UniversalHash, OutputsWithinRange) {
+  Rng rng(3);
+  auto h = UniversalHash::Random(10, rng);
+  ASSERT_TRUE(h.ok());
+  for (uint64_t x = 0; x < 10000; ++x) EXPECT_LT((*h)(x), 10u);
+}
+
+TEST(UniversalHash, DeterministicGivenCoefficients) {
+  auto h1 = UniversalHash::FromCoefficients(123456, 789, 16);
+  auto h2 = UniversalHash::FromCoefficients(123456, 789, 16);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_EQ((*h1)(x), (*h2)(x));
+}
+
+TEST(UniversalHash, CoefficientsRoundTripThroughAccessors) {
+  Rng rng(5);
+  auto h = UniversalHash::Random(8, rng);
+  ASSERT_TRUE(h.ok());
+  auto rebuilt = UniversalHash::FromCoefficients(h->a(), h->b(), h->range());
+  ASSERT_TRUE(rebuilt.ok());
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_EQ((*h)(x), (*rebuilt)(x));
+}
+
+TEST(UniversalHash, CollisionRateNearOneOverG) {
+  // 2-universality: over random hash draws, P[h(x) == h(y)] ~ 1/g.
+  Rng rng(7);
+  const uint64_t g = 4;
+  const int trials = 50000;
+  int collisions = 0;
+  for (int i = 0; i < trials; ++i) {
+    auto h = UniversalHash::Random(g, rng);
+    ASSERT_TRUE(h.ok());
+    if ((*h)(123) == (*h)(456789)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / trials, 0.25, 0.01);
+}
+
+TEST(UniversalHash, MarginalUniformityPerInput) {
+  // For a fixed input, h(x) over random draws is ~uniform over [0, g).
+  Rng rng(9);
+  const uint64_t g = 8;
+  std::vector<int> counts(g, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) {
+    auto h = UniversalHash::Random(g, rng);
+    ASSERT_TRUE(h.ok());
+    ++counts[(*h)(9999)];
+  }
+  for (uint64_t v = 0; v < g; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / trials, 1.0 / g, 0.01);
+  }
+}
+
+TEST(ThreeWiseHash, RejectsBadParameters) {
+  Rng rng(11);
+  EXPECT_FALSE(ThreeWiseHash::Random(0, rng).ok());
+  EXPECT_FALSE(ThreeWiseHash::FromCoefficients(kHashPrime, 0, 0, 4).ok());
+  EXPECT_TRUE(ThreeWiseHash::FromCoefficients(1, 2, 3, 4).ok());
+}
+
+TEST(ThreeWiseHash, OutputsWithinRange) {
+  Rng rng(13);
+  auto h = ThreeWiseHash::Random(256, rng);
+  ASSERT_TRUE(h.ok());
+  for (uint64_t x = 0; x < 10000; ++x) EXPECT_LT((*h)(x), 256u);
+}
+
+TEST(ThreeWiseHash, PairwiseCollisionRate) {
+  Rng rng(17);
+  const uint64_t w = 16;
+  const int trials = 50000;
+  int collisions = 0;
+  for (int i = 0; i < trials; ++i) {
+    auto h = ThreeWiseHash::Random(w, rng);
+    ASSERT_TRUE(h.ok());
+    if ((*h)(42) == (*h)(1337)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / trials, 1.0 / w, 0.005);
+}
+
+TEST(ThreeWiseHash, TripleIndependenceSpotCheck) {
+  // 3-wise independence: the joint distribution of (h(x), h(y), h(z)) should
+  // factorize; test P[all three equal fixed values] ~ 1/w^3 aggregated over
+  // a coarse event to keep variance manageable: P[h(x)=h(y)=h(z)] ~ 1/w^2.
+  Rng rng(19);
+  const uint64_t w = 8;
+  const int trials = 200000;
+  int triple = 0;
+  for (int i = 0; i < trials; ++i) {
+    auto h = ThreeWiseHash::Random(w, rng);
+    ASSERT_TRUE(h.ok());
+    const uint64_t a = (*h)(3), b = (*h)(77), c = (*h)(1234567);
+    if (a == b && b == c) ++triple;
+  }
+  EXPECT_NEAR(static_cast<double>(triple) / trials, 1.0 / (w * w), 0.004);
+}
+
+TEST(ThreeWiseHash, DegreeTwoDistinguishesFromDegreeOne) {
+  // A degree-2 polynomial is not an affine function of x; find a witness
+  // triple violating affinity (h(x+2) - h(x+1) != h(x+1) - h(x) somewhere).
+  auto h = ThreeWiseHash::FromCoefficients(12345, 678, 91011, 1 << 20);
+  ASSERT_TRUE(h.ok());
+  bool nonaffine = false;
+  for (uint64_t x = 0; x < 64 && !nonaffine; ++x) {
+    const int64_t d1 = static_cast<int64_t>((*h)(x + 1)) -
+                       static_cast<int64_t>((*h)(x));
+    const int64_t d2 = static_cast<int64_t>((*h)(x + 2)) -
+                       static_cast<int64_t>((*h)(x + 1));
+    nonaffine = d1 != d2;
+  }
+  EXPECT_TRUE(nonaffine);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,120 @@
+#include "oracle/olh.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "../protocols/test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(InpOlh, GMatchesWangFormula) {
+  // g = round(e^eps) + 1; for e^eps = 3 the paper hashes onto 4 values.
+  auto p = InpOlhProtocol::Create(Config(6, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->g(), 4u);
+  EXPECT_NEAR((*p)->keep_probability(), 3.0 / (3.0 + 3.0), 1e-9);
+}
+
+TEST(InpOlh, CreateValidates) {
+  EXPECT_FALSE(InpOlhProtocol::Create(Config(4, 2, 0.0)).ok());
+  EXPECT_FALSE(
+      InpOlhProtocol::Create(Config(kMaxDenseDimensions + 1, 2, 1.0)).ok());
+}
+
+TEST(InpOlh, ReportsCarryValidHashAndValue) {
+  auto p = InpOlhProtocol::Create(Config(5, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const Report r = (*p)->Encode(11, rng);
+    EXPECT_LT(r.value, (*p)->g());
+    EXPECT_TRUE(UniversalHash::FromCoefficients(r.selector, r.aux, (*p)->g()).ok());
+  }
+}
+
+TEST(InpOlh, AbsorbRejectsMalformedReports) {
+  auto p = InpOlhProtocol::Create(Config(4, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  Report bad_value;
+  bad_value.selector = 5;
+  bad_value.aux = 1;
+  bad_value.value = 99;
+  EXPECT_EQ((*p)->Absorb(bad_value).code(), StatusCode::kInvalidArgument);
+  Report bad_hash;
+  bad_hash.selector = 0;  // a = 0 invalid
+  bad_hash.value = 1;
+  EXPECT_FALSE((*p)->Absorb(bad_hash).ok());
+}
+
+TEST(InpOlh, RecoversMarginalsSmallD) {
+  const int d = 5;
+  auto p = InpOlhProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 60000, 23);
+  test::RunPerUser(**p, rows, 24);
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.1);
+  }
+}
+
+TEST(InpOlh, FrequencyEstimatesSumToApproximatelyOne) {
+  const int d = 4;
+  auto p = InpOlhProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 50000, 25);
+  test::RunPerUser(**p, rows, 26);
+  auto full = (*p)->EstimateMarginal((1u << d) - 1);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(full->Total(), 1.0, 0.05);
+}
+
+TEST(InpOlh, WorkCapTripsForLargeDecodes) {
+  // d = 24 with ~10k users exceeds the 2e9 work cap; the decode must fail
+  // cleanly (mirroring the paper's 12-hour timeout), not hang.
+  auto p = InpOlhProtocol::Create(Config(24, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(24, 1000, 27);
+  test::RunPerUser(**p, rows, 28);
+  EXPECT_EQ((*p)->EstimateMarginal(0b11).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InpOlh, DecodeIsCachedAcrossQueries) {
+  const int d = 4;
+  auto p = InpOlhProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 20000, 29);
+  test::RunPerUser(**p, rows, 30);
+  auto first = (*p)->EstimateMarginal(0b0011);
+  ASSERT_TRUE(first.ok());
+  // Second query must be consistent (same cached decode).
+  auto again = (*p)->EstimateMarginal(0b0011);
+  ASSERT_TRUE(again.ok());
+  for (uint64_t i = 0; i < first->size(); ++i) {
+    EXPECT_DOUBLE_EQ(first->at_compact(i), again->at_compact(i));
+  }
+}
+
+TEST(InpOlh, ResetClearsState) {
+  auto p = InpOlhProtocol::Create(Config(4, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 1000, 31);
+  test::RunPerUser(**p, rows, 32);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  EXPECT_FALSE((*p)->EstimateMarginal(0b11).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

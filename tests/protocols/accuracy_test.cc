@@ -1,0 +1,79 @@
+#include "protocols/accuracy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(ErrorScalingFactor, ValidatesArguments) {
+  EXPECT_FALSE(ErrorScalingFactor(ProtocolKind::kInpHT, 0, 1).ok());
+  EXPECT_FALSE(ErrorScalingFactor(ProtocolKind::kInpHT, 4, 5).ok());
+  EXPECT_FALSE(ErrorScalingFactor(ProtocolKind::kInpHT, 4, 0).ok());
+}
+
+TEST(ErrorScalingFactor, InpEmHasNoBound) {
+  EXPECT_EQ(ErrorScalingFactor(ProtocolKind::kInpEM, 8, 2).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(ErrorScalingFactor, ClosedFormsAtD8K2) {
+  // Hand-checked values at d = 8, k = 2.
+  EXPECT_NEAR(*ErrorScalingFactor(ProtocolKind::kInpRR, 8, 2),
+              std::exp2(5.0), 1e-9);  // 2^{(8+2)/2}
+  EXPECT_NEAR(*ErrorScalingFactor(ProtocolKind::kInpPS, 8, 2),
+              std::exp2(9.0), 1e-9);  // 2^{8+1}
+  EXPECT_NEAR(*ErrorScalingFactor(ProtocolKind::kInpHT, 8, 2),
+              2.0 * std::sqrt(36.0), 1e-9);  // 2^1 * sqrt(8 + 28)
+  EXPECT_NEAR(*ErrorScalingFactor(ProtocolKind::kMargRR, 8, 2),
+              4.0 * std::sqrt(28.0), 1e-9);  // 2^2 * sqrt(C(8,2))
+  EXPECT_NEAR(*ErrorScalingFactor(ProtocolKind::kMargPS, 8, 2),
+              8.0 * std::sqrt(28.0), 1e-9);  // 2^3 * sqrt(C(8,2))
+  EXPECT_NEAR(*ErrorScalingFactor(ProtocolKind::kMargHT, 8, 2),
+              8.0 * std::sqrt(28.0), 1e-9);
+}
+
+TEST(ErrorScalingFactor, OrderingMatchesTable2Discussion) {
+  // At d = 16, k = 2: InpHT << Marg* << InpRR << InpPS.
+  const double ht = *ErrorScalingFactor(ProtocolKind::kInpHT, 16, 2);
+  const double marg_ps = *ErrorScalingFactor(ProtocolKind::kMargPS, 16, 2);
+  const double inp_rr = *ErrorScalingFactor(ProtocolKind::kInpRR, 16, 2);
+  const double inp_ps = *ErrorScalingFactor(ProtocolKind::kInpPS, 16, 2);
+  EXPECT_LT(ht, marg_ps);
+  EXPECT_LT(marg_ps, inp_rr);
+  EXPECT_LT(inp_rr, inp_ps);
+}
+
+TEST(PredictedError, ScalesAsInverseSqrtN) {
+  const double at_n = *PredictedError(ProtocolKind::kInpHT, 8, 2, 1.0, 10000);
+  const double at_4n = *PredictedError(ProtocolKind::kInpHT, 8, 2, 1.0, 40000);
+  EXPECT_NEAR(at_n / at_4n, 2.0, 1e-9);
+}
+
+TEST(PredictedError, ScalesInverselyWithEpsilon) {
+  const double tight = *PredictedError(ProtocolKind::kMargPS, 8, 2, 0.5, 10000);
+  const double loose = *PredictedError(ProtocolKind::kMargPS, 8, 2, 2.0, 10000);
+  EXPECT_NEAR(tight / loose, 4.0, 1e-9);
+}
+
+TEST(PredictedError, RejectsBadInputs) {
+  EXPECT_FALSE(PredictedError(ProtocolKind::kInpHT, 8, 2, 0.0, 100).ok());
+  EXPECT_FALSE(PredictedError(ProtocolKind::kInpHT, 8, 2, 1.0, 0).ok());
+}
+
+TEST(PredictedErrorRatio, ConstantsCancel) {
+  auto ratio = PredictedErrorRatio(ProtocolKind::kInpPS, 8, 2, 1.0, 10000, 4,
+                                   2, 1.0, 10000);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 16.0, 1e-9);  // 2^{d} doubling factor: 2^9 / 2^5
+}
+
+TEST(PredictedErrorRatio, PropagatesErrors) {
+  EXPECT_FALSE(PredictedErrorRatio(ProtocolKind::kInpEM, 8, 2, 1.0, 100, 8, 2,
+                                   1.0, 100)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,93 @@
+#include "protocols/factory.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(Factory, AllKindsListedInPaperOrder) {
+  const auto& kinds = AllProtocolKinds();
+  ASSERT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(ProtocolKindName(kinds[0]), "InpRR");
+  EXPECT_EQ(ProtocolKindName(kinds[1]), "InpPS");
+  EXPECT_EQ(ProtocolKindName(kinds[2]), "InpHT");
+  EXPECT_EQ(ProtocolKindName(kinds[3]), "MargRR");
+  EXPECT_EQ(ProtocolKindName(kinds[4]), "MargPS");
+  EXPECT_EQ(ProtocolKindName(kinds[5]), "MargHT");
+  EXPECT_EQ(ProtocolKindName(kinds[6]), "InpEM");
+}
+
+TEST(Factory, CoreKindsExcludeEm) {
+  const auto& core = CoreProtocolKinds();
+  EXPECT_EQ(core.size(), 6u);
+  for (ProtocolKind kind : core) {
+    EXPECT_NE(kind, ProtocolKind::kInpEM);
+  }
+}
+
+TEST(Factory, NameRoundTrip) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    auto parsed = ProtocolKindFromName(ProtocolKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(Factory, UnknownNameIsNotFound) {
+  EXPECT_EQ(ProtocolKindFromName("NoSuchProtocol").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Factory, CreatesEveryKind) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    auto p = CreateProtocol(kind, Config(6, 2, 1.0));
+    ASSERT_TRUE(p.ok()) << ProtocolKindName(kind) << ": "
+                        << p.status().ToString();
+    EXPECT_EQ((*p)->name(), ProtocolKindName(kind));
+    EXPECT_EQ((*p)->config().d, 6);
+    EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  }
+}
+
+TEST(Factory, PropagatesConfigErrors) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    EXPECT_FALSE(CreateProtocol(kind, Config(4, 2, -1.0)).ok())
+        << ProtocolKindName(kind);
+    EXPECT_FALSE(CreateProtocol(kind, Config(4, 9, 1.0)).ok())
+        << ProtocolKindName(kind);
+  }
+}
+
+TEST(Factory, CommunicationCostsMatchTable2) {
+  // Table 2 of the paper with d = 8, k = 2.
+  struct Expected {
+    ProtocolKind kind;
+    double bits;
+  };
+  const Expected expectations[] = {
+      {ProtocolKind::kInpRR, 256.0},   // 2^d
+      {ProtocolKind::kInpPS, 8.0},     // d
+      {ProtocolKind::kInpHT, 9.0},     // d + 1
+      {ProtocolKind::kMargRR, 12.0},   // d + 2^k
+      {ProtocolKind::kMargPS, 10.0},   // d + k
+      {ProtocolKind::kMargHT, 11.0},   // d + k + 1
+      {ProtocolKind::kInpEM, 8.0},     // d
+  };
+  for (const Expected& e : expectations) {
+    auto p = CreateProtocol(e.kind, Config(8, 2, 1.0));
+    ASSERT_TRUE(p.ok());
+    EXPECT_DOUBLE_EQ((*p)->TheoreticalBitsPerUser(), e.bits)
+        << ProtocolKindName(e.kind);
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

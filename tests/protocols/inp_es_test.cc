@@ -1,0 +1,246 @@
+#include "protocols/inp_es.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "protocols/inp_ht.h"
+
+namespace ldpm {
+namespace {
+
+InpEsProtocol::Config Config(std::vector<uint32_t> cards, int k, double eps) {
+  InpEsProtocol::Config c;
+  c.cardinalities = std::move(cards);
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+// Categorical rows with a planted association between attributes 0 and 1.
+std::vector<std::vector<uint32_t>> CorrelatedRows(
+    const std::vector<uint32_t>& cards, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> row(cards.size());
+    row[0] = static_cast<uint32_t>(rng.UniformInt(cards[0]));
+    for (size_t a = 1; a < cards.size(); ++a) {
+      if (a == 1 && rng.Bernoulli(0.6)) {
+        row[1] = row[0] % cards[1];
+      } else {
+        row[a] = static_cast<uint32_t>(rng.UniformInt(cards[a]));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// Exact categorical marginal of rows over `attrs` (attrs[0] fastest digit).
+std::vector<double> ExactCategorical(
+    const std::vector<std::vector<uint32_t>>& rows,
+    const std::vector<uint32_t>& cards, const std::vector<int>& attrs) {
+  uint64_t cells = 1;
+  for (int a : attrs) cells *= cards[a];
+  std::vector<double> out(cells, 0.0);
+  for (const auto& row : rows) {
+    uint64_t idx = 0, radix = 1;
+    for (int a : attrs) {
+      idx += row[a] * radix;
+      radix *= cards[a];
+    }
+    out[idx] += 1.0 / static_cast<double>(rows.size());
+  }
+  return out;
+}
+
+TEST(InpEs, CreateValidates) {
+  EXPECT_FALSE(InpEsProtocol::Create(Config({}, 2, 1.0)).ok());
+  EXPECT_FALSE(InpEsProtocol::Create(Config({3, 4}, 3, 1.0)).ok());
+  EXPECT_FALSE(InpEsProtocol::Create(Config({3, 4}, 2, 0.0)).ok());
+  EXPECT_FALSE(InpEsProtocol::Create(Config({1, 4}, 1, 1.0)).ok());
+  EXPECT_TRUE(InpEsProtocol::Create(Config({3, 4, 2}, 2, 1.0)).ok());
+}
+
+TEST(InpEs, CoefficientCountMatchesFormula) {
+  // |T| = sum over subsets S, 1 <= |S| <= k, of prod (r_i - 1).
+  auto p = InpEsProtocol::Create(Config({3, 4, 2}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  // singles: 2 + 3 + 1 = 6; pairs: 2*3 + 2*1 + 3*1 = 11. Total 17.
+  EXPECT_EQ((*p)->coefficient_count(), 17u);
+}
+
+TEST(InpEs, BinaryDomainCoefficientCountMatchesInpHt) {
+  // All r = 2: |T| = C(d,1) + C(d,2), the Hadamard count.
+  auto p = InpEsProtocol::Create(Config({2, 2, 2, 2, 2, 2}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->coefficient_count(), LowOrderCoefficientCount(6, 2));
+}
+
+TEST(InpEs, EncodeValidatesTuples) {
+  auto p = InpEsProtocol::Create(Config({3, 4}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Rng rng(1);
+  EXPECT_FALSE((*p)->Encode({1}, rng).ok());        // arity
+  EXPECT_FALSE((*p)->Encode({3, 0}, rng).ok());     // out of range
+  EXPECT_TRUE((*p)->Encode({2, 3}, rng).ok());
+}
+
+TEST(InpEs, AbsorbValidatesReports) {
+  auto p = InpEsProtocol::Create(Config({3, 4}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EsReport bad_coeff;
+  bad_coeff.coefficient = 10000;
+  bad_coeff.sign = 1;
+  EXPECT_FALSE((*p)->Absorb(bad_coeff).ok());
+  EsReport bad_sign;
+  bad_sign.coefficient = 0;
+  bad_sign.sign = 0;
+  EXPECT_FALSE((*p)->Absorb(bad_sign).ok());
+}
+
+TEST(InpEs, RecoversCategoricalMarginals) {
+  const std::vector<uint32_t> cards = {3, 4, 2, 3};
+  auto p = InpEsProtocol::Create(Config(cards, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = CorrelatedRows(cards, 200000, 11);
+  Rng rng(12);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+
+  const std::vector<int> attrs = {0, 1};
+  auto estimate = (*p)->EstimateMarginal(attrs);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  const auto exact = ExactCategorical(rows, cards, attrs);
+  ASSERT_EQ(estimate->probabilities.size(), exact.size());
+  double l1 = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    l1 += std::fabs(estimate->probabilities[i] - exact[i]);
+  }
+  EXPECT_LT(l1 / 2.0, 0.09);
+}
+
+TEST(InpEs, OneWayMarginalsAccurate) {
+  const std::vector<uint32_t> cards = {5, 3, 4};
+  auto p = InpEsProtocol::Create(Config(cards, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = CorrelatedRows(cards, 150000, 13);
+  Rng rng(14);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  for (int a = 0; a < 3; ++a) {
+    auto estimate = (*p)->EstimateMarginal({a});
+    ASSERT_TRUE(estimate.ok());
+    const auto exact = ExactCategorical(rows, cards, {a});
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_NEAR(estimate->probabilities[i], exact[i], 0.06)
+          << "attr " << a << " cell " << i;
+    }
+  }
+}
+
+TEST(InpEs, EstimateValidatesQueries) {
+  auto p = InpEsProtocol::Create(Config({3, 4, 2}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = CorrelatedRows({3, 4, 2}, 100, 15);
+  Rng rng(16);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  EXPECT_FALSE((*p)->EstimateMarginal({}).ok());
+  EXPECT_FALSE((*p)->EstimateMarginal({0, 1, 2}).ok());  // order > k
+  EXPECT_FALSE((*p)->EstimateMarginal({0, 0}).ok());
+  EXPECT_FALSE((*p)->EstimateMarginal({5}).ok());
+}
+
+TEST(InpEs, EstimateBeforeAbsorbFails) {
+  auto p = InpEsProtocol::Create(Config({3, 3}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->EstimateMarginal({0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InpEs, MarginalSumsToApproximatelyOne) {
+  const std::vector<uint32_t> cards = {4, 3};
+  auto p = InpEsProtocol::Create(Config(cards, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = CorrelatedRows(cards, 50000, 17);
+  Rng rng(18);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  auto estimate = (*p)->EstimateMarginal({0, 1});
+  ASSERT_TRUE(estimate.ok());
+  double total = 0.0;
+  for (double v : estimate->probabilities) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);  // f_empty = 1 preserves mass exactly
+}
+
+TEST(InpEs, MatchesInpHtOnBinaryDomains) {
+  // The conjecture's sanity anchor: with every r = 2, InpES and InpHT are
+  // the same algorithm (same coefficient set, same channel); estimates
+  // agree statistically.
+  const int d = 6;
+  Rng data_rng(19);
+  std::vector<uint64_t> packed;
+  std::vector<std::vector<uint32_t>> tuples;
+  for (int i = 0; i < 150000; ++i) {
+    uint64_t row = 0;
+    std::vector<uint32_t> tuple(d);
+    for (int b = 0; b < d; ++b) {
+      const bool bit = data_rng.Bernoulli(0.25 + 0.08 * b);
+      tuple[b] = bit;
+      if (bit) row |= uint64_t{1} << b;
+    }
+    packed.push_back(row);
+    tuples.push_back(std::move(tuple));
+  }
+
+  auto es = InpEsProtocol::Create(
+      Config(std::vector<uint32_t>(d, 2u), 2, std::log(3.0)));
+  ASSERT_TRUE(es.ok());
+  Rng rng_es(20);
+  ASSERT_TRUE((*es)->AbsorbPopulation(tuples, rng_es).ok());
+
+  ProtocolConfig ht_config;
+  ht_config.d = d;
+  ht_config.k = 2;
+  ht_config.epsilon = std::log(3.0);
+  auto ht = InpHtProtocol::Create(ht_config);
+  ASSERT_TRUE(ht.ok());
+  Rng rng_ht(21);
+  ASSERT_TRUE((*ht)->AbsorbPopulation(packed, rng_ht).ok());
+
+  // Compare the {0,1} pair marginal cellwise.
+  auto es_m = (*es)->EstimateMarginal({0, 1});
+  auto ht_m = (*ht)->EstimateMarginal(0b11);
+  ASSERT_TRUE(es_m.ok());
+  ASSERT_TRUE(ht_m.ok());
+  // CategoricalMarginal: attrs[0] fastest; compact binary: bit0 = attr 0.
+  for (uint32_t b = 0; b < 2; ++b) {
+    for (uint32_t a = 0; a < 2; ++a) {
+      EXPECT_NEAR(es_m->probabilities[a + 2 * b],
+                  ht_m->at_compact(a | (b << 1)), 0.05)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(InpEs, ResetClearsState) {
+  auto p = InpEsProtocol::Create(Config({3, 3}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = CorrelatedRows({3, 3}, 1000, 23);
+  Rng rng(24);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  EXPECT_FALSE((*p)->EstimateMarginal({0}).ok());
+}
+
+TEST(InpEs, CommunicationIsLogarithmicInCoefficients) {
+  auto p = InpEsProtocol::Create(Config({3, 4, 2, 3, 5}, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const double expected =
+      std::ceil(std::log2(static_cast<double>((*p)->coefficient_count()))) + 1;
+  EXPECT_DOUBLE_EQ((*p)->TheoreticalBitsPerUser(), expected);
+}
+
+}  // namespace
+}  // namespace ldpm

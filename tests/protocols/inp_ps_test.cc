@@ -1,0 +1,138 @@
+#include "protocols/inp_ps.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(InpPs, CreateValidatesConfig) {
+  EXPECT_TRUE(InpPsProtocol::Create(Config(4, 2, 1.0)).ok());
+  EXPECT_FALSE(InpPsProtocol::Create(Config(4, 0, 1.0)).ok());
+  EXPECT_FALSE(InpPsProtocol::Create(Config(kMaxDenseDimensions + 1, 2, 1.0)).ok());
+}
+
+TEST(InpPs, MechanismUsesFullDomain) {
+  auto p = InpPsProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->mechanism().domain_size(), 64u);
+}
+
+TEST(InpPs, ReportBitsAreD) {
+  auto p = InpPsProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Rng rng(41);
+  EXPECT_EQ((*p)->Encode(5, rng).bits, 6.0);
+  EXPECT_EQ((*p)->TheoreticalBitsPerUser(), 6.0);
+}
+
+TEST(InpPs, AbsorbRejectsOutOfDomain) {
+  auto p = InpPsProtocol::Create(Config(3, 1, 1.0));
+  ASSERT_TRUE(p.ok());
+  Report bad;
+  bad.value = 8;
+  EXPECT_EQ((*p)->Absorb(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InpPs, RecoversMarginalsSmallDomain) {
+  // InpPS is accurate when 2^d is small (the paper's d <= 4 regime).
+  const int d = 3;
+  auto p = InpPsProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 100000, 43);
+  test::RunPerUser(**p, rows, 44);
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.06);
+  }
+}
+
+TEST(InpPs, UnbiasedFullDistributionEstimate) {
+  const int d = 2;
+  auto p = InpPsProtocol::Create(Config(d, 1, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 200000, 45);
+  test::RunPerUser(**p, rows, 46);
+  auto full = (*p)->EstimateMarginal(0b11);
+  ASSERT_TRUE(full.ok());
+  const MarginalTable truth = test::ExactMarginal(rows, d, 0b11);
+  for (uint64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(full->at_compact(c), truth.at_compact(c), 0.02) << c;
+  }
+}
+
+TEST(InpPs, ErrorGrowsWithDimension) {
+  // The 2^d factor in Theorem 4.4: at equal N, d = 8 should be clearly
+  // worse than d = 3.
+  auto run = [](int d) {
+    ProtocolConfig c;
+    c.d = d;
+    c.k = 2;
+    c.epsilon = 1.0;
+    auto p = InpPsProtocol::Create(c);
+    EXPECT_TRUE(p.ok());
+    const auto rows = test::SkewedRows(d, 50000, 47);
+    test::RunPerUser(**p, rows, 48);
+    double worst = 0.0;
+    for (uint64_t beta : KWaySelectors(d, 2)) {
+      auto est = (*p)->EstimateMarginal(beta);
+      EXPECT_TRUE(est.ok());
+      worst = std::max(worst, test::ExactMarginal(rows, d, beta)
+                                  .TotalVariationDistance(*est));
+    }
+    return worst;
+  };
+  EXPECT_LT(run(3), run(8));
+}
+
+TEST(InpPs, EstimateSumsToApproximatelyOne) {
+  auto p = InpPsProtocol::Create(Config(4, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 50000, 49);
+  test::RunPerUser(**p, rows, 50);
+  auto m = (*p)->EstimateMarginal(0b0011);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->Total(), 1.0, 0.05);
+}
+
+TEST(InpPs, ResetClearsState) {
+  auto p = InpPsProtocol::Create(Config(3, 1, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(3, 1000, 51);
+  test::RunPerUser(**p, rows, 52);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  EXPECT_FALSE((*p)->EstimateMarginal(0b001).ok());
+}
+
+TEST(InpPs, DefaultPopulationPathMatchesPerUser) {
+  // InpPS uses the base-class AbsorbPopulation (per-user loop); both paths
+  // must agree statistically.
+  const int d = 3;
+  const auto rows = test::SkewedRows(d, 100000, 53);
+  auto a = InpPsProtocol::Create(Config(d, 2, 1.0));
+  auto b = InpPsProtocol::Create(Config(d, 2, 1.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  test::RunPerUser(**a, rows, 54);
+  Rng rng(55);
+  ASSERT_TRUE((*b)->AbsorbPopulation(rows, rng).ok());
+  auto ma = (*a)->EstimateMarginal(0b011);
+  auto mb = (*b)->EstimateMarginal(0b011);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_LE(ma->TotalVariationDistance(*mb), 0.05);
+}
+
+}  // namespace
+}  // namespace ldpm

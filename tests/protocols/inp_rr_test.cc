@@ -1,0 +1,171 @@
+#include "protocols/inp_rr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(InpRr, CreateValidatesConfig) {
+  EXPECT_TRUE(InpRrProtocol::Create(Config(4, 2, 1.0)).ok());
+  EXPECT_FALSE(InpRrProtocol::Create(Config(0, 1, 1.0)).ok());
+  EXPECT_FALSE(InpRrProtocol::Create(Config(4, 5, 1.0)).ok());
+  EXPECT_FALSE(InpRrProtocol::Create(Config(4, 2, 0.0)).ok());
+  EXPECT_FALSE(InpRrProtocol::Create(Config(kMaxDenseDimensions + 1, 2, 1.0)).ok());
+}
+
+TEST(InpRr, ReportShapeAndBits) {
+  auto p = InpRrProtocol::Create(Config(5, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Rng rng(1);
+  const Report r = (*p)->Encode(7, rng);
+  EXPECT_EQ(r.bits, 32.0);  // 2^5 bits, Table 2
+  EXPECT_EQ((*p)->TheoreticalBitsPerUser(), 32.0);
+  for (uint64_t pos : r.ones) EXPECT_LT(pos, 32u);
+}
+
+TEST(InpRr, AbsorbRejectsOutOfDomainPositions) {
+  auto p = InpRrProtocol::Create(Config(3, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Report bad;
+  bad.ones = {9};  // domain is [0, 8)
+  EXPECT_EQ((*p)->Absorb(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+}
+
+TEST(InpRr, EstimateBeforeAbsorbFails) {
+  auto p = InpRrProtocol::Create(Config(3, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->EstimateMarginal(0b011).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InpRr, RecoversMarginalsPerUserPath) {
+  const int d = 4;
+  auto p = InpRrProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 60000, 11);
+  test::RunPerUser(**p, rows, 12);
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.08);
+  }
+}
+
+TEST(InpRr, FastPathMatchesTruth) {
+  const int d = 6;
+  auto p = InpRrProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 100000, 13);
+  Rng rng(14);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  EXPECT_EQ((*p)->reports_absorbed(), rows.size());
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.08);
+  }
+}
+
+TEST(InpRr, FastAndSlowPathsAgreeInDistribution) {
+  // Same population through both paths (different randomness); the two
+  // estimates must agree within joint noise.
+  const int d = 4;
+  const auto rows = test::SkewedRows(d, 80000, 17);
+  auto slow = InpRrProtocol::Create(Config(d, 2, 1.0));
+  auto fast = InpRrProtocol::Create(Config(d, 2, 1.0));
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  test::RunPerUser(**slow, rows, 18);
+  Rng rng(19);
+  ASSERT_TRUE((*fast)->AbsorbPopulation(rows, rng).ok());
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    auto a = (*slow)->EstimateMarginal(beta);
+    auto b = (*fast)->EstimateMarginal(beta);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_LE(a->TotalVariationDistance(*b), 0.1) << "beta=" << beta;
+  }
+}
+
+TEST(InpRr, AnswersAnyOrderUpToD) {
+  // InpRR reconstructs the full distribution, so queries above k work too.
+  const int d = 4;
+  auto p = InpRrProtocol::Create(Config(d, 2, 2.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 50000, 21);
+  Rng rng(22);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  auto full = (*p)->EstimateMarginal((1u << d) - 1);
+  EXPECT_TRUE(full.ok());
+}
+
+TEST(InpRr, EstimateSumsToApproximatelyOne) {
+  const int d = 5;
+  auto p = InpRrProtocol::Create(Config(d, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 50000, 23);
+  Rng rng(24);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  auto m = (*p)->EstimateMarginal(0b00011);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->Total(), 1.0, 0.05);
+}
+
+TEST(InpRr, VanillaVariantAlsoWorks) {
+  ProtocolConfig c = Config(4, 2, std::log(3.0));
+  c.unary_variant = UnaryVariant::kVanilla;
+  auto p = InpRrProtocol::Create(c);
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 60000, 25);
+  Rng rng(26);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  test::ExpectEstimateClose(**p, rows, 4, 0b0011, 0.08);
+}
+
+TEST(InpRr, ProjectToSimplexYieldsDistribution) {
+  ProtocolConfig c = Config(4, 2, 0.5);
+  c.project_to_simplex = true;
+  auto p = InpRrProtocol::Create(c);
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 20000, 27);
+  Rng rng(28);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  auto m = (*p)->EstimateMarginal(0b0011);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->Total(), 1.0, 1e-9);
+  for (uint64_t i = 0; i < m->size(); ++i) EXPECT_GE(m->at_compact(i), 0.0);
+}
+
+TEST(InpRr, ResetClearsState) {
+  auto p = InpRrProtocol::Create(Config(3, 1, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(3, 1000, 29);
+  Rng rng(30);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+  EXPECT_GT((*p)->reports_absorbed(), 0u);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  EXPECT_EQ((*p)->total_report_bits(), 0.0);
+  EXPECT_FALSE((*p)->EstimateMarginal(0b001).ok());
+}
+
+TEST(InpRr, MeasuredBitsMatchTheory) {
+  auto p = InpRrProtocol::Create(Config(4, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 100, 31);
+  test::RunPerUser(**p, rows, 32);
+  EXPECT_DOUBLE_EQ((*p)->total_report_bits() / 100.0,
+                   (*p)->TheoreticalBitsPerUser());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,160 @@
+#include "protocols/marg_ht.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(MargHt, ReportBitsAreDPlusKPlusOne) {
+  auto p = MargHtProtocol::Create(Config(8, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->TheoreticalBitsPerUser(), 11.0);  // d + k + 1, Table 2
+}
+
+TEST(MargHt, EncodeProducesValidCoefficientReports) {
+  auto p = MargHtProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Rng rng(131);
+  for (int i = 0; i < 500; ++i) {
+    const Report r = (*p)->Encode(9, rng);
+    EXPECT_EQ(Popcount(r.selector), 2);
+    EXPECT_GE(r.value, 1u);  // zero coefficient excluded by default
+    EXPECT_LT(r.value, 4u);
+    EXPECT_TRUE(r.sign == 1 || r.sign == -1);
+  }
+}
+
+TEST(MargHt, ZeroCoefficientSamplingFlag) {
+  ProtocolConfig c = Config(6, 2, 1.0);
+  c.sample_zero_coefficient = true;
+  auto p = MargHtProtocol::Create(c);
+  ASSERT_TRUE(p.ok());
+  Rng rng(133);
+  bool saw_zero = false;
+  for (int i = 0; i < 2000 && !saw_zero; ++i) {
+    saw_zero = (*p)->Encode(9, rng).value == 0;
+  }
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(MargHt, AbsorbRejectsMalformedReports) {
+  auto p = MargHtProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Report zero_coeff;
+  zero_coeff.selector = 0b11;
+  zero_coeff.value = 0;  // excluded under default config
+  zero_coeff.sign = 1;
+  EXPECT_EQ((*p)->Absorb(zero_coeff).code(), StatusCode::kInvalidArgument);
+  Report bad_sign;
+  bad_sign.selector = 0b11;
+  bad_sign.value = 1;
+  bad_sign.sign = 2;
+  EXPECT_EQ((*p)->Absorb(bad_sign).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MargHt, RecoversKWayMarginals) {
+  const int d = 6;
+  auto p = MargHtProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 200000, 135);
+  test::RunPerUser(**p, rows, 136);
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.1);
+  }
+}
+
+TEST(MargHt, LowerOrderPooling) {
+  const int d = 6;
+  auto p = MargHtProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 200000, 137);
+  test::RunPerUser(**p, rows, 138);
+  for (uint64_t beta : KWaySelectors(d, 1)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.08);
+  }
+}
+
+TEST(MargHt, EstimatedMarginalSumsToOne) {
+  // With f_0 fixed at 1, reconstruction preserves total mass exactly.
+  auto p = MargHtProtocol::Create(Config(5, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(5, 50000, 139);
+  test::RunPerUser(**p, rows, 140);
+  auto m = (*p)->EstimateMarginal(0b00011);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->Total(), 1.0, 1e-9);
+}
+
+TEST(MargHt, PaperLiteralSamplingStillRecovers) {
+  ProtocolConfig c = Config(5, 2, std::log(3.0));
+  c.sample_zero_coefficient = true;
+  auto p = MargHtProtocol::Create(c);
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(5, 200000, 141);
+  test::RunPerUser(**p, rows, 142);
+  test::ExpectEstimateClose(**p, rows, 5, 0b00011, 0.1);
+}
+
+TEST(MargHt, DefaultModeBeatsZeroSamplingMode) {
+  // The ablation: wasting samples on the constant coefficient cannot help.
+  // Compare mean TV across all 2-way marginals at modest N.
+  const int d = 5;
+  const auto rows = test::SkewedRows(d, 60000, 143);
+  auto run = [&](bool sample_zero) {
+    ProtocolConfig c = Config(d, 2, 1.0);
+    c.sample_zero_coefficient = sample_zero;
+    auto p = MargHtProtocol::Create(c);
+    EXPECT_TRUE(p.ok());
+    double total = 0.0;
+    int trials = 0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      (*p)->Reset();
+      test::RunPerUser(**p, rows, 144 + seed);
+      for (uint64_t beta : KWaySelectors(d, 2)) {
+        auto est = (*p)->EstimateMarginal(beta);
+        EXPECT_TRUE(est.ok());
+        total +=
+            test::ExactMarginal(rows, d, beta).TotalVariationDistance(*est);
+        ++trials;
+      }
+    }
+    return total / trials;
+  };
+  // Allow slack: the effect is ~ (2^k)/(2^k - 1) in sample efficiency.
+  EXPECT_LT(run(false), run(true) * 1.1);
+}
+
+TEST(MargHt, HorvitzThompsonEstimator) {
+  ProtocolConfig c = Config(5, 2, std::log(3.0));
+  c.estimator = EstimatorKind::kHorvitzThompson;
+  auto p = MargHtProtocol::Create(c);
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(5, 150000, 151);
+  test::RunPerUser(**p, rows, 152);
+  test::ExpectEstimateClose(**p, rows, 5, 0b00110, 0.1);
+}
+
+TEST(MargHt, ResetClearsState) {
+  auto p = MargHtProtocol::Create(Config(4, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 500, 153);
+  test::RunPerUser(**p, rows, 154);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  EXPECT_FALSE((*p)->EstimateMarginal(0b0011).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,126 @@
+#include "protocols/marg_rr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+TEST(MargRr, SelectorsAreAllKWayMarginals) {
+  auto p = MargRrProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->selectors().size(), 15u);  // C(6,2)
+  for (uint64_t beta : (*p)->selectors()) EXPECT_EQ(Popcount(beta), 2);
+}
+
+TEST(MargRr, ReportBitsAreDPlus2ToK) {
+  auto p = MargRrProtocol::Create(Config(8, 3, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->TheoreticalBitsPerUser(), 8.0 + 8.0);  // d + 2^k, Table 2
+  Rng rng(91);
+  EXPECT_EQ((*p)->Encode(3, rng).bits, 16.0);
+}
+
+TEST(MargRr, EncodeChoosesValidSelector) {
+  auto p = MargRrProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Rng rng(93);
+  for (int i = 0; i < 200; ++i) {
+    const Report r = (*p)->Encode(5, rng);
+    EXPECT_EQ(Popcount(r.selector), 2);
+    for (uint64_t pos : r.ones) EXPECT_LT(pos, 4u);
+  }
+}
+
+TEST(MargRr, AbsorbRejectsMalformedReports) {
+  auto p = MargRrProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  Report bad_selector;
+  bad_selector.selector = 0b111;  // 3-way, not in the 2-way set
+  EXPECT_EQ((*p)->Absorb(bad_selector).code(), StatusCode::kInvalidArgument);
+  Report bad_cell;
+  bad_cell.selector = 0b11;
+  bad_cell.ones = {4};  // cells are [0, 4)
+  EXPECT_EQ((*p)->Absorb(bad_cell).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MargRr, RecoversKWayMarginals) {
+  const int d = 6;
+  auto p = MargRrProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 200000, 95);
+  test::RunPerUser(**p, rows, 96);
+  for (uint64_t beta : KWaySelectors(d, 2)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.1);
+  }
+}
+
+TEST(MargRr, RecoversLowerOrderByPoolingSupersets) {
+  const int d = 6;
+  auto p = MargRrProtocol::Create(Config(d, 2, std::log(3.0)));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(d, 200000, 97);
+  test::RunPerUser(**p, rows, 98);
+  for (uint64_t beta : KWaySelectors(d, 1)) {
+    test::ExpectEstimateClose(**p, rows, d, beta, 0.08);
+  }
+}
+
+TEST(MargRr, QueryAboveKRejected) {
+  auto p = MargRrProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(6, 100, 99);
+  test::RunPerUser(**p, rows, 100);
+  EXPECT_EQ((*p)->EstimateMarginal(0b111).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MargRr, SelectorCountsAreUniformish) {
+  auto p = MargRrProtocol::Create(Config(6, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(6, 30000, 101);
+  test::RunPerUser(**p, rows, 102);
+  const double expected = 30000.0 / 15.0;
+  for (uint64_t count : (*p)->selector_counts()) {
+    EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.25);
+  }
+}
+
+TEST(MargRr, HorvitzThompsonEstimator) {
+  ProtocolConfig c = Config(5, 2, std::log(3.0));
+  c.estimator = EstimatorKind::kHorvitzThompson;
+  auto p = MargRrProtocol::Create(c);
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(5, 150000, 103);
+  test::RunPerUser(**p, rows, 104);
+  test::ExpectEstimateClose(**p, rows, 5, 0b00011, 0.1);
+}
+
+TEST(MargRr, ResetClearsState) {
+  auto p = MargRrProtocol::Create(Config(4, 2, 1.0));
+  ASSERT_TRUE(p.ok());
+  const auto rows = test::SkewedRows(4, 500, 105);
+  test::RunPerUser(**p, rows, 106);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->reports_absorbed(), 0u);
+  for (uint64_t c2 : (*p)->selector_counts()) EXPECT_EQ(c2, 0u);
+}
+
+TEST(MargRr, ValidationGuardsHugeState) {
+  // k = 24 is the documented hard cap.
+  EXPECT_FALSE(MargRrProtocol::Create(Config(30, 25, 1.0)).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,222 @@
+// Verifies the eps-LDP guarantee of every protocol: the mechanisms each
+// protocol instantiates must satisfy exactly the configured epsilon, and
+// for the sampling-based protocols the full report channel is enumerated
+// and its worst-case likelihood ratio checked against e^eps.
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/bits.h"
+#include "protocols/inp_em.h"
+#include "protocols/inp_ht.h"
+#include "protocols/inp_ps.h"
+#include "protocols/inp_rr.h"
+#include "protocols/marg_ht.h"
+#include "protocols/marg_ps.h"
+#include "protocols/marg_rr.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k, double eps) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = eps;
+  return c;
+}
+
+class PrivacyEpsilonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrivacyEpsilonTest, InpRrMechanismWorstRatioIsEps) {
+  const double eps = GetParam();
+  auto p = InpRrProtocol::Create(Config(5, 2, eps));
+  ASSERT_TRUE(p.ok());
+  const UnaryEncoding& ue = (*p)->mechanism();
+  // Adjacent one-hot inputs differ in two positions; the worst joint ratio
+  // is (p1/p0) * ((1-p0)/(1-p1)).
+  const double worst =
+      (ue.p1() / ue.p0()) * ((1.0 - ue.p0()) / (1.0 - ue.p1()));
+  EXPECT_NEAR(worst, std::exp(eps), 1e-9);
+}
+
+TEST_P(PrivacyEpsilonTest, InpPsChannelRatioIsEps) {
+  const double eps = GetParam();
+  auto p = InpPsProtocol::Create(Config(4, 2, eps));
+  ASSERT_TRUE(p.ok());
+  const DirectEncoding& de = (*p)->mechanism();
+  const double q = (1.0 - de.ps()) / static_cast<double>(de.domain_size() - 1);
+  EXPECT_NEAR(de.ps() / q, std::exp(eps), 1e-9);
+}
+
+TEST_P(PrivacyEpsilonTest, InpHtFullReportChannelEnumerated) {
+  const double eps = GetParam();
+  const int d = 4, k = 2;
+  auto p = InpHtProtocol::Create(Config(d, k, eps));
+  ASSERT_TRUE(p.ok());
+  const double pr = (*p)->mechanism().keep_probability();
+  const auto& alphas = (*p)->coefficient_indices();
+  const double ps = 1.0 / static_cast<double>(alphas.size());
+
+  // Exact output distribution over (alpha, sign) for every input; check the
+  // LDP ratio for every adjacent input pair and output.
+  auto prob = [&](uint64_t input, uint64_t alpha, int sign) {
+    const int true_sign = HadamardSignInt(input, alpha);
+    return ps * (sign == true_sign ? pr : 1.0 - pr);
+  };
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  for (uint64_t t = 0; t < (1u << d); ++t) {
+    for (uint64_t t2 = 0; t2 < (1u << d); ++t2) {
+      if (t == t2) continue;
+      for (uint64_t alpha : alphas) {
+        for (int sign : {-1, 1}) {
+          EXPECT_LE(prob(t, alpha, sign) / prob(t2, alpha, sign), bound)
+              << "t=" << t << " t'=" << t2 << " alpha=" << alpha;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyEpsilonTest, MargRrMechanismWorstRatioIsEps) {
+  const double eps = GetParam();
+  auto p = MargRrProtocol::Create(Config(6, 2, eps));
+  ASSERT_TRUE(p.ok());
+  const UnaryEncoding& ue = (*p)->mechanism();
+  const double worst =
+      (ue.p1() / ue.p0()) * ((1.0 - ue.p0()) / (1.0 - ue.p1()));
+  EXPECT_NEAR(worst, std::exp(eps), 1e-9);
+}
+
+TEST_P(PrivacyEpsilonTest, MargPsFullReportChannelEnumerated) {
+  const double eps = GetParam();
+  const int d = 4, k = 2;
+  auto p = MargPsProtocol::Create(Config(d, k, eps));
+  ASSERT_TRUE(p.ok());
+  const DirectEncoding& de = (*p)->mechanism();
+  const auto& selectors = (*p)->selectors();
+  const double p_sel = 1.0 / static_cast<double>(selectors.size());
+  const double q =
+      (1.0 - de.ps()) / static_cast<double>(de.domain_size() - 1);
+
+  auto prob = [&](uint64_t input, uint64_t beta, uint64_t cell) {
+    const uint64_t truth = ExtractBits(input, beta);
+    return p_sel * (cell == truth ? de.ps() : q);
+  };
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  for (uint64_t t = 0; t < (1u << d); ++t) {
+    for (uint64_t t2 = 0; t2 < (1u << d); ++t2) {
+      if (t == t2) continue;
+      for (uint64_t beta : selectors) {
+        for (uint64_t cell = 0; cell < (1u << k); ++cell) {
+          EXPECT_LE(prob(t, beta, cell) / prob(t2, beta, cell), bound);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyEpsilonTest, MargHtFullReportChannelEnumerated) {
+  const double eps = GetParam();
+  const int d = 4, k = 2;
+  auto p = MargHtProtocol::Create(Config(d, k, eps));
+  ASSERT_TRUE(p.ok());
+  const double pr = (*p)->mechanism().keep_probability();
+  const auto& selectors = (*p)->selectors();
+  const double p_pick =
+      1.0 / (static_cast<double>(selectors.size()) * ((1u << k) - 1));
+
+  auto prob = [&](uint64_t input, uint64_t beta, uint64_t r, int sign) {
+    const uint64_t alpha = DepositBits(r, beta);
+    const int true_sign = HadamardSignInt(input, alpha);
+    return p_pick * (sign == true_sign ? pr : 1.0 - pr);
+  };
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  for (uint64_t t = 0; t < (1u << d); ++t) {
+    for (uint64_t t2 = 0; t2 < (1u << d); ++t2) {
+      if (t == t2) continue;
+      for (uint64_t beta : selectors) {
+        for (uint64_t r = 1; r < (1u << k); ++r) {
+          for (int sign : {-1, 1}) {
+            EXPECT_LE(prob(t, beta, r, sign) / prob(t2, beta, r, sign), bound);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyEpsilonTest, InpEmComposedBudgetIsEps) {
+  const double eps = GetParam();
+  const int d = 6;
+  auto p = InpEmProtocol::Create(Config(d, 2, eps));
+  ASSERT_TRUE(p.ok());
+  // d sequential (eps/d)-RR mechanisms compose to exactly eps.
+  EXPECT_NEAR((*p)->per_bit_mechanism().epsilon() * d, eps, 1e-9);
+}
+
+TEST_P(PrivacyEpsilonTest, InpEmFullResponseChannelEnumerated) {
+  const double eps = GetParam();
+  const int d = 3;
+  auto p = InpEmProtocol::Create(Config(d, 2, eps));
+  ASSERT_TRUE(p.ok());
+  const double pb = (*p)->per_bit_mechanism().keep_probability();
+
+  // P[response y | input t] = prod over bits of pb or (1 - pb).
+  auto prob = [&](uint64_t t, uint64_t y) {
+    double pr = 1.0;
+    for (int b = 0; b < d; ++b) {
+      const bool agree = ((t >> b) & 1) == ((y >> b) & 1);
+      pr *= agree ? pb : 1.0 - pb;
+    }
+    return pr;
+  };
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  for (uint64_t t = 0; t < (1u << d); ++t) {
+    for (uint64_t t2 = 0; t2 < (1u << d); ++t2) {
+      for (uint64_t y = 0; y < (1u << d); ++y) {
+        EXPECT_LE(prob(t, y) / prob(t2, y), bound);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonSweep, PrivacyEpsilonTest,
+                         ::testing::Values(0.2, 0.5, 1.0, 1.0986122886681098,
+                                           1.4, 2.0));
+
+TEST(PrivacyEmpirical, InpHtReportFrequenciesMatchChannel) {
+  // Monte Carlo check that the implementation actually realizes the channel
+  // used in the enumeration proof above.
+  const double eps = std::log(3.0);
+  auto p = InpHtProtocol::Create(Config(3, 2, eps));
+  ASSERT_TRUE(p.ok());
+  const double pr = (*p)->mechanism().keep_probability();
+  const auto& alphas = (*p)->coefficient_indices();
+
+  const uint64_t input = 5;
+  Rng rng(191);
+  const int n = 300000;
+  std::map<std::pair<uint64_t, int>, int> counts;
+  for (int i = 0; i < n; ++i) {
+    const Report r = (*p)->Encode(input, rng);
+    ++counts[{r.selector, r.sign}];
+  }
+  for (uint64_t alpha : alphas) {
+    for (int sign : {-1, 1}) {
+      const int true_sign = HadamardSignInt(input, alpha);
+      const double expected =
+          (sign == true_sign ? pr : 1.0 - pr) / alphas.size();
+      const double observed =
+          static_cast<double>(counts[{alpha, sign}]) / n;
+      EXPECT_NEAR(observed, expected, 0.01)
+          << "alpha=" << alpha << " sign=" << sign;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

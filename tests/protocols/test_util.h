@@ -1,0 +1,68 @@
+// Shared helpers for protocol tests.
+
+#ifndef LDPM_TESTS_PROTOCOLS_TEST_UTIL_H_
+#define LDPM_TESTS_PROTOCOLS_TEST_UTIL_H_
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "core/random.h"
+#include "protocols/protocol.h"
+
+namespace ldpm {
+namespace test {
+
+/// Rows drawn from a fixed skewed product distribution over {0,1}^d:
+/// bit j is Bernoulli(0.2 + 0.5 * j / d), so every marginal is known to be
+/// a product of known Bernoullis and nothing is degenerate.
+inline std::vector<uint64_t> SkewedRows(int d, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t row = 0;
+    for (int j = 0; j < d; ++j) {
+      const double p = 0.2 + 0.5 * static_cast<double>(j) / d;
+      if (rng.Bernoulli(p)) row |= uint64_t{1} << j;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Exact marginal of a row list (convenience wrapper that asserts OK).
+inline MarginalTable ExactMarginal(const std::vector<uint64_t>& rows, int d,
+                                   uint64_t beta) {
+  auto m = MarginalFromRows(rows, d, beta);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return *std::move(m);
+}
+
+/// Runs the per-user path of a protocol over the rows.
+inline void RunPerUser(MarginalProtocol& protocol,
+                       const std::vector<uint64_t>& rows, uint64_t seed) {
+  Rng rng(seed);
+  for (uint64_t row : rows) {
+    const Status s = protocol.Absorb(protocol.Encode(row, rng));
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+/// Asserts that the protocol's estimate of `beta` is within `tv_tolerance`
+/// of the exact marginal of the rows.
+inline void ExpectEstimateClose(MarginalProtocol& protocol,
+                                const std::vector<uint64_t>& rows, int d,
+                                uint64_t beta, double tv_tolerance) {
+  auto estimate = protocol.EstimateMarginal(beta);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  const MarginalTable truth = ExactMarginal(rows, d, beta);
+  EXPECT_LE(truth.TotalVariationDistance(*estimate), tv_tolerance)
+      << "beta=" << beta;
+}
+
+}  // namespace test
+}  // namespace ldpm
+
+#endif  // LDPM_TESTS_PROTOCOLS_TEST_UTIL_H_

@@ -1,0 +1,158 @@
+#include "protocols/wire.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+ProtocolConfig Config(int d, int k) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = 1.0;
+  return c;
+}
+
+TEST(Wire, BitCountsMatchTable2) {
+  const ProtocolConfig c = Config(8, 2);
+  EXPECT_EQ(*WireBits(ProtocolKind::kInpRR, c), 256u);
+  EXPECT_EQ(*WireBits(ProtocolKind::kInpPS, c), 8u);
+  EXPECT_EQ(*WireBits(ProtocolKind::kInpHT, c), 9u);
+  EXPECT_EQ(*WireBits(ProtocolKind::kMargRR, c), 12u);
+  EXPECT_EQ(*WireBits(ProtocolKind::kMargPS, c), 10u);
+  EXPECT_EQ(*WireBits(ProtocolKind::kMargHT, c), 11u);
+  EXPECT_EQ(*WireBits(ProtocolKind::kInpEM, c), 8u);
+}
+
+TEST(Wire, WireBitsMatchProtocolTheoretical) {
+  const ProtocolConfig c = Config(10, 3);
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    auto p = CreateProtocol(kind, c);
+    ASSERT_TRUE(p.ok());
+    auto bits = WireBits(kind, c);
+    ASSERT_TRUE(bits.ok());
+    EXPECT_DOUBLE_EQ(static_cast<double>(*bits),
+                     (*p)->TheoreticalBitsPerUser())
+        << ProtocolKindName(kind);
+  }
+}
+
+class WireRoundTripTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(WireRoundTripTest, EncodeSerializeDeserializeAbsorb) {
+  const ProtocolKind kind = GetParam();
+  const ProtocolConfig config = Config(6, 2);
+  auto sender = CreateProtocol(kind, config);
+  auto receiver = CreateProtocol(kind, config);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(receiver.ok());
+  Rng rng(100);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t value = rng.UniformInt(64);
+    const Report original = (*sender)->Encode(value, rng);
+    auto bytes = SerializeReport(kind, config, original);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    // Size is exactly ceil(bits / 8).
+    EXPECT_EQ(bytes->size(), (*WireBits(kind, config) + 7) / 8);
+
+    auto parsed = DeserializeReport(kind, config, *bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->selector, original.selector);
+    EXPECT_EQ(parsed->value, original.value);
+    if (original.sign != 0) {
+      EXPECT_EQ(parsed->sign, original.sign);
+    }
+    EXPECT_EQ(parsed->ones, original.ones);
+
+    // The parsed report must be accepted by a fresh aggregator.
+    ASSERT_TRUE((*receiver)->Absorb(*parsed).ok());
+  }
+  EXPECT_EQ((*receiver)->reports_absorbed(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WireRoundTripTest,
+    ::testing::Values(ProtocolKind::kInpRR, ProtocolKind::kInpPS,
+                      ProtocolKind::kInpHT, ProtocolKind::kMargRR,
+                      ProtocolKind::kMargPS, ProtocolKind::kMargHT,
+                      ProtocolKind::kInpEM),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(ProtocolKindName(info.param));
+    });
+
+TEST(Wire, DeserializeRejectsWrongLength) {
+  const ProtocolConfig config = Config(6, 2);
+  const std::vector<uint8_t> short_buffer = {0x00};
+  EXPECT_FALSE(
+      DeserializeReport(ProtocolKind::kInpRR, config, short_buffer).ok());
+  const std::vector<uint8_t> long_buffer(100, 0x00);
+  EXPECT_FALSE(
+      DeserializeReport(ProtocolKind::kInpHT, config, long_buffer).ok());
+}
+
+TEST(Wire, SerializeRejectsMalformedReports) {
+  const ProtocolConfig config = Config(4, 2);
+  Report bad_pos;
+  bad_pos.ones = {100};
+  EXPECT_FALSE(SerializeReport(ProtocolKind::kInpRR, config, bad_pos).ok());
+  Report bad_sign;
+  bad_sign.selector = 0b11;
+  bad_sign.sign = 0;
+  EXPECT_FALSE(SerializeReport(ProtocolKind::kInpHT, config, bad_sign).ok());
+  Report bad_value;
+  bad_value.value = 16;
+  EXPECT_FALSE(SerializeReport(ProtocolKind::kInpPS, config, bad_value).ok());
+}
+
+TEST(Wire, CorruptedBytesRejectedByAggregator) {
+  // Flip selector bits so the parsed report lands outside the k-way set;
+  // the aggregator must reject rather than corrupt state.
+  const ProtocolConfig config = Config(6, 2);
+  auto protocol = CreateProtocol(ProtocolKind::kMargPS, config);
+  ASSERT_TRUE(protocol.ok());
+  Rng rng(7);
+  const Report report = (*protocol)->Encode(5, rng);
+  auto bytes = SerializeReport(ProtocolKind::kMargPS, config, report);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[0] = 0xFF;  // selector becomes a 6-bit all-ones mask (order 6)
+  auto parsed = DeserializeReport(ProtocolKind::kMargPS, config, *bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE((*protocol)->Absorb(*parsed).ok());
+  EXPECT_EQ((*protocol)->reports_absorbed(), 0u);
+}
+
+TEST(Wire, EndToEndThroughWireMatchesDirectPath) {
+  // A full population shipped through the wire format reconstructs the
+  // same marginals as the in-memory path.
+  const ProtocolConfig config = Config(5, 2);
+  auto direct = CreateProtocol(ProtocolKind::kInpHT, config);
+  auto via_wire = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_wire.ok());
+  const auto rows = test::SkewedRows(5, 50000, 9);
+  Rng rng_a(10), rng_b(10);  // same seed: identical reports
+  for (uint64_t row : rows) {
+    const Report r1 = (*direct)->Encode(row, rng_a);
+    ASSERT_TRUE((*direct)->Absorb(r1).ok());
+    const Report r2 = (*via_wire)->Encode(row, rng_b);
+    auto bytes = SerializeReport(ProtocolKind::kInpHT, config, r2);
+    ASSERT_TRUE(bytes.ok());
+    auto parsed = DeserializeReport(ProtocolKind::kInpHT, config, *bytes);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE((*via_wire)->Absorb(*parsed).ok());
+  }
+  auto m1 = (*direct)->EstimateMarginal(0b00011);
+  auto m2 = (*via_wire)->EstimateMarginal(0b00011);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  for (uint64_t i = 0; i < m1->size(); ++i) {
+    EXPECT_DOUBLE_EQ(m1->at_compact(i), m2->at_compact(i));
+  }
+}
+
+}  // namespace
+}  // namespace ldpm

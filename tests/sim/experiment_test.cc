@@ -1,0 +1,76 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace ldpm {
+namespace {
+
+BinaryDataset MakeSource() {
+  auto data = GenerateIndependent(30000, {0.3, 0.6, 0.5, 0.4}, 401);
+  LDPM_CHECK(data.ok());
+  return *std::move(data);
+}
+
+SimulationOptions MakeOptions() {
+  SimulationOptions o;
+  o.kind = ProtocolKind::kInpHT;
+  o.config.k = 2;
+  o.config.epsilon = 1.0;
+  o.num_users = 20000;
+  o.seed = 11;
+  return o;
+}
+
+TEST(RunRepeated, ValidatesRepetitions) {
+  const BinaryDataset source = MakeSource();
+  EXPECT_FALSE(RunRepeated(source, MakeOptions(), 0).ok());
+}
+
+TEST(RunRepeated, AggregatesStats) {
+  const BinaryDataset source = MakeSource();
+  auto result = RunRepeated(source, MakeOptions(), 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repetitions, 6);
+  EXPECT_EQ(result->protocol, "InpHT");
+  EXPECT_EQ(result->mean_tv.count, 6u);
+  EXPECT_GT(result->mean_tv.mean, 0.0);
+  EXPECT_GT(result->mean_tv.stddev, 0.0);  // independent seeds differ
+  EXPECT_GE(result->mean_tv.max, result->mean_tv.min);
+  EXPECT_DOUBLE_EQ(result->bits_per_user, 5.0);  // d + 1 = 4 + 1
+}
+
+TEST(RunRepeated, ParallelAndSerialAgree) {
+  // Same seeds are used either way, so results must be bit-identical.
+  const BinaryDataset source = MakeSource();
+  auto parallel = RunRepeated(source, MakeOptions(), 4, /*parallel=*/true);
+  auto serial = RunRepeated(source, MakeOptions(), 4, /*parallel=*/false);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_DOUBLE_EQ(parallel->mean_tv.mean, serial->mean_tv.mean);
+  EXPECT_DOUBLE_EQ(parallel->mean_tv.stddev, serial->mean_tv.stddev);
+}
+
+TEST(RunRepeated, PropagatesSimulationErrors) {
+  const BinaryDataset source = MakeSource();
+  SimulationOptions bad = MakeOptions();
+  bad.num_users = 0;
+  EXPECT_FALSE(RunRepeated(source, bad, 3).ok());
+}
+
+TEST(Fixed, FormatsPrecision) {
+  EXPECT_EQ(Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Fixed(3.14159, 4), "3.1416");
+  EXPECT_EQ(Fixed(-0.5, 1), "-0.5");
+}
+
+TEST(WithError, FormatsValueAndError) {
+  EXPECT_EQ(WithError(0.123, 0.045, 2), "0.12±0.04");
+  EXPECT_EQ(WithError(1.0, 0.5, 1), "1.0±0.5");
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,77 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+TEST(Summarize, RejectsEmpty) {
+  EXPECT_FALSE(Summarize({}).ok());
+}
+
+TEST(Summarize, SingleValue) {
+  auto s = Summarize({3.5});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->mean, 3.5);
+  EXPECT_DOUBLE_EQ(s->stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s->standard_error, 0.0);
+  EXPECT_DOUBLE_EQ(s->min, 3.5);
+  EXPECT_DOUBLE_EQ(s->max, 3.5);
+  EXPECT_EQ(s->count, 1u);
+}
+
+TEST(Summarize, KnownSample) {
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->mean, 2.5);
+  EXPECT_NEAR(s->stddev, std::sqrt(5.0 / 3.0), 1e-12);  // sample variance 5/3
+  EXPECT_NEAR(s->standard_error, s->stddev / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, 4.0);
+}
+
+TEST(Summarize, ConstantSampleHasZeroSpread) {
+  auto s = Summarize({7.0, 7.0, 7.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->stddev, 0.0);
+}
+
+TEST(L1Distance, MatchesManualSum) {
+  MarginalTable a(2, 0b11), b(2, 0b11);
+  a.at_compact(0) = 0.5;
+  a.at_compact(1) = 0.5;
+  b.at_compact(0) = 0.25;
+  b.at_compact(2) = 0.75;
+  auto l1 = L1Distance(a, b);
+  ASSERT_TRUE(l1.ok());
+  EXPECT_DOUBLE_EQ(*l1, 0.25 + 0.5 + 0.75);
+  // TV is half of that, via the MarginalTable method.
+  EXPECT_DOUBLE_EQ(a.TotalVariationDistance(b), *l1 / 2.0);
+}
+
+TEST(L1Distance, RejectsSelectorMismatch) {
+  MarginalTable a(3, 0b011), b(3, 0b110);
+  EXPECT_FALSE(L1Distance(a, b).ok());
+}
+
+TEST(MaxAbsoluteError, FindsWorstCell) {
+  MarginalTable a(2, 0b11), b(2, 0b11);
+  a.at_compact(3) = 1.0;
+  b.at_compact(3) = 0.7;
+  b.at_compact(0) = 0.1;
+  auto err = MaxAbsoluteError(a, b);
+  ASSERT_TRUE(err.ok());
+  EXPECT_DOUBLE_EQ(*err, 0.3);
+}
+
+TEST(MaxAbsoluteError, ZeroForIdenticalTables) {
+  MarginalTable a = MarginalTable::Uniform(3, 0b101);
+  auto err = MaxAbsoluteError(a, a);
+  ASSERT_TRUE(err.ok());
+  EXPECT_DOUBLE_EQ(*err, 0.0);
+}
+
+}  // namespace
+}  // namespace ldpm
