@@ -1,0 +1,171 @@
+// Engine microbench: single-thread vs. S-shard ingest throughput.
+//
+// Measures two ingest paths of engine::ShardedAggregator against the
+// classic single-aggregator loop:
+//
+//   * absorb path — reports are pre-encoded, the engine only absorbs
+//     (the aggregator-side cost of a production collector);
+//   * encode path — raw rows are shipped and each shard worker encodes
+//     with its own Rng stream (full client simulation, CPU-bound and
+//     embarrassingly parallel — this is where shards buy throughput).
+//
+// Speedups are relative to the 1-shard engine. Scaling requires cores:
+// expect ~Sx on an S-core machine for the encode path and flat numbers on
+// a single hardware thread (the bench prints the machine's concurrency).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/sharded_aggregator.h"
+#include "protocols/factory.h"
+
+namespace {
+
+using ldpm::CreateProtocol;
+using ldpm::ProtocolConfig;
+using ldpm::ProtocolKind;
+using ldpm::Report;
+using ldpm::Rng;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string Rate(double reports, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g/s", reports / seconds);
+  return buf;
+}
+
+std::string Speedup(double base_seconds, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", base_seconds / seconds);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ldpm::bench::BenchArgs args = ldpm::bench::Parse(argc, argv);
+  ldpm::bench::Banner("micro_engine",
+                      "ShardedAggregator ingest throughput (1 vs S shards)",
+                      args);
+  std::printf("hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const int d = 12;
+  const size_t num_reports = args.full ? 4'000'000 : 600'000;
+  const size_t num_rows = args.full ? 2'000'000 : 300'000;
+  const size_t batch = 8192;
+  const std::vector<int> shard_counts = {1, 2, 4};
+
+  const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kInpHT, ProtocolKind::kMargPS, ProtocolKind::kInpEM};
+
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 1.0;
+
+  std::printf("== absorb path: %zu pre-encoded reports ==\n", num_reports);
+  ldpm::bench::Row({"protocol", "direct", "1 shard", "2 shards", "4 shards",
+                    "4-shard speedup"});
+  for (ProtocolKind kind : kinds) {
+    std::vector<std::string> cells{std::string(ldpm::ProtocolKindName(kind))};
+
+    // Pre-encode one shared report stream.
+    auto encoder = CreateProtocol(kind, config);
+    LDPM_CHECK(encoder.ok());
+    Rng rng(args.seed);
+    std::vector<Report> reports;
+    reports.reserve(num_reports);
+    const uint64_t mask = (uint64_t{1} << d) - 1;
+    for (size_t i = 0; i < num_reports; ++i) {
+      reports.push_back((*encoder)->Encode(rng() & mask, rng));
+    }
+
+    // Baseline: classic single-aggregator absorb loop.
+    auto direct = CreateProtocol(kind, config);
+    LDPM_CHECK(direct.ok());
+    auto start = std::chrono::steady_clock::now();
+    for (const Report& r : reports) LDPM_CHECK((*direct)->Absorb(r).ok());
+    const double direct_seconds = Seconds(start);
+    cells.push_back(Rate(static_cast<double>(num_reports), direct_seconds));
+
+    double one_shard_seconds = 0.0;
+    double last_seconds = 0.0;
+    for (int shards : shard_counts) {
+      ldpm::engine::EngineOptions options;
+      options.num_shards = shards;
+      options.seed = args.seed;
+      auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
+      LDPM_CHECK(eng.ok());
+      start = std::chrono::steady_clock::now();
+      for (size_t begin = 0; begin < reports.size(); begin += batch) {
+        const size_t end = std::min(begin + batch, reports.size());
+        LDPM_CHECK((*eng)
+                       ->IngestBatch(std::vector<Report>(
+                           reports.begin() + begin, reports.begin() + end))
+                       .ok());
+      }
+      LDPM_CHECK((*eng)->Flush().ok());
+      last_seconds = Seconds(start);
+      if (shards == 1) one_shard_seconds = last_seconds;
+      cells.push_back(Rate(static_cast<double>(num_reports), last_seconds));
+    }
+    cells.push_back(Speedup(one_shard_seconds, last_seconds));
+    ldpm::bench::Row(cells);
+  }
+
+  std::printf("\n== encode path: %zu rows, per-shard Rng streams ==\n",
+              num_rows);
+  ldpm::bench::Row({"protocol", "direct", "1 shard", "2 shards", "4 shards",
+                    "4-shard speedup"});
+  for (ProtocolKind kind : kinds) {
+    std::vector<std::string> cells{std::string(ldpm::ProtocolKindName(kind))};
+    Rng row_rng(args.seed + 1);
+    std::vector<uint64_t> rows(num_rows);
+    const uint64_t mask = (uint64_t{1} << d) - 1;
+    for (uint64_t& row : rows) row = row_rng() & mask;
+
+    auto direct = CreateProtocol(kind, config);
+    LDPM_CHECK(direct.ok());
+    Rng direct_rng(args.seed + 2);
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t row : rows) {
+      LDPM_CHECK((*direct)->Absorb((*direct)->Encode(row, direct_rng)).ok());
+    }
+    const double direct_seconds = Seconds(start);
+    cells.push_back(Rate(static_cast<double>(num_rows), direct_seconds));
+
+    double one_shard_seconds = 0.0;
+    double last_seconds = 0.0;
+    for (int shards : shard_counts) {
+      ldpm::engine::EngineOptions options;
+      options.num_shards = shards;
+      options.seed = args.seed;
+      auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
+      LDPM_CHECK(eng.ok());
+      start = std::chrono::steady_clock::now();
+      LDPM_CHECK((*eng)->IngestPopulation(rows, /*fast_path=*/false).ok());
+      LDPM_CHECK((*eng)->Flush().ok());
+      last_seconds = Seconds(start);
+      if (shards == 1) one_shard_seconds = last_seconds;
+      cells.push_back(Rate(static_cast<double>(num_rows), last_seconds));
+
+      auto stats = (*eng)->Stats();
+      LDPM_CHECK(stats.ok());
+      LDPM_CHECK(stats->reports == num_rows);
+    }
+    cells.push_back(Speedup(one_shard_seconds, last_seconds));
+    ldpm::bench::Row(cells);
+  }
+  return 0;
+}

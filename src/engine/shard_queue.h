@@ -1,0 +1,103 @@
+// Bounded multi-producer single-consumer work queue feeding one shard
+// worker of the sharded aggregation engine.
+//
+// Producers push batches of work and block when the queue is full
+// (backpressure instead of unbounded memory growth under overload). The
+// single consumer — the shard's worker thread — pops batches and marks each
+// one done, which lets Flush() implement a precise drain barrier: the queue
+// is drained only when no batch is queued AND the worker is not mid-batch.
+
+#ifndef LDPM_ENGINE_SHARD_QUEUE_H_
+#define LDPM_ENGINE_SHARD_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace ldpm {
+namespace engine {
+
+/// One unit of shard work: either pre-encoded reports to absorb, or raw
+/// user rows to encode on the worker with the shard's own Rng stream.
+struct WorkItem {
+  /// Reports to Absorb() verbatim (aggregator-side ingest).
+  std::vector<Report> reports;
+  /// User rows to encode and absorb on the worker (client simulation).
+  std::vector<uint64_t> rows;
+  /// For `rows`: use the protocol's distribution-exact AbsorbPopulation
+  /// fast path instead of the per-user Encode+Absorb loop.
+  bool fast_path = false;
+};
+
+class ShardQueue {
+ public:
+  explicit ShardQueue(size_t max_pending) : max_pending_(max_pending) {}
+
+  /// Enqueues one work item; blocks while the queue is at capacity.
+  /// Returns false (dropping the item) if the queue has been closed.
+  bool Push(WorkItem item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < max_pending_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the next item; blocks while the queue is empty. Returns false
+  /// once the queue is closed and fully drained. The consumer must call
+  /// Done() after finishing each popped item.
+  bool Pop(WorkItem& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed
+    out = std::move(items_.front());
+    items_.pop_front();
+    busy_ = true;
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Marks the most recently popped item as fully processed.
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ = false;
+    if (items_.empty()) drained_.notify_all();
+  }
+
+  /// Blocks until every pushed item has been popped AND processed.
+  void WaitDrained() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [&] { return items_.empty() && !busy_; });
+  }
+
+  /// Wakes all waiters; subsequent pushes fail. The consumer drains what is
+  /// already queued, then Pop returns false.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t max_pending_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable drained_;
+  std::deque<WorkItem> items_;
+  bool closed_ = false;
+  bool busy_ = false;
+};
+
+}  // namespace engine
+}  // namespace ldpm
+
+#endif  // LDPM_ENGINE_SHARD_QUEUE_H_

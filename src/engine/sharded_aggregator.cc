@@ -1,0 +1,326 @@
+#include "engine/sharded_aggregator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ldpm {
+namespace engine {
+
+namespace {
+
+/// Hard cap on shard count; far above any sensible core count, it only
+/// guards against accidental huge values spawning thousands of threads.
+constexpr int kMaxShards = 1024;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
+    ProtocolKind kind, const ProtocolConfig& config,
+    const EngineOptions& options) {
+  return Create([kind, config] { return CreateProtocol(kind, config); },
+                options);
+}
+
+StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
+    const ProtocolFactory& factory, const EngineOptions& options) {
+  if (!factory) {
+    return Status::InvalidArgument("ShardedAggregator: null protocol factory");
+  }
+  if (options.num_shards < 1 || options.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "ShardedAggregator: num_shards must be in [1, " +
+        std::to_string(kMaxShards) + "], got " +
+        std::to_string(options.num_shards));
+  }
+  if (options.batch_size < 1 || options.max_pending_batches < 1) {
+    return Status::InvalidArgument(
+        "ShardedAggregator: batch_size and max_pending_batches must be >= 1");
+  }
+  // Build every shard aggregator up front so a bad factory/config fails the
+  // construction rather than the first ingest.
+  std::unique_ptr<ShardedAggregator> engine(
+      new ShardedAggregator(factory, options));
+  Rng seeder(options.seed);
+  for (int s = 0; s < options.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>(options.max_pending_batches);
+    auto protocol = factory();
+    if (!protocol.ok()) return protocol.status();
+    shard->protocol = *std::move(protocol);
+    shard->rng = seeder.Fork();
+    engine->shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : engine->shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([engine_ptr = engine.get(), s] {
+      engine_ptr->WorkerLoop(*s);
+    });
+  }
+  return engine;
+}
+
+ShardedAggregator::ShardedAggregator(ProtocolFactory factory,
+                                     const EngineOptions& options)
+    : factory_(std::move(factory)), options_(options) {}
+
+ShardedAggregator::~ShardedAggregator() {
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedAggregator::WorkerLoop(Shard& shard) {
+  WorkItem item;
+  while (shard.queue.Pop(item)) {
+    std::lock_guard<std::mutex> state_lock(shard.state_mu);
+    // After the first error the shard keeps draining (so Flush terminates)
+    // but stops mutating state; the sticky error surfaces at Flush.
+    if (shard.error.ok()) {
+      if (!item.reports.empty()) {
+        for (const Report& report : item.reports) {
+          Status status = shard.protocol->Absorb(report);
+          if (!status.ok()) {
+            shard.error = std::move(status);
+            break;
+          }
+        }
+      }
+      if (shard.error.ok() && !item.rows.empty()) {
+        if (item.fast_path) {
+          shard.error = shard.protocol->AbsorbPopulation(item.rows, shard.rng);
+        } else {
+          for (uint64_t row : item.rows) {
+            Status status =
+                shard.protocol->Absorb(shard.protocol->Encode(row, shard.rng));
+            if (!status.ok()) {
+              shard.error = std::move(status);
+              break;
+            }
+          }
+        }
+      }
+    }
+    shard.queue.Done();
+  }
+}
+
+void ShardedAggregator::NoteIngestStarted() {
+  ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(window_mu_);
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = std::chrono::steady_clock::now();
+  }
+}
+
+Status ShardedAggregator::Ingest(const Report& report) {
+  std::vector<Report> ready;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(report);
+    if (pending_.size() < options_.batch_size) {
+      NoteIngestStarted();
+      return Status::OK();
+    }
+    ready = std::move(pending_);
+    pending_.clear();
+  }
+  return IngestBatch(std::move(ready));
+}
+
+Status ShardedAggregator::IngestBatch(std::vector<Report> reports) {
+  if (reports.empty()) return Status::OK();
+  NoteIngestStarted();
+  const size_t target =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  WorkItem item;
+  item.reports = std::move(reports);
+  if (!shards_[target]->queue.Push(std::move(item))) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: engine is shutting down");
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregator::IngestRows(std::vector<uint64_t> rows,
+                                     bool fast_path) {
+  if (rows.empty()) return Status::OK();
+  NoteIngestStarted();
+  const size_t target =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  WorkItem item;
+  item.rows = std::move(rows);
+  item.fast_path = fast_path;
+  if (!shards_[target]->queue.Push(std::move(item))) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: engine is shutting down");
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregator::IngestPopulation(const std::vector<uint64_t>& rows,
+                                           bool fast_path) {
+  if (rows.empty()) return Status::OK();
+  // Contiguous chunks, one per shard: keeps the fast path's aggregate
+  // sampling exact per sub-population and the split deterministic.
+  const size_t num_shards = shards_.size();
+  const size_t chunk = (rows.size() + num_shards - 1) / num_shards;
+  for (size_t begin = 0; begin < rows.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, rows.size());
+    LDPM_RETURN_IF_ERROR(IngestRows(
+        std::vector<uint64_t>(rows.begin() + begin, rows.begin() + end),
+        fast_path));
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregator::FlushPending() {
+  std::vector<Report> ready;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_.empty()) return Status::OK();
+    ready = std::move(pending_);
+    pending_.clear();
+  }
+  return IngestBatch(std::move(ready));
+}
+
+Status ShardedAggregator::DrainAndCollectErrors() {
+  for (auto& shard : shards_) shard->queue.WaitDrained();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> state_lock(shards_[s]->state_mu);
+    if (!shards_[s]->error.ok()) {
+      return Status(shards_[s]->error.code(),
+                    "shard " + std::to_string(s) + ": " +
+                        shards_[s]->error.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedAggregator::Flush() {
+  LDPM_RETURN_IF_ERROR(FlushPending());
+  return DrainAndCollectErrors();
+}
+
+StatusOr<const MarginalProtocol*> ShardedAggregator::Merged() {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  // Push the coalescing buffer first (it bumps the epoch), THEN record the
+  // epoch, then drain: work that lands during the drain or the merge is
+  // included in the shard states we read but not in the recorded epoch, so
+  // the next query conservatively rebuilds.
+  LDPM_RETURN_IF_ERROR(FlushPending());
+  const uint64_t epoch = ingest_epoch_.load(std::memory_order_acquire);
+  LDPM_RETURN_IF_ERROR(DrainAndCollectErrors());
+  if (merged_ == nullptr || merged_epoch_ != epoch) {
+    auto merged = factory_();
+    if (!merged.ok()) return merged.status();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      LDPM_RETURN_IF_ERROR((*merged)->MergeFrom(*shard->protocol));
+    }
+    merged_ = *std::move(merged);
+    merged_epoch_ = epoch;
+  }
+  return static_cast<const MarginalProtocol*>(merged_.get());
+}
+
+StatusOr<MarginalTable> ShardedAggregator::EstimateMarginal(uint64_t beta) {
+  auto merged = Merged();
+  if (!merged.ok()) return merged.status();
+  return (*merged)->EstimateMarginal(beta);
+}
+
+StatusOr<IngestStats> ShardedAggregator::Stats() {
+  LDPM_RETURN_IF_ERROR(Flush());
+  IngestStats stats;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    stats.per_shard_reports.push_back(shard->protocol->reports_absorbed());
+    stats.reports += shard->protocol->reports_absorbed();
+    stats.bits += shard->protocol->total_report_bits();
+  }
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    if (window_open_) {
+      stats.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - window_start_)
+                               .count();
+    }
+  }
+  if (stats.wall_seconds > 0.0) {
+    stats.reports_per_second =
+        static_cast<double>(stats.reports) / stats.wall_seconds;
+    stats.bits_per_second = stats.bits / stats.wall_seconds;
+  }
+  return stats;
+}
+
+StatusOr<uint64_t> ShardedAggregator::ReportsAbsorbed() {
+  LDPM_RETURN_IF_ERROR(Flush());
+  uint64_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    total += shard->protocol->reports_absorbed();
+  }
+  return total;
+}
+
+StatusOr<std::vector<AggregatorSnapshot>> ShardedAggregator::SnapshotShards() {
+  LDPM_RETURN_IF_ERROR(Flush());
+  std::vector<AggregatorSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    snapshots.push_back(shard->protocol->Snapshot());
+  }
+  return snapshots;
+}
+
+Status ShardedAggregator::RestoreShards(
+    const std::vector<AggregatorSnapshot>& snapshots) {
+  LDPM_RETURN_IF_ERROR(Flush());
+  // Stage each snapshot in a scratch instance first so a malformed snapshot
+  // list cannot leave the engine half-restored.
+  std::vector<std::unique_ptr<MarginalProtocol>> staged;
+  staged.reserve(snapshots.size());
+  for (const AggregatorSnapshot& snapshot : snapshots) {
+    auto scratch = factory_();
+    if (!scratch.ok()) return scratch.status();
+    LDPM_RETURN_IF_ERROR((*scratch)->Restore(snapshot));
+    staged.push_back(*std::move(scratch));
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    shard->protocol->Reset();
+  }
+  for (size_t i = 0; i < staged.size(); ++i) {
+    Shard& target = *shards_[i % shards_.size()];
+    std::lock_guard<std::mutex> state_lock(target.state_mu);
+    LDPM_RETURN_IF_ERROR(target.protocol->MergeFrom(*staged[i]));
+  }
+  ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status ShardedAggregator::Reset() {
+  LDPM_RETURN_IF_ERROR(FlushPending());
+  for (auto& shard : shards_) shard->queue.WaitDrained();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    shard->protocol->Reset();
+    shard->error = Status::OK();
+  }
+  ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> merge_lock(merge_mu_);
+    merged_.reset();
+  }
+  std::lock_guard<std::mutex> lock(window_mu_);
+  window_open_ = false;
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace ldpm

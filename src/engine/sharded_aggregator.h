@@ -1,0 +1,191 @@
+// Sharded parallel aggregation engine.
+//
+// The paper describes a single logical collector of user reports; at
+// production scale the collector must absorb reports from millions of users
+// at hardware speed. Every protocol's aggregator state is trivially
+// mergeable — additive count/coefficient accumulators or append-only report
+// logs (MarginalProtocol::MergeFrom) — so ingest parallelizes by sharding:
+//
+//   * the engine owns S independent MarginalProtocol instances, one per
+//     shard, each with a deterministically derived Rng stream;
+//   * producers enqueue batches of reports (or raw rows to encode) onto
+//     per-shard bounded queues; one worker thread per shard drains its
+//     queue into its shard aggregator with no cross-shard synchronization;
+//   * queries merge the shard states on demand into a cached combined
+//     aggregator and answer from it, so an idle engine pays the merge once
+//     no matter how many marginals are asked.
+//
+// Determinism: feeding a fixed report stream through any shard count yields
+// bitwise-identical estimates to a single aggregator, because per-report
+// state increments are integer-valued (exactly representable in doubles)
+// and addition over them is associative. Row ingest uses the per-shard Rng
+// streams and is distribution-equivalent across shard counts.
+
+#ifndef LDPM_ENGINE_SHARDED_AGGREGATOR_H_
+#define LDPM_ENGINE_SHARDED_AGGREGATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/ingest_stats.h"
+#include "engine/shard_queue.h"
+#include "protocols/factory.h"
+
+namespace ldpm {
+namespace engine {
+
+/// Engine-level configuration.
+struct EngineOptions {
+  /// Number of shards (and worker threads). 1 reproduces the single-
+  /// aggregator deployment behind the same interface.
+  int num_shards = 1;
+  /// Reports coalesced per batch by the single-report Ingest() path.
+  size_t batch_size = 4096;
+  /// Per-shard queue bound; producers block when a shard falls this far
+  /// behind (backpressure).
+  size_t max_pending_batches = 64;
+  /// Base seed for the per-shard Rng streams (row ingest / fast path).
+  uint64_t seed = 0x5EED;
+};
+
+/// Builds one aggregator instance; called once per shard plus once for the
+/// merged query-side instance, so it must be repeatable. Use this overload
+/// for protocols outside the factory enum (oracle-backed paths, custom
+/// parameterizations).
+using ProtocolFactory =
+    std::function<StatusOr<std::unique_ptr<MarginalProtocol>>()>;
+
+class ShardedAggregator {
+ public:
+  /// Creates an engine whose shards run `kind` under `config`.
+  static StatusOr<std::unique_ptr<ShardedAggregator>> Create(
+      ProtocolKind kind, const ProtocolConfig& config,
+      const EngineOptions& options = EngineOptions());
+
+  /// Creates an engine from an arbitrary protocol factory.
+  static StatusOr<std::unique_ptr<ShardedAggregator>> Create(
+      const ProtocolFactory& factory,
+      const EngineOptions& options = EngineOptions());
+
+  /// Drains and joins all workers.
+  ~ShardedAggregator();
+
+  ShardedAggregator(const ShardedAggregator&) = delete;
+  ShardedAggregator& operator=(const ShardedAggregator&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::string_view protocol_name() const { return shards_[0]->protocol->name(); }
+  const ProtocolConfig& config() const { return shards_[0]->protocol->config(); }
+
+  // ---- Ingest (thread-safe) ----------------------------------------------
+
+  /// Enqueues one report; coalesced into batches of options.batch_size.
+  Status Ingest(const Report& report);
+
+  /// Enqueues a batch of pre-encoded reports onto the next shard
+  /// (round-robin). Blocks when that shard's queue is full.
+  Status IngestBatch(std::vector<Report> reports);
+
+  /// Enqueues raw user rows; the receiving shard's worker encodes them with
+  /// the shard's own Rng stream and absorbs the reports. With `fast_path`
+  /// the worker uses the protocol's distribution-exact AbsorbPopulation.
+  Status IngestRows(std::vector<uint64_t> rows, bool fast_path = false);
+
+  /// Splits a population across all shards in contiguous chunks and ingests
+  /// each chunk as row work. Distribution-equivalent to a single
+  /// aggregator's AbsorbPopulation.
+  Status IngestPopulation(const std::vector<uint64_t>& rows,
+                          bool fast_path = true);
+
+  /// Barrier: blocks until every enqueued item (including the coalescing
+  /// buffer) has been absorbed, then reports the first worker error, if any.
+  Status Flush();
+
+  // ---- Query -------------------------------------------------------------
+
+  /// Flushes, merges shard state (cached until the next ingest), and
+  /// estimates the marginal for selector beta.
+  StatusOr<MarginalTable> EstimateMarginal(uint64_t beta);
+
+  /// Flushes and exposes the merged aggregator (owned by the engine; valid
+  /// until the next ingest/Reset/Restore).
+  StatusOr<const MarginalProtocol*> Merged();
+
+  // ---- Introspection -----------------------------------------------------
+
+  /// Flushes and reports ingest throughput over the window since the first
+  /// ingest after construction/Reset.
+  StatusOr<IngestStats> Stats();
+
+  /// Total reports absorbed by all shards (flushes first).
+  StatusOr<uint64_t> ReportsAbsorbed();
+
+  // ---- State management --------------------------------------------------
+
+  /// Flushes and captures one snapshot per shard. Restoring the set into an
+  /// engine with ANY shard count (see RestoreShards) reproduces the merged
+  /// state exactly — the crash-free re-sharding path.
+  StatusOr<std::vector<AggregatorSnapshot>> SnapshotShards();
+
+  /// Replaces all shard state with the given snapshots, distributing them
+  /// round-robin over this engine's shards (snapshot count need not match
+  /// the shard count).
+  Status RestoreShards(const std::vector<AggregatorSnapshot>& snapshots);
+
+  /// Flushes and clears all shard state and the stats window.
+  Status Reset();
+
+ private:
+  struct Shard {
+    std::unique_ptr<MarginalProtocol> protocol;
+    Rng rng{0};
+    ShardQueue queue;
+    std::thread worker;
+    Status error;  // first absorb/encode error, sticky until Reset
+    /// Serializes the worker's state mutation against control-plane reads
+    /// (merge, stats, snapshot); held per work item, so uncontended in
+    /// steady state.
+    std::mutex state_mu;
+
+    explicit Shard(size_t max_pending) : queue(max_pending) {}
+  };
+
+  ShardedAggregator(ProtocolFactory factory, const EngineOptions& options);
+
+  void WorkerLoop(Shard& shard);
+  void NoteIngestStarted();
+  Status FlushPending();  // pushes the coalescing buffer, if any
+  Status DrainAndCollectErrors();
+
+  ProtocolFactory factory_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex pending_mu_;
+  std::vector<Report> pending_;  // single-report coalescing buffer
+
+  std::atomic<uint64_t> next_shard_{0};
+
+  /// Monotonic count of ingest/restore/reset events. The merged cache is
+  /// valid only for the epoch it was built at; comparing epochs (instead of
+  /// a clearable flag) cannot lose an invalidation that lands mid-merge.
+  std::atomic<uint64_t> ingest_epoch_{0};
+  std::mutex merge_mu_;  // guards merged_ and merged_epoch_
+  std::unique_ptr<MarginalProtocol> merged_;
+  uint64_t merged_epoch_ = ~uint64_t{0};
+
+  std::mutex window_mu_;
+  bool window_open_ = false;
+  std::chrono::steady_clock::time_point window_start_;
+};
+
+}  // namespace engine
+}  // namespace ldpm
+
+#endif  // LDPM_ENGINE_SHARDED_AGGREGATOR_H_

@@ -1,5 +1,6 @@
 #include "oracle/cms.h"
 
+#include <algorithm>
 #include <bit>
 #include <string>
 
@@ -139,6 +140,82 @@ void InpHtCmsProtocol::Reset() {
   rows_.clear();
   decoded_ = false;
   ResetBookkeeping();
+}
+
+Status InpHtCmsProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const InpHtCmsProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("InpHTCMS::MergeFrom: type mismatch");
+  }
+  if (peer->params_.num_hashes != params_.num_hashes ||
+      peer->params_.width != params_.width) {
+    return Status::InvalidArgument(
+        "InpHTCMS::MergeFrom: sketch geometries differ");
+  }
+  for (size_t l = 0; l < hashes_.size(); ++l) {
+    if (peer->hashes_[l].a() != hashes_[l].a() ||
+        peer->hashes_[l].b() != hashes_[l].b() ||
+        peer->hashes_[l].c() != hashes_[l].c()) {
+      return Status::InvalidArgument(
+          "InpHTCMS::MergeFrom: hash banks differ (created from different "
+          "hash seeds)");
+    }
+  }
+  for (int l = 0; l < params_.num_hashes; ++l) {
+    for (int m = 0; m < params_.width; ++m) {
+      sign_sums_[l][m] += peer->sign_sums_[l][m];
+    }
+  }
+  decoded_ = false;
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: reals = sign_sums_ flattened row-major (num_hashes * width);
+// counts = [num_hashes, width, then (a, b, c) per hash row] — the sketch
+// geometry and hash bank, validated on restore so a snapshot cannot be
+// loaded into an instance whose hashes decode it differently.
+void InpHtCmsProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.counts.push_back(static_cast<uint64_t>(params_.num_hashes));
+  snapshot.counts.push_back(static_cast<uint64_t>(params_.width));
+  for (const ThreeWiseHash& hash : hashes_) {
+    snapshot.counts.push_back(hash.a());
+    snapshot.counts.push_back(hash.b());
+    snapshot.counts.push_back(hash.c());
+  }
+  for (const auto& row : sign_sums_) {
+    snapshot.reals.insert(snapshot.reals.end(), row.begin(), row.end());
+  }
+}
+
+Status InpHtCmsProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  const size_t w = static_cast<size_t>(params_.width);
+  if (snapshot.reals.size() != sign_sums_.size() * w ||
+      snapshot.counts.size() != 2 + 3 * hashes_.size()) {
+    return Status::InvalidArgument("InpHTCMS::Restore: malformed snapshot");
+  }
+  if (snapshot.counts[0] != static_cast<uint64_t>(params_.num_hashes) ||
+      snapshot.counts[1] != static_cast<uint64_t>(params_.width)) {
+    return Status::InvalidArgument(
+        "InpHTCMS::Restore: snapshot sketch geometry does not match");
+  }
+  for (size_t l = 0; l < hashes_.size(); ++l) {
+    if (snapshot.counts[2 + 3 * l] != hashes_[l].a() ||
+        snapshot.counts[3 + 3 * l] != hashes_[l].b() ||
+        snapshot.counts[4 + 3 * l] != hashes_[l].c()) {
+      return Status::InvalidArgument(
+          "InpHTCMS::Restore: snapshot hash bank does not match (different "
+          "hash seed)");
+    }
+  }
+  for (size_t l = 0; l < sign_sums_.size(); ++l) {
+    std::copy(snapshot.reals.begin() + l * w,
+              snapshot.reals.begin() + (l + 1) * w, sign_sums_[l].begin());
+  }
+  rows_.clear();
+  decoded_ = false;
+  return Status::OK();
 }
 
 }  // namespace ldpm

@@ -52,6 +52,10 @@ class InpHtCmsProtocol final : public MarginalProtocol {
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
 
+  /// Requires the other aggregator to share the sketch geometry AND the
+  /// exact hash bank (same `hash_seed` at creation).
+  Status MergeFrom(const MarginalProtocol& other) override;
+
   double TheoreticalBitsPerUser() const override {
     return std::ceil(std::log2(static_cast<double>(params_.num_hashes))) +
            std::ceil(std::log2(static_cast<double>(params_.width))) + 1.0;
@@ -61,6 +65,10 @@ class InpHtCmsProtocol final : public MarginalProtocol {
 
   /// Point-queries the decoded oracle: estimated frequency of one value.
   StatusOr<double> EstimateFrequency(uint64_t value) const;
+
+ protected:
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   InpHtCmsProtocol(const ProtocolConfig& config, const CmsParams& params,

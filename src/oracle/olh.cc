@@ -109,4 +109,53 @@ void InpOlhProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status InpOlhProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const InpOlhProtocol*>(&other);
+  if (peer == nullptr || peer->g_ != g_) {
+    return Status::InvalidArgument("InpOLH::MergeFrom: type mismatch");
+  }
+  // Each report carries its own hash, so the log is order-free: decoding
+  // sums per-report support counts.
+  reports_.insert(reports_.end(), peer->reports_.begin(),
+                  peer->reports_.end());
+  decoded_ = false;
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: counts = the report log flattened as (a, b, y) triples.
+void InpOlhProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.counts.reserve(3 * reports_.size());
+  for (const OlhReport& r : reports_) {
+    snapshot.counts.push_back(r.a);
+    snapshot.counts.push_back(r.b);
+    snapshot.counts.push_back(r.y);
+  }
+}
+
+Status InpOlhProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  if (!snapshot.reals.empty() ||
+      snapshot.counts.size() != 3 * snapshot.reports_absorbed) {
+    return Status::InvalidArgument("InpOLH::Restore: malformed snapshot");
+  }
+  std::vector<OlhReport> restored;
+  restored.reserve(snapshot.reports_absorbed);
+  for (size_t i = 0; i < snapshot.counts.size(); i += 3) {
+    const uint64_t a = snapshot.counts[i];
+    const uint64_t b = snapshot.counts[i + 1];
+    const uint64_t y = snapshot.counts[i + 2];
+    auto hash = UniversalHash::FromCoefficients(a, b, g_);
+    if (!hash.ok() || y >= g_) {
+      return Status::InvalidArgument(
+          "InpOLH::Restore: logged report is malformed");
+    }
+    restored.push_back({a, b, y});
+  }
+  reports_ = std::move(restored);
+  frequencies_.clear();
+  decoded_ = false;
+  return Status::OK();
+}
+
 }  // namespace ldpm

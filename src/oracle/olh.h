@@ -43,6 +43,7 @@ class InpOlhProtocol final : public MarginalProtocol {
   Status Absorb(const Report& report) override;
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   /// Hash seeds dominate: 2 field elements + the perturbed value.
   double TheoreticalBitsPerUser() const override {
@@ -54,6 +55,10 @@ class InpOlhProtocol final : public MarginalProtocol {
 
   /// Probability of reporting the true hashed value.
   double keep_probability() const { return ps_; }
+
+ protected:
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   InpOlhProtocol(const ProtocolConfig& config, uint64_t g, double ps)

@@ -122,4 +122,40 @@ void InpEmProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status InpEmProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const InpEmProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("InpEM::MergeFrom: type mismatch");
+  }
+  // The report log is append-only; decoding histograms the log, so the
+  // concatenation order is immaterial.
+  reports_.insert(reports_.end(), peer->reports_.begin(),
+                  peer->reports_.end());
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: counts = the packed perturbed d-bit responses, in arrival order.
+void InpEmProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.counts = reports_;
+}
+
+Status InpEmProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  if (!snapshot.reals.empty() ||
+      snapshot.counts.size() != snapshot.reports_absorbed) {
+    return Status::InvalidArgument("InpEM::Restore: malformed snapshot");
+  }
+  const uint64_t domain_bound =
+      config_.d < 64 ? (uint64_t{1} << config_.d) : ~uint64_t{0};
+  for (uint64_t r : snapshot.counts) {
+    if (config_.d < 64 && r >= domain_bound) {
+      return Status::InvalidArgument(
+          "InpEM::Restore: logged response outside domain");
+    }
+  }
+  reports_ = snapshot.counts;
+  return Status::OK();
+}
+
 }  // namespace ldpm

@@ -56,6 +56,7 @@ class InpEmProtocol final : public MarginalProtocol {
   Status Absorb(const Report& report) override;
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   double TheoreticalBitsPerUser() const override {
     return static_cast<double>(config_.d);
@@ -66,6 +67,10 @@ class InpEmProtocol final : public MarginalProtocol {
 
   /// The per-bit RR mechanism, running at eps/d (for tests).
   const RandomizedResponse& per_bit_mechanism() const { return per_bit_rr_; }
+
+ protected:
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   InpEmProtocol(const ProtocolConfig& config, RandomizedResponse per_bit_rr)

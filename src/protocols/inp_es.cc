@@ -227,4 +227,21 @@ void InpEsProtocol::Reset() {
   reports_absorbed_ = 0;
 }
 
+Status InpEsProtocol::MergeFrom(const InpEsProtocol& other) {
+  if (other.config_.cardinalities != config_.cardinalities ||
+      other.config_.k != config_.k ||
+      other.config_.epsilon != config_.epsilon ||
+      other.config_.estimator != config_.estimator ||
+      other.config_.basis != config_.basis) {
+    return Status::InvalidArgument(
+        "InpES::MergeFrom: aggregator configurations are not compatible");
+  }
+  for (size_t i = 0; i < sign_sums_.size(); ++i) {
+    sign_sums_[i] += other.sign_sums_[i];
+    counts_[i] += other.counts_[i];
+  }
+  reports_absorbed_ += other.reports_absorbed_;
+  return Status::OK();
+}
+
 }  // namespace ldpm

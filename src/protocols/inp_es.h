@@ -95,6 +95,11 @@ class InpEsProtocol {
   uint64_t reports_absorbed() const { return reports_absorbed_; }
   void Reset();
 
+  /// Folds another InpES aggregator's state into this one (the categorical
+  /// counterpart of MarginalProtocol::MergeFrom). The other instance must
+  /// have an identical configuration.
+  Status MergeFrom(const InpEsProtocol& other);
+
  private:
   /// One Efron-Stein coefficient: its supporting (attribute, level >= 1)
   /// pairs and the release bound prod MaxAbs.

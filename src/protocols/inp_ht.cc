@@ -103,4 +103,35 @@ void InpHtProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status InpHtProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const InpHtProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("InpHT::MergeFrom: type mismatch");
+  }
+  for (size_t i = 0; i < sign_sums_.size(); ++i) {
+    sign_sums_[i] += peer->sign_sums_[i];
+    counts_[i] += peer->counts_[i];
+  }
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: reals = per-coefficient sign sums (|T| entries);
+// counts = per-coefficient report counts (|T| entries).
+void InpHtProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.reals = sign_sums_;
+  snapshot.counts = counts_;
+}
+
+Status InpHtProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  if (snapshot.reals.size() != sign_sums_.size() ||
+      snapshot.counts.size() != counts_.size()) {
+    return Status::InvalidArgument("InpHT::Restore: malformed snapshot");
+  }
+  sign_sums_ = snapshot.reals;
+  counts_ = snapshot.counts;
+  return Status::OK();
+}
+
 }  // namespace ldpm

@@ -37,6 +37,7 @@ class InpHtProtocol final : public MarginalProtocol {
   Status Absorb(const Report& report) override;
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   double TheoreticalBitsPerUser() const override {
     return static_cast<double>(config_.d) + 1.0;
@@ -51,6 +52,10 @@ class InpHtProtocol final : public MarginalProtocol {
 
   /// The underlying RR mechanism (for tests).
   const RandomizedResponse& mechanism() const { return rr_; }
+
+ protected:
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   InpHtProtocol(const ProtocolConfig& config, RandomizedResponse rr,

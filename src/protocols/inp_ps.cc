@@ -59,4 +59,28 @@ void InpPsProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status InpPsProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const InpPsProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("InpPS::MergeFrom: type mismatch");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += peer->counts_[i];
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: reals = per-cell report counts (2^d entries).
+void InpPsProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.reals = counts_;
+}
+
+Status InpPsProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  if (snapshot.reals.size() != counts_.size() || !snapshot.counts.empty()) {
+    return Status::InvalidArgument("InpPS::Restore: malformed snapshot");
+  }
+  counts_ = snapshot.reals;
+  return Status::OK();
+}
+
 }  // namespace ldpm

@@ -34,6 +34,7 @@ class InpPsProtocol final : public MarginalProtocol {
   Status Absorb(const Report& report) override;
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   double TheoreticalBitsPerUser() const override {
     return static_cast<double>(config_.d);
@@ -41,6 +42,10 @@ class InpPsProtocol final : public MarginalProtocol {
 
   /// The underlying direct-encoding mechanism (for tests).
   const DirectEncoding& mechanism() const { return direct_; }
+
+ protected:
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   InpPsProtocol(const ProtocolConfig& config, DirectEncoding direct)

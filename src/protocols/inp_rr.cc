@@ -92,4 +92,28 @@ void InpRrProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status InpRrProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const InpRrProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("InpRR::MergeFrom: type mismatch");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += peer->counts_[i];
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: reals = per-cell reported-one counts (2^d entries).
+void InpRrProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.reals = counts_;
+}
+
+Status InpRrProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  if (snapshot.reals.size() != counts_.size() || !snapshot.counts.empty()) {
+    return Status::InvalidArgument("InpRR::Restore: malformed snapshot");
+  }
+  counts_ = snapshot.reals;
+  return Status::OK();
+}
+
 }  // namespace ldpm

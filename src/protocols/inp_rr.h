@@ -36,6 +36,7 @@ class InpRrProtocol final : public MarginalProtocol {
 
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   double TheoreticalBitsPerUser() const override {
     return static_cast<double>(uint64_t{1} << config_.d);
@@ -43,6 +44,10 @@ class InpRrProtocol final : public MarginalProtocol {
 
   /// The underlying unary-encoding mechanism (for tests).
   const UnaryEncoding& mechanism() const { return unary_; }
+
+ protected:
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   InpRrProtocol(const ProtocolConfig& config, UnaryEncoding unary)

@@ -12,7 +12,9 @@
 #ifndef LDPM_PROTOCOLS_MARG_COMMON_H_
 #define LDPM_PROTOCOLS_MARG_COMMON_H_
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +57,34 @@ class MargProtocolBase : public MarginalProtocol {
 
   void ResetSelectorCounts() {
     selector_counts_.assign(selector_counts_.size(), 0);
+  }
+
+  /// MergeFrom support: folds the other aggregator's per-selector report
+  /// counts into this one's. Configs are already checked compatible, so the
+  /// selector sets coincide.
+  void MergeSelectorCounts(const MargProtocolBase& other) {
+    for (size_t i = 0; i < selector_counts_.size(); ++i) {
+      selector_counts_[i] += other.selector_counts_[i];
+    }
+  }
+
+  /// Snapshot layout shared by the Marg protocols: the per-selector report
+  /// counts occupy the first C(d,k) entries of snapshot.counts; any
+  /// protocol-specific integer state follows.
+  void SaveSelectorCounts(AggregatorSnapshot& snapshot) const {
+    snapshot.counts.insert(snapshot.counts.end(), selector_counts_.begin(),
+                           selector_counts_.end());
+  }
+
+  Status LoadSelectorCounts(const AggregatorSnapshot& snapshot) {
+    if (snapshot.counts.size() < selector_counts_.size()) {
+      return Status::InvalidArgument(
+          std::string(name()) + "::Restore: snapshot missing selector counts");
+    }
+    std::copy(snapshot.counts.begin(),
+              snapshot.counts.begin() + selector_counts_.size(),
+              selector_counts_.begin());
+    return Status::OK();
   }
 
   /// Estimates the exactly-k-way marginal for the selector at index `idx`

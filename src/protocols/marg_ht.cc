@@ -104,4 +104,55 @@ void MargHtProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status MargHtProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const MargHtProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("MargHT::MergeFrom: type mismatch");
+  }
+  for (size_t s = 0; s < sign_sums_.size(); ++s) {
+    for (size_t r = 0; r < sign_sums_[s].size(); ++r) {
+      sign_sums_[s][r] += peer->sign_sums_[s][r];
+      coeff_counts_[s][r] += peer->coeff_counts_[s][r];
+    }
+  }
+  MergeSelectorCounts(*peer);
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: reals = sign_sums_ flattened selector-major (C(d,k) * 2^k);
+// counts = per-selector report counts (C(d,k)) followed by coeff_counts_
+// flattened selector-major (C(d,k) * 2^k).
+void MargHtProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  SaveSelectorCounts(snapshot);
+  for (const auto& per_selector : sign_sums_) {
+    snapshot.reals.insert(snapshot.reals.end(), per_selector.begin(),
+                          per_selector.end());
+  }
+  for (const auto& per_selector : coeff_counts_) {
+    snapshot.counts.insert(snapshot.counts.end(), per_selector.begin(),
+                           per_selector.end());
+  }
+}
+
+Status MargHtProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  const uint64_t cells = uint64_t{1} << config_.k;
+  const size_t num_selectors = sign_sums_.size();
+  if (snapshot.reals.size() != num_selectors * cells ||
+      snapshot.counts.size() != num_selectors + num_selectors * cells) {
+    return Status::InvalidArgument("MargHT::Restore: malformed snapshot");
+  }
+  LDPM_RETURN_IF_ERROR(LoadSelectorCounts(snapshot));
+  for (size_t s = 0; s < num_selectors; ++s) {
+    std::copy(snapshot.reals.begin() + s * cells,
+              snapshot.reals.begin() + (s + 1) * cells,
+              sign_sums_[s].begin());
+    const auto counts_begin =
+        snapshot.counts.begin() + num_selectors + s * cells;
+    std::copy(counts_begin, counts_begin + cells, coeff_counts_[s].begin());
+  }
+  return Status::OK();
+}
+
 }  // namespace ldpm

@@ -61,4 +61,44 @@ void MargPsProtocol::Reset() {
   ResetBookkeeping();
 }
 
+Status MargPsProtocol::MergeFrom(const MarginalProtocol& other) {
+  LDPM_RETURN_IF_ERROR(CheckMergeCompatible(other));
+  const auto* peer = dynamic_cast<const MargPsProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument("MargPS::MergeFrom: type mismatch");
+  }
+  for (size_t s = 0; s < counts_.size(); ++s) {
+    for (size_t c = 0; c < counts_[s].size(); ++c) {
+      counts_[s][c] += peer->counts_[s][c];
+    }
+  }
+  MergeSelectorCounts(*peer);
+  MergeBookkeeping(*peer);
+  return Status::OK();
+}
+
+// Layout: reals = counts_ flattened selector-major (C(d,k) * 2^k entries);
+// counts = per-selector report counts (C(d,k) entries).
+void MargPsProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  SaveSelectorCounts(snapshot);
+  for (const auto& per_selector : counts_) {
+    snapshot.reals.insert(snapshot.reals.end(), per_selector.begin(),
+                          per_selector.end());
+  }
+}
+
+Status MargPsProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  const uint64_t cells = uint64_t{1} << config_.k;
+  if (snapshot.counts.size() != counts_.size() ||
+      snapshot.reals.size() != counts_.size() * cells) {
+    return Status::InvalidArgument("MargPS::Restore: malformed snapshot");
+  }
+  LDPM_RETURN_IF_ERROR(LoadSelectorCounts(snapshot));
+  for (size_t s = 0; s < counts_.size(); ++s) {
+    std::copy(snapshot.reals.begin() + s * cells,
+              snapshot.reals.begin() + (s + 1) * cells, counts_[s].begin());
+  }
+  return Status::OK();
+}
+
 }  // namespace ldpm

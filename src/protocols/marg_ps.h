@@ -28,6 +28,7 @@ class MargPsProtocol final : public MargProtocolBase {
   Report Encode(uint64_t user_value, Rng& rng) const override;
   Status Absorb(const Report& report) override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   double TheoreticalBitsPerUser() const override {
     return static_cast<double>(config_.d) + static_cast<double>(config_.k);
@@ -37,6 +38,8 @@ class MargPsProtocol final : public MargProtocolBase {
 
  protected:
   StatusOr<MarginalTable> EstimateExactKWay(size_t idx) const override;
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   MargPsProtocol(const ProtocolConfig& config, DirectEncoding direct);

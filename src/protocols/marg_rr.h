@@ -26,6 +26,7 @@ class MargRrProtocol final : public MargProtocolBase {
   Report Encode(uint64_t user_value, Rng& rng) const override;
   Status Absorb(const Report& report) override;
   void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
 
   double TheoreticalBitsPerUser() const override {
     return static_cast<double>(config_.d) +
@@ -36,6 +37,8 @@ class MargRrProtocol final : public MargProtocolBase {
 
  protected:
   StatusOr<MarginalTable> EstimateExactKWay(size_t idx) const override;
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
 
  private:
   MargRrProtocol(const ProtocolConfig& config, UnaryEncoding unary);

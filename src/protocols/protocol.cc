@@ -31,4 +31,59 @@ Status MarginalProtocol::AbsorbPopulation(const std::vector<uint64_t>& rows,
   return Status::OK();
 }
 
+Status MarginalProtocol::CheckMergeCompatible(
+    const MarginalProtocol& other) const {
+  if (name() != other.name()) {
+    return Status::InvalidArgument(
+        std::string(name()) + "::MergeFrom: protocol mismatch (other is " +
+        std::string(other.name()) + ")");
+  }
+  const ProtocolConfig& o = other.config_;
+  if (config_.d != o.d || config_.k != o.k ||
+      config_.epsilon != o.epsilon || config_.estimator != o.estimator ||
+      config_.unary_variant != o.unary_variant ||
+      config_.sample_zero_coefficient != o.sample_zero_coefficient) {
+    return Status::InvalidArgument(
+        std::string(name()) +
+        "::MergeFrom: aggregator configurations are not state-compatible");
+  }
+  return Status::OK();
+}
+
+AggregatorSnapshot MarginalProtocol::Snapshot() const {
+  AggregatorSnapshot snapshot;
+  snapshot.protocol = std::string(name());
+  snapshot.d = config_.d;
+  snapshot.k = config_.k;
+  snapshot.epsilon = config_.epsilon;
+  snapshot.estimator = config_.estimator;
+  snapshot.unary_variant = config_.unary_variant;
+  snapshot.sample_zero_coefficient = config_.sample_zero_coefficient;
+  snapshot.reports_absorbed = reports_absorbed_;
+  snapshot.total_report_bits = total_report_bits_;
+  SaveState(snapshot);
+  return snapshot;
+}
+
+Status MarginalProtocol::Restore(const AggregatorSnapshot& snapshot) {
+  if (snapshot.protocol != name()) {
+    return Status::InvalidArgument(
+        std::string(name()) + "::Restore: snapshot was taken from " +
+        snapshot.protocol);
+  }
+  if (snapshot.d != config_.d || snapshot.k != config_.k ||
+      snapshot.epsilon != config_.epsilon ||
+      snapshot.estimator != config_.estimator ||
+      snapshot.unary_variant != config_.unary_variant ||
+      snapshot.sample_zero_coefficient != config_.sample_zero_coefficient) {
+    return Status::InvalidArgument(
+        std::string(name()) +
+        "::Restore: snapshot configuration does not match this aggregator");
+  }
+  LDPM_RETURN_IF_ERROR(LoadState(snapshot));
+  reports_absorbed_ = snapshot.reports_absorbed;
+  total_report_bits_ = snapshot.total_report_bits;
+  return Status::OK();
+}
+
 }  // namespace ldpm

@@ -88,6 +88,37 @@ struct ProtocolConfig {
   int em_max_iterations = 200000;
 };
 
+/// A flattened, protocol-agnostic image of an aggregator's accumulated
+/// state. Produced by MarginalProtocol::Snapshot() and consumed by
+/// Restore(); the engine uses snapshots to re-shard aggregator state
+/// without replaying reports.
+///
+/// Every protocol's aggregator state is a set of additive accumulators
+/// (counts, sign sums) or an append-only report log; both flatten into the
+/// two arrays below. The per-protocol layout is documented at each
+/// SaveState() implementation and validated on load.
+struct AggregatorSnapshot {
+  /// Protocol display name ("InpHT", ...); guards mismatched restores.
+  std::string protocol;
+  /// The state-shaping configuration of the source aggregator. Estimator,
+  /// unary variant, and zero-coefficient sampling don't change array sizes
+  /// but do change how the accumulators are interpreted, so a restore into
+  /// a mismatched instance must fail rather than silently bias estimates.
+  int d = 0;
+  int k = 2;
+  double epsilon = 0.0;
+  EstimatorKind estimator = EstimatorKind::kRatio;
+  UnaryVariant unary_variant = UnaryVariant::kOptimized;
+  bool sample_zero_coefficient = false;
+  /// Bookkeeping counters.
+  uint64_t reports_absorbed = 0;
+  double total_report_bits = 0.0;
+  /// Protocol-specific real-valued accumulators (counts, sign sums).
+  std::vector<double> reals;
+  /// Protocol-specific integer accumulators (report counts, report logs).
+  std::vector<uint64_t> counts;
+};
+
 /// Abstract base for all marginal-release protocols.
 class MarginalProtocol {
  public:
@@ -123,6 +154,22 @@ class MarginalProtocol {
   /// Clears all aggregator state (reports absorbed so far).
   virtual void Reset() = 0;
 
+  /// Folds another aggregator's accumulated state into this one, as if this
+  /// instance had absorbed every report the other absorbed. The other
+  /// aggregator must be the same protocol with a state-compatible
+  /// configuration; on error this aggregator is left unchanged. This is the
+  /// mergeability property the sharded engine builds on: all aggregator
+  /// state is additive accumulators or append-only report logs.
+  virtual Status MergeFrom(const MarginalProtocol& other) = 0;
+
+  /// Captures the full aggregator state as a protocol-agnostic snapshot.
+  AggregatorSnapshot Snapshot() const;
+
+  /// Replaces this aggregator's state with a snapshot previously taken from
+  /// a protocol-and-config-compatible instance. On error the current state
+  /// is left unchanged.
+  Status Restore(const AggregatorSnapshot& snapshot);
+
   /// Number of reports absorbed.
   uint64_t reports_absorbed() const { return reports_absorbed_; }
 
@@ -137,6 +184,24 @@ class MarginalProtocol {
 
   /// Validates fields common to all protocols.
   static Status ValidateCommon(const ProtocolConfig& config);
+
+  /// Appends this protocol's accumulators to `snapshot.reals` /
+  /// `snapshot.counts` (layout documented per protocol).
+  virtual void SaveState(AggregatorSnapshot& snapshot) const = 0;
+
+  /// Replaces this protocol's accumulators from a snapshot whose layout and
+  /// sizes must match SaveState's. Bookkeeping is handled by Restore().
+  virtual Status LoadState(const AggregatorSnapshot& snapshot) = 0;
+
+  /// Shared MergeFrom preamble: the other aggregator must report the same
+  /// protocol name and carry a state-compatible configuration.
+  Status CheckMergeCompatible(const MarginalProtocol& other) const;
+
+  /// Folds the other aggregator's bookkeeping counters into this one's.
+  void MergeBookkeeping(const MarginalProtocol& other) {
+    reports_absorbed_ += other.reports_absorbed_;
+    total_report_bits_ += other.total_report_bits_;
+  }
 
   /// Bookkeeping helper for Absorb implementations.
   void NoteAbsorbed(const Report& report) {

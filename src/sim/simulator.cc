@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/marginal.h"
+#include "engine/sharded_aggregator.h"
 
 namespace ldpm {
 namespace {
@@ -33,6 +34,10 @@ StatusOr<SimulationResult> RunSimulation(const BinaryDataset& source,
         "RunSimulation: eval_order must lie in [1, k]");
   }
 
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("RunSimulation: num_shards must be >= 1");
+  }
+
   auto protocol = CreateProtocol(options.kind, config);
   if (!protocol.ok()) return protocol.status();
 
@@ -43,8 +48,28 @@ StatusOr<SimulationResult> RunSimulation(const BinaryDataset& source,
   SimulationResult result;
   result.protocol = std::string((*protocol)->name());
 
+  // Sharded path: route ingest through the engine (worker threads with
+  // per-shard Rng streams), then answer queries from the merged state.
+  std::unique_ptr<engine::ShardedAggregator> sharded;
+  if (options.num_shards > 1) {
+    engine::EngineOptions engine_options;
+    engine_options.num_shards = options.num_shards;
+    // Continue the simulation stream rather than reusing options.seed:
+    // seeding with the raw seed would derive the shards' perturbation
+    // randomness from the same generator state that sampled the population.
+    engine_options.seed = rng();
+    auto created =
+        engine::ShardedAggregator::Create(options.kind, config, engine_options);
+    if (!created.ok()) return created.status();
+    sharded = *std::move(created);
+  }
+
   const auto encode_start = std::chrono::steady_clock::now();
-  if (options.use_fast_path) {
+  if (sharded != nullptr) {
+    LDPM_RETURN_IF_ERROR(
+        sharded->IngestPopulation(population.rows(), options.use_fast_path));
+    LDPM_RETURN_IF_ERROR(sharded->Flush());
+  } else if (options.use_fast_path) {
     LDPM_RETURN_IF_ERROR((*protocol)->AbsorbPopulation(population.rows(), rng));
   } else {
     for (uint64_t row : population.rows()) {
@@ -52,8 +77,19 @@ StatusOr<SimulationResult> RunSimulation(const BinaryDataset& source,
     }
   }
   result.encode_absorb_seconds = SecondsSince(encode_start);
+  if (sharded != nullptr) {
+    // Fold the merged shard state into the query-side aggregator.
+    auto merged = sharded->Merged();
+    if (!merged.ok()) return merged.status();
+    LDPM_RETURN_IF_ERROR((*protocol)->MergeFrom(**merged));
+  }
   result.bits_per_user = (*protocol)->total_report_bits() /
                          static_cast<double>((*protocol)->reports_absorbed());
+  if (result.encode_absorb_seconds > 0.0) {
+    result.ingest_reports_per_second =
+        static_cast<double>((*protocol)->reports_absorbed()) /
+        result.encode_absorb_seconds;
+  }
 
   const auto estimate_start = std::chrono::steady_clock::now();
   double tv_sum = 0.0;

@@ -25,6 +25,10 @@ struct SimulationOptions {
   bool use_fast_path = true;
   /// Order of the marginals scored; 0 means "score order config.k".
   int eval_order = 0;
+  /// Number of aggregation shards. 1 runs the classic single-aggregator
+  /// loop; > 1 routes ingest through the engine::ShardedAggregator (worker
+  /// threads, per-shard Rng streams — distribution-equivalent).
+  int num_shards = 1;
 };
 
 /// One simulation run's outcome.
@@ -39,6 +43,8 @@ struct SimulationResult {
   /// Wall-clock split: client+absorb phase and estimation phase.
   double encode_absorb_seconds = 0.0;
   double estimate_seconds = 0.0;
+  /// Ingest throughput over the encode+absorb phase (reports per second).
+  double ingest_reports_per_second = 0.0;
 };
 
 /// Runs one simulation. Deterministic given options.seed.

@@ -1,0 +1,240 @@
+// MergeFrom / Snapshot / Restore invariants for every protocol aggregator:
+// merging split streams must reproduce the unsplit aggregator bitwise, and
+// a snapshot restored into a fresh instance must be indistinguishable from
+// the original.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "oracle/cms.h"
+#include "oracle/olh.h"
+#include "protocols/factory.h"
+#include "protocols/inp_es.h"
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+using test::EncodeReportStream;
+using test::ExpectBitwiseEqualEstimates;
+using test::MakeConfig;
+
+class MergeSnapshotTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(MergeSnapshotTest, MergedHalvesMatchWholeStream) {
+  const ProtocolKind kind = GetParam();
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto whole = CreateProtocol(kind, config);
+  auto left = CreateProtocol(kind, config);
+  auto right = CreateProtocol(kind, config);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+
+  const std::vector<Report> reports = EncodeReportStream(**whole, 3000, 7);
+  const size_t half = reports.size() / 2;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE((*whole)->Absorb(reports[i]).ok());
+    ASSERT_TRUE(((i < half ? *left : *right))->Absorb(reports[i]).ok());
+  }
+
+  ASSERT_TRUE((*left)->MergeFrom(**right).ok());
+  EXPECT_EQ((*left)->reports_absorbed(), (*whole)->reports_absorbed());
+  EXPECT_EQ((*left)->total_report_bits(), (*whole)->total_report_bits());
+  ExpectBitwiseEqualEstimates(**whole, **left);
+}
+
+TEST_P(MergeSnapshotTest, SnapshotRoundTripsThroughFreshInstance) {
+  const ProtocolKind kind = GetParam();
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto original = CreateProtocol(kind, config);
+  auto restored = CreateProtocol(kind, config);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(restored.ok());
+  for (const Report& r : EncodeReportStream(**original, 2500, 13)) {
+    ASSERT_TRUE((*original)->Absorb(r).ok());
+  }
+
+  const AggregatorSnapshot snapshot = (*original)->Snapshot();
+  EXPECT_EQ(snapshot.protocol, (*original)->name());
+  EXPECT_EQ(snapshot.reports_absorbed, (*original)->reports_absorbed());
+
+  // Dirty the target first: Restore must fully overwrite, not accumulate.
+  for (const Report& r : EncodeReportStream(**restored, 100, 14)) {
+    ASSERT_TRUE((*restored)->Absorb(r).ok());
+  }
+  ASSERT_TRUE((*restored)->Restore(snapshot).ok());
+  EXPECT_EQ((*restored)->reports_absorbed(), (*original)->reports_absorbed());
+  EXPECT_EQ((*restored)->total_report_bits(),
+            (*original)->total_report_bits());
+  ExpectBitwiseEqualEstimates(**original, **restored);
+}
+
+TEST_P(MergeSnapshotTest, MergeRejectsIncompatiblePeers) {
+  const ProtocolKind kind = GetParam();
+  auto protocol = CreateProtocol(kind, MakeConfig(6, 2));
+  ASSERT_TRUE(protocol.ok());
+
+  // Different epsilon: state shapes match but the mechanisms differ.
+  ProtocolConfig other_config = MakeConfig(6, 2);
+  other_config.epsilon = 2.0;
+  auto other_eps = CreateProtocol(kind, other_config);
+  ASSERT_TRUE(other_eps.ok());
+  EXPECT_FALSE((*protocol)->MergeFrom(**other_eps).ok());
+
+  // Different protocol entirely.
+  const ProtocolKind different = kind == ProtocolKind::kInpHT
+                                     ? ProtocolKind::kInpPS
+                                     : ProtocolKind::kInpHT;
+  auto other_kind = CreateProtocol(different, MakeConfig(6, 2));
+  ASSERT_TRUE(other_kind.ok());
+  EXPECT_FALSE((*protocol)->MergeFrom(**other_kind).ok());
+}
+
+TEST_P(MergeSnapshotTest, RestoreRejectsMismatchedSnapshots) {
+  const ProtocolKind kind = GetParam();
+  auto protocol = CreateProtocol(kind, MakeConfig(6, 2));
+  ASSERT_TRUE(protocol.ok());
+  for (const Report& r : EncodeReportStream(**protocol, 500, 19)) {
+    ASSERT_TRUE((*protocol)->Absorb(r).ok());
+  }
+  const uint64_t absorbed_before = (*protocol)->reports_absorbed();
+
+  AggregatorSnapshot wrong_name = (*protocol)->Snapshot();
+  wrong_name.protocol = "NotAProtocol";
+  EXPECT_FALSE((*protocol)->Restore(wrong_name).ok());
+
+  AggregatorSnapshot wrong_d = (*protocol)->Snapshot();
+  wrong_d.d = 7;
+  EXPECT_FALSE((*protocol)->Restore(wrong_d).ok());
+
+  // Same state shape, different interpretation: must also be rejected.
+  AggregatorSnapshot wrong_estimator = (*protocol)->Snapshot();
+  wrong_estimator.estimator = EstimatorKind::kHorvitzThompson;
+  EXPECT_FALSE((*protocol)->Restore(wrong_estimator).ok());
+
+  AggregatorSnapshot truncated = (*protocol)->Snapshot();
+  if (!truncated.reals.empty()) {
+    truncated.reals.pop_back();
+    EXPECT_FALSE((*protocol)->Restore(truncated).ok());
+  }
+  if (!truncated.counts.empty()) {
+    truncated = (*protocol)->Snapshot();
+    truncated.counts.pop_back();
+    EXPECT_FALSE((*protocol)->Restore(truncated).ok());
+  }
+
+  // Failed restores must leave the aggregator untouched.
+  EXPECT_EQ((*protocol)->reports_absorbed(), absorbed_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MergeSnapshotTest, ::testing::ValuesIn(AllProtocolKinds()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(ProtocolKindName(info.param));
+    });
+
+// Oracle-backed aggregators share the same invariants.
+TEST(MergeSnapshotOracle, OlhMergeAndSnapshot) {
+  const ProtocolConfig config = MakeConfig(5, 2);
+  auto whole = InpOlhProtocol::Create(config);
+  auto left = InpOlhProtocol::Create(config);
+  auto right = InpOlhProtocol::Create(config);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  const std::vector<Report> reports = EncodeReportStream(**whole, 1200, 3);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE((*whole)->Absorb(reports[i]).ok());
+    ASSERT_TRUE(((i % 2 == 0 ? *left : *right))->Absorb(reports[i]).ok());
+  }
+  ASSERT_TRUE((*left)->MergeFrom(**right).ok());
+  ExpectBitwiseEqualEstimates(**whole, **left);
+
+  auto restored = InpOlhProtocol::Create(config);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->Restore((*whole)->Snapshot()).ok());
+  ExpectBitwiseEqualEstimates(**whole, **restored);
+}
+
+TEST(MergeSnapshotOracle, CmsMergeRequiresSharedHashBank) {
+  const ProtocolConfig config = MakeConfig(5, 2);
+  CmsParams params;
+  params.width = 64;
+  auto a = InpHtCmsProtocol::Create(config, params, /*hash_seed=*/1);
+  auto b = InpHtCmsProtocol::Create(config, params, /*hash_seed=*/1);
+  auto alien = InpHtCmsProtocol::Create(config, params, /*hash_seed=*/2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(alien.ok());
+  for (const Report& r : EncodeReportStream(**a, 800, 9)) {
+    ASSERT_TRUE((*b)->Absorb(r).ok());
+  }
+  EXPECT_TRUE((*a)->MergeFrom(**b).ok());
+  EXPECT_FALSE((*a)->MergeFrom(**alien).ok());
+
+  auto restored = InpHtCmsProtocol::Create(config, params, /*hash_seed=*/1);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->Restore((*a)->Snapshot()).ok());
+  ExpectBitwiseEqualEstimates(**a, **restored);
+
+  // A snapshot must not restore into an instance with a different hash
+  // bank or sketch geometry: its sign sums would decode to garbage.
+  EXPECT_FALSE((*alien)->Restore((*a)->Snapshot()).ok());
+  CmsParams other_geometry;
+  other_geometry.num_hashes = 10;
+  other_geometry.width = 32;  // same g*w product, different shape
+  auto reshaped = InpHtCmsProtocol::Create(config, other_geometry, 1);
+  ASSERT_TRUE(reshaped.ok());
+  EXPECT_FALSE((*reshaped)->Restore((*a)->Snapshot()).ok());
+}
+
+// InpES (categorical attributes, its own interface) merges the same way.
+TEST(MergeSnapshotEs, MergedHalvesMatchWholeStream) {
+  InpEsProtocol::Config config;
+  config.cardinalities = {3, 4, 2};
+  config.k = 2;
+  config.epsilon = 1.0;
+  auto whole = InpEsProtocol::Create(config);
+  auto left = InpEsProtocol::Create(config);
+  auto right = InpEsProtocol::Create(config);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint32_t> values;
+    for (uint32_t r : config.cardinalities) {
+      values.push_back(static_cast<uint32_t>(rng.UniformInt(r)));
+    }
+    auto report = (*whole)->Encode(values, rng);
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE((*whole)->Absorb(*report).ok());
+    ASSERT_TRUE(((i % 2 == 0 ? *left : *right))->Absorb(*report).ok());
+  }
+  ASSERT_TRUE((*left)->MergeFrom(**right).ok());
+  EXPECT_EQ((*left)->reports_absorbed(), (*whole)->reports_absorbed());
+
+  auto whole_marginal = (*whole)->EstimateMarginal({0, 1});
+  auto merged_marginal = (*left)->EstimateMarginal({0, 1});
+  ASSERT_TRUE(whole_marginal.ok());
+  ASSERT_TRUE(merged_marginal.ok());
+  for (size_t c = 0; c < whole_marginal->probabilities.size(); ++c) {
+    EXPECT_EQ(whole_marginal->probabilities[c],
+              merged_marginal->probabilities[c]);
+  }
+
+  InpEsProtocol::Config incompatible = config;
+  incompatible.epsilon = 2.0;
+  auto alien = InpEsProtocol::Create(incompatible);
+  ASSERT_TRUE(alien.ok());
+  EXPECT_FALSE((*left)->MergeFrom(**alien).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

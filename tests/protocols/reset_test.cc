@@ -1,0 +1,82 @@
+// Regression: Reset() must fully clear aggregator state for every protocol.
+// An absorb→reset→absorb sequence has to produce estimates bitwise-equal to
+// a fresh instance fed only the second stream — the invariant MergeFrom and
+// Snapshot/Restore build on (stale state would silently leak into merges).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/marginal.h"
+#include "oracle/cms.h"
+#include "oracle/olh.h"
+#include "protocols/factory.h"
+#include "test_util.h"
+
+namespace ldpm {
+namespace {
+
+using test::EncodeReportStream;
+using test::ExpectBitwiseEqualEstimates;
+using test::MakeConfig;
+
+void CheckResetMatchesFresh(MarginalProtocol& recycled,
+                            MarginalProtocol& fresh) {
+  for (const Report& r : EncodeReportStream(recycled, 1500, 61)) {
+    ASSERT_TRUE(recycled.Absorb(r).ok());
+  }
+  recycled.Reset();
+  EXPECT_EQ(recycled.reports_absorbed(), 0u);
+  EXPECT_EQ(recycled.total_report_bits(), 0.0);
+
+  const std::vector<Report> second = EncodeReportStream(recycled, 1500, 62);
+  for (const Report& r : second) {
+    ASSERT_TRUE(recycled.Absorb(r).ok());
+    ASSERT_TRUE(fresh.Absorb(r).ok());
+  }
+  EXPECT_EQ(recycled.reports_absorbed(), fresh.reports_absorbed());
+  EXPECT_EQ(recycled.total_report_bits(), fresh.total_report_bits());
+  ExpectBitwiseEqualEstimates(recycled, fresh);
+}
+
+class ResetTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ResetTest, ResetMatchesFreshInstance) {
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto recycled = CreateProtocol(GetParam(), config);
+  auto fresh = CreateProtocol(GetParam(), config);
+  ASSERT_TRUE(recycled.ok());
+  ASSERT_TRUE(fresh.ok());
+  CheckResetMatchesFresh(**recycled, **fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ResetTest, ::testing::ValuesIn(AllProtocolKinds()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(ProtocolKindName(info.param));
+    });
+
+TEST(ResetOracle, OlhResetMatchesFreshInstance) {
+  const ProtocolConfig config = MakeConfig(5, 2);
+  auto recycled = InpOlhProtocol::Create(config);
+  auto fresh = InpOlhProtocol::Create(config);
+  ASSERT_TRUE(recycled.ok());
+  ASSERT_TRUE(fresh.ok());
+  CheckResetMatchesFresh(**recycled, **fresh);
+}
+
+TEST(ResetOracle, CmsResetMatchesFreshInstance) {
+  const ProtocolConfig config = MakeConfig(5, 2);
+  CmsParams params;
+  params.width = 64;
+  auto recycled = InpHtCmsProtocol::Create(config, params, 5);
+  auto fresh = InpHtCmsProtocol::Create(config, params, 5);
+  ASSERT_TRUE(recycled.ok());
+  ASSERT_TRUE(fresh.ok());
+  CheckResetMatchesFresh(**recycled, **fresh);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -50,6 +50,55 @@ inline void RunPerUser(MarginalProtocol& protocol,
   }
 }
 
+/// A standard (d, k, epsilon = 1) protocol config for aggregator tests.
+inline ProtocolConfig MakeConfig(int d, int k) {
+  ProtocolConfig c;
+  c.d = d;
+  c.k = k;
+  c.epsilon = 1.0;
+  return c;
+}
+
+/// Encodes n reports of uniformly random user values with a fixed seed.
+inline std::vector<Report> EncodeReportStream(const MarginalProtocol& protocol,
+                                              size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t mask = (uint64_t{1} << protocol.config().d) - 1;
+  std::vector<Report> reports;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    reports.push_back(protocol.Encode(rng() & mask, rng));
+  }
+  return reports;
+}
+
+/// All selectors of order 1..k — every marginal an aggregator can answer.
+inline std::vector<uint64_t> AllQueries(int d, int k) {
+  std::vector<uint64_t> betas;
+  for (int order = 1; order <= k; ++order) {
+    for (uint64_t beta : KWaySelectors(d, order)) betas.push_back(beta);
+  }
+  return betas;
+}
+
+/// Asserts that two aggregators answer every order-1..k marginal with
+/// bitwise-identical tables (the MergeFrom / Snapshot / sharding
+/// invariance).
+inline void ExpectBitwiseEqualEstimates(const MarginalProtocol& a,
+                                        const MarginalProtocol& b) {
+  for (uint64_t beta : AllQueries(a.config().d, a.config().k)) {
+    auto ma = a.EstimateMarginal(beta);
+    auto mb = b.EstimateMarginal(beta);
+    ASSERT_TRUE(ma.ok()) << ma.status().ToString();
+    ASSERT_TRUE(mb.ok()) << mb.status().ToString();
+    ASSERT_EQ(ma->size(), mb->size());
+    for (uint64_t c = 0; c < ma->size(); ++c) {
+      EXPECT_EQ(ma->at_compact(c), mb->at_compact(c))
+          << a.name() << " beta=" << beta << " cell=" << c;
+    }
+  }
+}
+
 /// Asserts that the protocol's estimate of `beta` is within `tv_tolerance`
 /// of the exact marginal of the rows.
 inline void ExpectEstimateClose(MarginalProtocol& protocol,

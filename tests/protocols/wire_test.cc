@@ -1,6 +1,8 @@
 #include "protocols/wire.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +85,67 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });
+
+TEST(Wire, DeserializeRejectsTruncatedBuffersForEveryKind) {
+  // Every protocol kind, several configs: a buffer one byte short, one byte
+  // long, or empty must be rejected, and the exact length must parse.
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{
+           {4, 2}, {6, 3}, {10, 2}}) {
+    const ProtocolConfig config = Config(d, k);
+    for (ProtocolKind kind : AllProtocolKinds()) {
+      auto protocol = CreateProtocol(kind, config);
+      ASSERT_TRUE(protocol.ok());
+      Rng rng(77);
+      const Report report =
+          (*protocol)->Encode(rng.UniformInt(uint64_t{1} << d), rng);
+      auto bytes = SerializeReport(kind, config, report);
+      ASSERT_TRUE(bytes.ok()) << ProtocolKindName(kind);
+
+      EXPECT_TRUE(DeserializeReport(kind, config, *bytes).ok())
+          << ProtocolKindName(kind);
+      EXPECT_FALSE(
+          DeserializeReport(kind, config, std::vector<uint8_t>()).ok())
+          << ProtocolKindName(kind);
+
+      std::vector<uint8_t> truncated(*bytes);
+      truncated.pop_back();
+      EXPECT_FALSE(DeserializeReport(kind, config, truncated).ok())
+          << ProtocolKindName(kind) << " d=" << d << " k=" << k;
+
+      std::vector<uint8_t> oversized(*bytes);
+      oversized.push_back(0);
+      EXPECT_FALSE(DeserializeReport(kind, config, oversized).ok())
+          << ProtocolKindName(kind) << " d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(Wire, RandomizedRoundTripAcrossConfigs) {
+  // Randomized reports for every kind across a sweep of (d, k) shapes; the
+  // parse must reproduce the report field-for-field.
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{
+           {3, 1}, {5, 3}, {9, 4}, {12, 2}}) {
+    const ProtocolConfig config = Config(d, k);
+    for (ProtocolKind kind : AllProtocolKinds()) {
+      auto protocol = CreateProtocol(kind, config);
+      ASSERT_TRUE(protocol.ok()) << ProtocolKindName(kind);
+      Rng rng(1000 + d);
+      for (int i = 0; i < 50; ++i) {
+        const Report original =
+            (*protocol)->Encode(rng.UniformInt(uint64_t{1} << d), rng);
+        auto bytes = SerializeReport(kind, config, original);
+        ASSERT_TRUE(bytes.ok()) << ProtocolKindName(kind);
+        auto parsed = DeserializeReport(kind, config, *bytes);
+        ASSERT_TRUE(parsed.ok()) << ProtocolKindName(kind);
+        EXPECT_EQ(parsed->selector, original.selector);
+        EXPECT_EQ(parsed->value, original.value);
+        EXPECT_EQ(parsed->ones, original.ones);
+        if (original.sign != 0) EXPECT_EQ(parsed->sign, original.sign);
+        EXPECT_DOUBLE_EQ(parsed->bits, original.bits);
+      }
+    }
+  }
+}
 
 TEST(Wire, DeserializeRejectsWrongLength) {
   const ProtocolConfig config = Config(6, 2);
