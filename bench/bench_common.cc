@@ -11,11 +11,59 @@ BenchArgs Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       args.full = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
     }
   }
   return args;
+}
+
+void JsonWriter::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  entries_.emplace_back(key, buf);
+}
+
+void JsonWriter::Add(const std::string& key, const std::string& value) {
+  // Bench metric strings are plain identifiers; escape the two JSON
+  // specials that could plausibly appear anyway.
+  std::string escaped = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  escaped += '"';
+  entries_.emplace_back(key, escaped);
+}
+
+std::string JsonWriter::ToJson() const {
+  std::string out = "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonWriter: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = ToJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
 }
 
 void Banner(const std::string& id, const std::string& title,
@@ -23,7 +71,7 @@ void Banner(const std::string& id, const std::string& title,
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("mode: %s (run with --full for paper-scale parameters)\n",
-              args.full ? "FULL" : "quick");
+              args.full ? "FULL" : (args.smoke ? "smoke" : "quick"));
   std::printf("==============================================================\n");
 }
 

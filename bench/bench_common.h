@@ -8,6 +8,7 @@
 #define LDPM_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -17,12 +18,36 @@ namespace bench {
 
 /// Command-line options shared by all benches.
 struct BenchArgs {
-  bool full = false;   ///< paper-scale parameters
-  uint64_t seed = 42;  ///< base RNG seed
+  bool full = false;      ///< paper-scale parameters
+  bool smoke = false;     ///< CI smoke mode: tiny sizes, seconds of runtime
+  uint64_t seed = 42;     ///< base RNG seed
+  std::string json_path;  ///< when non-empty, write metrics here as JSON
 };
 
-/// Parses --full and --seed=<n>; ignores unknown flags.
+/// Parses --full, --smoke, --seed=<n>, and --json=<path> (or "--json
+/// <path>"); ignores unknown flags.
 BenchArgs Parse(int argc, char** argv);
+
+/// Order-preserving flat collection of bench metrics, serializable as one
+/// JSON object. Lets a bench emit a machine-readable result file (e.g.
+/// BENCH_ingest.json) next to its human-readable table.
+class JsonWriter {
+ public:
+  /// Records a numeric metric (rendered with %.6g).
+  void Add(const std::string& key, double value);
+  /// Records a string metric.
+  void Add(const std::string& key, const std::string& value);
+
+  /// Renders the collected metrics as a JSON object.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false (with a message on stderr)
+  /// when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // key, literal
+};
 
 /// Prints the standard bench banner.
 void Banner(const std::string& id, const std::string& title,

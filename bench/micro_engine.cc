@@ -1,17 +1,33 @@
-// Engine microbench: single-thread vs. S-shard ingest throughput.
+// Engine microbench: the batched zero-copy ingest pipeline vs. the classic
+// per-report path, plus shard scaling.
 //
-// Measures two ingest paths of engine::ShardedAggregator against the
-// classic single-aggregator loop:
+// Four aggregator-side ingest paths are measured per protocol:
 //
-//   * absorb path — reports are pre-encoded, the engine only absorbs
-//     (the aggregator-side cost of a production collector);
-//   * encode path — raw rows are shipped and each shard worker encodes
-//     with its own Rng stream (full client simulation, CPU-bound and
-//     embarrassingly parallel — this is where shards buy throughput).
+//   * perreport — one virtual Absorb() call per pre-encoded in-memory
+//     Report (the pre-batching in-memory baseline);
+//   * parse     — DeserializeReport() + Absorb() per wire record: the
+//     pre-PR path for reports arriving as bytes, which materializes a
+//     Report (and for InpRR its heap-allocated `ones` vector) per record;
+//   * batch     — AbsorbBatch() over slices of the same Report stream
+//     (columnar overrides, validation hoisted, integer scratch);
+//   * wire      — AbsorbWireBatch() over the same wire batch frames
+//     (zero-copy: records parsed in place, no Report materialization; for
+//     InpRR the packed bitmaps are absorbed with carry-save word ops).
 //
-// Speedups are relative to the 1-shard engine. Scaling requires cores:
-// expect ~Sx on an S-core machine for the encode path and flat numbers on
-// a single hardware thread (the bench prints the machine's concurrency).
+// The acceptance comparison for the batched pipeline is wire vs parse —
+// both start from identical wire bytes; parse is what a pre-PR collector
+// had to do with them. perreport-vs-batch isolates the in-memory gain.
+//
+// The engine section feeds the wire frames through ShardedAggregator at
+// 1/2/4 shards (the 1-shard row exercises the lock-free SPSC queue path).
+// Shard scaling requires cores: expect flat numbers on one hardware thread.
+//
+// With --json out.json the measured reports/sec land in a flat JSON object
+// (keys like "InpRR.wire_rps", "InpRR.engine1_wire_rps") — the bench's
+// regression record (BENCH_ingest.json).
+//
+// The encode path (rows shipped raw, shard workers run the client encoder)
+// is unchanged from PR 1 and measured in the last section.
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +39,7 @@
 #include "bench_common.h"
 #include "engine/sharded_aggregator.h"
 #include "protocols/factory.h"
+#include "protocols/wire.h"
 
 namespace {
 
@@ -55,32 +72,47 @@ std::string Speedup(double base_seconds, double seconds) {
 int main(int argc, char** argv) {
   const ldpm::bench::BenchArgs args = ldpm::bench::Parse(argc, argv);
   ldpm::bench::Banner("micro_engine",
-                      "ShardedAggregator ingest throughput (1 vs S shards)",
+                      "batched/wire/sharded ingest vs per-report absorb",
                       args);
   std::printf("hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
+  ldpm::bench::JsonWriter json;
+  json.Add("bench", std::string("micro_engine"));
+  json.Add("d", 12.0);
+  json.Add("k", 2.0);
+  json.Add("epsilon", 1.0);
 
   const int d = 12;
-  const size_t num_reports = args.full ? 4'000'000 : 600'000;
-  const size_t num_rows = args.full ? 2'000'000 : 300'000;
   const size_t batch = 8192;
   const std::vector<int> shard_counts = {1, 2, 4};
 
+  // InpRR reports are 2^d bits, so its stream is kept smaller.
+  const size_t dense_reports =
+      args.smoke ? 3'000 : (args.full ? 200'000 : 40'000);
+  const size_t sparse_reports =
+      args.smoke ? 30'000 : (args.full ? 2'000'000 : 400'000);
+  const size_t num_rows = args.smoke ? 20'000 : (args.full ? 1'000'000 : 200'000);
+
   const std::vector<ProtocolKind> kinds = {
-      ProtocolKind::kInpHT, ProtocolKind::kMargPS, ProtocolKind::kInpEM};
+      ProtocolKind::kInpRR, ProtocolKind::kInpHT, ProtocolKind::kMargPS,
+      ProtocolKind::kInpEM};
 
   ProtocolConfig config;
   config.d = d;
   config.k = 2;
   config.epsilon = 1.0;
 
-  std::printf("== absorb path: %zu pre-encoded reports ==\n", num_reports);
-  ldpm::bench::Row({"protocol", "direct", "1 shard", "2 shards", "4 shards",
-                    "4-shard speedup"});
+  std::printf("== absorb paths: per-report/parse vs batch/wire (single "
+              "aggregator) and engine wire ingest ==\n");
+  ldpm::bench::Row({"protocol", "perreport", "parse", "batch", "wire",
+                    "eng 1shard", "eng 2shard", "eng 4shard", "wire/parse"});
   for (ProtocolKind kind : kinds) {
-    std::vector<std::string> cells{std::string(ldpm::ProtocolKindName(kind))};
+    const std::string name(ldpm::ProtocolKindName(kind));
+    std::vector<std::string> cells{name};
+    const size_t num_reports =
+        kind == ProtocolKind::kInpRR ? dense_reports : sparse_reports;
 
-    // Pre-encode one shared report stream.
+    // Pre-encode one shared report stream and its wire batch frames.
     auto encoder = CreateProtocol(kind, config);
     LDPM_CHECK(encoder.ok());
     Rng rng(args.seed);
@@ -90,17 +122,80 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < num_reports; ++i) {
       reports.push_back((*encoder)->Encode(rng() & mask, rng));
     }
+    std::vector<std::vector<uint8_t>> frames;
+    for (size_t begin = 0; begin < reports.size(); begin += batch) {
+      const size_t end = std::min(begin + batch, reports.size());
+      auto frame = ldpm::SerializeReportBatch(
+          kind, config,
+          std::vector<Report>(reports.begin() + begin, reports.begin() + end));
+      LDPM_CHECK(frame.ok());
+      frames.push_back(*std::move(frame));
+    }
 
-    // Baseline: classic single-aggregator absorb loop.
-    auto direct = CreateProtocol(kind, config);
-    LDPM_CHECK(direct.ok());
+    // Per-report baseline: one virtual Absorb per report.
+    auto perreport = CreateProtocol(kind, config);
+    LDPM_CHECK(perreport.ok());
     auto start = std::chrono::steady_clock::now();
-    for (const Report& r : reports) LDPM_CHECK((*direct)->Absorb(r).ok());
-    const double direct_seconds = Seconds(start);
-    cells.push_back(Rate(static_cast<double>(num_reports), direct_seconds));
+    for (const Report& r : reports) LDPM_CHECK((*perreport)->Absorb(r).ok());
+    const double perreport_seconds = Seconds(start);
+    cells.push_back(Rate(static_cast<double>(num_reports), perreport_seconds));
+    json.Add(name + ".perreport_rps",
+             static_cast<double>(num_reports) / perreport_seconds);
 
-    double one_shard_seconds = 0.0;
-    double last_seconds = 0.0;
+    // Pre-PR wire ingest: parse every record into a Report, then Absorb.
+    auto parse = CreateProtocol(kind, config);
+    LDPM_CHECK(parse.ok());
+    start = std::chrono::steady_clock::now();
+    for (const std::vector<uint8_t>& frame : frames) {
+      ldpm::WireBatchReader frame_reader(frame.data(), frame.size());
+      const uint8_t* record = nullptr;
+      size_t record_size = 0;
+      while (frame_reader.Next(record, record_size)) {
+        auto report = ldpm::DeserializeReport(kind, config, record, record_size);
+        LDPM_CHECK(report.ok());
+        LDPM_CHECK((*parse)->Absorb(*report).ok());
+      }
+      LDPM_CHECK(frame_reader.status().ok());
+    }
+    const double parse_seconds = Seconds(start);
+    cells.push_back(Rate(static_cast<double>(num_reports), parse_seconds));
+    json.Add(name + ".parse_rps",
+             static_cast<double>(num_reports) / parse_seconds);
+
+    // Columnar batch path over the same in-memory reports.
+    auto batched = CreateProtocol(kind, config);
+    LDPM_CHECK(batched.ok());
+    start = std::chrono::steady_clock::now();
+    for (size_t begin = 0; begin < reports.size(); begin += batch) {
+      const size_t end = std::min(begin + batch, reports.size());
+      LDPM_CHECK(
+          (*batched)->AbsorbBatch(reports.data() + begin, end - begin).ok());
+    }
+    const double batch_seconds = Seconds(start);
+    cells.push_back(Rate(static_cast<double>(num_reports), batch_seconds));
+    json.Add(name + ".batch_rps",
+             static_cast<double>(num_reports) / batch_seconds);
+
+    // Zero-copy wire path over pre-serialized frames.
+    auto wire = CreateProtocol(kind, config);
+    LDPM_CHECK(wire.ok());
+    start = std::chrono::steady_clock::now();
+    for (const std::vector<uint8_t>& frame : frames) {
+      LDPM_CHECK((*wire)->AbsorbWireBatch(frame.data(), frame.size()).ok());
+    }
+    const double wire_seconds = Seconds(start);
+    cells.push_back(Rate(static_cast<double>(num_reports), wire_seconds));
+    json.Add(name + ".wire_rps",
+             static_cast<double>(num_reports) / wire_seconds);
+
+    // All four paths must agree exactly.
+    LDPM_CHECK((*parse)->reports_absorbed() == num_reports);
+    LDPM_CHECK((*batched)->reports_absorbed() == num_reports);
+    LDPM_CHECK((*wire)->reports_absorbed() == num_reports);
+    LDPM_CHECK((*perreport)->total_report_bits() ==
+               (*wire)->total_report_bits());
+
+    // Engine wire ingest at 1/2/4 shards (1 shard = SPSC queue fast path).
     for (int shards : shard_counts) {
       ldpm::engine::EngineOptions options;
       options.num_shards = shards;
@@ -108,19 +203,22 @@ int main(int argc, char** argv) {
       auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
       LDPM_CHECK(eng.ok());
       start = std::chrono::steady_clock::now();
-      for (size_t begin = 0; begin < reports.size(); begin += batch) {
-        const size_t end = std::min(begin + batch, reports.size());
-        LDPM_CHECK((*eng)
-                       ->IngestBatch(std::vector<Report>(
-                           reports.begin() + begin, reports.begin() + end))
-                       .ok());
+      for (const std::vector<uint8_t>& frame : frames) {
+        LDPM_CHECK((*eng)->IngestWireBatch(frame).ok());
       }
       LDPM_CHECK((*eng)->Flush().ok());
-      last_seconds = Seconds(start);
-      if (shards == 1) one_shard_seconds = last_seconds;
-      cells.push_back(Rate(static_cast<double>(num_reports), last_seconds));
+      const double engine_seconds = Seconds(start);
+      cells.push_back(Rate(static_cast<double>(num_reports), engine_seconds));
+      json.Add(name + ".engine" + std::to_string(shards) + "_wire_rps",
+               static_cast<double>(num_reports) / engine_seconds);
+      auto absorbed = (*eng)->ReportsAbsorbed();
+      LDPM_CHECK(absorbed.ok());
+      LDPM_CHECK(*absorbed == num_reports);
     }
-    cells.push_back(Speedup(one_shard_seconds, last_seconds));
+    cells.push_back(Speedup(parse_seconds, wire_seconds));
+    json.Add(name + ".wire_speedup_vs_parse", parse_seconds / wire_seconds);
+    json.Add(name + ".wire_speedup_vs_absorb", perreport_seconds / wire_seconds);
+    json.Add(name + ".batch_speedup", perreport_seconds / batch_seconds);
     ldpm::bench::Row(cells);
   }
 
@@ -128,8 +226,9 @@ int main(int argc, char** argv) {
               num_rows);
   ldpm::bench::Row({"protocol", "direct", "1 shard", "2 shards", "4 shards",
                     "4-shard speedup"});
-  for (ProtocolKind kind : kinds) {
-    std::vector<std::string> cells{std::string(ldpm::ProtocolKindName(kind))};
+  for (ProtocolKind kind : {ProtocolKind::kInpHT, ProtocolKind::kMargPS}) {
+    const std::string name(ldpm::ProtocolKindName(kind));
+    std::vector<std::string> cells{name};
     Rng row_rng(args.seed + 1);
     std::vector<uint64_t> rows(num_rows);
     const uint64_t mask = (uint64_t{1} << d) - 1;
@@ -159,6 +258,8 @@ int main(int argc, char** argv) {
       last_seconds = Seconds(start);
       if (shards == 1) one_shard_seconds = last_seconds;
       cells.push_back(Rate(static_cast<double>(num_rows), last_seconds));
+      json.Add(name + ".encode" + std::to_string(shards) + "_rps",
+               static_cast<double>(num_rows) / last_seconds);
 
       auto stats = (*eng)->Stats();
       LDPM_CHECK(stats.ok());
@@ -166,6 +267,14 @@ int main(int argc, char** argv) {
     }
     cells.push_back(Speedup(one_shard_seconds, last_seconds));
     ldpm::bench::Row(cells);
+  }
+
+  if (!args.json_path.empty()) {
+    if (json.WriteFile(args.json_path)) {
+      std::printf("\nwrote %s\n", args.json_path.c_str());
+    } else {
+      return 1;
+    }
   }
   return 0;
 }

@@ -54,6 +54,50 @@ inline uint64_t DomainSize(int d) {
   return uint64_t{1} << d;
 }
 
+namespace internal {
+
+/// Dense Pascal triangle C(n, r) for 0 <= r <= n <= kMaxDimensions, built at
+/// compile time. Backs the O(popcount) combinatorial ranking below, which
+/// replaces hash-map selector lookups on the aggregator hot path.
+struct PascalTable {
+  uint64_t c[kMaxDimensions + 1][kMaxDimensions + 1];
+  constexpr PascalTable() : c{} {
+    for (int n = 0; n <= kMaxDimensions; ++n) {
+      c[n][0] = 1;
+      for (int r = 1; r <= n; ++r) c[n][r] = c[n - 1][r - 1] + c[n - 1][r];
+    }
+  }
+};
+
+inline constexpr PascalTable kPascal{};
+
+}  // namespace internal
+
+/// Table-backed C(n, r); zero outside 0 <= r <= n <= kMaxDimensions.
+inline uint64_t BinomialLookup(int n, int r) {
+  if (r < 0 || r > n || n > kMaxDimensions) return 0;
+  return internal::kPascal.c[n][r];
+}
+
+/// Rank of `mask` among all masks with the same popcount, in increasing
+/// numeric order (the combinatorial number system / colex rank): with set
+/// bit positions p_1 < p_2 < ... < p_r, rank = sum_j C(p_j, j).
+///
+/// KWaySelectors / ForEachMaskWithPopcount enumerate masks in exactly this
+/// order, so CombinationRank(selectors[i]) == i — a dense, allocation-free
+/// index that replaces per-report unordered_map lookups.
+inline uint64_t CombinationRank(uint64_t mask) {
+  uint64_t rank = 0;
+  int j = 0;
+  while (mask != 0) {
+    const int pos = std::countr_zero(mask);
+    ++j;
+    rank += BinomialLookup(pos, j);
+    mask &= mask - 1;
+  }
+  return rank;
+}
+
 /// C(n, r) as uint64_t; exact for every n <= 62 relevant here.
 inline uint64_t BinomialCoefficient(int n, int r) {
   if (r < 0 || r > n) return 0;

@@ -6,11 +6,14 @@ namespace ldpm {
 namespace engine {
 
 std::string IngestStats::ToString() const {
-  char head[160];
-  std::snprintf(head, sizeof(head),
-                "%llu reports in %.3fs (%.3g reports/s, %.3g bits/s), shards [",
-                static_cast<unsigned long long>(reports), wall_seconds,
-                reports_per_second, bits_per_second);
+  char head[192];
+  std::snprintf(
+      head, sizeof(head),
+      "%llu reports in %llu batches in %.3fs (%.3g reports/s, %.3g bits/s), "
+      "shards [",
+      static_cast<unsigned long long>(reports),
+      static_cast<unsigned long long>(batches), wall_seconds,
+      reports_per_second, bits_per_second);
   std::string out(head);
   for (size_t i = 0; i < per_shard_reports.size(); ++i) {
     if (i > 0) out += ", ";

@@ -16,6 +16,9 @@ namespace engine {
 struct IngestStats {
   /// Reports absorbed across all shards.
   uint64_t reports = 0;
+  /// Work batches enqueued onto shard queues since construction/Reset
+  /// (report batches, wire batch frames, and row chunks all count as one).
+  uint64_t batches = 0;
   /// Total measured communication absorbed, in bits (per the paper's
   /// Table 2 accounting).
   double bits = 0.0;

@@ -1,19 +1,40 @@
-// Bounded multi-producer single-consumer work queue feeding one shard
-// worker of the sharded aggregation engine.
+// Bounded work queue feeding one shard worker of the sharded aggregation
+// engine, with a lock-free single-producer fast path.
 //
 // Producers push batches of work and block when the queue is full
 // (backpressure instead of unbounded memory growth under overload). The
 // single consumer — the shard's worker thread — pops batches and marks each
 // one done, which lets Flush() implement a precise drain barrier: the queue
 // is drained only when no batch is queued AND the worker is not mid-batch.
+//
+// Two internal paths share the external contract:
+//
+//  * SPSC ring — the first thread to push registers as the ring producer
+//    and from then on pushes through a fixed-capacity lock-free ring
+//    buffer: no mutex, no condvar signalling in steady state (the producer
+//    only takes the mutex to wake a consumer it observed going idle).
+//  * MPSC mutex queue — any other producer thread (and the ring producer
+//    when the ring is full) pushes through the original mutex+condvar
+//    deque, which provides the blocking backpressure wait. Total pending
+//    work is bounded by max_pending (deque) plus the ring capacity
+//    (max_pending rounded down to a power of two), i.e. under twice the
+//    configured bound.
+//
+// The consumer drains both; relative order between the two paths is
+// unspecified, which is fine for the engine because absorbing batches
+// commutes. All condition variables are notified AFTER the mutex is
+// released, so a woken thread never immediately blocks on the lock the
+// notifier still holds.
 
 #ifndef LDPM_ENGINE_SHARD_QUEUE_H_
 #define LDPM_ENGINE_SHARD_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,11 +43,14 @@
 namespace ldpm {
 namespace engine {
 
-/// One unit of shard work: either pre-encoded reports to absorb, or raw
-/// user rows to encode on the worker with the shard's own Rng stream.
+/// One unit of shard work: pre-encoded reports to absorb, a wire batch
+/// frame to parse-and-absorb in place, or raw user rows to encode on the
+/// worker with the shard's own Rng stream.
 struct WorkItem {
-  /// Reports to Absorb() verbatim (aggregator-side ingest).
+  /// Reports to AbsorbBatch() verbatim (aggregator-side ingest).
   std::vector<Report> reports;
+  /// A wire batch frame (protocols/wire.h) for AbsorbWireBatch().
+  std::vector<uint8_t> wire;
   /// User rows to encode and absorb on the worker (client simulation).
   std::vector<uint64_t> rows;
   /// For `rows`: use the protocol's distribution-exact AbsorbPopulation
@@ -36,16 +60,44 @@ struct WorkItem {
 
 class ShardQueue {
  public:
-  explicit ShardQueue(size_t max_pending) : max_pending_(max_pending) {}
+  explicit ShardQueue(size_t max_pending)
+      : max_pending_(max_pending), ring_(RingCapacity(max_pending)) {}
 
   /// Enqueues one work item; blocks while the queue is at capacity.
   /// Returns false (dropping the item) if the queue has been closed.
   bool Push(WorkItem item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < max_pending_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+    if (IsRingProducer()) {
+      const size_t tail = ring_tail_.load(std::memory_order_relaxed);
+      if (tail - ring_head_.load(std::memory_order_acquire) < ring_.size()) {
+        // Close() handshake: announce the in-flight push, THEN check
+        // closed. Either this load sees the close and rejects before
+        // committing, or Close() spins on the announcement until the
+        // commit is visible — so a push that returned true is always
+        // drained by the consumer, never stranded in the ring.
+        ring_push_pending_.store(true, std::memory_order_seq_cst);
+        if (closed_.load(std::memory_order_seq_cst)) {
+          ring_push_pending_.store(false, std::memory_order_seq_cst);
+          return false;
+        }
+        ring_[tail & (ring_.size() - 1)] = std::move(item);
+        ring_tail_.store(tail + 1, std::memory_order_seq_cst);
+        ring_push_pending_.store(false, std::memory_order_seq_cst);
+        WakeIdleConsumer();
+        return true;
+      }
+      // Ring full: fall through to the blocking mutex path for the
+      // backpressure wait. (Total pending work is bounded by the deque's
+      // max_pending plus the ring capacity.)
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] {
+        return closed_.load(std::memory_order_relaxed) ||
+               items_.size() < max_pending_;
+      });
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -54,47 +106,159 @@ class ShardQueue {
   /// once the queue is closed and fully drained. The consumer must call
   /// Done() after finishing each popped item.
   bool Pop(WorkItem& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed
-    out = std::move(items_.front());
-    items_.pop_front();
-    busy_ = true;
-    not_full_.notify_one();
-    return true;
+    for (;;) {
+      // Claim "mid-batch" BEFORE looking for work, so WaitDrained cannot
+      // observe an item gone from the ring but not yet marked in flight.
+      busy_.store(true, std::memory_order_seq_cst);
+      if (PopRing(out)) return true;
+      bool notify_drained = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!items_.empty()) {
+          out = std::move(items_.front());
+          items_.pop_front();
+          // busy_ stays true until Done().
+          lock.unlock();
+          not_full_.notify_one();
+          return true;
+        }
+        busy_.store(false, std::memory_order_seq_cst);
+        notify_drained = RingEmpty();
+        if (closed_.load(std::memory_order_relaxed) && RingEmpty()) {
+          if (ring_push_pending_.load(std::memory_order_seq_cst)) {
+            // A ring push raced Close(): it read closed == false before the
+            // close landed but has not committed yet. Spin one iteration —
+            // either the item appears in the ring (and is drained) or the
+            // push aborts and the pending flag clears.
+            lock.unlock();
+            if (notify_drained) drained_.notify_all();
+            std::this_thread::yield();
+            continue;
+          }
+          lock.unlock();
+          if (notify_drained) drained_.notify_all();
+          return false;
+        }
+        if (notify_drained) {
+          // Notify with the mutex dropped (a waiter must not wake straight
+          // into our lock); the wait predicate below re-checks under lock,
+          // so releasing it briefly is safe.
+          lock.unlock();
+          drained_.notify_all();
+          lock.lock();
+        }
+        consumer_idle_.store(true, std::memory_order_seq_cst);
+        not_empty_.wait(lock, [&] {
+          return closed_.load(std::memory_order_relaxed) ||
+                 !items_.empty() || !RingEmpty();
+        });
+        consumer_idle_.store(false, std::memory_order_seq_cst);
+      }
+    }
   }
 
   /// Marks the most recently popped item as fully processed.
   void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    busy_ = false;
-    if (items_.empty()) drained_.notify_all();
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_.store(false, std::memory_order_seq_cst);
+      notify = items_.empty() && RingEmpty();
+    }
+    if (notify) drained_.notify_all();
   }
 
   /// Blocks until every pushed item has been popped AND processed.
   void WaitDrained() {
     std::unique_lock<std::mutex> lock(mu_);
-    drained_.wait(lock, [&] { return items_.empty() && !busy_; });
+    drained_.wait(lock, [&] {
+      return items_.empty() && RingEmpty() &&
+             !busy_.load(std::memory_order_seq_cst);
+    });
   }
 
   /// Wakes all waiters; subsequent pushes fail. The consumer drains what is
   /// already queued, then Pop returns false.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_.store(true, std::memory_order_seq_cst);
+    }
+    // Wait out a ring push that read closed == false before the store
+    // above: once the flag clears, its commit is visible, so the wakeups
+    // below cannot let the consumer exit past a stranded item.
+    while (ring_push_pending_.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
  private:
+  static size_t RingCapacity(size_t max_pending) {
+    // Largest power of two <= max_pending for mask indexing (min 2), so
+    // ring + deque together stay under twice the configured bound.
+    size_t cap = 2;
+    while (cap * 2 <= max_pending) cap <<= 1;
+    return cap;
+  }
+
+  /// True when the calling thread owns the ring (registering itself when
+  /// the ring is unowned). Only the owning producer touches ring_tail_.
+  bool IsRingProducer() {
+    const std::thread::id me = std::this_thread::get_id();
+    std::thread::id owner = ring_producer_.load(std::memory_order_acquire);
+    if (owner == me) return true;
+    if (owner == std::thread::id{}) {
+      std::thread::id expected{};
+      if (ring_producer_.compare_exchange_strong(expected, me,
+                                                 std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool PopRing(WorkItem& out) {
+    const size_t head = ring_head_.load(std::memory_order_relaxed);
+    if (ring_tail_.load(std::memory_order_seq_cst) == head) return false;
+    out = std::move(ring_[head & (ring_.size() - 1)]);
+    ring_head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool RingEmpty() const {
+    return ring_tail_.load(std::memory_order_seq_cst) ==
+           ring_head_.load(std::memory_order_seq_cst);
+  }
+
+  /// After a lock-free ring push: if the consumer announced it may sleep,
+  /// synchronize through the mutex so the wakeup cannot slip between the
+  /// consumer's empty-check and its wait, then notify.
+  void WakeIdleConsumer() {
+    if (!consumer_idle_.load(std::memory_order_seq_cst)) return;
+    { std::lock_guard<std::mutex> lock(mu_); }
+    not_empty_.notify_one();
+  }
+
   const size_t max_pending_;
+
+  // SPSC ring fast path.
+  std::vector<WorkItem> ring_;
+  std::atomic<size_t> ring_head_{0};  // written by the consumer only
+  std::atomic<size_t> ring_tail_{0};  // written by the ring producer only
+  std::atomic<std::thread::id> ring_producer_{};
+  std::atomic<bool> consumer_idle_{false};
+  std::atomic<bool> ring_push_pending_{false};  // Close() handshake
+
+  // MPSC mutex path + shared control state.
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::condition_variable drained_;
   std::deque<WorkItem> items_;
-  bool closed_ = false;
-  bool busy_ = false;
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> busy_{false};
 };
 
 }  // namespace engine

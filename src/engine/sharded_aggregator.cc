@@ -78,13 +78,12 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
     // but stops mutating state; the sticky error surfaces at Flush.
     if (shard.error.ok()) {
       if (!item.reports.empty()) {
-        for (const Report& report : item.reports) {
-          Status status = shard.protocol->Absorb(report);
-          if (!status.ok()) {
-            shard.error = std::move(status);
-            break;
-          }
-        }
+        shard.error =
+            shard.protocol->AbsorbBatch(item.reports.data(), item.reports.size());
+      }
+      if (shard.error.ok() && !item.wire.empty()) {
+        shard.error =
+            shard.protocol->AbsorbWireBatch(item.wire.data(), item.wire.size());
       }
       if (shard.error.ok() && !item.rows.empty()) {
         if (item.fast_path) {
@@ -140,6 +139,22 @@ Status ShardedAggregator::IngestBatch(std::vector<Report> reports) {
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
+  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedAggregator::IngestWireBatch(std::vector<uint8_t> frame) {
+  if (frame.empty()) return Status::OK();
+  NoteIngestStarted();
+  const size_t target =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  WorkItem item;
+  item.wire = std::move(frame);
+  if (!shards_[target]->queue.Push(std::move(item))) {
+    return Status::FailedPrecondition(
+        "ShardedAggregator: engine is shutting down");
+  }
+  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -156,6 +171,7 @@ Status ShardedAggregator::IngestRows(std::vector<uint64_t> rows,
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
+  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -235,6 +251,7 @@ StatusOr<MarginalTable> ShardedAggregator::EstimateMarginal(uint64_t beta) {
 StatusOr<IngestStats> ShardedAggregator::Stats() {
   LDPM_RETURN_IF_ERROR(Flush());
   IngestStats stats;
+  stats.batches = batches_enqueued_.load(std::memory_order_relaxed);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> state_lock(shard->state_mu);
     stats.per_shard_reports.push_back(shard->protocol->reports_absorbed());
@@ -313,6 +330,7 @@ Status ShardedAggregator::Reset() {
     shard->error = Status::OK();
   }
   ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  batches_enqueued_.store(0, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> merge_lock(merge_mu_);
     merged_.reset();

@@ -89,8 +89,15 @@ class ShardedAggregator {
   Status Ingest(const Report& report);
 
   /// Enqueues a batch of pre-encoded reports onto the next shard
-  /// (round-robin). Blocks when that shard's queue is full.
+  /// (round-robin). Blocks when that shard's queue is full. The worker
+  /// absorbs the batch through the protocol's columnar AbsorbBatch path.
   Status IngestBatch(std::vector<Report> reports);
+
+  /// Enqueues a wire batch frame (protocols/wire.h: u32-length-prefixed
+  /// SerializeReport records) onto the next shard. The worker parses and
+  /// absorbs the records in place via AbsorbWireBatch — the zero-copy path
+  /// from network bytes to protocol state.
+  Status IngestWireBatch(std::vector<uint8_t> frame);
 
   /// Enqueues raw user rows; the receiving shard's worker encodes them with
   /// the shard's own Rng stream and absorbs the reports. With `fast_path`
@@ -171,6 +178,7 @@ class ShardedAggregator {
   std::vector<Report> pending_;  // single-report coalescing buffer
 
   std::atomic<uint64_t> next_shard_{0};
+  std::atomic<uint64_t> batches_enqueued_{0};
 
   /// Monotonic count of ingest/restore/reset events. The merged cache is
   /// valid only for the epoch it was built at; comparing epochs (instead of

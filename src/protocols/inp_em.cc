@@ -1,9 +1,11 @@
 #include "protocols/inp_em.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
 #include "core/bits.h"
+#include "protocols/wire.h"
 
 namespace ldpm {
 
@@ -42,6 +44,49 @@ Status InpEmProtocol::Absorb(const Report& report) {
   reports_.push_back(report.value);
   NoteAbsorbed(report);
   return Status::OK();
+}
+
+// Grows the report log for `additional` entries while preserving the
+// vector's geometric growth (a bare reserve(size + n) per batch would pin
+// capacity to the exact size and turn repeated batches quadratic).
+void InpEmProtocol::ReserveLog(size_t additional) {
+  const size_t needed = reports_.size() + additional;
+  if (needed <= reports_.capacity()) return;
+  reports_.reserve(std::max(needed, reports_.capacity() * 2));
+}
+
+Status InpEmProtocol::AbsorbBatch(const Report* reports, size_t count) {
+  ReserveLog(count);
+  for (size_t i = 0; i < count; ++i) {
+    LDPM_RETURN_IF_ERROR(InpEmProtocol::Absorb(reports[i]));
+  }
+  return Status::OK();
+}
+
+Status InpEmProtocol::AbsorbWireBatch(const uint8_t* data, size_t size) {
+  const int d = config_.d;
+  const size_t payload_bytes = (static_cast<size_t>(d) + 7) / 8;
+  // Every record is framed as 4 length bytes + the payload.
+  ReserveLog(size / (4 + payload_bytes));
+  const uint64_t value_mask = (uint64_t{1} << d) - 1;
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  uint64_t absorbed = 0;
+  Status error = Status::OK();
+  while (reader.Next(record, record_size)) {
+    if (record_size != payload_bytes) {
+      error = Status::InvalidArgument(
+          "InpEM::AbsorbWireBatch: record is " + std::to_string(record_size) +
+          " bytes, expected " + std::to_string(payload_bytes));
+      break;
+    }
+    reports_.push_back(LoadWireWord(record, record_size) & value_mask);
+    ++absorbed;
+  }
+  if (error.ok()) error = reader.status();
+  NoteAbsorbedBatch(absorbed, static_cast<double>(d));
+  return error;
 }
 
 StatusOr<EmDecodeResult> InpEmProtocol::Decode(uint64_t beta) const {

@@ -54,6 +54,15 @@ class InpEmProtocol final : public MarginalProtocol {
 
   Report Encode(uint64_t user_value, Rng& rng) const override;
   Status Absorb(const Report& report) override;
+
+  /// Batch ingest: reserves the report log once and appends without
+  /// virtual dispatch.
+  Status AbsorbBatch(const Report* reports, size_t count) override;
+
+  /// Zero-copy wire ingest: each record is the packed d-bit response,
+  /// appended to the report log without materializing Report objects.
+  Status AbsorbWireBatch(const uint8_t* data, size_t size) override;
+
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
   Status MergeFrom(const MarginalProtocol& other) override;
@@ -75,6 +84,10 @@ class InpEmProtocol final : public MarginalProtocol {
  private:
   InpEmProtocol(const ProtocolConfig& config, RandomizedResponse per_bit_rr)
       : MarginalProtocol(config), per_bit_rr_(per_bit_rr) {}
+
+  /// Reserves room for `additional` log entries without breaking the
+  /// vector's amortized geometric growth.
+  void ReserveLog(size_t additional);
 
   RandomizedResponse per_bit_rr_;
   std::vector<uint64_t> reports_;  // packed perturbed d-bit responses

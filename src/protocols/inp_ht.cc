@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/bits.h"
+#include "protocols/wire.h"
 
 namespace ldpm {
 
@@ -10,10 +11,19 @@ InpHtProtocol::InpHtProtocol(const ProtocolConfig& config,
                              RandomizedResponse rr,
                              std::vector<uint64_t> alphas)
     : MarginalProtocol(config), rr_(rr), alphas_(std::move(alphas)) {
-  alpha_index_.reserve(alphas_.size());
-  for (size_t i = 0; i < alphas_.size(); ++i) alpha_index_[alphas_[i]] = i;
+  rank_offsets_.assign(static_cast<size_t>(config.k) + 1, 0);
+  for (int r = 2; r <= config.k; ++r) {
+    rank_offsets_[r] = rank_offsets_[r - 1] + BinomialLookup(config.d, r - 1);
+  }
   sign_sums_.assign(alphas_.size(), 0.0);
   counts_.assign(alphas_.size(), 0);
+}
+
+size_t InpHtProtocol::AlphaIndexOf(uint64_t alpha) const {
+  const int pc = Popcount(alpha);
+  if (pc < 1 || pc > config_.k) return kNoIndex;
+  if (alpha >= (uint64_t{1} << config_.d)) return kNoIndex;
+  return rank_offsets_[pc] + CombinationRank(alpha);
 }
 
 StatusOr<std::unique_ptr<InpHtProtocol>> InpHtProtocol::Create(
@@ -45,18 +55,58 @@ Report InpHtProtocol::Encode(uint64_t user_value, Rng& rng) const {
 }
 
 Status InpHtProtocol::Absorb(const Report& report) {
-  auto it = alpha_index_.find(report.selector);
-  if (it == alpha_index_.end()) {
+  const size_t idx = AlphaIndexOf(report.selector);
+  if (idx == kNoIndex) {
     return Status::InvalidArgument(
         "InpHT::Absorb: coefficient index not in the sampled set T");
   }
   if (report.sign != -1 && report.sign != 1) {
     return Status::InvalidArgument("InpHT::Absorb: sign must be -1 or +1");
   }
-  sign_sums_[it->second] += static_cast<double>(report.sign);
-  counts_[it->second] += 1;
+  sign_sums_[idx] += static_cast<double>(report.sign);
+  counts_[idx] += 1;
   NoteAbsorbed(report);
   return Status::OK();
+}
+
+Status InpHtProtocol::AbsorbBatch(const Report* reports, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    LDPM_RETURN_IF_ERROR(InpHtProtocol::Absorb(reports[i]));
+  }
+  return Status::OK();
+}
+
+Status InpHtProtocol::AbsorbWireBatch(const uint8_t* data, size_t size) {
+  const int d = config_.d;
+  const size_t payload_bytes = (static_cast<size_t>(d) + 1 + 7) / 8;
+  const uint64_t selector_mask = (uint64_t{1} << d) - 1;
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  uint64_t absorbed = 0;
+  Status error = Status::OK();
+  while (reader.Next(record, record_size)) {
+    if (record_size != payload_bytes) {
+      error = Status::InvalidArgument(
+          "InpHT::AbsorbWireBatch: record is " + std::to_string(record_size) +
+          " bytes, expected " + std::to_string(payload_bytes));
+      break;
+    }
+    const uint64_t word = LoadWireWord(record, record_size);
+    const uint64_t alpha = word & selector_mask;
+    const size_t idx = AlphaIndexOf(alpha);
+    if (idx == kNoIndex) {
+      error = Status::InvalidArgument(
+          "InpHT::Absorb: coefficient index not in the sampled set T");
+      break;
+    }
+    sign_sums_[idx] += ((word >> d) & 1) ? 1.0 : -1.0;
+    counts_[idx] += 1;
+    ++absorbed;
+  }
+  if (error.ok()) error = reader.status();
+  NoteAbsorbedBatch(absorbed, static_cast<double>(d) + 1.0);
+  return error;
 }
 
 StatusOr<FourierCoefficients> InpHtProtocol::EstimateCoefficients() const {

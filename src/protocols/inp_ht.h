@@ -17,7 +17,6 @@
 #define LDPM_PROTOCOLS_INP_HT_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/hadamard.h"
@@ -35,6 +34,14 @@ class InpHtProtocol final : public MarginalProtocol {
 
   Report Encode(uint64_t user_value, Rng& rng) const override;
   Status Absorb(const Report& report) override;
+
+  /// Batch ingest with the virtual dispatch hoisted out of the loop.
+  Status AbsorbBatch(const Report* reports, size_t count) override;
+
+  /// Zero-copy wire ingest: parses the (alpha, sign) layout — d + 1 bits —
+  /// straight out of each record with one word load, no Report objects.
+  Status AbsorbWireBatch(const uint8_t* data, size_t size) override;
+
   StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
   void Reset() override;
   Status MergeFrom(const MarginalProtocol& other) override;
@@ -61,9 +68,17 @@ class InpHtProtocol final : public MarginalProtocol {
   InpHtProtocol(const ProtocolConfig& config, RandomizedResponse rr,
                 std::vector<uint64_t> alphas);
 
+  static constexpr size_t kNoIndex = ~size_t{0};
+
+  /// Dense index of alpha in T, or kNoIndex when alpha is outside T.
+  /// alphas_ groups the masks by popcount, each group in increasing numeric
+  /// order, so the index is a popcount-group offset plus the colex
+  /// CombinationRank — pure rank arithmetic, no hash lookup.
+  size_t AlphaIndexOf(uint64_t alpha) const;
+
   RandomizedResponse rr_;
-  std::vector<uint64_t> alphas_;                    // T, grouped by popcount
-  std::unordered_map<uint64_t, size_t> alpha_index_;
+  std::vector<uint64_t> alphas_;    // T, grouped by popcount
+  std::vector<uint64_t> rank_offsets_;  // index of the first popcount-r mask
   std::vector<double> sign_sums_;   // per coefficient: sum of reported signs
   std::vector<uint64_t> counts_;    // per coefficient: number of reports
 };

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/marginal.h"
+#include "protocols/wire.h"
 
 namespace ldpm {
 
@@ -35,6 +36,37 @@ Status InpPsProtocol::Absorb(const Report& report) {
   counts_[report.value] += 1.0;
   NoteAbsorbed(report);
   return Status::OK();
+}
+
+Status InpPsProtocol::AbsorbBatch(const Report* reports, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    LDPM_RETURN_IF_ERROR(InpPsProtocol::Absorb(reports[i]));
+  }
+  return Status::OK();
+}
+
+Status InpPsProtocol::AbsorbWireBatch(const uint8_t* data, size_t size) {
+  const int d = config_.d;
+  const size_t payload_bytes = (static_cast<size_t>(d) + 7) / 8;
+  const uint64_t value_mask = (uint64_t{1} << d) - 1;
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  uint64_t absorbed = 0;
+  Status error = Status::OK();
+  while (reader.Next(record, record_size)) {
+    if (record_size != payload_bytes) {
+      error = Status::InvalidArgument(
+          "InpPS::AbsorbWireBatch: record is " + std::to_string(record_size) +
+          " bytes, expected " + std::to_string(payload_bytes));
+      break;
+    }
+    counts_[LoadWireWord(record, record_size) & value_mask] += 1.0;
+    ++absorbed;
+  }
+  if (error.ok()) error = reader.status();
+  NoteAbsorbedBatch(absorbed, static_cast<double>(d));
+  return error;
 }
 
 StatusOr<MarginalTable> InpPsProtocol::EstimateMarginal(uint64_t beta) const {

@@ -30,6 +30,16 @@ class InpRrProtocol final : public MarginalProtocol {
   Report Encode(uint64_t user_value, Rng& rng) const override;
   Status Absorb(const Report& report) override;
 
+  /// Columnar batch ingest: validates and accumulates the reported
+  /// positions into a per-cell integer scratch array, folded into the
+  /// double counts once per batch. Bitwise-identical to per-report Absorb.
+  Status AbsorbBatch(const Report* reports, size_t count) override;
+
+  /// Zero-copy wire ingest: each record payload is the raw 2^d-bit report
+  /// bitmap, absorbed as packed 64-bit words through carry-save bit-plane
+  /// counters (no Report materialization, no per-position branching).
+  Status AbsorbWireBatch(const uint8_t* data, size_t size) override;
+
   /// Distribution-exact fast path: samples the aggregate per-cell report
   /// counts directly via binomials, avoiding the O(N 2^d) per-user loop.
   Status AbsorbPopulation(const std::vector<uint64_t>& rows, Rng& rng) override;
@@ -55,8 +65,23 @@ class InpRrProtocol final : public MarginalProtocol {
     counts_.assign(uint64_t{1} << config_.d, 0.0);
   }
 
+  /// Adds up to 15 packed report bitmaps into `batch_counts_` via 4-deep
+  /// carry-save bit planes (one adder network per 64-cell word column).
+  void AbsorbPackedGroup(const uint8_t* const* payloads, size_t m);
+
+  /// Folds `batch_counts_` into the double accumulators and re-zeros it.
+  /// Integer counts are exact in doubles, so the fold is bitwise-identical
+  /// to having added 1.0 per reported position.
+  void FoldBatchCounts();
+
+  void EnsureBatchScratch();
+
   UnaryEncoding unary_;
   std::vector<double> counts_;  // reported-one counts per cell
+
+  // Batched-ingest scratch, allocated on first batch and reused.
+  std::vector<uint32_t> batch_counts_;  // per-cell pending integer counts
+  std::vector<uint64_t> planes_;        // 4 interleaved bit planes per word
 };
 
 }  // namespace ldpm

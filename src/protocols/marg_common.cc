@@ -9,10 +9,6 @@ namespace ldpm {
 MargProtocolBase::MargProtocolBase(const ProtocolConfig& config)
     : MarginalProtocol(config),
       selectors_(KWaySelectors(config.d, config.k)) {
-  selector_index_.reserve(selectors_.size());
-  for (size_t i = 0; i < selectors_.size(); ++i) {
-    selector_index_[selectors_[i]] = i;
-  }
   selector_counts_.assign(selectors_.size(), 0);
 }
 
@@ -35,11 +31,11 @@ Status MargProtocolBase::ValidateMarg(const ProtocolConfig& config) {
 }
 
 StatusOr<size_t> MargProtocolBase::SelectorIndexOf(uint64_t beta) const {
-  auto it = selector_index_.find(beta);
-  if (it == selector_index_.end()) {
+  const size_t idx = SelectorIndexFast(beta);
+  if (idx == kNoSelector) {
     return Status::NotFound("selector is not an exactly-k-way marginal");
   }
-  return it->second;
+  return idx;
 }
 
 double MargProtocolBase::EffectiveSelectorCount(size_t idx) const {

@@ -15,9 +15,9 @@
 #include <algorithm>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/bits.h"
 #include "protocols/protocol.h"
 
 namespace ldpm {
@@ -46,6 +46,18 @@ class MargProtocolBase : public MarginalProtocol {
 
   /// Index of a selector, or NotFound for selectors outside the k-way set.
   StatusOr<size_t> SelectorIndexOf(uint64_t beta) const;
+
+  /// Status-free selector index for batch hot loops: selectors() holds the
+  /// C(d,k) exactly-k-way masks in increasing numeric order, whose position
+  /// is their colex CombinationRank — dense rank arithmetic, no hash map.
+  /// Returns kNoSelector for masks outside the set.
+  static constexpr size_t kNoSelector = ~size_t{0};
+  size_t SelectorIndexFast(uint64_t beta) const {
+    if (Popcount(beta) != config_.k || beta >= (uint64_t{1} << config_.d)) {
+      return kNoSelector;
+    }
+    return static_cast<size_t>(CombinationRank(beta));
+  }
 
   /// Per-user effective sample size for the selector at `idx` under the
   /// configured estimator: the observed count (ratio) or N / C(d,k)
@@ -94,7 +106,6 @@ class MargProtocolBase : public MarginalProtocol {
 
  private:
   std::vector<uint64_t> selectors_;
-  std::unordered_map<uint64_t, size_t> selector_index_;
   std::vector<uint64_t> selector_counts_;
 };
 

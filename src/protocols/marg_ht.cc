@@ -1,6 +1,9 @@
 #include "protocols/marg_ht.h"
 
+#include <string>
+
 #include "core/bits.h"
+#include "protocols/wire.h"
 
 namespace ldpm {
 
@@ -59,6 +62,57 @@ Status MargHtProtocol::Absorb(const Report& report) {
   NoteSelectorReport(*idx);
   NoteAbsorbed(report);
   return Status::OK();
+}
+
+Status MargHtProtocol::AbsorbBatch(const Report* reports, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    LDPM_RETURN_IF_ERROR(MargHtProtocol::Absorb(reports[i]));
+  }
+  return Status::OK();
+}
+
+Status MargHtProtocol::AbsorbWireBatch(const uint8_t* data, size_t size) {
+  const int d = config_.d;
+  const int k = config_.k;
+  const uint64_t total_bits = static_cast<uint64_t>(d) + k + 1;
+  if (total_bits > 64) {
+    return MarginalProtocol::AbsorbWireBatch(data, size);
+  }
+  const size_t payload_bytes = (total_bits + 7) / 8;
+  const uint64_t selector_mask = (uint64_t{1} << d) - 1;
+  const uint64_t value_mask = (uint64_t{1} << k) - 1;
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  uint64_t absorbed = 0;
+  Status error = Status::OK();
+  while (reader.Next(record, record_size)) {
+    if (record_size != payload_bytes) {
+      error = Status::InvalidArgument(
+          "MargHT::AbsorbWireBatch: record is " + std::to_string(record_size) +
+          " bytes, expected " + std::to_string(payload_bytes));
+      break;
+    }
+    const uint64_t word = LoadWireWord(record, record_size);
+    const size_t idx = SelectorIndexFast(word & selector_mask);
+    if (idx == kNoSelector) {
+      error = Status::InvalidArgument("MargHT::Absorb: unknown selector");
+      break;
+    }
+    const uint64_t r = (word >> d) & value_mask;
+    if (r == 0 && !config_.sample_zero_coefficient) {
+      error = Status::InvalidArgument(
+          "MargHT::Absorb: coefficient index outside the sampled set");
+      break;
+    }
+    sign_sums_[idx][r] += ((word >> (d + k)) & 1) ? 1.0 : -1.0;
+    coeff_counts_[idx][r] += 1;
+    NoteSelectorReport(idx);
+    ++absorbed;
+  }
+  if (error.ok()) error = reader.status();
+  NoteAbsorbedBatch(absorbed, TheoreticalBitsPerUser());
+  return error;
 }
 
 StatusOr<MarginalTable> MargHtProtocol::EstimateExactKWay(size_t idx) const {

@@ -1,5 +1,10 @@
 #include "protocols/marg_rr.h"
 
+#include <bit>
+#include <string>
+
+#include "protocols/wire.h"
+
 namespace ldpm {
 
 MargRrProtocol::MargRrProtocol(const ProtocolConfig& config,
@@ -43,6 +48,58 @@ Status MargRrProtocol::Absorb(const Report& report) {
   NoteSelectorReport(*idx);
   NoteAbsorbed(report);
   return Status::OK();
+}
+
+Status MargRrProtocol::AbsorbBatch(const Report* reports, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    LDPM_RETURN_IF_ERROR(MargRrProtocol::Absorb(reports[i]));
+  }
+  return Status::OK();
+}
+
+Status MargRrProtocol::AbsorbWireBatch(const uint8_t* data, size_t size) {
+  const int d = config_.d;
+  const uint64_t cells = uint64_t{1} << config_.k;
+  const uint64_t total_bits = static_cast<uint64_t>(d) + cells;
+  if (total_bits > 64) {
+    // Record wider than one word: take the generic parse-and-absorb path.
+    return MarginalProtocol::AbsorbWireBatch(data, size);
+  }
+  const size_t payload_bytes = (total_bits + 7) / 8;
+  const uint64_t selector_mask = (uint64_t{1} << d) - 1;
+  const uint64_t cell_mask =
+      cells == 64 ? ~uint64_t{0} : (uint64_t{1} << cells) - 1;
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  uint64_t absorbed = 0;
+  Status error = Status::OK();
+  while (reader.Next(record, record_size)) {
+    if (record_size != payload_bytes) {
+      error = Status::InvalidArgument(
+          "MargRR::AbsorbWireBatch: record is " + std::to_string(record_size) +
+          " bytes, expected " + std::to_string(payload_bytes));
+      break;
+    }
+    const uint64_t word = LoadWireWord(record, record_size);
+    const size_t idx = SelectorIndexFast(word & selector_mask);
+    if (idx == kNoSelector) {
+      error = Status::InvalidArgument("MargRR::Absorb: unknown selector");
+      break;
+    }
+    // The reported cells arrive as a packed bitmap; absorb its set bits in
+    // ascending order, exactly like the `ones` walk of the report path.
+    uint64_t reported = (word >> d) & cell_mask;
+    while (reported != 0) {
+      counts_[idx][std::countr_zero(reported)] += 1.0;
+      reported &= reported - 1;
+    }
+    NoteSelectorReport(idx);
+    ++absorbed;
+  }
+  if (error.ok()) error = reader.status();
+  NoteAbsorbedBatch(absorbed, TheoreticalBitsPerUser());
+  return error;
 }
 
 StatusOr<MarginalTable> MargRrProtocol::EstimateExactKWay(size_t idx) const {

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <string>
 
+#include "protocols/factory.h"
+#include "protocols/wire.h"
+
 namespace ldpm {
 
 Status MarginalProtocol::ValidateCommon(const ProtocolConfig& config) {
@@ -21,6 +24,30 @@ Status MarginalProtocol::ValidateCommon(const ProtocolConfig& config) {
         "ProtocolConfig: epsilon must be finite and > 0");
   }
   return Status::OK();
+}
+
+Status MarginalProtocol::AbsorbBatch(const Report* reports, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    LDPM_RETURN_IF_ERROR(Absorb(reports[i]));
+  }
+  return Status::OK();
+}
+
+Status MarginalProtocol::AbsorbWireBatch(const uint8_t* data, size_t size) {
+  auto kind = ProtocolKindFromName(name());
+  if (!kind.ok()) {
+    return Status::Unimplemented(std::string(name()) +
+                                 ": no wire format for this protocol");
+  }
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  while (reader.Next(record, record_size)) {
+    auto report = DeserializeReport(*kind, config_, record, record_size);
+    if (!report.ok()) return report.status();
+    LDPM_RETURN_IF_ERROR(Absorb(*report));
+  }
+  return reader.status();
 }
 
 Status MarginalProtocol::AbsorbPopulation(const std::vector<uint64_t>& rows,

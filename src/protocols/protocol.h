@@ -142,6 +142,22 @@ class MarginalProtocol {
   /// protocol's domain) are rejected with a Status and leave state intact.
   virtual Status Absorb(const Report& report) = 0;
 
+  /// Accumulates `count` reports. State-identical to absorbing them in
+  /// order: on a malformed report the reports before it stay absorbed and
+  /// its error is returned (the rest of the batch is not absorbed). The hot
+  /// protocols override this with columnar fast paths — validation hoisted
+  /// out of the loop, integer accumulators folded into the double sums once
+  /// per batch — that stay bitwise-identical to the per-report path.
+  virtual Status AbsorbBatch(const Report* reports, size_t count);
+
+  /// Wire-level batched ingest: absorbs every record of a wire batch frame
+  /// (see protocols/wire.h: records are u32-length-prefixed SerializeReport
+  /// payloads, concatenated). The default parses each record into a Report
+  /// and absorbs it; overrides parse the fixed per-protocol layouts in
+  /// place without materializing Report objects. Same prefix semantics as
+  /// AbsorbBatch: records before a malformed one stay absorbed.
+  virtual Status AbsorbWireBatch(const uint8_t* data, size_t size);
+
   /// Feeds an entire population through the protocol. Equivalent in
   /// distribution to calling Encode+Absorb once per row; overridden by
   /// protocols with expensive per-user reports.
@@ -207,6 +223,15 @@ class MarginalProtocol {
   void NoteAbsorbed(const Report& report) {
     ++reports_absorbed_;
     total_report_bits_ += report.bits;
+  }
+
+  /// Batch bookkeeping: equivalent to `count` NoteAbsorbed calls of
+  /// `bits_per_report` each. Bitwise-identical to the per-report adds as
+  /// long as the bit counts are integers and totals stay below 2^53, which
+  /// holds for every protocol (Table 2 costs are exact bit counts).
+  void NoteAbsorbedBatch(uint64_t count, double bits_per_report) {
+    reports_absorbed_ += count;
+    total_report_bits_ += static_cast<double>(count) * bits_per_report;
   }
 
   void ResetBookkeeping() {

@@ -32,10 +32,10 @@ class BitWriter {
 
 class BitReader {
  public:
-  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  BitReader(const uint8_t* bytes, size_t size) : bytes_(bytes), size_(size) {}
 
   bool ReadBit() {
-    LDPM_DCHECK(cursor_ / 8 < bytes_.size());
+    LDPM_DCHECK(cursor_ / 8 < size_);
     const bool bit = (bytes_[cursor_ / 8] >> (cursor_ % 8)) & 1;
     ++cursor_;
     return bit;
@@ -50,7 +50,8 @@ class BitReader {
   }
 
  private:
-  const std::vector<uint8_t>& bytes_;
+  const uint8_t* bytes_;
+  size_t size_;
   uint64_t cursor_ = 0;
 };
 
@@ -148,14 +149,20 @@ StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
 StatusOr<Report> DeserializeReport(ProtocolKind kind,
                                    const ProtocolConfig& config,
                                    const std::vector<uint8_t>& bytes) {
+  return DeserializeReport(kind, config, bytes.data(), bytes.size());
+}
+
+StatusOr<Report> DeserializeReport(ProtocolKind kind,
+                                   const ProtocolConfig& config,
+                                   const uint8_t* data, size_t size) {
   auto bits = WireBits(kind, config);
   if (!bits.ok()) return bits.status();
-  if (bytes.size() != (*bits + 7) / 8) {
+  if (size != (*bits + 7) / 8) {
     return Status::InvalidArgument(
         "DeserializeReport: expected " + std::to_string((*bits + 7) / 8) +
-        " bytes, got " + std::to_string(bytes.size()));
+        " bytes, got " + std::to_string(size));
   }
-  BitReader reader(bytes);
+  BitReader reader(data, size);
   Report report;
   report.bits = static_cast<double>(*bits);
 
@@ -198,6 +205,35 @@ StatusOr<Report> DeserializeReport(ProtocolKind kind,
     }
   }
   return report;
+}
+
+Status AppendWireReport(ProtocolKind kind, const ProtocolConfig& config,
+                        const Report& report, std::vector<uint8_t>& out) {
+  auto payload = SerializeReport(kind, config, report);
+  if (!payload.ok()) return payload.status();
+  const uint64_t len = payload->size();
+  if (len > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("AppendWireReport: record too large");
+  }
+  out.push_back(static_cast<uint8_t>(len));
+  out.push_back(static_cast<uint8_t>(len >> 8));
+  out.push_back(static_cast<uint8_t>(len >> 16));
+  out.push_back(static_cast<uint8_t>(len >> 24));
+  out.insert(out.end(), payload->begin(), payload->end());
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> SerializeReportBatch(
+    ProtocolKind kind, const ProtocolConfig& config,
+    const std::vector<Report>& reports) {
+  auto bits = WireBits(kind, config);
+  if (!bits.ok()) return bits.status();
+  std::vector<uint8_t> out;
+  out.reserve(reports.size() * (4 + (*bits + 7) / 8));
+  for (const Report& report : reports) {
+    LDPM_RETURN_IF_ERROR(AppendWireReport(kind, config, report, out));
+  }
+  return out;
 }
 
 }  // namespace ldpm

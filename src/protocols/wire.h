@@ -20,7 +20,10 @@
 #ifndef LDPM_PROTOCOLS_WIRE_H_
 #define LDPM_PROTOCOLS_WIRE_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "protocols/factory.h"
@@ -40,6 +43,99 @@ StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
 StatusOr<Report> DeserializeReport(ProtocolKind kind,
                                    const ProtocolConfig& config,
                                    const std::vector<uint8_t>& bytes);
+
+/// Span overload of DeserializeReport, for parsing records out of a larger
+/// buffer without copying them into a temporary vector.
+StatusOr<Report> DeserializeReport(ProtocolKind kind,
+                                   const ProtocolConfig& config,
+                                   const uint8_t* data, size_t size);
+
+// ---- Wire batches ----------------------------------------------------------
+//
+// A wire batch is the zero-copy ingest unit of the engine: a concatenation
+// of records, each a little-endian u32 byte length followed by that many
+// payload bytes (the SerializeReport encoding). Fixed-size per protocol
+// today, but the per-record prefix keeps the framing self-describing and
+// lets a malformed record be reported at an exact offset.
+
+/// Serializes one report and appends it to `out` as a length-prefixed
+/// wire-batch record.
+Status AppendWireReport(ProtocolKind kind, const ProtocolConfig& config,
+                        const Report& report, std::vector<uint8_t>& out);
+
+/// Serializes a whole report stream into one wire batch frame.
+StatusOr<std::vector<uint8_t>> SerializeReportBatch(
+    ProtocolKind kind, const ProtocolConfig& config,
+    const std::vector<Report>& reports);
+
+/// Loads up to the first 8 bytes of a record payload as one little-endian
+/// word (first byte in the low bits), so payload bit i is word bit i. Lets
+/// fixed-layout records of <= 64 bits be parsed with two shifts instead of
+/// a per-bit loop. The full-word case is a fixed-size memcpy (a single load
+/// on little-endian hosts — a runtime-sized copy would be a libc call on
+/// the hottest path of the whole engine); short tails assemble bytes.
+inline uint64_t LoadWireWord(const uint8_t* bytes, size_t size) {
+  if constexpr (std::endian::native == std::endian::little) {
+    if (size >= 8) {
+      uint64_t word;
+      std::memcpy(&word, bytes, 8);
+      return word;
+    }
+  }
+  uint64_t word = 0;
+  const size_t n = size < 8 ? size : 8;
+  for (size_t i = 0; i < n; ++i) word |= uint64_t{bytes[i]} << (8 * i);
+  return word;
+}
+
+/// Walks the records of a wire batch frame. Framing errors (truncated
+/// length prefix or payload) stop the walk with Next() == false and a
+/// non-OK status(); a clean end of frame leaves status() OK.
+class WireBatchReader {
+ public:
+  WireBatchReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  /// Advances to the next record; false at end-of-frame or on error.
+  bool Next(const uint8_t*& record, size_t& record_size) {
+    if (cursor_ == size_) return false;
+    if (size_ - cursor_ < 4) {
+      status_ = Status::InvalidArgument(
+          "wire batch: truncated record length prefix at byte " +
+          std::to_string(cursor_));
+      return false;
+    }
+    uint64_t len;
+    if constexpr (std::endian::native == std::endian::little) {
+      uint32_t raw;
+      std::memcpy(&raw, data_ + cursor_, 4);
+      len = raw;
+    } else {
+      len = static_cast<uint64_t>(data_[cursor_]) |
+            static_cast<uint64_t>(data_[cursor_ + 1]) << 8 |
+            static_cast<uint64_t>(data_[cursor_ + 2]) << 16 |
+            static_cast<uint64_t>(data_[cursor_ + 3]) << 24;
+    }
+    if (size_ - cursor_ - 4 < len) {
+      status_ = Status::InvalidArgument(
+          "wire batch: truncated record payload at byte " +
+          std::to_string(cursor_));
+      return false;
+    }
+    record = data_ + cursor_ + 4;
+    record_size = static_cast<size_t>(len);
+    cursor_ += 4 + static_cast<size_t>(len);
+    return true;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t cursor_ = 0;
+  Status status_ = Status::OK();
+};
 
 }  // namespace ldpm
 

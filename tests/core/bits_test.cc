@@ -228,5 +228,36 @@ TEST_P(BitsPropertyTest, MarginalIndexingConvention) {
 INSTANTIATE_TEST_SUITE_P(SmallDimensions, BitsPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 6, 8, 10));
 
+TEST(BinomialLookup, MatchesBinomialCoefficient) {
+  for (int n = 0; n <= kMaxDimensions; ++n) {
+    for (int r = 0; r <= n; ++r) {
+      EXPECT_EQ(BinomialLookup(n, r), BinomialCoefficient(n, r))
+          << "n=" << n << " r=" << r;
+    }
+  }
+  EXPECT_EQ(BinomialLookup(5, 6), 0u);
+  EXPECT_EQ(BinomialLookup(5, -1), 0u);
+  EXPECT_EQ(BinomialLookup(kMaxDimensions + 1, 1), 0u);
+}
+
+// CombinationRank is the inverse of the fixed-popcount enumeration: the
+// rank of the i-th mask produced by ForEachMaskWithPopcount is i. This is
+// the invariant the dense selector tables of the protocols rely on.
+TEST(CombinationRank, MatchesEnumerationOrder) {
+  for (const auto& [d, r] : std::vector<std::pair<int, int>>{
+           {6, 2}, {8, 3}, {10, 1}, {12, 4}, {20, 2}}) {
+    uint64_t expected = 0;
+    ForEachMaskWithPopcount(d, r, [&](uint64_t mask) {
+      EXPECT_EQ(CombinationRank(mask), expected) << "mask=" << mask;
+      ++expected;
+    });
+    EXPECT_EQ(expected, BinomialCoefficient(d, r));
+  }
+}
+
+TEST(CombinationRank, EmptyMaskRanksZero) {
+  EXPECT_EQ(CombinationRank(0), 0u);
+}
+
 }  // namespace
 }  // namespace ldpm

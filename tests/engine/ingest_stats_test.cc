@@ -1,0 +1,133 @@
+// Dedicated tests for engine::IngestStats: batch counting, report
+// accounting across ingest paths, the drain-barrier interaction (stats are
+// taken only after a full flush), and window reset.
+
+#include "engine/ingest_stats.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/sharded_aggregator.h"
+#include "protocols/factory.h"
+#include "protocols/test_util.h"
+#include "protocols/wire.h"
+
+namespace ldpm {
+namespace {
+
+using engine::EngineOptions;
+using engine::IngestStats;
+using engine::ShardedAggregator;
+using test::EncodeReportStream;
+using test::MakeConfig;
+
+TEST(IngestStats, ToStringRendersAllFields) {
+  IngestStats stats;
+  stats.reports = 1200;
+  stats.batches = 3;
+  stats.wall_seconds = 0.5;
+  stats.reports_per_second = 2400.0;
+  stats.bits_per_second = 31200.0;
+  stats.per_shard_reports = {400, 800};
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("1200 reports"), std::string::npos) << s;
+  EXPECT_NE(s.find("3 batches"), std::string::npos) << s;
+  EXPECT_NE(s.find("[400, 800]"), std::string::npos) << s;
+}
+
+TEST(IngestStats, DefaultIsEmpty) {
+  IngestStats stats;
+  EXPECT_EQ(stats.reports, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.wall_seconds, 0.0);
+  EXPECT_EQ(stats.reports_per_second, 0.0);
+  EXPECT_TRUE(stats.per_shard_reports.empty());
+}
+
+// Every enqueue path counts as one batch: report batches, wire frames, and
+// row chunks (IngestPopulation splits into one chunk per shard).
+TEST(IngestStats, CountsBatchesAcrossIngestPaths) {
+  const ProtocolConfig config = MakeConfig(6, 2);
+  EngineOptions options;
+  options.num_shards = 2;
+  auto eng = ShardedAggregator::Create(ProtocolKind::kMargPS, config, options);
+  ASSERT_TRUE(eng.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kMargPS, config);
+  ASSERT_TRUE(encoder.ok());
+  const std::vector<Report> reports = EncodeReportStream(**encoder, 600, 9);
+
+  // 2 report batches + 1 wire frame + 2 row chunks = 5 batches.
+  ASSERT_TRUE((*eng)
+                  ->IngestBatch(std::vector<Report>(reports.begin(),
+                                                    reports.begin() + 200))
+                  .ok());
+  ASSERT_TRUE((*eng)
+                  ->IngestBatch(std::vector<Report>(reports.begin() + 200,
+                                                    reports.begin() + 400))
+                  .ok());
+  auto frame = SerializeReportBatch(
+      ProtocolKind::kMargPS, config,
+      std::vector<Report>(reports.begin() + 400, reports.end()));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE((*eng)->IngestWireBatch(*frame).ok());
+  ASSERT_TRUE((*eng)->IngestPopulation(std::vector<uint64_t>(100, 5)).ok());
+
+  auto stats = (*eng)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->batches, 5u);
+  EXPECT_EQ(stats->reports, 700u);  // 600 encoded + 100 rows
+  EXPECT_GT(stats->wall_seconds, 0.0);
+  EXPECT_GT(stats->reports_per_second, 0.0);
+}
+
+// Stats() flushes first: the counts always reflect every enqueued report,
+// never a snapshot racing the shard workers mid-queue.
+TEST(IngestStats, StatsObserveTheDrainBarrier) {
+  const ProtocolConfig config = MakeConfig(6, 2);
+  EngineOptions options;
+  options.num_shards = 3;
+  auto eng = ShardedAggregator::Create(ProtocolKind::kInpHT, config, options);
+  ASSERT_TRUE(eng.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(encoder.ok());
+  // Many small batches so work is queued on every shard when Stats runs.
+  const std::vector<Report> reports = EncodeReportStream(**encoder, 3000, 13);
+  for (size_t begin = 0; begin < reports.size(); begin += 100) {
+    ASSERT_TRUE((*eng)
+                    ->IngestBatch(std::vector<Report>(
+                        reports.begin() + begin, reports.begin() + begin + 100))
+                    .ok());
+  }
+  auto stats = (*eng)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->reports, 3000u);
+  EXPECT_EQ(stats->batches, 30u);
+  ASSERT_EQ(stats->per_shard_reports.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t per_shard : stats->per_shard_reports) total += per_shard;
+  EXPECT_EQ(total, stats->reports);
+  const double bits_per_report = static_cast<double>(config.d) + 1.0;
+  EXPECT_EQ(stats->bits, bits_per_report * 3000.0);
+}
+
+// Reset clears the batch counter and the throughput window.
+TEST(IngestStats, ResetClearsWindowAndBatches) {
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto eng = ShardedAggregator::Create(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(eng.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(encoder.ok());
+  ASSERT_TRUE((*eng)->IngestBatch(EncodeReportStream(**encoder, 100, 3)).ok());
+  ASSERT_TRUE((*eng)->Reset().ok());
+  auto stats = (*eng)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->reports, 0u);
+  EXPECT_EQ(stats->batches, 0u);
+  EXPECT_EQ(stats->wall_seconds, 0.0);
+  EXPECT_EQ(stats->reports_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -16,6 +16,7 @@
 #include "oracle/olh.h"
 #include "protocols/factory.h"
 #include "protocols/test_util.h"
+#include "protocols/wire.h"
 
 namespace ldpm {
 namespace {
@@ -59,6 +60,37 @@ TEST_P(ShardCountInvarianceTest, MergedEstimatesMatchSingleAggregator) {
     auto merged = (*eng)->Merged();
     ASSERT_TRUE(merged.ok()) << merged.status().ToString();
     EXPECT_EQ((*merged)->reports_absorbed(), reports.size());
+    ExpectBitwiseEqualEstimates(**single, **merged);
+  }
+}
+
+// Wire batch frames through the engine must match the single aggregator
+// bitwise too — the zero-copy path ends in the same accumulators.
+TEST_P(ShardCountInvarianceTest, WireIngestMatchesSingleAggregator) {
+  const ProtocolKind kind = GetParam();
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto single = CreateProtocol(kind, config);
+  ASSERT_TRUE(single.ok());
+  const std::vector<Report> reports = EncodeReportStream(**single, 3000, 29);
+  for (const Report& r : reports) ASSERT_TRUE((*single)->Absorb(r).ok());
+
+  for (int shards : {1, 4}) {
+    EngineOptions options;
+    options.num_shards = shards;
+    auto eng = ShardedAggregator::Create(kind, config, options);
+    ASSERT_TRUE(eng.ok());
+    for (size_t begin = 0; begin < reports.size(); begin += 500) {
+      auto frame = SerializeReportBatch(
+          kind, config,
+          std::vector<Report>(reports.begin() + begin,
+                              reports.begin() + begin + 500));
+      ASSERT_TRUE(frame.ok());
+      ASSERT_TRUE((*eng)->IngestWireBatch(*std::move(frame)).ok());
+    }
+    auto merged = (*eng)->Merged();
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ((*merged)->reports_absorbed(), reports.size());
+    EXPECT_EQ((*merged)->total_report_bits(), (*single)->total_report_bits());
     ExpectBitwiseEqualEstimates(**single, **merged);
   }
 }
