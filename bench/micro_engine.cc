@@ -21,6 +21,8 @@
 // The engine section feeds the wire frames through ShardedAggregator at
 // 1/2/4 shards (the 1-shard row exercises the lock-free SPSC queue path).
 // Shard scaling requires cores: expect flat numbers on one hardware thread.
+// The checkpoint section measures CheckpointTo / RestoreFrom end to end
+// (snapshot + serialize + CRC32C + atomic write, and the reverse).
 //
 // With --json out.json the measured reports/sec land in a flat JSON object
 // (keys like "InpRR.wire_rps", "InpRR.engine1_wire_rps") — the bench's
@@ -32,6 +34,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +224,73 @@ int main(int argc, char** argv) {
     json.Add(name + ".batch_speedup", perreport_seconds / batch_seconds);
     ldpm::bench::Row(cells);
   }
+
+  // Checkpoint/restore throughput: CheckpointTo is flush + per-shard
+  // snapshot + serialize + CRC32C + atomic write-rename; RestoreFrom is
+  // read + validate + stage + re-shard merge. Reported rates are file
+  // bytes over wall time, so they fold the checksum and (de)serialization
+  // costs into one number per direction.
+  std::printf("\n== durable checkpoints: write / restore (4-shard engine) ==\n");
+  ldpm::bench::Row({"protocol", "file KB", "write", "restore"}, 22);
+  const std::string ckpt_path =
+      (std::filesystem::temp_directory_path() / "ldpm_micro_engine.ckpt")
+          .string();
+  const size_t ckpt_iters = args.smoke ? 4 : 16;
+  for (ProtocolKind kind : kinds) {
+    const std::string name(ldpm::ProtocolKindName(kind));
+    const size_t num_reports =
+        (kind == ProtocolKind::kInpRR ? dense_reports : sparse_reports) / 4;
+    auto encoder = CreateProtocol(kind, config);
+    LDPM_CHECK(encoder.ok());
+    Rng rng(args.seed + 3);
+    std::vector<Report> reports;
+    reports.reserve(num_reports);
+    const uint64_t mask = (uint64_t{1} << d) - 1;
+    for (size_t i = 0; i < num_reports; ++i) {
+      reports.push_back((*encoder)->Encode(rng() & mask, rng));
+    }
+    ldpm::engine::EngineOptions options;
+    options.num_shards = 4;
+    options.seed = args.seed;
+    auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
+    LDPM_CHECK(eng.ok());
+    LDPM_CHECK((*eng)->IngestBatch(std::move(reports)).ok());
+    LDPM_CHECK((*eng)->Flush().ok());
+
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < ckpt_iters; ++i) {
+      LDPM_CHECK((*eng)->CheckpointTo(ckpt_path).ok());
+    }
+    const double write_seconds = Seconds(start) / ckpt_iters;
+    const double file_bytes =
+        static_cast<double>(std::filesystem::file_size(ckpt_path));
+
+    auto restored = ldpm::engine::ShardedAggregator::Create(kind, config,
+                                                            options);
+    LDPM_CHECK(restored.ok());
+    start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < ckpt_iters; ++i) {
+      LDPM_CHECK((*restored)->RestoreFrom(ckpt_path).ok());
+    }
+    const double restore_seconds = Seconds(start) / ckpt_iters;
+    auto restored_count = (*restored)->ReportsAbsorbed();
+    LDPM_CHECK(restored_count.ok());
+    LDPM_CHECK(*restored_count == num_reports);
+
+    char file_kb[32];
+    std::snprintf(file_kb, sizeof(file_kb), "%.1f", file_bytes / 1024.0);
+    const double mb = file_bytes / (1024.0 * 1024.0);
+    char write_cell[48], restore_cell[48];
+    std::snprintf(write_cell, sizeof(write_cell), "%.0f us (%.0f MB/s)",
+                  write_seconds * 1e6, mb / write_seconds);
+    std::snprintf(restore_cell, sizeof(restore_cell), "%.0f us (%.0f MB/s)",
+                  restore_seconds * 1e6, mb / restore_seconds);
+    ldpm::bench::Row({name, file_kb, write_cell, restore_cell}, 22);
+    json.Add(name + ".ckpt_bytes", file_bytes);
+    json.Add(name + ".ckpt_write_mbps", mb / write_seconds);
+    json.Add(name + ".ckpt_restore_mbps", mb / restore_seconds);
+  }
+  std::filesystem::remove(ckpt_path);
 
   std::printf("\n== encode path: %zu rows, per-shard Rng streams ==\n",
               num_rows);

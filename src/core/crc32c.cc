@@ -1,0 +1,63 @@
+#include "core/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ldpm {
+
+namespace {
+
+/// Slicing-by-8 lookup tables, built at compile time. t[0] is the classic
+/// bytewise table for the reflected polynomial; t[s][b] is the CRC of byte
+/// b followed by s zero bytes, which lets eight input bytes be folded with
+/// eight independent table loads per iteration.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  constexpr Crc32cTables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = (c >> 8) ^ t[0][c & 0xFFu];
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kCrc{};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  // The 64-bit fold reads the input as a little-endian word so that the
+  // low state bytes line up with the first input bytes; on big-endian
+  // hosts the bytewise tail loop below handles everything.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (size >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      word ^= state;
+      state = kCrc.t[7][word & 0xFFu] ^ kCrc.t[6][(word >> 8) & 0xFFu] ^
+              kCrc.t[5][(word >> 16) & 0xFFu] ^ kCrc.t[4][(word >> 24) & 0xFFu] ^
+              kCrc.t[3][(word >> 32) & 0xFFu] ^ kCrc.t[2][(word >> 40) & 0xFFu] ^
+              kCrc.t[1][(word >> 48) & 0xFFu] ^ kCrc.t[0][(word >> 56) & 0xFFu];
+      p += 8;
+      size -= 8;
+    }
+  }
+  while (size-- > 0) {
+    state = (state >> 8) ^ kCrc.t[0][(state ^ *p++) & 0xFFu];
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ldpm

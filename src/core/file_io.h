@@ -1,0 +1,39 @@
+// Whole-file binary I/O with atomic replacement — the durability substrate
+// of the engine's checkpoint subsystem (engine/checkpoint.h).
+//
+// WriteBinaryFileAtomic never exposes a torn file: bytes land in a unique
+// sibling temp file, are flushed to stable storage, and only then renamed
+// over the target. A reader (or a restart after a crash at any point of
+// the sequence) sees either the complete old file or the complete new one.
+
+#ifndef LDPM_CORE_FILE_IO_H_
+#define LDPM_CORE_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace ldpm {
+
+/// Reads an entire binary file into memory. NotFound if the file cannot be
+/// opened; Internal on a short or failed read.
+StatusOr<std::vector<uint8_t>> ReadBinaryFile(const std::string& path);
+
+/// Atomically replaces `path` with `size` bytes of `data`: writes a unique
+/// sibling temp file, fsyncs it, and renames it over the target (rename is
+/// atomic within a filesystem on POSIX). On any error the temp file is
+/// removed and the original `path`, if it existed, is left untouched.
+Status WriteBinaryFileAtomic(const std::string& path, const uint8_t* data,
+                             size_t size);
+
+/// Vector convenience overload of WriteBinaryFileAtomic.
+inline Status WriteBinaryFileAtomic(const std::string& path,
+                                    const std::vector<uint8_t>& data) {
+  return WriteBinaryFileAtomic(path, data.data(), data.size());
+}
+
+}  // namespace ldpm
+
+#endif  // LDPM_CORE_FILE_IO_H_

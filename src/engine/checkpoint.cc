@@ -1,0 +1,331 @@
+#include "engine/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "core/crc32c.h"
+#include "core/file_io.h"
+
+namespace ldpm {
+namespace engine {
+
+namespace {
+
+// ---- Little-endian primitives ---------------------------------------------
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutDouble(std::vector<uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Sequential little-endian reader over a byte span with precise
+/// truncation errors; offsets are relative to the start of the span.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t cursor() const { return cursor_; }
+  size_t remaining() const { return size_ - cursor_; }
+
+  Status ReadU32(uint32_t& v, const char* field) {
+    LDPM_RETURN_IF_ERROR(Need(4, field));
+    v = static_cast<uint32_t>(data_[cursor_]) |
+        static_cast<uint32_t>(data_[cursor_ + 1]) << 8 |
+        static_cast<uint32_t>(data_[cursor_ + 2]) << 16 |
+        static_cast<uint32_t>(data_[cursor_ + 3]) << 24;
+    cursor_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t& v, const char* field) {
+    uint32_t lo = 0, hi = 0;
+    LDPM_RETURN_IF_ERROR(ReadU32(lo, field));
+    LDPM_RETURN_IF_ERROR(ReadU32(hi, field));
+    v = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+    return Status::OK();
+  }
+
+  Status ReadDouble(double& v, const char* field) {
+    uint64_t bits = 0;
+    LDPM_RETURN_IF_ERROR(ReadU64(bits, field));
+    v = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  Status ReadU8(uint8_t& v, const char* field) {
+    LDPM_RETURN_IF_ERROR(Need(1, field));
+    v = data_[cursor_++];
+    return Status::OK();
+  }
+
+  Status ReadBytes(const uint8_t*& p, size_t n, const char* field) {
+    LDPM_RETURN_IF_ERROR(Need(n, field));
+    p = data_ + cursor_;
+    cursor_ += n;
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n, const char* field) {
+    if (size_ - cursor_ < n) {
+      return Status::InvalidArgument(
+          std::string("checkpoint: truncated ") + field + " at byte " +
+          std::to_string(cursor_));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t cursor_ = 0;
+};
+
+// Snapshot payload field sizes past the name: d, k (u32 each), epsilon
+// (u64), four u8 flags, reports_absorbed + total_report_bits (u64 each),
+// and the two array length prefixes (u64 each).
+constexpr size_t kFixedSnapshotBytes = 4 + 4 + 8 + 4 + 8 + 8 + 8 + 8;
+
+/// Exact encoded size of one snapshot payload; lets EncodeCheckpoint
+/// reserve the whole image and serialize each record in place instead of
+/// staging per-record vectors (checkpoints can be large for InpRR).
+size_t SnapshotPayloadSize(const AggregatorSnapshot& snapshot) {
+  return 4 + snapshot.protocol.size() + kFixedSnapshotBytes +
+         8 * (snapshot.reals.size() + snapshot.counts.size());
+}
+
+void AppendSnapshotPayload(std::vector<uint8_t>& out,
+                           const AggregatorSnapshot& snapshot) {
+  PutU32(out, static_cast<uint32_t>(snapshot.protocol.size()));
+  for (char c : snapshot.protocol) out.push_back(static_cast<uint8_t>(c));
+  PutU32(out, static_cast<uint32_t>(snapshot.d));
+  PutU32(out, static_cast<uint32_t>(snapshot.k));
+  PutDouble(out, snapshot.epsilon);
+  out.push_back(static_cast<uint8_t>(snapshot.estimator));
+  out.push_back(static_cast<uint8_t>(snapshot.unary_variant));
+  out.push_back(snapshot.sample_zero_coefficient ? 1 : 0);
+  out.push_back(0);  // reserved, must be zero
+  PutU64(out, snapshot.reports_absorbed);
+  PutDouble(out, snapshot.total_report_bits);
+  PutU64(out, snapshot.reals.size());
+  for (double v : snapshot.reals) PutDouble(out, v);
+  PutU64(out, snapshot.counts.size());
+  for (uint64_t v : snapshot.counts) PutU64(out, v);
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeSnapshot(const AggregatorSnapshot& snapshot) {
+  std::vector<uint8_t> out;
+  out.reserve(SnapshotPayloadSize(snapshot));
+  AppendSnapshotPayload(out, snapshot);
+  return out;
+}
+
+StatusOr<AggregatorSnapshot> DeserializeSnapshot(const uint8_t* data,
+                                                 size_t size) {
+  ByteReader reader(data, size);
+  AggregatorSnapshot snapshot;
+
+  uint32_t name_len = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(name_len, "protocol name length"));
+  const uint8_t* name = nullptr;
+  LDPM_RETURN_IF_ERROR(reader.ReadBytes(name, name_len, "protocol name"));
+  snapshot.protocol.assign(reinterpret_cast<const char*>(name), name_len);
+
+  uint32_t d = 0, k = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(d, "d"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(k, "k"));
+  snapshot.d = static_cast<int>(d);
+  snapshot.k = static_cast<int>(k);
+  LDPM_RETURN_IF_ERROR(reader.ReadDouble(snapshot.epsilon, "epsilon"));
+
+  uint8_t estimator = 0, variant = 0, sample_zero = 0, reserved = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU8(estimator, "estimator"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU8(variant, "unary variant"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU8(sample_zero, "zero-coefficient flag"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU8(reserved, "reserved flag"));
+  if (estimator > static_cast<uint8_t>(EstimatorKind::kHorvitzThompson) ||
+      variant > static_cast<uint8_t>(UnaryVariant::kOptimized) ||
+      sample_zero > 1 || reserved != 0) {
+    return Status::InvalidArgument(
+        "checkpoint: snapshot flags out of range (estimator=" +
+        std::to_string(estimator) + ", variant=" + std::to_string(variant) +
+        ", sample_zero=" + std::to_string(sample_zero) +
+        ", reserved=" + std::to_string(reserved) + ")");
+  }
+  snapshot.estimator = static_cast<EstimatorKind>(estimator);
+  snapshot.unary_variant = static_cast<UnaryVariant>(variant);
+  snapshot.sample_zero_coefficient = sample_zero != 0;
+
+  LDPM_RETURN_IF_ERROR(
+      reader.ReadU64(snapshot.reports_absorbed, "reports_absorbed"));
+  LDPM_RETURN_IF_ERROR(
+      reader.ReadDouble(snapshot.total_report_bits, "total_report_bits"));
+
+  uint64_t reals_count = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU64(reals_count, "reals length"));
+  if (reals_count > reader.remaining() / 8) {
+    return Status::InvalidArgument(
+        "checkpoint: reals length " + std::to_string(reals_count) +
+        " exceeds the remaining payload at byte " +
+        std::to_string(reader.cursor()));
+  }
+  snapshot.reals.resize(static_cast<size_t>(reals_count));
+  for (double& v : snapshot.reals) {
+    LDPM_RETURN_IF_ERROR(reader.ReadDouble(v, "reals entry"));
+  }
+
+  uint64_t counts_count = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU64(counts_count, "counts length"));
+  if (counts_count > reader.remaining() / 8) {
+    return Status::InvalidArgument(
+        "checkpoint: counts length " + std::to_string(counts_count) +
+        " exceeds the remaining payload at byte " +
+        std::to_string(reader.cursor()));
+  }
+  snapshot.counts.resize(static_cast<size_t>(counts_count));
+  for (uint64_t& v : snapshot.counts) {
+    LDPM_RETURN_IF_ERROR(reader.ReadU64(v, "counts entry"));
+  }
+
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "checkpoint: " + std::to_string(reader.remaining()) +
+        " trailing bytes after snapshot payload");
+  }
+  return snapshot;
+}
+
+StatusOr<std::vector<uint8_t>> EncodeCheckpoint(
+    const std::vector<AggregatorSnapshot>& snapshots) {
+  constexpr uint64_t kMaxU32 = 0xFFFFFFFFull;
+  if (snapshots.size() > kMaxU32) {
+    return Status::InvalidArgument(
+        "checkpoint: snapshot count overflows the u32 header field");
+  }
+  size_t total = 20;  // header
+  for (const AggregatorSnapshot& snapshot : snapshots) {
+    const size_t payload_size = SnapshotPayloadSize(snapshot);
+    // A length prefix that wrapped mod 2^32 would make CheckpointTo
+    // report success for a file no restore could ever parse.
+    if (payload_size > kMaxU32) {
+      return Status::InvalidArgument(
+          "checkpoint: snapshot payload for " + snapshot.protocol + " is " +
+          std::to_string(payload_size) +
+          " bytes, which overflows the u32 record length");
+    }
+    total += 8 + payload_size;  // length prefix + payload + CRC
+  }
+  // One exact reservation; records serialize in place (no per-record
+  // staging buffers — checkpoint images can be large for InpRR).
+  std::vector<uint8_t> out;
+  out.reserve(total);
+  for (char c : kCheckpointMagic) out.push_back(static_cast<uint8_t>(c));
+  PutU32(out, kCheckpointFormatVersion);
+  PutU32(out, static_cast<uint32_t>(snapshots.size()));
+  PutU32(out, Crc32c(out.data(), out.size()));
+  for (const AggregatorSnapshot& snapshot : snapshots) {
+    const size_t payload_size = SnapshotPayloadSize(snapshot);
+    PutU32(out, static_cast<uint32_t>(payload_size));
+    const size_t payload_start = out.size();
+    AppendSnapshotPayload(out, snapshot);
+    LDPM_DCHECK(out.size() - payload_start == payload_size);
+    PutU32(out, Crc32c(out.data() + payload_start, payload_size));
+  }
+  LDPM_DCHECK(out.size() == total);
+  return out;
+}
+
+StatusOr<std::vector<AggregatorSnapshot>> DecodeCheckpoint(const uint8_t* data,
+                                                           size_t size) {
+  ByteReader reader(data, size);
+  const uint8_t* magic = nullptr;
+  LDPM_RETURN_IF_ERROR(reader.ReadBytes(magic, 8, "magic"));
+  if (std::memcmp(magic, kCheckpointMagic, 8) != 0) {
+    return Status::InvalidArgument(
+        "checkpoint: bad magic (not a checkpoint file)");
+  }
+  uint32_t version = 0, count = 0, header_crc = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(version, "format version"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(count, "snapshot count"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(header_crc, "header checksum"));
+  // CRC before the version gate: a bit flip inside the version field is
+  // corruption (checksum mismatch), while a clean header with a larger
+  // version is a genuinely newer file this build must refuse to misparse.
+  if (Crc32c(data, 16) != header_crc) {
+    return Status::InvalidArgument("checkpoint: header checksum mismatch");
+  }
+  if (version == 0 || version > kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "checkpoint: unsupported format version " + std::to_string(version) +
+        " (this build reads up to " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+
+  std::vector<AggregatorSnapshot> snapshots;
+  // Every record costs at least 8 framing bytes, so a CRC-valid header
+  // cannot make us reserve more than the file could hold.
+  snapshots.reserve(std::min<size_t>(count, size / 8));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t payload_len = 0;
+    const size_t record_start = reader.cursor();
+    LDPM_RETURN_IF_ERROR(reader.ReadU32(payload_len, "record length"));
+    const uint8_t* payload = nullptr;
+    LDPM_RETURN_IF_ERROR(
+        reader.ReadBytes(payload, payload_len, "record payload"));
+    uint32_t payload_crc = 0;
+    LDPM_RETURN_IF_ERROR(reader.ReadU32(payload_crc, "record checksum"));
+    if (Crc32c(payload, payload_len) != payload_crc) {
+      return Status::InvalidArgument(
+          "checkpoint: record " + std::to_string(i) +
+          " checksum mismatch at byte " + std::to_string(record_start));
+    }
+    auto snapshot = DeserializeSnapshot(payload, payload_len);
+    if (!snapshot.ok()) {
+      return Status::InvalidArgument(
+          "checkpoint: record " + std::to_string(i) + " at byte " +
+          std::to_string(record_start) + ": " + snapshot.status().message());
+    }
+    snapshots.push_back(*std::move(snapshot));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "checkpoint: " + std::to_string(reader.remaining()) +
+        " trailing bytes after the last record");
+  }
+  return snapshots;
+}
+
+Status WriteCheckpoint(const std::string& path,
+                       const std::vector<AggregatorSnapshot>& snapshots) {
+  auto image = EncodeCheckpoint(snapshots);
+  if (!image.ok()) return image.status();
+  return WriteBinaryFileAtomic(path, *image);
+}
+
+StatusOr<std::vector<AggregatorSnapshot>> ReadCheckpoint(
+    const std::string& path) {
+  auto bytes = ReadBinaryFile(path);
+  if (!bytes.ok()) return bytes.status();
+  auto snapshots = DecodeCheckpoint(bytes->data(), bytes->size());
+  if (!snapshots.ok()) {
+    return Status(snapshots.status().code(),
+                  path + ": " + snapshots.status().message());
+  }
+  return snapshots;
+}
+
+}  // namespace engine
+}  // namespace ldpm

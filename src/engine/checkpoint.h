@@ -1,0 +1,86 @@
+// Durable checkpointing of aggregator state: a versioned binary container
+// for std::vector<AggregatorSnapshot>, so a sharded engine can restart
+// without replaying the wire stream (docs/wire-format.md specifies every
+// byte).
+//
+// File layout (all integers little-endian, mirroring the u32
+// length-prefix framing of protocols/wire.h):
+//
+//   header (20 bytes)
+//     [0,8)    magic "LDPMCKPT"
+//     [8,12)   u32 format version (currently 1)
+//     [12,16)  u32 snapshot (record) count S
+//     [16,20)  u32 CRC-32C over bytes [0,16)
+//   record, S times
+//     u32      payload length L
+//     L bytes  snapshot payload (SerializeSnapshot encoding)
+//     u32      CRC-32C over the L payload bytes
+//
+// The file ends exactly after the last record; trailing bytes are treated
+// as corruption. Loading validates magic, header CRC, version (files with
+// a newer version are rejected rather than misparsed — forward compat),
+// record framing, and every record CRC, so truncation and bit flips
+// anywhere in the file surface as a Status error instead of silently
+// restoring biased state.
+//
+// The snapshot payload is protocol-agnostic (the flattened accumulator
+// arrays of AggregatorSnapshot), so the container also checkpoints
+// protocols without a wire format (InpOLH, InpHTCMS) through the engine's
+// factory path.
+
+#ifndef LDPM_ENGINE_CHECKPOINT_H_
+#define LDPM_ENGINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace ldpm {
+namespace engine {
+
+/// Newest checkpoint file format version this build reads and writes.
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// The 8 magic bytes at offset 0 of every checkpoint file.
+inline constexpr char kCheckpointMagic[8] = {'L', 'D', 'P', 'M',
+                                             'C', 'K', 'P', 'T'};
+
+/// Serializes one snapshot into a record payload (the bytes a checkpoint
+/// record length-prefixes and checksums).
+std::vector<uint8_t> SerializeSnapshot(const AggregatorSnapshot& snapshot);
+
+/// Parses a record payload back into a snapshot; the inverse of
+/// SerializeSnapshot. Rejects truncated or over-long payloads and
+/// out-of-range enum encodings with a precise error.
+StatusOr<AggregatorSnapshot> DeserializeSnapshot(const uint8_t* data,
+                                                 size_t size);
+
+/// Encodes a full checkpoint image (header + records + checksums).
+/// InvalidArgument if the snapshot count or a record payload overflows
+/// the u32 framing fields (nothing unrestorable is ever produced).
+StatusOr<std::vector<uint8_t>> EncodeCheckpoint(
+    const std::vector<AggregatorSnapshot>& snapshots);
+
+/// Decodes and validates a checkpoint image; the inverse of
+/// EncodeCheckpoint. Any framing, version, or checksum violation is an
+/// InvalidArgument naming the failing byte offset.
+StatusOr<std::vector<AggregatorSnapshot>> DecodeCheckpoint(const uint8_t* data,
+                                                           size_t size);
+
+/// Encodes `snapshots` and atomically replaces `path` with the image
+/// (write-rename via WriteBinaryFileAtomic), so a crash mid-checkpoint
+/// leaves the previous checkpoint intact.
+Status WriteCheckpoint(const std::string& path,
+                       const std::vector<AggregatorSnapshot>& snapshots);
+
+/// Reads and validates the checkpoint at `path`. NotFound if the file does
+/// not exist; InvalidArgument on any corruption.
+StatusOr<std::vector<AggregatorSnapshot>> ReadCheckpoint(
+    const std::string& path);
+
+}  // namespace engine
+}  // namespace ldpm
+
+#endif  // LDPM_ENGINE_CHECKPOINT_H_

@@ -58,8 +58,16 @@ struct WorkItem {
   bool fast_path = false;
 };
 
+/// Bounded single-consumer work queue feeding one shard worker, with a
+/// lock-free SPSC ring fast path and a blocking MPSC mutex fallback (see
+/// the file comment for the full contract). Producers call Push; the one
+/// consumer loops Pop/Done; control threads use WaitDrained/Close.
 class ShardQueue {
  public:
+  /// Creates a queue whose mutex path blocks producers beyond
+  /// `max_pending` items; the SPSC ring adds up to max_pending more
+  /// (rounded down to a power of two), so total buffering stays under
+  /// twice the configured bound.
   explicit ShardQueue(size_t max_pending)
       : max_pending_(max_pending), ring_(RingCapacity(max_pending)) {}
 

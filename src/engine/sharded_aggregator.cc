@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "engine/checkpoint.h"
+
 namespace ldpm {
 namespace engine {
 
@@ -37,6 +39,11 @@ StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
     return Status::InvalidArgument(
         "ShardedAggregator: batch_size and max_pending_batches must be >= 1");
   }
+  if (options.checkpoint_every_batches > 0 && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "ShardedAggregator: checkpoint_every_batches > 0 requires a "
+        "checkpoint_path");
+  }
   // Build every shard aggregator up front so a bad factory/config fails the
   // construction rather than the first ingest.
   std::unique_ptr<ShardedAggregator> engine(
@@ -56,6 +63,10 @@ StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
       engine_ptr->WorkerLoop(*s);
     });
   }
+  if (options.checkpoint_every_batches > 0) {
+    engine->checkpoint_worker_ = std::thread(
+        [engine_ptr = engine.get()] { engine_ptr->CheckpointLoop(); });
+  }
   return engine;
 }
 
@@ -64,6 +75,13 @@ ShardedAggregator::ShardedAggregator(ProtocolFactory factory,
     : factory_(std::move(factory)), options_(options) {}
 
 ShardedAggregator::~ShardedAggregator() {
+  // Stop the checkpointer first so it cannot observe shards mid-teardown.
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (checkpoint_worker_.joinable()) checkpoint_worker_.join();
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -139,7 +157,8 @@ Status ShardedAggregator::IngestBatch(std::vector<Report> reports) {
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
-  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  MaybeWakeCheckpointer(
+      batches_enqueued_.fetch_add(1, std::memory_order_relaxed) + 1);
   return Status::OK();
 }
 
@@ -154,7 +173,8 @@ Status ShardedAggregator::IngestWireBatch(std::vector<uint8_t> frame) {
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
-  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  MaybeWakeCheckpointer(
+      batches_enqueued_.fetch_add(1, std::memory_order_relaxed) + 1);
   return Status::OK();
 }
 
@@ -171,7 +191,8 @@ Status ShardedAggregator::IngestRows(std::vector<uint64_t> rows,
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
-  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  MaybeWakeCheckpointer(
+      batches_enqueued_.fetch_add(1, std::memory_order_relaxed) + 1);
   return Status::OK();
 }
 
@@ -288,6 +309,7 @@ StatusOr<std::vector<AggregatorSnapshot>> ShardedAggregator::SnapshotShards() {
   LDPM_RETURN_IF_ERROR(Flush());
   std::vector<AggregatorSnapshot> snapshots;
   snapshots.reserve(shards_.size());
+  std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> state_lock(shard->state_mu);
     snapshots.push_back(shard->protocol->Snapshot());
@@ -308,29 +330,120 @@ Status ShardedAggregator::RestoreShards(
     LDPM_RETURN_IF_ERROR((*scratch)->Restore(snapshot));
     staged.push_back(*std::move(scratch));
   }
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> state_lock(shard->state_mu);
-    shard->protocol->Reset();
-  }
-  for (size_t i = 0; i < staged.size(); ++i) {
-    Shard& target = *shards_[i % shards_.size()];
-    std::lock_guard<std::mutex> state_lock(target.state_mu);
-    LDPM_RETURN_IF_ERROR(target.protocol->MergeFrom(*staged[i]));
+  {
+    std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      shard->protocol->Reset();
+    }
+    for (size_t i = 0; i < staged.size(); ++i) {
+      Shard& target = *shards_[i % shards_.size()];
+      std::lock_guard<std::mutex> state_lock(target.state_mu);
+      LDPM_RETURN_IF_ERROR(target.protocol->MergeFrom(*staged[i]));
+    }
   }
   ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
+Status ShardedAggregator::CheckpointTo(const std::string& path) {
+  // The flush barrier makes the checkpoint an exact cut: everything
+  // enqueued before this call is in the written state.
+  LDPM_RETURN_IF_ERROR(Flush());
+  return WriteCheckpointNow(path);
+}
+
+Status ShardedAggregator::RestoreFrom(const std::string& path) {
+  auto snapshots = ReadCheckpoint(path);
+  if (!snapshots.ok()) return snapshots.status();
+  return RestoreShards(*snapshots);
+}
+
+Status ShardedAggregator::LastCheckpointError() {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return ckpt_error_;
+}
+
+Status ShardedAggregator::WriteCheckpointNow(const std::string& path) {
+  std::vector<AggregatorSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  {
+    std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      snapshots.push_back(shard->protocol->Snapshot());
+    }
+  }
+  // The disk write happens outside the cut lock: only the in-memory
+  // capture needs atomicity against Reset/RestoreShards.
+  return WriteCheckpoint(path, snapshots);
+}
+
+void ShardedAggregator::MaybeWakeCheckpointer(uint64_t batches_enqueued) {
+  if (options_.checkpoint_every_batches == 0) return;
+  if (batches_enqueued -
+          last_checkpoint_batches_.load(std::memory_order_relaxed) >=
+      options_.checkpoint_every_batches) {
+    // Synchronize through the mutex so the wakeup cannot slip between the
+    // checkpointer's predicate check and its wait (same pattern as
+    // ShardQueue::WakeIdleConsumer). Uncontended except in the short
+    // window between crossing the cadence and the checkpoint starting.
+    { std::lock_guard<std::mutex> lock(ckpt_mu_); }
+    ckpt_cv_.notify_one();
+  }
+}
+
+void ShardedAggregator::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  for (;;) {
+    ckpt_cv_.wait(lock, [&] {
+      return ckpt_stop_ ||
+             batches_enqueued_.load(std::memory_order_relaxed) -
+                     last_checkpoint_batches_.load(
+                         std::memory_order_relaxed) >=
+                 options_.checkpoint_every_batches;
+    });
+    if (ckpt_stop_) return;
+    // Record the trigger point before writing so a steady ingest stream
+    // produces one checkpoint per cadence interval, not one per batch.
+    last_checkpoint_batches_.store(
+        batches_enqueued_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    lock.unlock();
+    // Without a flush barrier: the background checkpoint is a consistent
+    // per-shard prefix of the stream (each shard snapshot is atomic with
+    // respect to work items), captured and written while ingest continues.
+    Status status = WriteCheckpointNow(options_.checkpoint_path);
+    lock.lock();
+    if (status.ok()) {
+      checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+    } else if (ckpt_error_.ok()) {
+      ckpt_error_ = std::move(status);
+    }
+  }
+}
+
 Status ShardedAggregator::Reset() {
   LDPM_RETURN_IF_ERROR(FlushPending());
   for (auto& shard : shards_) shard->queue.WaitDrained();
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> state_lock(shard->state_mu);
-    shard->protocol->Reset();
-    shard->error = Status::OK();
+  {
+    std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      shard->protocol->Reset();
+      shard->error = Status::OK();
+    }
   }
   ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  batches_enqueued_.store(0, std::memory_order_relaxed);
+  {
+    // Hold ckpt_mu_ so the checkpointer's predicate never sees the batch
+    // counter and the last-checkpoint mark mid-reset (the unsigned
+    // difference would wrap and trigger a spurious checkpoint).
+    std::lock_guard<std::mutex> ckpt_lock(ckpt_mu_);
+    batches_enqueued_.store(0, std::memory_order_relaxed);
+    last_checkpoint_batches_.store(0, std::memory_order_relaxed);
+    ckpt_error_ = Status::OK();
+  }
   {
     std::lock_guard<std::mutex> merge_lock(merge_mu_);
     merged_.reset();

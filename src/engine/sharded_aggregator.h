@@ -26,9 +26,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -52,6 +54,16 @@ struct EngineOptions {
   size_t max_pending_batches = 64;
   /// Base seed for the per-shard Rng streams (row ingest / fast path).
   uint64_t seed = 0x5EED;
+  /// Destination of background checkpoints (engine/checkpoint.h format).
+  /// Must be non-empty when checkpoint_every_batches > 0.
+  std::string checkpoint_path;
+  /// Background checkpoint cadence: after every N enqueued batches a
+  /// dedicated checkpointer thread snapshots the shard states and
+  /// atomically rewrites checkpoint_path. 0 disables the checkpointer.
+  /// Ingest never blocks on disk: the cadence piggybacks on the batch
+  /// counter the queues already maintain, and the snapshot capture takes
+  /// each shard's state lock only as long as a merge would.
+  uint64_t checkpoint_every_batches = 0;
 };
 
 /// Builds one aggregator instance; called once per shard plus once for the
@@ -61,6 +73,10 @@ struct EngineOptions {
 using ProtocolFactory =
     std::function<StatusOr<std::unique_ptr<MarginalProtocol>>()>;
 
+/// The multi-core collector: S shard aggregators fed by bounded queues,
+/// merged on demand for queries, snapshot/checkpoint-able for re-sharding
+/// and restart-without-replay (see the file comment and
+/// docs/architecture.md for the dataflow).
 class ShardedAggregator {
  public:
   /// Creates an engine whose shards run `kind` under `config`.
@@ -79,8 +95,11 @@ class ShardedAggregator {
   ShardedAggregator(const ShardedAggregator&) = delete;
   ShardedAggregator& operator=(const ShardedAggregator&) = delete;
 
+  /// Number of shards (== worker threads) this engine runs.
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Display name of the hosted protocol ("InpHT", ...).
   std::string_view protocol_name() const { return shards_[0]->protocol->name(); }
+  /// The configuration every shard protocol was created with.
   const ProtocolConfig& config() const { return shards_[0]->protocol->config(); }
 
   // ---- Ingest (thread-safe) ----------------------------------------------
@@ -148,6 +167,31 @@ class ShardedAggregator {
   /// Flushes and clears all shard state and the stats window.
   Status Reset();
 
+  // ---- Durable checkpoints (engine/checkpoint.h) -------------------------
+
+  /// Flushes, snapshots every shard, and atomically writes the set to
+  /// `path` in the versioned checkpoint file format. The written file
+  /// restores — into an engine with ANY shard count — a merged state
+  /// bitwise-identical to this engine's state at the time of the call.
+  Status CheckpointTo(const std::string& path);
+
+  /// Reads a checkpoint file and replaces all shard state with it (the
+  /// restart-without-replay path). The checkpoint may have been taken at a
+  /// different shard count; snapshots are redistributed round-robin (see
+  /// RestoreShards). On any error — missing file, corruption, protocol or
+  /// config mismatch — the engine's current state is left unchanged.
+  Status RestoreFrom(const std::string& path);
+
+  /// Number of checkpoints the background checkpointer has written since
+  /// construction (explicit CheckpointTo calls are not counted).
+  uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+
+  /// First error of the background checkpointer, sticky until Reset. OK
+  /// when checkpointing is disabled or has always succeeded.
+  Status LastCheckpointError();
+
  private:
   struct Shard {
     std::unique_ptr<MarginalProtocol> protocol;
@@ -170,6 +214,14 @@ class ShardedAggregator {
   Status FlushPending();  // pushes the coalescing buffer, if any
   Status DrainAndCollectErrors();
 
+  /// Snapshots every shard (without a flush barrier) and atomically writes
+  /// the checkpoint file. Called by the background checkpointer; each
+  /// shard's snapshot is taken under its state lock, so the set is a
+  /// consistent per-shard prefix of the absorbed stream.
+  Status WriteCheckpointNow(const std::string& path);
+  void CheckpointLoop();
+  void MaybeWakeCheckpointer(uint64_t batches_enqueued);
+
   ProtocolFactory factory_;
   EngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -188,9 +240,29 @@ class ShardedAggregator {
   std::unique_ptr<MarginalProtocol> merged_;
   uint64_t merged_epoch_ = ~uint64_t{0};
 
+  /// Makes cross-shard state transitions atomic against snapshot capture:
+  /// held across the whole shard loop by Snapshot/checkpoint capture and
+  /// by Reset/RestoreShards, so a background checkpoint racing a reset or
+  /// restore sees all shards before or all shards after, never a mix
+  /// (per-shard state_mu alone orders only within one shard). Always
+  /// acquired before any state_mu, never the other way around.
+  std::mutex state_cut_mu_;
+
   std::mutex window_mu_;
   bool window_open_ = false;
   std::chrono::steady_clock::time_point window_start_;
+
+  /// Background checkpointer (started only when the cadence is enabled).
+  /// The worker sleeps on ckpt_cv_ until the enqueued-batch counter runs
+  /// checkpoint_every_batches past the last checkpoint; ingest paths only
+  /// ever notify the condvar — they never touch the disk.
+  std::thread checkpoint_worker_;
+  std::mutex ckpt_mu_;  // guards ckpt_stop_ / ckpt_error_ and the cv wait
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  Status ckpt_error_;
+  std::atomic<uint64_t> last_checkpoint_batches_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
 };
 
 }  // namespace engine

@@ -234,6 +234,7 @@ class MarginalProtocol {
     total_report_bits_ += static_cast<double>(count) * bits_per_report;
   }
 
+  /// Clears the bookkeeping counters; called by Reset() implementations.
   void ResetBookkeeping() {
     reports_absorbed_ = 0;
     total_report_bits_ = 0.0;
@@ -245,6 +246,7 @@ class MarginalProtocol {
     return m;
   }
 
+  /// The immutable configuration this protocol was created with.
   ProtocolConfig config_;
 
  private:

@@ -1,0 +1,81 @@
+// Binary file I/O: round trips, missing-file errors, atomic overwrite, and
+// no leftover temp files.
+
+#include "core/file_io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  const std::string path = TestPath("file_io_roundtrip.bin");
+  std::vector<uint8_t> data(10000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, data).ok());
+  auto read = ReadBinaryFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, EmptyFileRoundTrip) {
+  const std::string path = TestPath("file_io_empty.bin");
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, {}).ok());
+  auto read = ReadBinaryFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, MissingFileIsNotFound) {
+  auto read = ReadBinaryFile(TestPath("file_io_does_not_exist.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileIo, OverwriteReplacesContentAtomically) {
+  const std::string path = TestPath("file_io_overwrite.bin");
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, {1, 2, 3}).ok());
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, {9, 8}).ok());
+  auto read = ReadBinaryFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, (std::vector<uint8_t>{9, 8}));
+  std::filesystem::remove(path);
+}
+
+TEST(FileIo, LeavesNoTempFilesBehind) {
+  const std::string dir = TestPath("file_io_tmpdir");
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/target.bin";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(WriteBinaryFileAtomic(path, {static_cast<uint8_t>(i)}).ok());
+  }
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // only the target, no .tmp.* leftovers
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileIo, WriteIntoMissingDirectoryFails) {
+  const Status s = WriteBinaryFileAtomic(
+      TestPath("file_io_no_such_dir") + "/x.bin", {1});
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace ldpm

@@ -1,0 +1,323 @@
+// Checkpoint subsystem tests: snapshot payload round trips per protocol,
+// whole-file round trips through the engine (same and different shard
+// counts), rejection of truncated / bit-flipped / wrong-version files, and
+// the background checkpoint cadence.
+
+#include "engine/checkpoint.h"
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crc32c.h"
+#include "core/file_io.h"
+#include "engine/sharded_aggregator.h"
+#include "protocols/factory.h"
+#include "protocols/test_util.h"
+
+namespace ldpm {
+namespace {
+
+using engine::DecodeCheckpoint;
+using engine::EncodeCheckpoint;
+using engine::EngineOptions;
+using engine::ReadCheckpoint;
+using engine::ShardedAggregator;
+using engine::WriteCheckpoint;
+using test::EncodeReportStream;
+using test::ExpectBitwiseEqualEstimates;
+using test::MakeConfig;
+
+std::string TestPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<uint8_t> MustEncode(const std::vector<AggregatorSnapshot>& s) {
+  auto image = EncodeCheckpoint(s);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  return *std::move(image);
+}
+
+/// An engine with absorbed reports, plus the identical single aggregator.
+struct LoadedEngine {
+  std::unique_ptr<ShardedAggregator> engine;
+  std::unique_ptr<MarginalProtocol> reference;
+};
+
+LoadedEngine MakeLoadedEngine(ProtocolKind kind, int num_shards,
+                              size_t num_reports, uint64_t seed) {
+  const ProtocolConfig config = MakeConfig(6, 2);
+  EngineOptions options;
+  options.num_shards = num_shards;
+  auto eng = ShardedAggregator::Create(kind, config, options);
+  EXPECT_TRUE(eng.ok()) << eng.status().ToString();
+  auto reference = CreateProtocol(kind, config);
+  EXPECT_TRUE(reference.ok());
+  const std::vector<Report> reports =
+      EncodeReportStream(**reference, num_reports, seed);
+  for (const Report& r : reports) {
+    EXPECT_TRUE((*reference)->Absorb(r).ok());
+  }
+  EXPECT_TRUE((*eng)->IngestBatch(reports).ok());
+  EXPECT_TRUE((*eng)->Flush().ok());
+  return {*std::move(eng), *std::move(reference)};
+}
+
+class CheckpointPerProtocolTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+// SerializeSnapshot/DeserializeSnapshot must be exact inverses for every
+// protocol's accumulator layout (doubles round-trip bitwise via their IEEE
+// bit patterns).
+TEST_P(CheckpointPerProtocolTest, SnapshotPayloadRoundTrips) {
+  const ProtocolKind kind = GetParam();
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto protocol = CreateProtocol(kind, config);
+  ASSERT_TRUE(protocol.ok());
+  for (const Report& r : EncodeReportStream(**protocol, 500, 11)) {
+    ASSERT_TRUE((*protocol)->Absorb(r).ok());
+  }
+  const AggregatorSnapshot snapshot = (*protocol)->Snapshot();
+  const std::vector<uint8_t> payload = engine::SerializeSnapshot(snapshot);
+  auto parsed = engine::DeserializeSnapshot(payload.data(), payload.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->protocol, snapshot.protocol);
+  EXPECT_EQ(parsed->d, snapshot.d);
+  EXPECT_EQ(parsed->k, snapshot.k);
+  EXPECT_EQ(parsed->epsilon, snapshot.epsilon);
+  EXPECT_EQ(parsed->estimator, snapshot.estimator);
+  EXPECT_EQ(parsed->unary_variant, snapshot.unary_variant);
+  EXPECT_EQ(parsed->sample_zero_coefficient, snapshot.sample_zero_coefficient);
+  EXPECT_EQ(parsed->reports_absorbed, snapshot.reports_absorbed);
+  EXPECT_EQ(parsed->total_report_bits, snapshot.total_report_bits);
+  EXPECT_EQ(parsed->reals, snapshot.reals);
+  EXPECT_EQ(parsed->counts, snapshot.counts);
+
+  // Restoring the parsed snapshot reproduces the aggregator bitwise.
+  auto restored = CreateProtocol(kind, config);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->Restore(*parsed).ok());
+  ExpectBitwiseEqualEstimates(**protocol, **restored);
+}
+
+// The acceptance criterion: a checkpoint written mid-ingest restores into
+// a fresh engine — same or different shard count — whose marginal query
+// results are bitwise-identical to the original's at checkpoint time.
+TEST_P(CheckpointPerProtocolTest, FileRoundTripAcrossShardCounts) {
+  const ProtocolKind kind = GetParam();
+  const std::string path =
+      TestPath("ckpt_roundtrip_" + std::string(ProtocolKindName(kind)) +
+               ".bin");
+  LoadedEngine loaded = MakeLoadedEngine(kind, 4, 2000, 31);
+  ASSERT_TRUE(loaded.engine->CheckpointTo(path).ok());
+
+  // Reports ingested AFTER the checkpoint must not leak into the file.
+  auto encoder = CreateProtocol(kind, MakeConfig(6, 2));
+  ASSERT_TRUE(encoder.ok());
+  ASSERT_TRUE(
+      loaded.engine->IngestBatch(EncodeReportStream(**encoder, 300, 77)).ok());
+
+  for (int target_shards : {1, 2, 4}) {
+    EngineOptions options;
+    options.num_shards = target_shards;
+    auto restored =
+        ShardedAggregator::Create(kind, MakeConfig(6, 2), options);
+    ASSERT_TRUE(restored.ok());
+    ASSERT_TRUE((*restored)->RestoreFrom(path).ok());
+    auto merged = (*restored)->Merged();
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ((*merged)->reports_absorbed(), 2000u);
+    ExpectBitwiseEqualEstimates(*loaded.reference, **merged);
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, CheckpointPerProtocolTest,
+    ::testing::ValuesIn(AllProtocolKinds()),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return std::string(ProtocolKindName(info.param));
+    });
+
+TEST(Checkpoint, EmptySnapshotListRoundTrips) {
+  const std::vector<uint8_t> image = MustEncode({});
+  EXPECT_EQ(image.size(), 20u);  // header only
+  auto decoded = DecodeCheckpoint(image.data(), image.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  LoadedEngine loaded = MakeLoadedEngine(ProtocolKind::kInpHT, 2, 400, 13);
+  auto snapshots = loaded.engine->SnapshotShards();
+  ASSERT_TRUE(snapshots.ok());
+  const std::vector<uint8_t> image = MustEncode(*snapshots);
+  ASSERT_GT(image.size(), 20u);
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto decoded = DecodeCheckpoint(image.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len << " accepted";
+  }
+}
+
+TEST(Checkpoint, EveryByteFlipIsRejected) {
+  LoadedEngine loaded = MakeLoadedEngine(ProtocolKind::kMargPS, 2, 300, 19);
+  auto snapshots = loaded.engine->SnapshotShards();
+  ASSERT_TRUE(snapshots.ok());
+  std::vector<uint8_t> image = MustEncode(*snapshots);
+  auto clean = DecodeCheckpoint(image.data(), image.size());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  for (size_t i = 0; i < image.size(); ++i) {
+    image[i] ^= 0xA5;
+    auto decoded = DecodeCheckpoint(image.data(), image.size());
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << i << " accepted";
+    image[i] ^= 0xA5;
+  }
+}
+
+TEST(Checkpoint, NewerFormatVersionIsRejectedNotMisparsed) {
+  std::vector<uint8_t> image = MustEncode({});
+  // Bump the version field and re-stamp a VALID header CRC: this simulates
+  // a well-formed file from a future build, not corruption.
+  image[8] = static_cast<uint8_t>(engine::kCheckpointFormatVersion + 1);
+  const uint32_t crc = Crc32c(image.data(), 16);
+  image[16] = static_cast<uint8_t>(crc);
+  image[17] = static_cast<uint8_t>(crc >> 8);
+  image[18] = static_cast<uint8_t>(crc >> 16);
+  image[19] = static_cast<uint8_t>(crc >> 24);
+  auto decoded = DecodeCheckpoint(image.data(), image.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(Checkpoint, BadMagicIsRejected) {
+  std::vector<uint8_t> image = MustEncode({});
+  image[0] = 'X';
+  auto decoded = DecodeCheckpoint(image.data(), image.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(Checkpoint, TrailingBytesAreRejected) {
+  LoadedEngine loaded = MakeLoadedEngine(ProtocolKind::kInpPS, 1, 200, 23);
+  auto snapshots = loaded.engine->SnapshotShards();
+  ASSERT_TRUE(snapshots.ok());
+  std::vector<uint8_t> image = MustEncode(*snapshots);
+  image.push_back(0);
+  auto decoded = DecodeCheckpoint(image.data(), image.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(Checkpoint, RestoreFromMissingFileIsNotFound) {
+  EngineOptions options;
+  auto eng = ShardedAggregator::Create(ProtocolKind::kInpHT, MakeConfig(6, 2),
+                                       options);
+  ASSERT_TRUE(eng.ok());
+  const Status s = (*eng)->RestoreFrom(TestPath("ckpt_no_such_file.bin"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+// A corrupted file must reject with a clear error AND leave the target
+// engine's state untouched.
+TEST(Checkpoint, CorruptFileLeavesEngineStateIntact) {
+  const std::string path = TestPath("ckpt_corrupt.bin");
+  LoadedEngine loaded = MakeLoadedEngine(ProtocolKind::kInpHT, 2, 500, 37);
+  ASSERT_TRUE(loaded.engine->CheckpointTo(path).ok());
+  auto bytes = ReadBinaryFile(path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, *bytes).ok());
+
+  const Status restored = loaded.engine->RestoreFrom(path);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.message().find("checkpoint"), std::string::npos)
+      << restored.ToString();
+  // State unchanged: still answers like the reference aggregator.
+  auto merged = loaded.engine->Merged();
+  ASSERT_TRUE(merged.ok());
+  ExpectBitwiseEqualEstimates(*loaded.reference, **merged);
+  std::filesystem::remove(path);
+}
+
+// Restoring a checkpoint into an engine running a different protocol must
+// fail (the per-snapshot protocol name guards the restore).
+TEST(Checkpoint, ProtocolMismatchIsRejected) {
+  const std::string path = TestPath("ckpt_mismatch.bin");
+  LoadedEngine loaded = MakeLoadedEngine(ProtocolKind::kInpHT, 2, 200, 41);
+  ASSERT_TRUE(loaded.engine->CheckpointTo(path).ok());
+  EngineOptions options;
+  auto other = ShardedAggregator::Create(ProtocolKind::kMargPS,
+                                         MakeConfig(6, 2), options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE((*other)->RestoreFrom(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, CadenceRequiresPath) {
+  EngineOptions options;
+  options.checkpoint_every_batches = 4;
+  EXPECT_FALSE(ShardedAggregator::Create(ProtocolKind::kInpHT,
+                                         MakeConfig(6, 2), options)
+                   .ok());
+}
+
+// The background checkpointer must write a restorable file without any
+// explicit CheckpointTo call, and without erroring.
+TEST(Checkpoint, BackgroundCadenceWritesRestorableCheckpoints) {
+  const std::string path = TestPath("ckpt_background.bin");
+  std::filesystem::remove(path);
+  const ProtocolConfig config = MakeConfig(6, 2);
+  EngineOptions options;
+  options.num_shards = 2;
+  options.checkpoint_path = path;
+  options.checkpoint_every_batches = 2;
+  auto eng = ShardedAggregator::Create(ProtocolKind::kInpHT, config, options);
+  ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(encoder.ok());
+  const std::vector<Report> reports = EncodeReportStream(**encoder, 1000, 43);
+  for (size_t begin = 0; begin < reports.size(); begin += 100) {
+    ASSERT_TRUE((*eng)
+                    ->IngestBatch(std::vector<Report>(
+                        reports.begin() + begin, reports.begin() + begin + 100))
+                    .ok());
+  }
+  ASSERT_TRUE((*eng)->Flush().ok());
+  // The checkpointer runs asynchronously; wait for at least one write.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((*eng)->checkpoints_written() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE((*eng)->checkpoints_written(), 1u);
+  EXPECT_TRUE((*eng)->LastCheckpointError().ok());
+
+  // The written file is a valid prefix of the ingested stream.
+  auto snapshots = ReadCheckpoint(path);
+  ASSERT_TRUE(snapshots.ok()) << snapshots.status().ToString();
+  EXPECT_EQ(snapshots->size(), 2u);
+  uint64_t checkpointed = 0;
+  for (const AggregatorSnapshot& s : *snapshots) {
+    checkpointed += s.reports_absorbed;
+  }
+  EXPECT_GT(checkpointed, 0u);
+  EXPECT_LE(checkpointed, reports.size());
+  EngineOptions restore_options;
+  auto restored =
+      ShardedAggregator::Create(ProtocolKind::kInpHT, config, restore_options);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE((*restored)->RestoreFrom(path).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ldpm
