@@ -18,8 +18,10 @@
 // both start from identical wire bytes; parse is what a pre-PR collector
 // had to do with them. perreport-vs-batch isolates the in-memory gain.
 //
-// The engine section feeds the wire frames through ShardedAggregator at
-// 1/2/4 shards (the 1-shard row exercises the lock-free SPSC queue path).
+// The engine section feeds the wire frames through an engine::Collector
+// collection at 1/2/4 shards (the 1-shard row exercises the lock-free SPSC
+// queue path), and a mux section routes an interleaved multi-collection
+// frame stream through Collector::IngestFrames.
 // Shard scaling requires cores: expect flat numbers on one hardware thread.
 // The checkpoint section measures CheckpointTo / RestoreFrom end to end
 // (snapshot + serialize + CRC32C + atomic write, and the reverse).
@@ -40,7 +42,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "engine/sharded_aggregator.h"
+#include "engine/collector.h"
 #include "protocols/factory.h"
 #include "protocols/wire.h"
 
@@ -198,23 +200,26 @@ int main(int argc, char** argv) {
     LDPM_CHECK((*perreport)->total_report_bits() ==
                (*wire)->total_report_bits());
 
-    // Engine wire ingest at 1/2/4 shards (1 shard = SPSC queue fast path).
+    // Engine wire ingest at 1/2/4 shards (1 shard = SPSC queue fast path),
+    // hosted as one collection of a Collector.
     for (int shards : shard_counts) {
-      ldpm::engine::EngineOptions options;
-      options.num_shards = shards;
-      options.seed = args.seed;
-      auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
-      LDPM_CHECK(eng.ok());
+      ldpm::engine::CollectorOptions options;
+      options.engine_defaults.num_shards = shards;
+      options.engine_defaults.seed = args.seed;
+      auto collector = ldpm::engine::Collector::Create(options);
+      LDPM_CHECK(collector.ok());
+      auto handle = (*collector)->Register(name, kind, config);
+      LDPM_CHECK(handle.ok());
       start = std::chrono::steady_clock::now();
       for (const std::vector<uint8_t>& frame : frames) {
-        LDPM_CHECK((*eng)->IngestWireBatch(frame).ok());
+        LDPM_CHECK(handle->IngestWireBatch(frame).ok());
       }
-      LDPM_CHECK((*eng)->Flush().ok());
+      LDPM_CHECK(handle->Flush().ok());
       const double engine_seconds = Seconds(start);
       cells.push_back(Rate(static_cast<double>(num_reports), engine_seconds));
       json.Add(name + ".engine" + std::to_string(shards) + "_wire_rps",
                static_cast<double>(num_reports) / engine_seconds);
-      auto absorbed = (*eng)->ReportsAbsorbed();
+      auto absorbed = handle->ReportsAbsorbed();
       LDPM_CHECK(absorbed.ok());
       LDPM_CHECK(*absorbed == num_reports);
     }
@@ -249,31 +254,34 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < num_reports; ++i) {
       reports.push_back((*encoder)->Encode(rng() & mask, rng));
     }
-    ldpm::engine::EngineOptions options;
-    options.num_shards = 4;
-    options.seed = args.seed;
-    auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
-    LDPM_CHECK(eng.ok());
-    LDPM_CHECK((*eng)->IngestBatch(std::move(reports)).ok());
-    LDPM_CHECK((*eng)->Flush().ok());
+    ldpm::engine::CollectorOptions options;
+    options.engine_defaults.num_shards = 4;
+    options.engine_defaults.seed = args.seed;
+    auto collector = ldpm::engine::Collector::Create(options);
+    LDPM_CHECK(collector.ok());
+    auto handle = (*collector)->Register(name, kind, config);
+    LDPM_CHECK(handle.ok());
+    LDPM_CHECK(handle->IngestBatch(std::move(reports)).ok());
+    LDPM_CHECK(handle->Flush().ok());
 
     auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < ckpt_iters; ++i) {
-      LDPM_CHECK((*eng)->CheckpointTo(ckpt_path).ok());
+      LDPM_CHECK((*collector)->CheckpointTo(ckpt_path).ok());
     }
     const double write_seconds = Seconds(start) / ckpt_iters;
     const double file_bytes =
         static_cast<double>(std::filesystem::file_size(ckpt_path));
 
-    auto restored = ldpm::engine::ShardedAggregator::Create(kind, config,
-                                                            options);
+    auto restored = ldpm::engine::Collector::Create(options);
     LDPM_CHECK(restored.ok());
+    auto restored_handle = (*restored)->Register(name, kind, config);
+    LDPM_CHECK(restored_handle.ok());
     start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < ckpt_iters; ++i) {
       LDPM_CHECK((*restored)->RestoreFrom(ckpt_path).ok());
     }
     const double restore_seconds = Seconds(start) / ckpt_iters;
-    auto restored_count = (*restored)->ReportsAbsorbed();
+    auto restored_count = restored_handle->ReportsAbsorbed();
     LDPM_CHECK(restored_count.ok());
     LDPM_CHECK(*restored_count == num_reports);
 
@@ -291,6 +299,74 @@ int main(int argc, char** argv) {
     json.Add(name + ".ckpt_restore_mbps", mb / restore_seconds);
   }
   std::filesystem::remove(ckpt_path);
+
+  // Multiplexed ingest: one interleaved collection-frame stream carrying
+  // three protocol streams, routed by Collector::IngestFrames into each
+  // collection's zero-copy wire path (the one-socket-many-streams shape).
+  std::printf("\n== multiplexed collection-frame ingest (3 collections, "
+              "2 shards each) ==\n");
+  {
+    const std::vector<ProtocolKind> mux_kinds = {
+        ProtocolKind::kInpHT, ProtocolKind::kMargPS, ldpm::ProtocolKind::kInpES};
+    const size_t mux_reports = sparse_reports / 2;
+    ldpm::engine::CollectorOptions options;
+    options.engine_defaults.num_shards = 2;
+    options.engine_defaults.seed = args.seed;
+    auto collector = ldpm::engine::Collector::Create(options);
+    LDPM_CHECK(collector.ok());
+    std::vector<ldpm::engine::CollectionHandle> handles;
+    // Per-collection frame queues, interleaved round-robin into one stream.
+    std::vector<std::vector<uint8_t>> mux_frames;
+    Rng rng(args.seed + 7);
+    const uint64_t mask = (uint64_t{1} << d) - 1;
+    for (ProtocolKind kind : mux_kinds) {
+      const std::string id(ldpm::ProtocolKindName(kind));
+      auto handle = (*collector)->Register(id, kind, config);
+      LDPM_CHECK(handle.ok());
+      handles.push_back(*std::move(handle));
+      auto encoder = CreateProtocol(kind, config);
+      LDPM_CHECK(encoder.ok());
+      std::vector<Report> reports;
+      reports.reserve(mux_reports);
+      for (size_t i = 0; i < mux_reports; ++i) {
+        reports.push_back((*encoder)->Encode(rng() & mask, rng));
+      }
+      for (size_t begin = 0; begin < reports.size(); begin += batch) {
+        const size_t end = std::min(begin + batch, reports.size());
+        auto frame = ldpm::SerializeReportBatch(
+            kind, config,
+            std::vector<Report>(reports.begin() + begin,
+                                reports.begin() + end));
+        LDPM_CHECK(frame.ok());
+        std::vector<uint8_t> framed;
+        LDPM_CHECK(ldpm::AppendCollectionFrame(id, *frame, framed).ok());
+        mux_frames.push_back(std::move(framed));
+      }
+    }
+    // Round-robin interleave across collections into one byte stream.
+    std::vector<uint8_t> stream;
+    const size_t frames_per_kind = mux_frames.size() / mux_kinds.size();
+    for (size_t i = 0; i < frames_per_kind; ++i) {
+      for (size_t kind_index = 0; kind_index < mux_kinds.size(); ++kind_index) {
+        const auto& framed = mux_frames[kind_index * frames_per_kind + i];
+        stream.insert(stream.end(), framed.begin(), framed.end());
+      }
+    }
+    auto start = std::chrono::steady_clock::now();
+    LDPM_CHECK((*collector)->IngestFrames(stream).ok());
+    LDPM_CHECK((*collector)->Flush().ok());
+    const double mux_seconds = Seconds(start);
+    const double total_reports =
+        static_cast<double>(mux_reports * mux_kinds.size());
+    for (auto& handle : handles) {
+      auto absorbed = handle.ReportsAbsorbed();
+      LDPM_CHECK(absorbed.ok());
+      LDPM_CHECK(*absorbed == mux_reports);
+    }
+    ldpm::bench::Row({"mux stream", Rate(total_reports, mux_seconds)}, 22);
+    json.Add("mux3.frame_rps", total_reports / mux_seconds);
+    json.Add("mux3.stream_bytes", static_cast<double>(stream.size()));
+  }
 
   std::printf("\n== encode path: %zu rows, per-shard Rng streams ==\n",
               num_rows);
@@ -317,21 +393,23 @@ int main(int argc, char** argv) {
     double one_shard_seconds = 0.0;
     double last_seconds = 0.0;
     for (int shards : shard_counts) {
-      ldpm::engine::EngineOptions options;
-      options.num_shards = shards;
-      options.seed = args.seed;
-      auto eng = ldpm::engine::ShardedAggregator::Create(kind, config, options);
-      LDPM_CHECK(eng.ok());
+      ldpm::engine::CollectorOptions options;
+      options.engine_defaults.num_shards = shards;
+      options.engine_defaults.seed = args.seed;
+      auto collector = ldpm::engine::Collector::Create(options);
+      LDPM_CHECK(collector.ok());
+      auto handle = (*collector)->Register(name, kind, config);
+      LDPM_CHECK(handle.ok());
       start = std::chrono::steady_clock::now();
-      LDPM_CHECK((*eng)->IngestPopulation(rows, /*fast_path=*/false).ok());
-      LDPM_CHECK((*eng)->Flush().ok());
+      LDPM_CHECK(handle->IngestPopulation(rows, /*fast_path=*/false).ok());
+      LDPM_CHECK(handle->Flush().ok());
       last_seconds = Seconds(start);
       if (shards == 1) one_shard_seconds = last_seconds;
       cells.push_back(Rate(static_cast<double>(num_rows), last_seconds));
       json.Add(name + ".encode" + std::to_string(shards) + "_rps",
                static_cast<double>(num_rows) / last_seconds);
 
-      auto stats = (*eng)->Stats();
+      auto stats = handle->Stats();
       LDPM_CHECK(stats.ok());
       LDPM_CHECK(stats->reports == num_rows);
     }

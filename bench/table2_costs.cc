@@ -30,6 +30,8 @@ const char* ErrorFormula(ProtocolKind kind) {
       return "2^{3k/2} d^{k/2}";
     case ProtocolKind::kInpEM:
       return "(heuristic)";
+    case ProtocolKind::kInpES:
+      return "(conjecture 6.3)";
   }
   return "?";
 }

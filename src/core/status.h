@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kUnimplemented = 4,     ///< Feature intentionally not provided.
   kInternal = 5,          ///< Invariant violation surfaced as a soft error.
   kNotFound = 6,          ///< Lookup key absent.
+  kAlreadyExists = 7,     ///< Key registration collided with a live entry.
+  kResourceExhausted = 8, ///< A configured capacity budget is used up.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -63,6 +65,12 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

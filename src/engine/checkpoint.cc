@@ -14,6 +14,11 @@ namespace {
 
 // ---- Little-endian primitives ---------------------------------------------
 
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
   out.push_back(static_cast<uint8_t>(v >> 8));
@@ -38,6 +43,14 @@ class ByteReader {
 
   size_t cursor() const { return cursor_; }
   size_t remaining() const { return size_ - cursor_; }
+
+  Status ReadU16(uint16_t& v, const char* field) {
+    LDPM_RETURN_IF_ERROR(Need(2, field));
+    v = static_cast<uint16_t>(static_cast<uint16_t>(data_[cursor_]) |
+                              static_cast<uint16_t>(data_[cursor_ + 1]) << 8);
+    cursor_ += 2;
+    return Status::OK();
+  }
 
   Status ReadU32(uint32_t& v, const char* field) {
     LDPM_RETURN_IF_ERROR(Need(4, field));
@@ -233,7 +246,7 @@ StatusOr<std::vector<uint8_t>> EncodeCheckpoint(
   std::vector<uint8_t> out;
   out.reserve(total);
   for (char c : kCheckpointMagic) out.push_back(static_cast<uint8_t>(c));
-  PutU32(out, kCheckpointFormatVersion);
+  PutU32(out, kCheckpointFormatVersionV1);
   PutU32(out, static_cast<uint32_t>(snapshots.size()));
   PutU32(out, Crc32c(out.data(), out.size()));
   for (const AggregatorSnapshot& snapshot : snapshots) {
@@ -248,36 +261,17 @@ StatusOr<std::vector<uint8_t>> EncodeCheckpoint(
   return out;
 }
 
-StatusOr<std::vector<AggregatorSnapshot>> DecodeCheckpoint(const uint8_t* data,
-                                                           size_t size) {
-  ByteReader reader(data, size);
-  const uint8_t* magic = nullptr;
-  LDPM_RETURN_IF_ERROR(reader.ReadBytes(magic, 8, "magic"));
-  if (std::memcmp(magic, kCheckpointMagic, 8) != 0) {
-    return Status::InvalidArgument(
-        "checkpoint: bad magic (not a checkpoint file)");
-  }
-  uint32_t version = 0, count = 0, header_crc = 0;
-  LDPM_RETURN_IF_ERROR(reader.ReadU32(version, "format version"));
-  LDPM_RETURN_IF_ERROR(reader.ReadU32(count, "snapshot count"));
-  LDPM_RETURN_IF_ERROR(reader.ReadU32(header_crc, "header checksum"));
-  // CRC before the version gate: a bit flip inside the version field is
-  // corruption (checksum mismatch), while a clean header with a larger
-  // version is a genuinely newer file this build must refuse to misparse.
-  if (Crc32c(data, 16) != header_crc) {
-    return Status::InvalidArgument("checkpoint: header checksum mismatch");
-  }
-  if (version == 0 || version > kCheckpointFormatVersion) {
-    return Status::InvalidArgument(
-        "checkpoint: unsupported format version " + std::to_string(version) +
-        " (this build reads up to " +
-        std::to_string(kCheckpointFormatVersion) + ")");
-  }
+namespace {
 
-  std::vector<AggregatorSnapshot> snapshots;
+/// Reads `count` snapshot records (u32 length + payload + u32 CRC each)
+/// through `reader`; shared by both container versions. `file_size` bounds
+/// the reserve so a CRC-valid header cannot force a huge allocation.
+Status ReadSnapshotRecords(ByteReader& reader, uint32_t count,
+                           size_t file_size,
+                           std::vector<AggregatorSnapshot>& out) {
   // Every record costs at least 8 framing bytes, so a CRC-valid header
   // cannot make us reserve more than the file could hold.
-  snapshots.reserve(std::min<size_t>(count, size / 8));
+  out.reserve(std::min<size_t>(count, file_size / 8));
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t payload_len = 0;
     const size_t record_start = reader.cursor();
@@ -298,14 +292,186 @@ StatusOr<std::vector<AggregatorSnapshot>> DecodeCheckpoint(const uint8_t* data,
           "checkpoint: record " + std::to_string(i) + " at byte " +
           std::to_string(record_start) + ": " + snapshot.status().message());
     }
-    snapshots.push_back(*std::move(snapshot));
+    out.push_back(*std::move(snapshot));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<CollectionCheckpoint>> DecodeCollectorCheckpoint(
+    const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  const uint8_t* magic = nullptr;
+  LDPM_RETURN_IF_ERROR(reader.ReadBytes(magic, 8, "magic"));
+  if (std::memcmp(magic, kCheckpointMagic, 8) != 0) {
+    return Status::InvalidArgument(
+        "checkpoint: bad magic (not a checkpoint file)");
+  }
+  uint32_t version = 0, count = 0, header_crc = 0;
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(version, "format version"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(count, "record count"));
+  LDPM_RETURN_IF_ERROR(reader.ReadU32(header_crc, "header checksum"));
+  // CRC before the version gate: a bit flip inside the version field is
+  // corruption (checksum mismatch), while a clean header with a larger
+  // version is a genuinely newer file this build must refuse to misparse.
+  if (Crc32c(data, 16) != header_crc) {
+    return Status::InvalidArgument("checkpoint: header checksum mismatch");
+  }
+  if (version == 0 || version > kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "checkpoint: unsupported format version " + std::to_string(version) +
+        " (this build reads up to " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+
+  std::vector<CollectionCheckpoint> collections;
+  if (version == kCheckpointFormatVersionV1) {
+    // A v1 file is one anonymous collection's snapshot list.
+    CollectionCheckpoint collection;
+    LDPM_RETURN_IF_ERROR(
+        ReadSnapshotRecords(reader, count, size, collection.snapshots));
+    collections.push_back(std::move(collection));
+  } else {
+    collections.reserve(std::min<size_t>(count, size / 8));
+    for (uint32_t c = 0; c < count; ++c) {
+      const size_t block_start = reader.cursor();
+      uint16_t id_len = 0;
+      LDPM_RETURN_IF_ERROR(reader.ReadU16(id_len, "collection id length"));
+      if (id_len == 0) {
+        return Status::InvalidArgument(
+            "checkpoint: empty collection id at byte " +
+            std::to_string(block_start));
+      }
+      const uint8_t* id = nullptr;
+      LDPM_RETURN_IF_ERROR(reader.ReadBytes(id, id_len, "collection id"));
+      uint32_t snapshot_count = 0, block_crc = 0;
+      LDPM_RETURN_IF_ERROR(reader.ReadU32(snapshot_count, "snapshot count"));
+      const size_t block_header_size = reader.cursor() - block_start;
+      LDPM_RETURN_IF_ERROR(reader.ReadU32(block_crc, "collection checksum"));
+      if (Crc32c(data + block_start, block_header_size) != block_crc) {
+        return Status::InvalidArgument(
+            "checkpoint: collection " + std::to_string(c) +
+            " header checksum mismatch at byte " +
+            std::to_string(block_start));
+      }
+      CollectionCheckpoint collection;
+      collection.id.assign(reinterpret_cast<const char*>(id), id_len);
+      for (const CollectionCheckpoint& seen : collections) {
+        if (seen.id == collection.id) {
+          return Status::InvalidArgument(
+              "checkpoint: duplicate collection id \"" + collection.id +
+              "\" at byte " + std::to_string(block_start));
+        }
+      }
+      LDPM_RETURN_IF_ERROR(ReadSnapshotRecords(reader, snapshot_count, size,
+                                               collection.snapshots));
+      collections.push_back(std::move(collection));
+    }
   }
   if (reader.remaining() != 0) {
     return Status::InvalidArgument(
         "checkpoint: " + std::to_string(reader.remaining()) +
         " trailing bytes after the last record");
   }
-  return snapshots;
+  return collections;
+}
+
+StatusOr<std::vector<AggregatorSnapshot>> DecodeCheckpoint(const uint8_t* data,
+                                                           size_t size) {
+  auto collections = DecodeCollectorCheckpoint(data, size);
+  if (!collections.ok()) return collections.status();
+  if (collections->size() != 1) {
+    return Status::InvalidArgument(
+        "checkpoint: image holds " + std::to_string(collections->size()) +
+        " collections; restore it through Collector::RestoreFrom");
+  }
+  return std::move((*collections)[0].snapshots);
+}
+
+StatusOr<std::vector<uint8_t>> EncodeCollectorCheckpoint(
+    const std::vector<CollectionCheckpoint>& collections) {
+  constexpr uint64_t kMaxU32 = 0xFFFFFFFFull;
+  if (collections.size() > kMaxU32) {
+    return Status::InvalidArgument(
+        "checkpoint: collection count overflows the u32 header field");
+  }
+  size_t total = 20;  // header
+  for (size_t c = 0; c < collections.size(); ++c) {
+    const CollectionCheckpoint& collection = collections[c];
+    if (collection.id.empty()) {
+      return Status::InvalidArgument("checkpoint: empty collection id");
+    }
+    if (collection.id.size() > 0xFFFF) {
+      return Status::InvalidArgument(
+          "checkpoint: collection id \"" + collection.id.substr(0, 32) +
+          "...\" overflows the u16 length prefix");
+    }
+    for (size_t prior = 0; prior < c; ++prior) {
+      if (collections[prior].id == collection.id) {
+        return Status::InvalidArgument(
+            "checkpoint: duplicate collection id \"" + collection.id + "\"");
+      }
+    }
+    if (collection.snapshots.size() > kMaxU32) {
+      return Status::InvalidArgument(
+          "checkpoint: snapshot count overflows the u32 framing field");
+    }
+    total += 2 + collection.id.size() + 4 + 4;  // block header + CRC
+    for (const AggregatorSnapshot& snapshot : collection.snapshots) {
+      const size_t payload_size = SnapshotPayloadSize(snapshot);
+      if (payload_size > kMaxU32) {
+        return Status::InvalidArgument(
+            "checkpoint: snapshot payload for " + snapshot.protocol +
+            " is " + std::to_string(payload_size) +
+            " bytes, which overflows the u32 record length");
+      }
+      total += 8 + payload_size;
+    }
+  }
+  std::vector<uint8_t> out;
+  out.reserve(total);
+  for (char ch : kCheckpointMagic) out.push_back(static_cast<uint8_t>(ch));
+  PutU32(out, kCheckpointFormatVersion);
+  PutU32(out, static_cast<uint32_t>(collections.size()));
+  PutU32(out, Crc32c(out.data(), out.size()));
+  for (const CollectionCheckpoint& collection : collections) {
+    const size_t block_start = out.size();
+    PutU16(out, static_cast<uint16_t>(collection.id.size()));
+    for (char ch : collection.id) out.push_back(static_cast<uint8_t>(ch));
+    PutU32(out, static_cast<uint32_t>(collection.snapshots.size()));
+    PutU32(out, Crc32c(out.data() + block_start, out.size() - block_start));
+    for (const AggregatorSnapshot& snapshot : collection.snapshots) {
+      const size_t payload_size = SnapshotPayloadSize(snapshot);
+      PutU32(out, static_cast<uint32_t>(payload_size));
+      const size_t payload_start = out.size();
+      AppendSnapshotPayload(out, snapshot);
+      LDPM_DCHECK(out.size() - payload_start == payload_size);
+      PutU32(out, Crc32c(out.data() + payload_start, payload_size));
+    }
+  }
+  LDPM_DCHECK(out.size() == total);
+  return out;
+}
+
+Status WriteCollectorCheckpoint(
+    const std::string& path,
+    const std::vector<CollectionCheckpoint>& collections) {
+  auto image = EncodeCollectorCheckpoint(collections);
+  if (!image.ok()) return image.status();
+  return WriteBinaryFileAtomic(path, *image);
+}
+
+StatusOr<std::vector<CollectionCheckpoint>> ReadCollectorCheckpoint(
+    const std::string& path) {
+  auto bytes = ReadBinaryFile(path);
+  if (!bytes.ok()) return bytes.status();
+  auto collections = DecodeCollectorCheckpoint(bytes->data(), bytes->size());
+  if (!collections.ok()) {
+    return Status(collections.status().code(),
+                  path + ": " + collections.status().message());
+  }
+  return collections;
 }
 
 Status WriteCheckpoint(const std::string& path,

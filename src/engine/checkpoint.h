@@ -3,25 +3,38 @@
 // without replaying the wire stream (docs/wire-format.md specifies every
 // byte).
 //
-// File layout (all integers little-endian, mirroring the u32
-// length-prefix framing of protocols/wire.h):
+// Two container versions share the 20-byte header (all integers
+// little-endian, mirroring the u32 length-prefix framing of
+// protocols/wire.h):
 //
 //   header (20 bytes)
 //     [0,8)    magic "LDPMCKPT"
-//     [8,12)   u32 format version (currently 1)
-//     [12,16)  u32 snapshot (record) count S
+//     [8,12)   u32 format version (1 or 2)
+//     [12,16)  u32 record count (v1: snapshots S; v2: collections C)
 //     [16,20)  u32 CRC-32C over bytes [0,16)
+//
+// Version 1 — one anonymous collection (what ShardedAggregator writes):
 //   record, S times
 //     u32      payload length L
 //     L bytes  snapshot payload (SerializeSnapshot encoding)
 //     u32      CRC-32C over the L payload bytes
 //
-// The file ends exactly after the last record; trailing bytes are treated
-// as corruption. Loading validates magic, header CRC, version (files with
-// a newer version are rejected rather than misparsed — forward compat),
-// record framing, and every record CRC, so truncation and bit flips
-// anywhere in the file surface as a Status error instead of silently
-// restoring biased state.
+// Version 2 — the multi-collection container (what Collector writes):
+//   collection block, C times
+//     u16      collection id byte length (>= 1)
+//     bytes    collection id
+//     u32      snapshot count S for this collection
+//     u32      CRC-32C over this block's preceding bytes (id length
+//              prefix, id, snapshot count)
+//     record, S times — identical to the v1 record layout
+//
+// Both versions end exactly after the last record; trailing bytes are
+// treated as corruption. Loading validates magic, header CRC, version
+// (files with a newer version are rejected rather than misparsed —
+// forward compat), record framing, and every CRC, so truncation and bit
+// flips anywhere in the file surface as a Status error instead of
+// silently restoring biased state. V2 readers restore v1 files as a
+// single collection with an empty id.
 //
 // The snapshot payload is protocol-agnostic (the flattened accumulator
 // arrays of AggregatorSnapshot), so the container also checkpoints
@@ -40,12 +53,25 @@
 namespace ldpm {
 namespace engine {
 
-/// Newest checkpoint file format version this build reads and writes.
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/// Newest checkpoint file format version this build reads and writes
+/// (the multi-collection container).
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
+
+/// The single-collection container version (EncodeCheckpoint's output),
+/// kept as the write format of ShardedAggregator checkpoints so per-
+/// collection files stay restorable by older builds.
+inline constexpr uint32_t kCheckpointFormatVersionV1 = 1;
 
 /// The 8 magic bytes at offset 0 of every checkpoint file.
 inline constexpr char kCheckpointMagic[8] = {'L', 'D', 'P', 'M',
                                              'C', 'K', 'P', 'T'};
+
+/// One named collection's worth of checkpoint state: the per-shard
+/// snapshots of the engine backing it.
+struct CollectionCheckpoint {
+  std::string id;
+  std::vector<AggregatorSnapshot> snapshots;
+};
 
 /// Serializes one snapshot into a record payload (the bytes a checkpoint
 /// record length-prefixes and checksums).
@@ -57,17 +83,43 @@ std::vector<uint8_t> SerializeSnapshot(const AggregatorSnapshot& snapshot);
 StatusOr<AggregatorSnapshot> DeserializeSnapshot(const uint8_t* data,
                                                  size_t size);
 
-/// Encodes a full checkpoint image (header + records + checksums).
-/// InvalidArgument if the snapshot count or a record payload overflows
-/// the u32 framing fields (nothing unrestorable is ever produced).
+/// Encodes a single-collection (version 1) checkpoint image (header +
+/// records + checksums). InvalidArgument if the snapshot count or a record
+/// payload overflows the u32 framing fields (nothing unrestorable is ever
+/// produced).
 StatusOr<std::vector<uint8_t>> EncodeCheckpoint(
     const std::vector<AggregatorSnapshot>& snapshots);
 
-/// Decodes and validates a checkpoint image; the inverse of
-/// EncodeCheckpoint. Any framing, version, or checksum violation is an
-/// InvalidArgument naming the failing byte offset.
+/// Decodes and validates a single-collection checkpoint image; the inverse
+/// of EncodeCheckpoint. Also accepts a version-2 image that holds exactly
+/// one collection (the id is dropped); a multi-collection image is
+/// rejected with a message pointing at Collector::RestoreFrom. Any
+/// framing, version, or checksum violation is an InvalidArgument naming
+/// the failing byte offset.
 StatusOr<std::vector<AggregatorSnapshot>> DecodeCheckpoint(const uint8_t* data,
                                                            size_t size);
+
+/// Encodes a multi-collection (version 2) checkpoint image. Collection ids
+/// must be non-empty, unique, and fit the u16 length prefix.
+StatusOr<std::vector<uint8_t>> EncodeCollectorCheckpoint(
+    const std::vector<CollectionCheckpoint>& collections);
+
+/// Decodes and validates either container version: a version-1 image
+/// yields one collection with an empty id; version 2 yields every
+/// collection in file order.
+StatusOr<std::vector<CollectionCheckpoint>> DecodeCollectorCheckpoint(
+    const uint8_t* data, size_t size);
+
+/// Encodes `collections` and atomically replaces `path` with the image.
+Status WriteCollectorCheckpoint(
+    const std::string& path,
+    const std::vector<CollectionCheckpoint>& collections);
+
+/// Reads and validates the checkpoint at `path` in either container
+/// version (see DecodeCollectorCheckpoint). NotFound if the file does not
+/// exist; InvalidArgument on any corruption.
+StatusOr<std::vector<CollectionCheckpoint>> ReadCollectorCheckpoint(
+    const std::string& path);
 
 /// Encodes `snapshots` and atomically replaces `path` with the image
 /// (write-rename via WriteBinaryFileAtomic), so a crash mid-checkpoint

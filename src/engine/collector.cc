@@ -1,0 +1,404 @@
+#include "engine/collector.h"
+
+#include <utility>
+
+#include "engine/checkpoint.h"
+#include "protocols/inp_es_adapter.h"
+#include "protocols/wire.h"
+
+namespace ldpm {
+namespace engine {
+
+namespace {
+
+/// Derives a collection-specific engine seed from the collector-wide base
+/// (FNV-1a over the id, xor-folded with the base). Two collections of the
+/// same kind/config must NOT run bitwise-identical per-shard Rng streams:
+/// correlated perturbation randomness across released marginal sets would
+/// silently break the independence the privacy analysis assumes.
+uint64_t PerCollectionSeed(uint64_t base, std::string_view id) {
+  uint64_t hash = 14695981039346656037ull ^ base;
+  for (char c : id) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+/// One registered protocol stream: identity plus the engine backing it.
+/// Immutable after construction except through the engine's own
+/// synchronized interface, so handles can share it lock-free.
+struct CollectionHandle::Collection {
+  std::string id;
+  ProtocolKind kind;
+  ProtocolConfig config;
+  std::unique_ptr<ShardedAggregator> engine;
+};
+
+// ---- CollectionHandle ------------------------------------------------------
+
+const std::string& CollectionHandle::id() const { return collection_->id; }
+
+ProtocolKind CollectionHandle::kind() const { return collection_->kind; }
+
+const ProtocolConfig& CollectionHandle::config() const {
+  return collection_->config;
+}
+
+Status CollectionHandle::Ingest(const Report& report) {
+  return collection_->engine->Ingest(report);
+}
+
+Status CollectionHandle::IngestBatch(std::vector<Report> reports) {
+  return collection_->engine->IngestBatch(std::move(reports));
+}
+
+Status CollectionHandle::IngestWireBatch(std::vector<uint8_t> frame) {
+  return collection_->engine->IngestWireBatch(std::move(frame));
+}
+
+Status CollectionHandle::IngestRows(std::vector<uint64_t> rows,
+                                    bool fast_path) {
+  return collection_->engine->IngestRows(std::move(rows), fast_path);
+}
+
+Status CollectionHandle::IngestPopulation(const std::vector<uint64_t>& rows,
+                                          bool fast_path) {
+  return collection_->engine->IngestPopulation(rows, fast_path);
+}
+
+StatusOr<MarginalTable> CollectionHandle::Query(uint64_t beta) {
+  return collection_->engine->EstimateMarginal(beta);
+}
+
+StatusOr<CategoricalMarginal> CollectionHandle::QueryCategorical(
+    const std::vector<int>& attrs) {
+  auto merged = collection_->engine->Merged();
+  if (!merged.ok()) return merged.status();
+  const auto* es = dynamic_cast<const InpEsMarginalProtocol*>(*merged);
+  if (es == nullptr) {
+    return Status::InvalidArgument(
+        "collection \"" + collection_->id + "\" runs " +
+        std::string((*merged)->name()) +
+        "; categorical marginals need an InpES collection");
+  }
+  return es->EstimateCategorical(attrs);
+}
+
+Status CollectionHandle::Flush() { return collection_->engine->Flush(); }
+
+StatusOr<IngestStats> CollectionHandle::Stats() {
+  return collection_->engine->Stats();
+}
+
+StatusOr<uint64_t> CollectionHandle::ReportsAbsorbed() {
+  return collection_->engine->ReportsAbsorbed();
+}
+
+ShardedAggregator& CollectionHandle::aggregator() {
+  return *collection_->engine;
+}
+
+// ---- Collector -------------------------------------------------------------
+
+Collector::Collector(const CollectorOptions& options) : options_(options) {
+  if (options_.max_pending_batches_total > 0) {
+    budget_ =
+        std::make_shared<IngestBudget>(options_.max_pending_batches_total);
+  }
+}
+
+StatusOr<std::unique_ptr<Collector>> Collector::Create(
+    const CollectorOptions& options) {
+  if (options.max_worker_threads < 0) {
+    return Status::InvalidArgument(
+        "Collector: max_worker_threads must be >= 0");
+  }
+  if (options.checkpoint_on_shutdown && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "Collector: checkpoint_on_shutdown requires a checkpoint_path");
+  }
+  return std::unique_ptr<Collector>(new Collector(options));
+}
+
+Collector::~Collector() {
+  if (options_.checkpoint_on_shutdown) {
+    // Best effort by necessity; Drain() reports the Status.
+    (void)CheckpointTo(options_.checkpoint_path);
+  }
+}
+
+EngineOptions Collector::EffectiveOptions(const EngineOptions& base,
+                                          bool strip_checkpointing) const {
+  EngineOptions options = base;
+  if (strip_checkpointing) {
+    // The collector owns whole-container durability; per-collection
+    // checkpoint files only make sense as explicit Register overrides.
+    options.checkpoint_path.clear();
+    options.checkpoint_every_batches = 0;
+    options.checkpoint_on_shutdown = false;
+  }
+  options.shared_budget = budget_;
+  return options;
+}
+
+StatusOr<CollectionHandle> Collector::Register(std::string id,
+                                               ProtocolKind kind,
+                                               const ProtocolConfig& config) {
+  return RegisterInternal(std::move(id), kind, config,
+                          EffectiveOptions(options_.engine_defaults,
+                                           /*strip_checkpointing=*/true));
+}
+
+StatusOr<CollectionHandle> Collector::Register(std::string id,
+                                               ProtocolKind kind,
+                                               const ProtocolConfig& config,
+                                               const EngineOptions& overrides) {
+  return RegisterInternal(std::move(id), kind, config,
+                          EffectiveOptions(overrides,
+                                           /*strip_checkpointing=*/false));
+}
+
+StatusOr<CollectionHandle> Collector::RegisterInternal(
+    std::string id, ProtocolKind kind, const ProtocolConfig& config,
+    const EngineOptions& base_options) {
+  // Decorrelate the per-shard Rng streams across collections on EVERY
+  // registration path (see PerCollectionSeed): determinism per (seed, id)
+  // is preserved, bitwise-shared randomness across collections is not.
+  EngineOptions options = base_options;
+  options.seed = PerCollectionSeed(options.seed, id);
+  if (id.empty() || id.size() > kMaxCollectionIdBytes) {
+    return Status::InvalidArgument(
+        "Collector: collection id must be 1.." +
+        std::to_string(kMaxCollectionIdBytes) + " bytes");
+  }
+  // The whole registration runs under the registry lock: the duplicate-id
+  // and thread-budget checks must precede engine construction (a rejected
+  // engine with checkpoint-on-shutdown overrides would otherwise clobber
+  // the LIVE collection's checkpoint file when its destructor runs), and
+  // nothing here calls back into the collector, so holding mu_ across the
+  // (rare, registration-time-only) engine build cannot deadlock.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (collections_.count(id) != 0) {
+    return Status::AlreadyExists("Collector: collection \"" + id +
+                                 "\" is already registered");
+  }
+  if (options_.max_worker_threads > 0 &&
+      threads_in_use_ + options.num_shards > options_.max_worker_threads) {
+    return Status::ResourceExhausted(
+        "Collector: registering \"" + id + "\" needs " +
+        std::to_string(options.num_shards) + " worker threads but only " +
+        std::to_string(options_.max_worker_threads - threads_in_use_) +
+        " of " + std::to_string(options_.max_worker_threads) + " remain");
+  }
+  auto engine = ShardedAggregator::Create(kind, config, options);
+  if (!engine.ok()) return engine.status();
+
+  auto collection = std::make_shared<CollectionHandle::Collection>();
+  collection->id = std::move(id);
+  collection->kind = kind;
+  collection->config = (*engine)->config();
+  collection->engine = *std::move(engine);
+  threads_in_use_ += options.num_shards;
+  CollectionHandle handle(collection);
+  collections_.emplace(collection->id, std::move(collection));
+  return handle;
+}
+
+Status Collector::Unregister(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(id);
+  if (it == collections_.end()) {
+    return Status::NotFound("Collector: no collection \"" + std::string(id) +
+                            "\"");
+  }
+  threads_in_use_ -= it->second->engine->num_shards();
+  collections_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<CollectionHandle::Collection>> Collector::Find(
+    std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(id);
+  if (it == collections_.end()) {
+    return Status::NotFound("Collector: no collection \"" + std::string(id) +
+                            "\"");
+  }
+  return it->second;
+}
+
+StatusOr<CollectionHandle> Collector::Handle(std::string_view id) const {
+  auto collection = Find(id);
+  if (!collection.ok()) return collection.status();
+  return CollectionHandle(*std::move(collection));
+}
+
+std::vector<std::string> Collector::CollectionIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(collections_.size());
+  for (const auto& [id, collection] : collections_) ids.push_back(id);
+  return ids;
+}
+
+size_t Collector::collection_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_.size();
+}
+
+int Collector::worker_threads_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_in_use_;
+}
+
+Status Collector::IngestFrames(const uint8_t* data, size_t size) {
+  CollectionFrameReader reader(data, size);
+  std::string_view id;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+  while (reader.Next(id, payload, payload_size)) {
+    auto collection = Find(id);
+    if (!collection.ok()) {
+      return Status::InvalidArgument(
+          "collection frame at byte " + std::to_string(reader.frame_offset()) +
+          ": unknown collection id \"" + std::string(id) + "\"");
+    }
+    if (payload_size == 0) continue;
+    LDPM_RETURN_IF_ERROR((*collection)->engine->IngestWireBatch(
+        std::vector<uint8_t>(payload, payload + payload_size)));
+  }
+  return reader.status();
+}
+
+Status Collector::IngestFrames(const std::vector<uint8_t>& stream) {
+  return IngestFrames(stream.data(), stream.size());
+}
+
+StatusOr<MarginalTable> Collector::Query(std::string_view collection,
+                                         uint64_t beta) {
+  auto handle = Handle(collection);
+  if (!handle.ok()) return handle.status();
+  return handle->Query(beta);
+}
+
+StatusOr<CategoricalMarginal> Collector::QueryCategorical(
+    std::string_view collection, const std::vector<int>& attrs) {
+  auto handle = Handle(collection);
+  if (!handle.ok()) return handle.status();
+  return handle->QueryCategorical(attrs);
+}
+
+Status Collector::Flush() {
+  std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(collections_.size());
+    for (const auto& [id, collection] : collections_) live.push_back(collection);
+  }
+  Status first = Status::OK();
+  for (const auto& collection : live) {
+    Status status = collection->engine->Flush();
+    if (!status.ok() && first.ok()) {
+      first = Status(status.code(), "collection \"" + collection->id +
+                                        "\": " + status.message());
+    }
+  }
+  return first;
+}
+
+Status Collector::CheckpointTo(const std::string& path) {
+  // Snapshot under a registry copy: collections registered mid-call may or
+  // may not be included, but every included collection's cut is exact.
+  std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(collections_.size());
+    for (const auto& [id, collection] : collections_) live.push_back(collection);
+  }
+  std::vector<CollectionCheckpoint> checkpoint;
+  checkpoint.reserve(live.size());
+  for (const auto& collection : live) {
+    auto snapshots = collection->engine->SnapshotShards();
+    if (!snapshots.ok()) {
+      return Status(snapshots.status().code(),
+                    "collection \"" + collection->id +
+                        "\": " + snapshots.status().message());
+    }
+    CollectionCheckpoint entry;
+    entry.id = collection->id;
+    entry.snapshots = *std::move(snapshots);
+    checkpoint.push_back(std::move(entry));
+  }
+  return WriteCollectorCheckpoint(path, checkpoint);
+}
+
+Status Collector::Checkpoint() {
+  if (options_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition(
+        "Collector: no checkpoint_path configured");
+  }
+  return CheckpointTo(options_.checkpoint_path);
+}
+
+Status Collector::RestoreFrom(const std::string& path) {
+  auto collections = ReadCollectorCheckpoint(path);
+  if (!collections.ok()) return collections.status();
+
+  if (collections->size() == 1 && (*collections)[0].id.empty()) {
+    // A v1 single-collection file: restore into the sole collection.
+    std::shared_ptr<CollectionHandle::Collection> sole;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (collections_.size() != 1) {
+        return Status::InvalidArgument(
+            path + ": a single-collection (v1) checkpoint restores only "
+                   "into a collector with exactly one registered "
+                   "collection, found " +
+            std::to_string(collections_.size()));
+      }
+      sole = collections_.begin()->second;
+    }
+    Status status = sole->engine->RestoreShards((*collections)[0].snapshots);
+    if (!status.ok()) {
+      return Status(status.code(), "collection \"" + sole->id +
+                                       "\": " + status.message());
+    }
+    return Status::OK();
+  }
+
+  // Resolve every id before restoring anything, so an unknown collection
+  // fails the whole restore with no state touched.
+  std::vector<std::shared_ptr<CollectionHandle::Collection>> targets;
+  targets.reserve(collections->size());
+  for (const CollectionCheckpoint& entry : *collections) {
+    auto target = Find(entry.id);
+    if (!target.ok()) {
+      return Status::InvalidArgument(
+          path + ": checkpoint names collection \"" + entry.id +
+          "\", which is not registered");
+    }
+    targets.push_back(*std::move(target));
+  }
+  for (size_t i = 0; i < collections->size(); ++i) {
+    Status status = targets[i]->engine->RestoreShards((*collections)[i].snapshots);
+    if (!status.ok()) {
+      return Status(status.code(), "collection \"" + targets[i]->id +
+                                       "\": " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status Collector::Drain() {
+  LDPM_RETURN_IF_ERROR(Flush());
+  if (options_.checkpoint_on_shutdown) {
+    return CheckpointTo(options_.checkpoint_path);
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace ldpm

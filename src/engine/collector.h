@@ -1,0 +1,243 @@
+// The multi-collection collector facade: one engine, many protocol streams.
+//
+// A production collector rarely serves a single mechanism/config: different
+// products report under different attribute sets, epsilons, and protocols,
+// and one process must host them all. The Collector is that top-level API —
+// a registry of named *collections*, each `collection id -> ProtocolKind +
+// ProtocolConfig + EngineOptions`, backed by its own ShardedAggregator but
+// sharing collector-wide resource bounds:
+//
+//   * a worker-thread budget: the sum of registered collections' shard
+//     counts may be capped, so registering streams cannot oversubscribe the
+//     box (CollectorOptions::max_worker_threads);
+//   * a backpressure budget: one IngestBudget bounds in-flight work items
+//     across ALL collections, so a burst on any subset of streams shares
+//     one memory bound (CollectorOptions::max_pending_batches_total);
+//   * durability: CheckpointTo/RestoreFrom persist and restore every
+//     collection atomically in one version-2 container file
+//     (engine/checkpoint.h); single-collection v1 files still restore.
+//
+// Ingest is either per-collection through a typed CollectionHandle
+// (Ingest / IngestBatch / IngestWireBatch / rows) or multiplexed:
+// IngestFrames routes a stream of self-describing collection frames
+// (protocols/wire.h) to the right aggregators, so one socket or file can
+// interleave every registered stream straight into the zero-copy wire
+// path. Queries are answered per collection from its merged shard state.
+//
+// ShardedAggregator remains public as the advanced per-collection layer
+// (CollectionHandle::aggregator() exposes it); new code should start here.
+
+#ifndef LDPM_ENGINE_COLLECTOR_H_
+#define LDPM_ENGINE_COLLECTOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/encoding.h"
+#include "engine/sharded_aggregator.h"
+
+namespace ldpm {
+namespace engine {
+
+/// Collector-wide configuration.
+struct CollectorOptions {
+  /// Per-collection engine defaults; Register overrides may replace them.
+  /// The checkpoint fields of the defaults are ignored — durability of the
+  /// whole collector is owned by the options below (explicit Register
+  /// overrides may still configure per-collection checkpoint files).
+  EngineOptions engine_defaults;
+  /// Cap on the sum of shard worker threads across live collections;
+  /// 0 = unbounded. Register fails with ResourceExhausted beyond it.
+  int max_worker_threads = 0;
+  /// Collector-wide bound on in-flight work items (batches) summed over
+  /// all collections; 0 = unbounded. Enforced by a shared IngestBudget.
+  size_t max_pending_batches_total = 0;
+  /// Destination of Checkpoint() and the shutdown checkpoint: a version-2
+  /// container holding every collection.
+  std::string checkpoint_path;
+  /// Write a final all-collection checkpoint in Drain() and (best-effort)
+  /// the destructor. Requires a non-empty checkpoint_path.
+  bool checkpoint_on_shutdown = false;
+};
+
+class Collector;
+
+/// A value-typed reference to one registered collection. Handles stay
+/// valid after Unregister (the backing engine lives until the last handle
+/// drops); all operations are thread-safe and delegate to the collection's
+/// ShardedAggregator. A default-constructed handle is invalid.
+class CollectionHandle {
+ public:
+  CollectionHandle() = default;
+
+  bool valid() const { return collection_ != nullptr; }
+  const std::string& id() const;
+  ProtocolKind kind() const;
+  const ProtocolConfig& config() const;
+
+  // Ingest — see the ShardedAggregator methods of the same names.
+  Status Ingest(const Report& report);
+  Status IngestBatch(std::vector<Report> reports);
+  Status IngestWireBatch(std::vector<uint8_t> frame);
+  Status IngestRows(std::vector<uint64_t> rows, bool fast_path = false);
+  Status IngestPopulation(const std::vector<uint64_t>& rows,
+                          bool fast_path = true);
+
+  /// Flushes and estimates the marginal for selector beta from this
+  /// collection's merged state.
+  StatusOr<MarginalTable> Query(uint64_t beta);
+
+  /// Categorical marginal over explicit attribute ids — InpES collections
+  /// only (the protocol hosting non-binary domains).
+  StatusOr<CategoricalMarginal> QueryCategorical(const std::vector<int>& attrs);
+
+  Status Flush();
+  StatusOr<IngestStats> Stats();
+  StatusOr<uint64_t> ReportsAbsorbed();
+
+  /// The advanced per-collection layer (snapshots, re-sharding, merged
+  /// aggregator access). Valid for the handle's lifetime.
+  ShardedAggregator& aggregator();
+
+ private:
+  friend class Collector;
+  struct Collection;
+  explicit CollectionHandle(std::shared_ptr<Collection> collection)
+      : collection_(std::move(collection)) {}
+
+  std::shared_ptr<Collection> collection_;
+};
+
+/// The multi-collection facade (see the file comment).
+class Collector {
+ public:
+  static StatusOr<std::unique_ptr<Collector>> Create(
+      const CollectorOptions& options = CollectorOptions());
+
+  /// Drains every collection; with checkpoint_on_shutdown set, writes a
+  /// best-effort final all-collection checkpoint first (use Drain() when
+  /// the write's Status matters).
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  // ---- Registry ----------------------------------------------------------
+
+  /// Registers a new collection under `id` (non-empty, <= 65535 bytes,
+  /// unique among live collections) running `kind` under `config` with the
+  /// collector's engine defaults. Fails without side effects on a bad
+  /// config or an exhausted worker-thread budget.
+  StatusOr<CollectionHandle> Register(std::string id, ProtocolKind kind,
+                                      const ProtocolConfig& config);
+
+  /// Same, with explicit per-collection EngineOptions (shard count, batch
+  /// sizes, per-collection checkpoint file, ...). The collector's shared
+  /// backpressure budget is installed regardless, and the engine seed is
+  /// still decorrelated per collection (a deterministic function of
+  /// overrides.seed and the id), so same-config collections never share
+  /// bitwise-identical perturbation randomness.
+  StatusOr<CollectionHandle> Register(std::string id, ProtocolKind kind,
+                                      const ProtocolConfig& config,
+                                      const EngineOptions& overrides);
+
+  /// Removes a collection and returns its worker threads to the budget.
+  /// Outstanding handles keep the backing engine alive and usable; the
+  /// collector just stops routing/checkpointing it.
+  Status Unregister(std::string_view id);
+
+  /// Looks up a live collection.
+  StatusOr<CollectionHandle> Handle(std::string_view id) const;
+
+  /// Ids of all live collections, ascending.
+  std::vector<std::string> CollectionIds() const;
+
+  size_t collection_count() const;
+
+  /// Shard worker threads currently drawn from the budget.
+  int worker_threads_in_use() const;
+
+  // ---- Multiplexed ingest ------------------------------------------------
+
+  /// Routes a stream of collection frames (protocols/wire.h) to the named
+  /// collections' wire-batch fast paths. Any framing violation or unknown
+  /// collection id stops ingestion at that frame with an InvalidArgument
+  /// naming the exact byte offset; frames before it stay ingested.
+  /// (A payload mismatching its collection's protocol surfaces at the
+  /// next Flush/Query, like any asynchronous absorb error.)
+  Status IngestFrames(const uint8_t* data, size_t size);
+  Status IngestFrames(const std::vector<uint8_t>& stream);
+
+  // ---- Query -------------------------------------------------------------
+
+  /// Flushes `collection` and estimates the marginal for selector beta
+  /// from its merged state.
+  StatusOr<MarginalTable> Query(std::string_view collection, uint64_t beta);
+
+  /// Categorical marginal from an InpES collection (see
+  /// CollectionHandle::QueryCategorical).
+  StatusOr<CategoricalMarginal> QueryCategorical(std::string_view collection,
+                                                 const std::vector<int>& attrs);
+
+  /// Flushes every collection; first error wins, all are flushed.
+  Status Flush();
+
+  // ---- Durability --------------------------------------------------------
+
+  /// Flushes every collection and atomically writes one version-2
+  /// container holding all of them (ascending id order). Each collection's
+  /// snapshot set is an exact cut of everything its handle ingested before
+  /// this call.
+  Status CheckpointTo(const std::string& path);
+
+  /// CheckpointTo(options.checkpoint_path).
+  Status Checkpoint();
+
+  /// Restores collections from a checkpoint file. A version-2 container
+  /// restores every collection it names into the registered collection of
+  /// the same id (every named id must be registered with a matching
+  /// protocol/config; registered collections absent from the file keep
+  /// their state). A version-1 (single-collection) file restores into the
+  /// sole registered collection, whatever its id. Collections are restored
+  /// one at a time; each is atomic, and a failure part-way leaves earlier
+  /// ones restored (the returned Status names the failing collection).
+  Status RestoreFrom(const std::string& path);
+
+  /// Flushes every collection, then writes the shutdown checkpoint when
+  /// checkpoint_on_shutdown is set. The collector stays usable afterwards.
+  Status Drain();
+
+ private:
+  explicit Collector(const CollectorOptions& options);
+
+  /// Effective per-collection engine options: install the shared budget
+  /// and (for defaults) strip collector-owned checkpoint fields.
+  EngineOptions EffectiveOptions(const EngineOptions& base,
+                                 bool strip_checkpointing) const;
+
+  StatusOr<CollectionHandle> RegisterInternal(std::string id,
+                                              ProtocolKind kind,
+                                              const ProtocolConfig& config,
+                                              const EngineOptions& base_options);
+
+  StatusOr<std::shared_ptr<CollectionHandle::Collection>> Find(
+      std::string_view id) const;
+
+  CollectorOptions options_;
+  std::shared_ptr<IngestBudget> budget_;  // null when unbounded
+
+  mutable std::mutex mu_;  // guards collections_ and threads_in_use_
+  std::map<std::string, std::shared_ptr<CollectionHandle::Collection>,
+           std::less<>>
+      collections_;
+  int threads_in_use_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ldpm
+
+#endif  // LDPM_ENGINE_COLLECTOR_H_

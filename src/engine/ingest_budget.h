@@ -1,0 +1,66 @@
+// Engine-wide backpressure budget shared by several ShardedAggregators.
+//
+// Each per-shard queue already bounds its own backlog, but a Collector
+// hosting many collections needs one global bound so a burst on N streams
+// cannot hold N * S * max_pending batches in memory. An IngestBudget is a
+// counting gate on in-flight work items: every enqueue path acquires a
+// slot (blocking while the budget is exhausted) and the shard worker
+// releases it after the item is absorbed. Collections sharing a budget
+// therefore share one engine-wide memory bound, independent of how many
+// streams are registered.
+
+#ifndef LDPM_ENGINE_INGEST_BUDGET_H_
+#define LDPM_ENGINE_INGEST_BUDGET_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace ldpm {
+namespace engine {
+
+/// Counting gate on in-flight work items across engines (see file
+/// comment). Thread-safe; slots are not tied to the acquiring thread.
+class IngestBudget {
+ public:
+  explicit IngestBudget(size_t max_in_flight) : limit_(max_in_flight) {}
+
+  IngestBudget(const IngestBudget&) = delete;
+  IngestBudget& operator=(const IngestBudget&) = delete;
+
+  /// Blocks until a slot is free, then takes it.
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return in_flight_ < limit_; });
+    ++in_flight_;
+  }
+
+  /// Returns a slot taken by Acquire. Notified after the lock is released
+  /// so a woken producer never immediately blocks on the notifier's mutex.
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Work items currently holding a slot (enqueued or being absorbed).
+  size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+  }
+
+  size_t limit() const { return limit_; }
+
+ private:
+  const size_t limit_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ldpm
+
+#endif  // LDPM_ENGINE_INGEST_BUDGET_H_

@@ -44,6 +44,11 @@ StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
         "ShardedAggregator: checkpoint_every_batches > 0 requires a "
         "checkpoint_path");
   }
+  if (options.checkpoint_on_shutdown && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "ShardedAggregator: checkpoint_on_shutdown requires a "
+        "checkpoint_path");
+  }
   // Build every shard aggregator up front so a bad factory/config fails the
   // construction rather than the first ingest.
   std::unique_ptr<ShardedAggregator> engine(
@@ -75,6 +80,10 @@ ShardedAggregator::ShardedAggregator(ProtocolFactory factory,
     : factory_(std::move(factory)), options_(options) {}
 
 ShardedAggregator::~ShardedAggregator() {
+  // Push the single-report coalescing buffer while the workers still run:
+  // the shutdown checkpoint below must contain the tail of the stream, not
+  // lose up to batch_size - 1 buffered reports.
+  (void)FlushPending();
   // Stop the checkpointer first so it cannot observe shards mid-teardown.
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
@@ -85,6 +94,12 @@ ShardedAggregator::~ShardedAggregator() {
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Final durable cut after every worker has stopped mutating state. Best
+  // effort by necessity (a destructor cannot report); call Drain() first
+  // when the write's Status matters.
+  if (options_.checkpoint_on_shutdown) {
+    (void)WriteCheckpointNow(options_.checkpoint_path);
   }
 }
 
@@ -119,6 +134,9 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
       }
     }
     shard.queue.Done();
+    // Release the group-wide slot no matter how absorption went; an error
+    // must not leak budget and wedge sibling collections.
+    if (options_.shared_budget) options_.shared_budget->Release();
   }
 }
 
@@ -153,7 +171,9 @@ Status ShardedAggregator::IngestBatch(std::vector<Report> reports) {
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   WorkItem item;
   item.reports = std::move(reports);
+  if (options_.shared_budget) options_.shared_budget->Acquire();
   if (!shards_[target]->queue.Push(std::move(item))) {
+    if (options_.shared_budget) options_.shared_budget->Release();
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
@@ -169,7 +189,9 @@ Status ShardedAggregator::IngestWireBatch(std::vector<uint8_t> frame) {
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   WorkItem item;
   item.wire = std::move(frame);
+  if (options_.shared_budget) options_.shared_budget->Acquire();
   if (!shards_[target]->queue.Push(std::move(item))) {
+    if (options_.shared_budget) options_.shared_budget->Release();
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
@@ -187,7 +209,9 @@ Status ShardedAggregator::IngestRows(std::vector<uint64_t> rows,
   WorkItem item;
   item.rows = std::move(rows);
   item.fast_path = fast_path;
+  if (options_.shared_budget) options_.shared_budget->Acquire();
   if (!shards_[target]->queue.Push(std::move(item))) {
+    if (options_.shared_budget) options_.shared_budget->Release();
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
@@ -239,6 +263,14 @@ Status ShardedAggregator::DrainAndCollectErrors() {
 Status ShardedAggregator::Flush() {
   LDPM_RETURN_IF_ERROR(FlushPending());
   return DrainAndCollectErrors();
+}
+
+Status ShardedAggregator::Drain() {
+  LDPM_RETURN_IF_ERROR(Flush());
+  if (options_.checkpoint_on_shutdown) {
+    return WriteCheckpointNow(options_.checkpoint_path);
+  }
+  return Status::OK();
 }
 
 StatusOr<const MarginalProtocol*> ShardedAggregator::Merged() {

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/ingest_budget.h"
 #include "engine/ingest_stats.h"
 #include "engine/shard_queue.h"
 #include "protocols/factory.h"
@@ -64,6 +65,17 @@ struct EngineOptions {
   /// counter the queues already maintain, and the snapshot capture takes
   /// each shard's state lock only as long as a merge would.
   uint64_t checkpoint_every_batches = 0;
+  /// Write a final checkpoint to checkpoint_path on Drain() and in the
+  /// destructor, so a clean shutdown never loses the tail of the stream
+  /// between two background-cadence checkpoints. Requires a non-empty
+  /// checkpoint_path (cadence may stay 0 for a shutdown-only checkpoint).
+  bool checkpoint_on_shutdown = false;
+  /// Optional engine-wide backpressure budget shared with other engines
+  /// (the Collector gives every collection the same one). When set, each
+  /// ingest call acquires a slot before enqueueing — blocking while the
+  /// whole group's in-flight work is at the budget's limit — and the shard
+  /// worker releases it after absorbing the item.
+  std::shared_ptr<IngestBudget> shared_budget;
 };
 
 /// Builds one aggregator instance; called once per shard plus once for the
@@ -89,7 +101,9 @@ class ShardedAggregator {
       const ProtocolFactory& factory,
       const EngineOptions& options = EngineOptions());
 
-  /// Drains and joins all workers.
+  /// Drains and joins all workers; with checkpoint_on_shutdown set, writes
+  /// a best-effort final checkpoint after the workers stop (use Drain()
+  /// first when the write's Status matters).
   ~ShardedAggregator();
 
   ShardedAggregator(const ShardedAggregator&) = delete;
@@ -132,6 +146,12 @@ class ShardedAggregator {
   /// Barrier: blocks until every enqueued item (including the coalescing
   /// buffer) has been absorbed, then reports the first worker error, if any.
   Status Flush();
+
+  /// Flush plus the shutdown checkpoint (when checkpoint_on_shutdown is
+  /// set): the graceful-shutdown barrier whose Status callers can check,
+  /// unlike the destructor's best-effort final write. The engine stays
+  /// usable afterwards.
+  Status Drain();
 
   // ---- Query -------------------------------------------------------------
 

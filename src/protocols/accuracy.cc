@@ -30,6 +30,10 @@ StatusOr<double> ErrorScalingFactor(ProtocolKind kind, int d, int k) {
     case ProtocolKind::kInpEM:
       return Status::Unimplemented(
           "InpEM is a heuristic without a worst-case accuracy bound");
+    case ProtocolKind::kInpES:
+      return Status::Unimplemented(
+          "InpES (Section 6.3 conjecture) has no closed-form worst-case "
+          "bound for general categorical domains");
   }
   return Status::InvalidArgument("ErrorScalingFactor: unknown kind");
 }

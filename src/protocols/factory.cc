@@ -3,6 +3,7 @@
 #include <string>
 
 #include "protocols/inp_em.h"
+#include "protocols/inp_es_adapter.h"
 #include "protocols/inp_ht.h"
 #include "protocols/inp_ps.h"
 #include "protocols/inp_rr.h"
@@ -29,6 +30,15 @@ const std::vector<ProtocolKind>& CoreProtocolKinds() {
   return kCore;
 }
 
+const std::vector<ProtocolKind>& RegisteredProtocolKinds() {
+  static const std::vector<ProtocolKind> kRegistered = {
+      ProtocolKind::kInpRR,  ProtocolKind::kInpPS,  ProtocolKind::kInpHT,
+      ProtocolKind::kMargRR, ProtocolKind::kMargPS, ProtocolKind::kMargHT,
+      ProtocolKind::kInpEM,  ProtocolKind::kInpES,
+  };
+  return kRegistered;
+}
+
 std::string_view ProtocolKindName(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kInpRR:
@@ -45,12 +55,14 @@ std::string_view ProtocolKindName(ProtocolKind kind) {
       return "MargHT";
     case ProtocolKind::kInpEM:
       return "InpEM";
+    case ProtocolKind::kInpES:
+      return "InpES";
   }
   return "Unknown";
 }
 
 StatusOr<ProtocolKind> ProtocolKindFromName(std::string_view name) {
-  for (ProtocolKind kind : AllProtocolKinds()) {
+  for (ProtocolKind kind : RegisteredProtocolKinds()) {
     if (ProtocolKindName(kind) == name) return kind;
   }
   return Status::NotFound("unknown protocol name: " + std::string(name));
@@ -92,6 +104,11 @@ StatusOr<std::unique_ptr<MarginalProtocol>> CreateProtocol(
     }
     case ProtocolKind::kInpEM: {
       auto p = InpEmProtocol::Create(config);
+      if (!p.ok()) return p.status();
+      return std::unique_ptr<MarginalProtocol>(std::move(*p));
+    }
+    case ProtocolKind::kInpES: {
+      auto p = InpEsMarginalProtocol::Create(config);
       if (!p.ok()) return p.status();
       return std::unique_ptr<MarginalProtocol>(std::move(*p));
     }

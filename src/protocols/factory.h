@@ -11,7 +11,8 @@
 
 namespace ldpm {
 
-/// The seven protocols of the paper (six new algorithms + the EM baseline).
+/// The seven protocols of the paper (six new algorithms + the EM baseline)
+/// plus InpES, the Section 6.3 categorical-domain conjecture realized.
 enum class ProtocolKind {
   kInpRR,
   kInpPS,
@@ -20,13 +21,18 @@ enum class ProtocolKind {
   kMargPS,
   kMargHT,
   kInpEM,
+  kInpES,
 };
 
-/// All protocol kinds, in the paper's presentation order.
+/// The seven paper protocol kinds, in the paper's presentation order.
 const std::vector<ProtocolKind>& AllProtocolKinds();
 
 /// The six unbiased protocols of Section 4 (everything except InpEM).
 const std::vector<ProtocolKind>& CoreProtocolKinds();
+
+/// Every kind the factory can construct: the seven paper kinds plus InpES.
+/// Name parsing and wire dispatch accept all of these.
+const std::vector<ProtocolKind>& RegisteredProtocolKinds();
 
 /// Display name ("InpHT", ...).
 std::string_view ProtocolKindName(ProtocolKind kind);

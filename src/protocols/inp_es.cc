@@ -244,4 +244,21 @@ Status InpEsProtocol::MergeFrom(const InpEsProtocol& other) {
   return Status::OK();
 }
 
+Status InpEsProtocol::RestoreState(std::vector<double> sign_sums,
+                                   std::vector<uint64_t> counts,
+                                   uint64_t reports_absorbed) {
+  if (sign_sums.size() != coefficients_.size() ||
+      counts.size() != coefficients_.size()) {
+    return Status::InvalidArgument(
+        "InpES::RestoreState: expected " +
+        std::to_string(coefficients_.size()) + " accumulator entries, got " +
+        std::to_string(sign_sums.size()) + " sign sums and " +
+        std::to_string(counts.size()) + " counts");
+  }
+  sign_sums_ = std::move(sign_sums);
+  counts_ = std::move(counts);
+  reports_absorbed_ = reports_absorbed;
+  return Status::OK();
+}
+
 }  // namespace ldpm

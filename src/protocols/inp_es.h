@@ -100,6 +100,17 @@ class InpEsProtocol {
   /// have an identical configuration.
   Status MergeFrom(const InpEsProtocol& other);
 
+  /// Raw accumulator state, one entry per coefficient (for the snapshot
+  /// layer: InpEsMarginalProtocol::SaveState flattens these).
+  const std::vector<double>& sign_sums() const { return sign_sums_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Replaces the accumulator state wholesale; the inverse of reading
+  /// sign_sums()/counts(). Both arrays must have exactly one entry per
+  /// coefficient; on error the current state is left unchanged.
+  Status RestoreState(std::vector<double> sign_sums,
+                      std::vector<uint64_t> counts, uint64_t reports_absorbed);
+
  private:
   /// One Efron-Stein coefficient: its supporting (attribute, level >= 1)
   /// pairs and the release bound prod MaxAbs.

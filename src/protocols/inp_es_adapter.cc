@@ -1,0 +1,285 @@
+#include "protocols/inp_es_adapter.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/bits.h"
+#include "protocols/wire.h"
+
+namespace ldpm {
+
+namespace {
+
+/// InpEsProtocol::Create refuses coefficient sets above 2^24; mirror the
+/// bound so EsCoefficientCount and Create agree on what is constructible.
+constexpr uint64_t kMaxEsCoefficients = uint64_t{1} << 24;
+
+}  // namespace
+
+std::vector<uint32_t> EsCardinalities(const ProtocolConfig& config) {
+  if (!config.cardinalities.empty()) return config.cardinalities;
+  return std::vector<uint32_t>(static_cast<size_t>(std::max(config.d, 0)), 2);
+}
+
+StatusOr<uint64_t> EsCoefficientCount(
+    const std::vector<uint32_t>& cardinalities, int k) {
+  const int d = static_cast<int>(cardinalities.size());
+  if (d < 1) return Status::InvalidArgument("InpES: no attributes");
+  if (k < 1 || k > d) {
+    return Status::InvalidArgument("InpES: k must be in [1, d]");
+  }
+  for (uint32_t r : cardinalities) {
+    if (r < 2) {
+      return Status::InvalidArgument(
+          "InpES: every cardinality must be >= 2, got " + std::to_string(r));
+    }
+  }
+  // e[s] accumulates the elementary symmetric polynomial of degree s in
+  // (r_1 - 1, ..., r_d - 1); |T| = e[1] + ... + e[k]. Saturate above the
+  // sampling cap so the arithmetic cannot overflow uint64 (each term is
+  // bounded by cap * 2^32 before clamping).
+  std::vector<uint64_t> e(static_cast<size_t>(k) + 1, 0);
+  e[0] = 1;
+  for (uint32_t r : cardinalities) {
+    const uint64_t weight = r - 1;
+    for (int s = k; s >= 1; --s) {
+      const uint64_t add = e[s - 1] > kMaxEsCoefficients
+                               ? kMaxEsCoefficients + 1
+                               : e[s - 1] * weight;
+      e[s] = std::min(e[s] + add, kMaxEsCoefficients + 1);
+    }
+  }
+  uint64_t count = 0;
+  for (int s = 1; s <= k; ++s) {
+    count = std::min(count + e[s], kMaxEsCoefficients + 1);
+  }
+  if (count == 0 || count > kMaxEsCoefficients) {
+    return Status::InvalidArgument("InpES: coefficient set size out of range");
+  }
+  return count;
+}
+
+EsWireGeometry EsWireGeometryFromCount(uint64_t coefficient_count) {
+  EsWireGeometry geometry;
+  geometry.coefficient_count = coefficient_count;
+  geometry.index_bits =
+      coefficient_count <= 1
+          ? 0
+          : static_cast<int>(std::bit_width(coefficient_count - 1));
+  geometry.total_bits = static_cast<uint64_t>(geometry.index_bits) + 1;
+  return geometry;
+}
+
+StatusOr<EsWireGeometry> EsWireGeometryFor(const ProtocolConfig& config) {
+  auto count = EsCoefficientCount(EsCardinalities(config), config.k);
+  if (!count.ok()) return count.status();
+  return EsWireGeometryFromCount(*count);
+}
+
+InpEsMarginalProtocol::InpEsMarginalProtocol(
+    const ProtocolConfig& config, std::vector<uint32_t> cardinalities,
+    std::unique_ptr<InpEsProtocol> inner)
+    : MarginalProtocol(config),
+      cardinalities_(std::move(cardinalities)),
+      inner_(std::move(inner)) {}
+
+StatusOr<std::unique_ptr<InpEsMarginalProtocol>> InpEsMarginalProtocol::Create(
+    const ProtocolConfig& config) {
+  ProtocolConfig normalized = config;
+  if (!config.cardinalities.empty()) {
+    const int arity = static_cast<int>(config.cardinalities.size());
+    if (config.d != 0 && config.d != arity) {
+      return Status::InvalidArgument(
+          "InpES: d = " + std::to_string(config.d) + " disagrees with " +
+          std::to_string(arity) + " explicit cardinalities");
+    }
+    normalized.d = arity;
+  }
+  LDPM_RETURN_IF_ERROR(ValidateCommon(normalized));
+  std::vector<uint32_t> cardinalities = EsCardinalities(normalized);
+
+  InpEsProtocol::Config inner_config;
+  inner_config.cardinalities = cardinalities;
+  inner_config.k = normalized.k;
+  inner_config.epsilon = normalized.epsilon;
+  inner_config.estimator = normalized.estimator;
+  auto inner = InpEsProtocol::Create(inner_config);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<InpEsMarginalProtocol>(new InpEsMarginalProtocol(
+      normalized, std::move(cardinalities), *std::move(inner)));
+}
+
+Report InpEsMarginalProtocol::Encode(uint64_t user_value, Rng& rng) const {
+  std::vector<uint32_t> values(cardinalities_.size());
+  uint64_t rest = user_value;
+  for (size_t i = 0; i < cardinalities_.size(); ++i) {
+    values[i] = static_cast<uint32_t>(rest % cardinalities_[i]);
+    rest /= cardinalities_[i];
+  }
+  auto es = inner_->Encode(values, rng);
+  LDPM_DCHECK(es.ok());  // the tuple is in-domain by construction
+  Report report;
+  report.value = es->coefficient;
+  report.sign = es->sign;
+  report.bits = es->bits;
+  return report;
+}
+
+Status InpEsMarginalProtocol::Absorb(const Report& report) {
+  if (report.value >= inner_->coefficient_count()) {
+    return Status::InvalidArgument("InpES::Absorb: unknown coefficient");
+  }
+  EsReport es;
+  es.coefficient = static_cast<uint32_t>(report.value);
+  es.sign = report.sign;
+  es.bits = report.bits;
+  LDPM_RETURN_IF_ERROR(inner_->Absorb(es));
+  NoteAbsorbed(report);
+  return Status::OK();
+}
+
+Status InpEsMarginalProtocol::AbsorbWireBatch(const uint8_t* data,
+                                              size_t size) {
+  // Fixed record geometry, computed once per batch: at most 25 bits per
+  // record (|T| <= 2^24), so every record parses with a single word load.
+  const EsWireGeometry geometry =
+      EsWireGeometryFromCount(inner_->coefficient_count());
+  const uint64_t count = geometry.coefficient_count;
+  const int index_bits = geometry.index_bits;
+  const double bits_per_report = static_cast<double>(geometry.total_bits);
+  const size_t record_bytes = (geometry.total_bits + 7) / 8;
+  const uint64_t index_mask =
+      index_bits == 0 ? 0 : (uint64_t{1} << index_bits) - 1;
+
+  WireBatchReader reader(data, size);
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  uint64_t absorbed = 0;
+  Status error = Status::OK();
+  while (reader.Next(record, record_size)) {
+    if (record_size != record_bytes) {
+      error = Status::InvalidArgument(
+          "InpES: wire record of " + std::to_string(record_size) +
+          " bytes, expected " + std::to_string(record_bytes));
+      break;
+    }
+    const uint64_t word = LoadWireWord(record, record_size);
+    const uint64_t coefficient = word & index_mask;
+    if (coefficient >= count) {
+      error = Status::InvalidArgument("InpES::Absorb: unknown coefficient");
+      break;
+    }
+    EsReport es;
+    es.coefficient = static_cast<uint32_t>(coefficient);
+    es.sign = (word >> index_bits) & 1 ? 1 : -1;
+    es.bits = bits_per_report;
+    error = inner_->Absorb(es);
+    if (!error.ok()) break;
+    ++absorbed;
+  }
+  // Prefix semantics: everything before a malformed record stays absorbed
+  // and counted, exactly like the per-report path.
+  NoteAbsorbedBatch(absorbed, bits_per_report);
+  if (!error.ok()) return error;
+  return reader.status();
+}
+
+StatusOr<MarginalTable> InpEsMarginalProtocol::EstimateMarginal(
+    uint64_t beta) const {
+  const int d = config_.d;
+  if (beta == 0 || (d < 64 && beta >= (uint64_t{1} << d))) {
+    return Status::InvalidArgument(
+        "InpES: selector must name a nonempty subset of the " +
+        std::to_string(d) + " attributes");
+  }
+  std::vector<int> attrs;
+  for (uint64_t rest = beta; rest != 0; rest &= rest - 1) {
+    const int attr = std::countr_zero(rest);
+    if (cardinalities_[attr] != 2) {
+      return Status::InvalidArgument(
+          "InpES: attribute " + std::to_string(attr) + " has cardinality " +
+          std::to_string(cardinalities_[attr]) +
+          "; non-binary marginals are answered by EstimateCategorical");
+    }
+    attrs.push_back(attr);
+  }
+  auto categorical = inner_->EstimateMarginal(attrs);
+  if (!categorical.ok()) return categorical.status();
+  // Ascending binary attributes: mixed-radix cell index bit j is the value
+  // of the j-th lowest set bit of beta — exactly MarginalTable's compact
+  // indexing, so the cells copy across verbatim.
+  MarginalTable table(d, beta);
+  LDPM_DCHECK(table.size() == categorical->probabilities.size());
+  for (uint64_t cell = 0; cell < table.size(); ++cell) {
+    table.at_compact(cell) = categorical->probabilities[cell];
+  }
+  return PostProcess(std::move(table));
+}
+
+StatusOr<CategoricalMarginal> InpEsMarginalProtocol::EstimateCategorical(
+    const std::vector<int>& attrs) const {
+  return inner_->EstimateMarginal(attrs);
+}
+
+void InpEsMarginalProtocol::Reset() {
+  inner_->Reset();
+  ResetBookkeeping();
+}
+
+Status InpEsMarginalProtocol::MergeFrom(const MarginalProtocol& other) {
+  const auto* peer = dynamic_cast<const InpEsMarginalProtocol*>(&other);
+  if (peer == nullptr) {
+    return Status::InvalidArgument(
+        "InpES::MergeFrom: protocol mismatch (other is " +
+        std::string(other.name()) + ")");
+  }
+  // The inner merge re-validates the full domain (cardinalities, k,
+  // epsilon, estimator), so empty-vs-explicit binary configs stay
+  // compatible.
+  LDPM_RETURN_IF_ERROR(inner_->MergeFrom(*peer->inner_));
+  MergeBookkeeping(other);
+  return Status::OK();
+}
+
+double InpEsMarginalProtocol::TheoreticalBitsPerUser() const {
+  return inner_->TheoreticalBitsPerUser();
+}
+
+void InpEsMarginalProtocol::SaveState(AggregatorSnapshot& snapshot) const {
+  snapshot.reals = inner_->sign_sums();
+  snapshot.counts.reserve(cardinalities_.size() + inner_->counts().size());
+  for (uint32_t r : cardinalities_) snapshot.counts.push_back(r);
+  snapshot.counts.insert(snapshot.counts.end(), inner_->counts().begin(),
+                         inner_->counts().end());
+}
+
+Status InpEsMarginalProtocol::LoadState(const AggregatorSnapshot& snapshot) {
+  const size_t arity = cardinalities_.size();
+  const size_t coefficients = inner_->coefficient_count();
+  if (snapshot.reals.size() != coefficients ||
+      snapshot.counts.size() != arity + coefficients) {
+    return Status::InvalidArgument(
+        "InpES::Restore: snapshot arrays do not match this domain (" +
+        std::to_string(snapshot.reals.size()) + " reals, " +
+        std::to_string(snapshot.counts.size()) + " counts; expected " +
+        std::to_string(coefficients) + " and " +
+        std::to_string(arity + coefficients) + ")");
+  }
+  for (size_t i = 0; i < arity; ++i) {
+    if (snapshot.counts[i] != cardinalities_[i]) {
+      return Status::InvalidArgument(
+          "InpES::Restore: snapshot cardinality " +
+          std::to_string(snapshot.counts[i]) + " at attribute " +
+          std::to_string(i) + " does not match this aggregator's " +
+          std::to_string(cardinalities_[i]));
+    }
+  }
+  return inner_->RestoreState(
+      snapshot.reals,
+      std::vector<uint64_t>(snapshot.counts.begin() + arity,
+                            snapshot.counts.end()),
+      snapshot.reports_absorbed);
+}
+
+}  // namespace ldpm

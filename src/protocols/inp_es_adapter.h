@@ -1,0 +1,122 @@
+// InpES behind the MarginalProtocol interface.
+//
+// InpEsProtocol (protocols/inp_es.h) speaks categorical tuples and
+// EsReports; everything above it — the factory, the wire format, the
+// sharded engine, the Collector — speaks the MarginalProtocol interface of
+// packed uint64 user values and Reports. This adapter bridges the two so
+// categorical domains are constructible by name (ProtocolKind::kInpES) and
+// flow through every ingest/merge/snapshot/checkpoint path unchanged:
+//
+//  * the attribute domain comes from ProtocolConfig::cardinalities (empty
+//    means d binary attributes, where InpES coincides with the Hadamard
+//    basis protocols);
+//  * a user value is the mixed-radix packing of the categorical tuple,
+//    attribute 0 the fastest digit (for all-binary domains this is exactly
+//    the bit packing every other protocol uses);
+//  * a Report carries the sampled coefficient index in `value` and the
+//    perturbed sign in `sign` — ceil(log2 |T|) + 1 bits on the wire;
+//  * EstimateMarginal(beta) answers over all-binary attribute subsets as a
+//    MarginalTable; marginals touching an attribute with r > 2 cells are
+//    answered by EstimateCategorical(attrs), which returns the mixed-radix
+//    CategoricalMarginal (the engine exposes it via Collector
+//    QueryCategorical).
+
+#ifndef LDPM_PROTOCOLS_INP_ES_ADAPTER_H_
+#define LDPM_PROTOCOLS_INP_ES_ADAPTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/encoding.h"
+#include "protocols/inp_es.h"
+#include "protocols/protocol.h"
+
+namespace ldpm {
+
+/// The categorical attribute cardinalities a ProtocolConfig describes:
+/// config.cardinalities verbatim when non-empty, else config.d twos.
+std::vector<uint32_t> EsCardinalities(const ProtocolConfig& config);
+
+/// Number of Efron-Stein coefficients |T| sampled for the given domain:
+/// sum over attribute subsets S with 1 <= |S| <= k of prod_{i in S}
+/// (r_i - 1). Matches InpEsProtocol::coefficient_count() without
+/// enumerating the set; errors mirror InpEsProtocol::Create (bad
+/// cardinality or k, or a coefficient set too large to sample).
+StatusOr<uint64_t> EsCoefficientCount(const std::vector<uint32_t>& cardinalities,
+                                      int k);
+
+/// The fixed wire geometry of an InpES record: ceil(log2 |T|) coefficient-
+/// index bits followed by one sign bit. The single source of truth shared
+/// by WireBits, SerializeReport/DeserializeReport, and the adapter's
+/// columnar AbsorbWireBatch, so the record layout cannot drift between
+/// the serializer, the parser, and the fast path.
+struct EsWireGeometry {
+  uint64_t coefficient_count = 0;
+  int index_bits = 0;       ///< ceil(log2 |T|); 0 when |T| == 1
+  uint64_t total_bits = 0;  ///< index_bits + 1 (the sign bit)
+};
+
+/// Geometry from an already-known coefficient count.
+EsWireGeometry EsWireGeometryFromCount(uint64_t coefficient_count);
+
+/// Geometry from a ProtocolConfig (runs the EsCoefficientCount DP once).
+StatusOr<EsWireGeometry> EsWireGeometryFor(const ProtocolConfig& config);
+
+/// MarginalProtocol facade over InpEsProtocol (see the file comment).
+class InpEsMarginalProtocol final : public MarginalProtocol {
+ public:
+  static StatusOr<std::unique_ptr<InpEsMarginalProtocol>> Create(
+      const ProtocolConfig& config);
+
+  std::string_view name() const override { return "InpES"; }
+
+  /// Encodes the mixed-radix packed tuple (digits beyond the domain are
+  /// reduced mod r_i, mirroring the bit-masking of the binary protocols).
+  Report Encode(uint64_t user_value, Rng& rng) const override;
+
+  Status Absorb(const Report& report) override;
+
+  /// Zero-copy wire ingest: the record geometry (|T|, index width) is
+  /// fixed per instance, so it is hoisted out of the loop and each record
+  /// is parsed with one word load — the default path would re-derive |T|
+  /// per record through DeserializeReport. Same prefix semantics.
+  Status AbsorbWireBatch(const uint8_t* data, size_t size) override;
+
+  /// Marginal over the attributes selected by beta, all of which must be
+  /// binary (r_i = 2); use EstimateCategorical for wider attributes.
+  StatusOr<MarginalTable> EstimateMarginal(uint64_t beta) const override;
+
+  /// Mixed-radix marginal over explicit attribute ids, 1 <= count <= k.
+  StatusOr<CategoricalMarginal> EstimateCategorical(
+      const std::vector<int>& attrs) const;
+
+  void Reset() override;
+  Status MergeFrom(const MarginalProtocol& other) override;
+  double TheoreticalBitsPerUser() const override;
+
+  /// The per-attribute cardinalities of the hosted domain.
+  const std::vector<uint32_t>& cardinalities() const { return cardinalities_; }
+
+  /// Number of sampled coefficients |T|.
+  size_t coefficient_count() const { return inner_->coefficient_count(); }
+
+ protected:
+  /// Snapshot layout — reals: |T| sign sums; counts: the d cardinalities
+  /// (guarding restores across different categorical domains with equal d),
+  /// then |T| per-coefficient report counts.
+  void SaveState(AggregatorSnapshot& snapshot) const override;
+  Status LoadState(const AggregatorSnapshot& snapshot) override;
+
+ private:
+  InpEsMarginalProtocol(const ProtocolConfig& config,
+                        std::vector<uint32_t> cardinalities,
+                        std::unique_ptr<InpEsProtocol> inner);
+
+  std::vector<uint32_t> cardinalities_;
+  std::unique_ptr<InpEsProtocol> inner_;
+};
+
+}  // namespace ldpm
+
+#endif  // LDPM_PROTOCOLS_INP_ES_ADAPTER_H_

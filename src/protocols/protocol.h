@@ -86,6 +86,12 @@ struct ProtocolConfig {
   double em_convergence_threshold = 1e-5;
   /// InpEM only: iteration cap as a safety net.
   int em_max_iterations = 200000;
+  /// InpES only: cardinalities r_1..r_d of categorical attributes (each
+  /// >= 2). Empty means "d binary attributes"; when non-empty it must agree
+  /// with d (or d may be left 0 to be derived). The binary protocols ignore
+  /// this field — run them over a CategoricalDomain binary encoding instead
+  /// (core/encoding.h, Corollary 6.1).
+  std::vector<uint32_t> cardinalities;
 };
 
 /// A flattened, protocol-agnostic image of an aggregator's accumulated

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/bits.h"
+#include "protocols/inp_es_adapter.h"
 
 namespace ldpm {
 namespace {
@@ -75,16 +76,26 @@ StatusOr<uint64_t> WireBits(ProtocolKind kind, const ProtocolConfig& config) {
       return d + static_cast<uint64_t>(config.k) + 1;
     case ProtocolKind::kInpEM:
       return d;
+    case ProtocolKind::kInpES: {
+      auto geometry = EsWireGeometryFor(config);
+      if (!geometry.ok()) return geometry.status();
+      return geometry->total_bits;
+    }
   }
   return Status::InvalidArgument("WireBits: unknown protocol kind");
 }
 
-StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
-                                               const ProtocolConfig& config,
-                                               const Report& report) {
-  auto bits = WireBits(kind, config);
-  if (!bits.ok()) return bits.status();
-  BitWriter writer(*bits);
+namespace {
+
+/// SerializeReport body with the record geometry precomputed, so batch
+/// serialization can hoist the (InpES) coefficient-count DP out of its
+/// per-report loop.
+StatusOr<std::vector<uint8_t>> SerializeReportImpl(ProtocolKind kind,
+                                                   const ProtocolConfig& config,
+                                                   const Report& report,
+                                                   const EsWireGeometry& es,
+                                                   uint64_t total_bits) {
+  BitWriter writer(total_bits);
 
   switch (kind) {
     case ProtocolKind::kInpRR: {
@@ -142,8 +153,49 @@ StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
       writer.WriteBit(report.sign > 0);
       break;
     }
+    case ProtocolKind::kInpES: {
+      if (report.value >= es.coefficient_count) {
+        return Status::InvalidArgument(
+            "SerializeReport: coefficient outside domain");
+      }
+      if (report.sign != -1 && report.sign != 1) {
+        return Status::InvalidArgument("SerializeReport: bad sign");
+      }
+      writer.WriteBits(report.value, es.index_bits);
+      writer.WriteBit(report.sign > 0);
+      break;
+    }
   }
   return writer.Take();
+}
+
+/// The shared "geometry once" preamble of the serialize/deserialize
+/// entry points: InpES runs the coefficient-count DP here, every other
+/// kind goes through the closed-form WireBits.
+Status ComputeRecordGeometry(ProtocolKind kind, const ProtocolConfig& config,
+                             EsWireGeometry& es, uint64_t& total_bits) {
+  if (kind == ProtocolKind::kInpES) {
+    auto geometry = EsWireGeometryFor(config);
+    if (!geometry.ok()) return geometry.status();
+    es = *geometry;
+    total_bits = es.total_bits;
+    return Status::OK();
+  }
+  auto bits = WireBits(kind, config);
+  if (!bits.ok()) return bits.status();
+  total_bits = *bits;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint8_t>> SerializeReport(ProtocolKind kind,
+                                               const ProtocolConfig& config,
+                                               const Report& report) {
+  EsWireGeometry es;
+  uint64_t total_bits = 0;
+  LDPM_RETURN_IF_ERROR(ComputeRecordGeometry(kind, config, es, total_bits));
+  return SerializeReportImpl(kind, config, report, es, total_bits);
 }
 
 StatusOr<Report> DeserializeReport(ProtocolKind kind,
@@ -155,16 +207,17 @@ StatusOr<Report> DeserializeReport(ProtocolKind kind,
 StatusOr<Report> DeserializeReport(ProtocolKind kind,
                                    const ProtocolConfig& config,
                                    const uint8_t* data, size_t size) {
-  auto bits = WireBits(kind, config);
-  if (!bits.ok()) return bits.status();
-  if (size != (*bits + 7) / 8) {
+  EsWireGeometry es;
+  uint64_t total_bits = 0;
+  LDPM_RETURN_IF_ERROR(ComputeRecordGeometry(kind, config, es, total_bits));
+  if (size != (total_bits + 7) / 8) {
     return Status::InvalidArgument(
-        "DeserializeReport: expected " + std::to_string((*bits + 7) / 8) +
+        "DeserializeReport: expected " + std::to_string((total_bits + 7) / 8) +
         " bytes, got " + std::to_string(size));
   }
   BitReader reader(data, size);
   Report report;
-  report.bits = static_cast<double>(*bits);
+  report.bits = static_cast<double>(total_bits);
 
   switch (kind) {
     case ProtocolKind::kInpRR: {
@@ -203,6 +256,15 @@ StatusOr<Report> DeserializeReport(ProtocolKind kind,
       report.sign = reader.ReadBit() ? 1 : -1;
       break;
     }
+    case ProtocolKind::kInpES: {
+      report.value = reader.ReadBits(es.index_bits);
+      if (report.value >= es.coefficient_count) {
+        return Status::InvalidArgument(
+            "DeserializeReport: coefficient outside domain");
+      }
+      report.sign = reader.ReadBit() ? 1 : -1;
+      break;
+    }
   }
   return report;
 }
@@ -226,14 +288,127 @@ Status AppendWireReport(ProtocolKind kind, const ProtocolConfig& config,
 StatusOr<std::vector<uint8_t>> SerializeReportBatch(
     ProtocolKind kind, const ProtocolConfig& config,
     const std::vector<Report>& reports) {
-  auto bits = WireBits(kind, config);
-  if (!bits.ok()) return bits.status();
+  // Record geometry computed once for the whole batch (for InpES this
+  // hoists the coefficient-count DP out of the per-report loop).
+  EsWireGeometry es;
+  uint64_t total_bits = 0;
+  LDPM_RETURN_IF_ERROR(ComputeRecordGeometry(kind, config, es, total_bits));
   std::vector<uint8_t> out;
-  out.reserve(reports.size() * (4 + (*bits + 7) / 8));
+  out.reserve(reports.size() * (4 + (total_bits + 7) / 8));
   for (const Report& report : reports) {
-    LDPM_RETURN_IF_ERROR(AppendWireReport(kind, config, report, out));
+    auto payload = SerializeReportImpl(kind, config, report, es, total_bits);
+    if (!payload.ok()) return payload.status();
+    const uint64_t len = payload->size();
+    if (len > 0xFFFFFFFFull) {
+      return Status::InvalidArgument("SerializeReportBatch: record too large");
+    }
+    out.push_back(static_cast<uint8_t>(len));
+    out.push_back(static_cast<uint8_t>(len >> 8));
+    out.push_back(static_cast<uint8_t>(len >> 16));
+    out.push_back(static_cast<uint8_t>(len >> 24));
+    out.insert(out.end(), payload->begin(), payload->end());
   }
   return out;
+}
+
+Status AppendCollectionFrame(std::string_view collection_id,
+                             const uint8_t* payload, size_t payload_size,
+                             std::vector<uint8_t>& out) {
+  if (collection_id.empty()) {
+    return Status::InvalidArgument(
+        "AppendCollectionFrame: empty collection id");
+  }
+  if (collection_id.size() > kMaxCollectionIdBytes) {
+    return Status::InvalidArgument(
+        "AppendCollectionFrame: collection id of " +
+        std::to_string(collection_id.size()) +
+        " bytes overflows the u16 length prefix");
+  }
+  if (payload_size > 0xFFFFFFFFull) {
+    return Status::InvalidArgument(
+        "AppendCollectionFrame: payload of " + std::to_string(payload_size) +
+        " bytes overflows the u32 length prefix");
+  }
+  // No exact-fit reserve: streams are built by appending many frames, and
+  // an exact reservation per call would defeat the vector's geometric
+  // growth (O(bytes^2) copying across a long stream).
+  out.push_back(static_cast<uint8_t>(collection_id.size()));
+  out.push_back(static_cast<uint8_t>(collection_id.size() >> 8));
+  out.insert(out.end(), collection_id.begin(), collection_id.end());
+  const uint32_t len = static_cast<uint32_t>(payload_size);
+  out.push_back(static_cast<uint8_t>(len));
+  out.push_back(static_cast<uint8_t>(len >> 8));
+  out.push_back(static_cast<uint8_t>(len >> 16));
+  out.push_back(static_cast<uint8_t>(len >> 24));
+  out.insert(out.end(), payload, payload + payload_size);
+  return Status::OK();
+}
+
+Status AppendCollectionFrame(std::string_view collection_id,
+                             const std::vector<uint8_t>& payload,
+                             std::vector<uint8_t>& out) {
+  return AppendCollectionFrame(collection_id, payload.data(), payload.size(),
+                               out);
+}
+
+bool CollectionFrameReader::Next(std::string_view& collection_id,
+                                 const uint8_t*& payload,
+                                 size_t& payload_size) {
+  if (cursor_ == size_ || !status_.ok()) return false;
+  const size_t frame_start = cursor_;
+  if (size_ - cursor_ < 2) {
+    status_ = Status::InvalidArgument(
+        "collection frame: truncated id length prefix at byte " +
+        std::to_string(cursor_));
+    return false;
+  }
+  const size_t id_len = static_cast<size_t>(data_[cursor_]) |
+                        static_cast<size_t>(data_[cursor_ + 1]) << 8;
+  cursor_ += 2;
+  if (id_len == 0) {
+    status_ = Status::InvalidArgument(
+        "collection frame: empty collection id at byte " +
+        std::to_string(frame_start));
+    return false;
+  }
+  if (size_ - cursor_ < id_len) {
+    status_ = Status::InvalidArgument(
+        "collection frame: truncated collection id at byte " +
+        std::to_string(cursor_));
+    return false;
+  }
+  collection_id = std::string_view(
+      reinterpret_cast<const char*>(data_ + cursor_), id_len);
+  cursor_ += id_len;
+  if (size_ - cursor_ < 4) {
+    status_ = Status::InvalidArgument(
+        "collection frame: truncated payload length prefix at byte " +
+        std::to_string(cursor_));
+    return false;
+  }
+  uint64_t payload_len;
+  if constexpr (std::endian::native == std::endian::little) {
+    uint32_t raw;
+    std::memcpy(&raw, data_ + cursor_, 4);
+    payload_len = raw;
+  } else {
+    payload_len = static_cast<uint64_t>(data_[cursor_]) |
+                  static_cast<uint64_t>(data_[cursor_ + 1]) << 8 |
+                  static_cast<uint64_t>(data_[cursor_ + 2]) << 16 |
+                  static_cast<uint64_t>(data_[cursor_ + 3]) << 24;
+  }
+  cursor_ += 4;
+  if (size_ - cursor_ < payload_len) {
+    status_ = Status::InvalidArgument(
+        "collection frame: truncated payload at byte " +
+        std::to_string(cursor_ - 4));
+    return false;
+  }
+  payload = data_ + cursor_;
+  payload_size = static_cast<size_t>(payload_len);
+  cursor_ += payload_size;
+  frame_offset_ = frame_start;
+  return true;
 }
 
 }  // namespace ldpm

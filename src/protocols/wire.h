@@ -11,6 +11,8 @@
 //   MargPS  d + k      selector mask beta, then the compact cell index
 //   MargHT  d + k + 1  selector mask, compact coefficient index, sign bit
 //   InpEM   d bits     the d perturbed attribute bits
+//   InpES   c + 1      coefficient index (c = ceil(log2 |T|)), then 1 sign
+//                      bit (1 = +1); |T| from EsCoefficientCount
 //
 // Deserialization checks the buffer length and re-validates domains; a
 // deserialized report is accepted by the matching protocol's Absorb().
@@ -24,6 +26,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "protocols/factory.h"
@@ -134,6 +137,64 @@ class WireBatchReader {
   const uint8_t* data_;
   size_t size_;
   size_t cursor_ = 0;
+  Status status_ = Status::OK();
+};
+
+// ---- Collection frames -----------------------------------------------------
+//
+// A collection frame wraps a wire batch with the name of the collection it
+// belongs to, so one socket or file stream can interleave reports for many
+// protocol/config streams and a Collector (engine/collector.h) can route
+// each frame to the right aggregator without out-of-band context:
+//
+//   u16  collection id byte length L (little-endian, >= 1)
+//   L    collection id bytes (opaque; conventionally UTF-8)
+//   u32  payload byte length P (little-endian)
+//   P    payload bytes — a wire batch frame (records as above)
+//
+// Frames are self-delimiting, so a stream is just a concatenation; framing
+// violations are reported at exact byte offsets.
+
+/// Longest permitted collection id, from the u16 length prefix.
+inline constexpr size_t kMaxCollectionIdBytes = 0xFFFF;
+
+/// Appends one collection frame wrapping `payload` (a wire batch frame,
+/// possibly empty) to `out`. The id must be non-empty and fit the u16
+/// length prefix.
+Status AppendCollectionFrame(std::string_view collection_id,
+                             const uint8_t* payload, size_t payload_size,
+                             std::vector<uint8_t>& out);
+
+/// Vector-payload convenience overload.
+Status AppendCollectionFrame(std::string_view collection_id,
+                             const std::vector<uint8_t>& payload,
+                             std::vector<uint8_t>& out);
+
+/// Walks the collection frames of a stream. Framing errors (truncated
+/// prefixes, id, or payload; empty id) stop the walk with Next() == false
+/// and a non-OK status() naming the byte offset; a clean end of stream
+/// leaves status() OK.
+class CollectionFrameReader {
+ public:
+  CollectionFrameReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  /// Advances to the next frame; false at end-of-stream or on error. On
+  /// success `collection_id` and `payload` view into the stream buffer.
+  bool Next(std::string_view& collection_id, const uint8_t*& payload,
+            size_t& payload_size);
+
+  const Status& status() const { return status_; }
+
+  /// Byte offset (within the stream) of the frame the last successful
+  /// Next() returned — the anchor for routing-level error messages.
+  size_t frame_offset() const { return frame_offset_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t cursor_ = 0;
+  size_t frame_offset_ = 0;
   Status status_ = Status::OK();
 };
 

@@ -3,7 +3,7 @@
 #include <chrono>
 
 #include "core/marginal.h"
-#include "engine/sharded_aggregator.h"
+#include "engine/collector.h"
 
 namespace ldpm {
 namespace {
@@ -48,27 +48,31 @@ StatusOr<SimulationResult> RunSimulation(const BinaryDataset& source,
   SimulationResult result;
   result.protocol = std::string((*protocol)->name());
 
-  // Sharded path: route ingest through the engine (worker threads with
-  // per-shard Rng streams), then answer queries from the merged state.
-  std::unique_ptr<engine::ShardedAggregator> sharded;
+  // Sharded path: host the run as one collection of an engine::Collector
+  // (worker threads with per-shard Rng streams), then answer queries from
+  // the merged state.
+  std::unique_ptr<engine::Collector> collector;
+  engine::CollectionHandle sharded;
   if (options.num_shards > 1) {
-    engine::EngineOptions engine_options;
-    engine_options.num_shards = options.num_shards;
+    engine::CollectorOptions collector_options;
+    collector_options.engine_defaults.num_shards = options.num_shards;
     // Continue the simulation stream rather than reusing options.seed:
     // seeding with the raw seed would derive the shards' perturbation
     // randomness from the same generator state that sampled the population.
-    engine_options.seed = rng();
-    auto created =
-        engine::ShardedAggregator::Create(options.kind, config, engine_options);
+    collector_options.engine_defaults.seed = rng();
+    auto created = engine::Collector::Create(collector_options);
     if (!created.ok()) return created.status();
-    sharded = *std::move(created);
+    collector = *std::move(created);
+    auto handle = collector->Register("sim", options.kind, config);
+    if (!handle.ok()) return handle.status();
+    sharded = *std::move(handle);
   }
 
   const auto encode_start = std::chrono::steady_clock::now();
-  if (sharded != nullptr) {
+  if (sharded.valid()) {
     LDPM_RETURN_IF_ERROR(
-        sharded->IngestPopulation(population.rows(), options.use_fast_path));
-    LDPM_RETURN_IF_ERROR(sharded->Flush());
+        sharded.IngestPopulation(population.rows(), options.use_fast_path));
+    LDPM_RETURN_IF_ERROR(sharded.Flush());
   } else if (options.use_fast_path) {
     LDPM_RETURN_IF_ERROR((*protocol)->AbsorbPopulation(population.rows(), rng));
   } else {
@@ -77,9 +81,9 @@ StatusOr<SimulationResult> RunSimulation(const BinaryDataset& source,
     }
   }
   result.encode_absorb_seconds = SecondsSince(encode_start);
-  if (sharded != nullptr) {
+  if (sharded.valid()) {
     // Fold the merged shard state into the query-side aggregator.
-    auto merged = sharded->Merged();
+    auto merged = sharded.aggregator().Merged();
     if (!merged.ok()) return merged.status();
     LDPM_RETURN_IF_ERROR((*protocol)->MergeFrom(**merged));
   }

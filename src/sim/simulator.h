@@ -26,8 +26,8 @@ struct SimulationOptions {
   /// Order of the marginals scored; 0 means "score order config.k".
   int eval_order = 0;
   /// Number of aggregation shards. 1 runs the classic single-aggregator
-  /// loop; > 1 routes ingest through the engine::ShardedAggregator (worker
-  /// threads, per-shard Rng streams — distribution-equivalent).
+  /// loop; > 1 hosts the run as a collection of an engine::Collector
+  /// (worker threads, per-shard Rng streams — distribution-equivalent).
   int num_shards = 1;
 };
 

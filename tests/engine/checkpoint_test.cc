@@ -140,7 +140,7 @@ TEST_P(CheckpointPerProtocolTest, FileRoundTripAcrossShardCounts) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, CheckpointPerProtocolTest,
-    ::testing::ValuesIn(AllProtocolKinds()),
+    ::testing::ValuesIn(RegisteredProtocolKinds()),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });

@@ -97,7 +97,7 @@ TEST_P(ShardCountInvarianceTest, WireIngestMatchesSingleAggregator) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, ShardCountInvarianceTest,
-    ::testing::ValuesIn(AllProtocolKinds()),
+    ::testing::ValuesIn(RegisteredProtocolKinds()),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });

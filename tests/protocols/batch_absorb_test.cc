@@ -64,6 +64,10 @@ Report MalformedReport(ProtocolKind kind, const ProtocolConfig& config) {
       report.value = 1;
       report.sign = 1;
       break;
+    case ProtocolKind::kInpES:
+      report.value = uint64_t{1} << 30;  // far beyond any coefficient set
+      report.sign = 1;
+      break;
   }
   return report;
 }
@@ -242,7 +246,7 @@ TEST_P(BatchAbsorbTest, WireIngestedEstimatesMatch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllKinds, BatchAbsorbTest, ::testing::ValuesIn(AllProtocolKinds()),
+    AllKinds, BatchAbsorbTest, ::testing::ValuesIn(RegisteredProtocolKinds()),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });

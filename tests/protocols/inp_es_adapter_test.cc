@@ -1,0 +1,220 @@
+// InpES factory/adapter tests: name-based construction, coefficient-count
+// arithmetic vs. the enumerated set, categorical domains through the
+// MarginalProtocol interface, and agreement between the adapter and a raw
+// InpEsProtocol fed the same randomness.
+
+#include "protocols/inp_es_adapter.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "protocols/factory.h"
+#include "protocols/test_util.h"
+#include "protocols/wire.h"
+
+namespace ldpm {
+namespace {
+
+using test::MakeConfig;
+
+ProtocolConfig CategoricalConfig(std::vector<uint32_t> cardinalities, int k) {
+  ProtocolConfig c;
+  c.cardinalities = std::move(cardinalities);
+  c.k = k;
+  c.epsilon = 1.0;
+  return c;
+}
+
+TEST(InpEsFactory, ConstructibleByNameLikeTheOtherKinds) {
+  auto kind = ProtocolKindFromName("InpES");
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, ProtocolKind::kInpES);
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kInpES), "InpES");
+
+  auto protocol = CreateProtocol(*kind, MakeConfig(6, 2));
+  ASSERT_TRUE(protocol.ok()) << protocol.status().ToString();
+  EXPECT_EQ((*protocol)->name(), "InpES");
+  EXPECT_EQ((*protocol)->config().d, 6);
+
+  // Registered in the extended kind list but not the seven paper kinds.
+  EXPECT_EQ(RegisteredProtocolKinds().size(), AllProtocolKinds().size() + 1);
+  EXPECT_EQ(RegisteredProtocolKinds().back(), ProtocolKind::kInpES);
+}
+
+TEST(InpEsFactory, CategoricalDomainsConstructibleByName) {
+  const ProtocolConfig config = CategoricalConfig({3, 4, 2}, 2);
+  auto protocol = CreateProtocol(ProtocolKind::kInpES, config);
+  ASSERT_TRUE(protocol.ok()) << protocol.status().ToString();
+  // d is derived from the cardinalities.
+  EXPECT_EQ((*protocol)->config().d, 3);
+
+  // A d that disagrees with the cardinalities is rejected.
+  ProtocolConfig mismatched = config;
+  mismatched.d = 5;
+  EXPECT_FALSE(CreateProtocol(ProtocolKind::kInpES, mismatched).ok());
+
+  // Cardinality 1 attributes carry no information and are rejected.
+  EXPECT_FALSE(
+      CreateProtocol(ProtocolKind::kInpES, CategoricalConfig({3, 1}, 1)).ok());
+}
+
+TEST(InpEsFactory, CoefficientCountMatchesEnumeratedSet) {
+  const std::vector<std::pair<std::vector<uint32_t>, int>> domains = {
+      {{2, 2, 2, 2, 2, 2}, 2}, {{3, 4, 2}, 2},      {{3, 4, 2}, 3},
+      {{5, 5}, 1},             {{2, 3, 4, 5}, 2},   {{7}, 1},
+  };
+  for (const auto& [cardinalities, k] : domains) {
+    auto count = EsCoefficientCount(cardinalities, k);
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    ProtocolConfig config = CategoricalConfig(cardinalities, k);
+    auto adapter = InpEsMarginalProtocol::Create(config);
+    ASSERT_TRUE(adapter.ok()) << adapter.status().ToString();
+    EXPECT_EQ(*count, (*adapter)->coefficient_count())
+        << "k=" << k << " first r=" << cardinalities[0];
+    // |T| drives the Table-2-style wire cost: ceil(log2 |T|) + 1.
+    auto bits = WireBits(ProtocolKind::kInpES, config);
+    ASSERT_TRUE(bits.ok());
+    EXPECT_DOUBLE_EQ(static_cast<double>(*bits),
+                     (*adapter)->TheoreticalBitsPerUser());
+  }
+}
+
+TEST(InpEsAdapter, MatchesRawInpEsProtocolBitwise) {
+  // The adapter over a categorical domain must be a pure re-skin: same
+  // randomness, same reports, bitwise-equal estimates vs. the raw
+  // categorical-tuple interface.
+  const std::vector<uint32_t> cardinalities = {3, 4, 2};
+  const ProtocolConfig config = CategoricalConfig(cardinalities, 2);
+  auto adapter = InpEsMarginalProtocol::Create(config);
+  ASSERT_TRUE(adapter.ok());
+
+  InpEsProtocol::Config raw_config;
+  raw_config.cardinalities = cardinalities;
+  raw_config.k = 2;
+  raw_config.epsilon = 1.0;
+  auto raw = InpEsProtocol::Create(raw_config);
+  ASSERT_TRUE(raw.ok());
+
+  Rng rng_a(42), rng_b(42);
+  const uint64_t domain = 3 * 4 * 2;
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t packed = static_cast<uint64_t>(i * 2654435761u) % domain;
+    const Report report = (*adapter)->Encode(packed, rng_a);
+    ASSERT_TRUE((*adapter)->Absorb(report).ok());
+
+    // Mixed-radix digits, attribute 0 fastest — the adapter's convention.
+    std::vector<uint32_t> values;
+    uint64_t rest = packed;
+    for (uint32_t r : cardinalities) {
+      values.push_back(static_cast<uint32_t>(rest % r));
+      rest /= r;
+    }
+    auto es_report = (*raw)->Encode(values, rng_b);
+    ASSERT_TRUE(es_report.ok());
+    EXPECT_EQ(report.value, es_report->coefficient);
+    EXPECT_EQ(report.sign, es_report->sign);
+    ASSERT_TRUE((*raw)->Absorb(*es_report).ok());
+  }
+
+  for (const std::vector<int>& attrs :
+       {std::vector<int>{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}}) {
+    auto via_adapter = (*adapter)->EstimateCategorical(attrs);
+    auto via_raw = (*raw)->EstimateMarginal(attrs);
+    ASSERT_TRUE(via_adapter.ok());
+    ASSERT_TRUE(via_raw.ok());
+    ASSERT_EQ(via_adapter->probabilities.size(), via_raw->probabilities.size());
+    for (size_t c = 0; c < via_raw->probabilities.size(); ++c) {
+      EXPECT_EQ(via_adapter->probabilities[c], via_raw->probabilities[c]);
+    }
+  }
+}
+
+TEST(InpEsAdapter, BinaryMarginalsRecoverSkewedDistribution) {
+  const int d = 6;
+  const ProtocolConfig config = MakeConfig(d, 2);
+  auto protocol = CreateProtocol(ProtocolKind::kInpES, config);
+  ASSERT_TRUE(protocol.ok());
+  const auto rows = test::SkewedRows(d, 60000, 5);
+  test::RunPerUser(**protocol, rows, 99);
+  test::ExpectEstimateClose(**protocol, rows, d, 0b000011, 0.08);
+  test::ExpectEstimateClose(**protocol, rows, d, 0b101000, 0.08);
+}
+
+TEST(InpEsAdapter, NonBinaryMarginalRequiresCategoricalQuery) {
+  auto protocol =
+      CreateProtocol(ProtocolKind::kInpES, CategoricalConfig({3, 2}, 2));
+  ASSERT_TRUE(protocol.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*protocol)->Absorb((*protocol)->Encode(i % 6, rng)).ok());
+  }
+  // Attribute 0 has r = 3: the binary MarginalTable interface refuses...
+  auto binary = (*protocol)->EstimateMarginal(0b01);
+  ASSERT_FALSE(binary.ok());
+  EXPECT_NE(binary.status().message().find("EstimateCategorical"),
+            std::string::npos);
+  // ...but the binary attribute 1 alone is servable, and the categorical
+  // query covers the full domain.
+  EXPECT_TRUE((*protocol)->EstimateMarginal(0b10).ok());
+  auto es = dynamic_cast<InpEsMarginalProtocol*>(protocol->get());
+  ASSERT_NE(es, nullptr);
+  auto categorical = es->EstimateCategorical({0, 1});
+  ASSERT_TRUE(categorical.ok());
+  EXPECT_EQ(categorical->probabilities.size(), 6u);
+}
+
+TEST(InpEsAdapter, WireRoundTripOnCategoricalDomain) {
+  const ProtocolConfig config = CategoricalConfig({3, 4, 2}, 2);
+  auto sender = CreateProtocol(ProtocolKind::kInpES, config);
+  auto receiver = CreateProtocol(ProtocolKind::kInpES, config);
+  ASSERT_TRUE(sender.ok());
+  ASSERT_TRUE(receiver.ok());
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const Report original = (*sender)->Encode(rng.UniformInt(24), rng);
+    ASSERT_TRUE((*sender)->Absorb(original).ok());
+    auto bytes = SerializeReport(ProtocolKind::kInpES, config, original);
+    ASSERT_TRUE(bytes.ok());
+    auto parsed = DeserializeReport(ProtocolKind::kInpES, config, *bytes);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->value, original.value);
+    EXPECT_EQ(parsed->sign, original.sign);
+    ASSERT_TRUE((*receiver)->Absorb(*parsed).ok());
+  }
+  EXPECT_EQ((*receiver)->reports_absorbed(), 500u);
+  EXPECT_EQ((*receiver)->total_report_bits(), (*sender)->total_report_bits());
+
+  // A coefficient index past |T| must be rejected at parse time even when
+  // it fits the index bit width.
+  auto count = EsCoefficientCount({3, 4, 2}, 2);
+  ASSERT_TRUE(count.ok());
+  Report out_of_domain;
+  out_of_domain.value = *count;  // first invalid index
+  out_of_domain.sign = 1;
+  EXPECT_FALSE(
+      SerializeReport(ProtocolKind::kInpES, config, out_of_domain).ok());
+}
+
+TEST(InpEsAdapter, SnapshotGuardsCardinalities) {
+  // Two domains with the same d and |T| sizes must not cross-restore:
+  // the cardinalities prefix in the counts layout is the guard.
+  auto a = CreateProtocol(ProtocolKind::kInpES, CategoricalConfig({3, 5}, 1));
+  auto b = CreateProtocol(ProtocolKind::kInpES, CategoricalConfig({5, 3}, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*a)->Absorb((*a)->Encode(i % 15, rng)).ok());
+  }
+  // Identical array sizes (|T| = 2 + 4 = 6 both ways)...
+  const AggregatorSnapshot snapshot = (*a)->Snapshot();
+  ASSERT_EQ(snapshot.reals.size(), 6u);
+  // ...but the restore must still notice the swapped domain.
+  EXPECT_FALSE((*b)->Restore(snapshot).ok());
+  EXPECT_TRUE((*a)->Restore(snapshot).ok());
+}
+
+}  // namespace
+}  // namespace ldpm

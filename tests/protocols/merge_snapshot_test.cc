@@ -133,7 +133,7 @@ TEST_P(MergeSnapshotTest, RestoreRejectsMismatchedSnapshots) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllKinds, MergeSnapshotTest, ::testing::ValuesIn(AllProtocolKinds()),
+    AllKinds, MergeSnapshotTest, ::testing::ValuesIn(RegisteredProtocolKinds()),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });

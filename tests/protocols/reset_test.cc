@@ -53,7 +53,7 @@ TEST_P(ResetTest, ResetMatchesFreshInstance) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllKinds, ResetTest, ::testing::ValuesIn(AllProtocolKinds()),
+    AllKinds, ResetTest, ::testing::ValuesIn(RegisteredProtocolKinds()),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });

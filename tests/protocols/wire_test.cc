@@ -32,7 +32,7 @@ TEST(Wire, BitCountsMatchTable2) {
 
 TEST(Wire, WireBitsMatchProtocolTheoretical) {
   const ProtocolConfig c = Config(10, 3);
-  for (ProtocolKind kind : AllProtocolKinds()) {
+  for (ProtocolKind kind : RegisteredProtocolKinds()) {
     auto p = CreateProtocol(kind, c);
     ASSERT_TRUE(p.ok());
     auto bits = WireBits(kind, c);
@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ProtocolKind::kInpRR, ProtocolKind::kInpPS,
                       ProtocolKind::kInpHT, ProtocolKind::kMargRR,
                       ProtocolKind::kMargPS, ProtocolKind::kMargHT,
-                      ProtocolKind::kInpEM),
+                      ProtocolKind::kInpEM, ProtocolKind::kInpES),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return std::string(ProtocolKindName(info.param));
     });
@@ -92,7 +92,7 @@ TEST(Wire, DeserializeRejectsTruncatedBuffersForEveryKind) {
   for (const auto& [d, k] : std::vector<std::pair<int, int>>{
            {4, 2}, {6, 3}, {10, 2}}) {
     const ProtocolConfig config = Config(d, k);
-    for (ProtocolKind kind : AllProtocolKinds()) {
+    for (ProtocolKind kind : RegisteredProtocolKinds()) {
       auto protocol = CreateProtocol(kind, config);
       ASSERT_TRUE(protocol.ok());
       Rng rng(77);
@@ -126,7 +126,7 @@ TEST(Wire, RandomizedRoundTripAcrossConfigs) {
   for (const auto& [d, k] : std::vector<std::pair<int, int>>{
            {3, 1}, {5, 3}, {9, 4}, {12, 2}}) {
     const ProtocolConfig config = Config(d, k);
-    for (ProtocolKind kind : AllProtocolKinds()) {
+    for (ProtocolKind kind : RegisteredProtocolKinds()) {
       auto protocol = CreateProtocol(kind, config);
       ASSERT_TRUE(protocol.ok()) << ProtocolKindName(kind);
       Rng rng(1000 + d);
