@@ -125,7 +125,14 @@ StatusOr<std::unique_ptr<Collector>> Collector::Create(
 
 Collector::~Collector() {
   if (options_.checkpoint_on_shutdown) {
-    // Best effort by necessity; Drain() reports the Status.
+    // Flush BEFORE the snapshot cut — a bare CheckpointTo would silently
+    // miss queued batches and coalescing-buffer tails — but best effort
+    // on BOTH steps, not Drain(): a flush error must not skip the write
+    // attempt. (A collection whose shards hold a sticky absorb error
+    // still fails the attempt inside CheckpointTo — the container write
+    // is all-or-nothing; see the ROADMAP limitation. Drain() reports the
+    // Status; use it when the result matters.)
+    (void)Flush();
     (void)CheckpointTo(options_.checkpoint_path);
   }
 }
@@ -208,14 +215,32 @@ StatusOr<CollectionHandle> Collector::RegisterInternal(
 }
 
 Status Collector::Unregister(std::string_view id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = collections_.find(id);
-  if (it == collections_.end()) {
-    return Status::NotFound("Collector: no collection \"" + std::string(id) +
-                            "\"");
+  std::shared_ptr<CollectionHandle::Collection> released;
+  int shards = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = collections_.find(id);
+    if (it == collections_.end()) {
+      return Status::NotFound("Collector: no collection \"" + std::string(id) +
+                              "\"");
+    }
+    shards = it->second->engine->num_shards();
+    released = std::move(it->second);
+    collections_.erase(it);
   }
-  threads_in_use_ -= it->second->engine->num_shards();
-  collections_.erase(it);
+  // The release happens OUTSIDE mu_. When this was the last reference,
+  // the engine teardown drains its queues, joins every shard worker, and
+  // may write a per-collection shutdown checkpoint — arbitrarily slow work
+  // that must not stall concurrent Find/Query/Register on the registry
+  // lock. The thread budget is returned only AFTER the drop, so a racing
+  // Register cannot oversubscribe the cap while the old workers still
+  // run. (With outstanding handles the drop is trivially cheap — and the
+  // budget is returned while their engine lives on, as documented.)
+  released.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_in_use_ -= shards;
+  }
   return Status::OK();
 }
 
@@ -254,7 +279,11 @@ int Collector::worker_threads_in_use() const {
   return threads_in_use_;
 }
 
-Status Collector::IngestFrames(const uint8_t* data, size_t size) {
+Status Collector::IngestFrames(const uint8_t* data, size_t size,
+                               IngestFramesResult* result) {
+  IngestFramesResult scratch;
+  if (result == nullptr) result = &scratch;
+  *result = IngestFramesResult();
   CollectionFrameReader reader(data, size);
   std::string_view id;
   const uint8_t* payload = nullptr;
@@ -266,15 +295,22 @@ Status Collector::IngestFrames(const uint8_t* data, size_t size) {
           "collection frame at byte " + std::to_string(reader.frame_offset()) +
           ": unknown collection id \"" + std::string(id) + "\"");
     }
-    if (payload_size == 0) continue;
-    LDPM_RETURN_IF_ERROR((*collection)->engine->IngestWireBatch(
-        std::vector<uint8_t>(payload, payload + payload_size)));
+    if (payload_size > 0) {
+      LDPM_RETURN_IF_ERROR((*collection)->engine->IngestWireBatch(
+          std::vector<uint8_t>(payload, payload + payload_size)));
+      ++result->batches_enqueued;
+    }
+    // The frame counts as consumed only once it is fully routed: on any
+    // error above, bytes_consumed still points at the frame that failed.
+    result->bytes_consumed = reader.frame_end_offset();
+    ++result->frames_routed;
   }
   return reader.status();
 }
 
-Status Collector::IngestFrames(const std::vector<uint8_t>& stream) {
-  return IngestFrames(stream.data(), stream.size());
+Status Collector::IngestFrames(const std::vector<uint8_t>& stream,
+                               IngestFramesResult* result) {
+  return IngestFrames(stream.data(), stream.size(), result);
 }
 
 StatusOr<MarginalTable> Collector::Query(std::string_view collection,

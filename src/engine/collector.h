@@ -161,16 +161,47 @@ class Collector {
   /// Shard worker threads currently drawn from the budget.
   int worker_threads_in_use() const;
 
+  /// The collector-wide backpressure budget, or null when unbounded
+  /// (max_pending_batches_total == 0). External producers — the network
+  /// ingest front-end above all — probe it with TryAcquire/AcquireFor to
+  /// shed load or stay shutdown-responsive while the collector is
+  /// saturated, instead of committing bytes that would block inside the
+  /// engines' own (indefinitely blocking) slot acquisition.
+  const std::shared_ptr<IngestBudget>& shared_budget() const {
+    return budget_;
+  }
+
   // ---- Multiplexed ingest ------------------------------------------------
+
+  /// What IngestFrames did with a (possibly partially consumed) stream.
+  /// On error the counters make the partial-stream semantics explicit: the
+  /// first bytes_consumed bytes are fully routed and stay ingested, and
+  /// data + bytes_consumed is the exact resync point — the start of the
+  /// frame the error names. A network front-end uses this to keep the
+  /// unconsumed tail of its receive buffer, or to reject a connection with
+  /// a byte-precise error.
+  struct IngestFramesResult {
+    /// Bytes of whole, successfully routed frames at the front of the
+    /// stream (== the stream size when the call succeeded).
+    size_t bytes_consumed = 0;
+    /// Whole frames routed, including frames with an empty payload.
+    uint64_t frames_routed = 0;
+    /// Wire batches actually handed to an engine (empty-payload frames
+    /// route without enqueueing work).
+    uint64_t batches_enqueued = 0;
+  };
 
   /// Routes a stream of collection frames (protocols/wire.h) to the named
   /// collections' wire-batch fast paths. Any framing violation or unknown
   /// collection id stops ingestion at that frame with an InvalidArgument
-  /// naming the exact byte offset; frames before it stay ingested.
+  /// naming the exact byte offset; frames before it stay ingested, and
+  /// `result` (optional) reports exactly how much was consumed.
   /// (A payload mismatching its collection's protocol surfaces at the
   /// next Flush/Query, like any asynchronous absorb error.)
-  Status IngestFrames(const uint8_t* data, size_t size);
-  Status IngestFrames(const std::vector<uint8_t>& stream);
+  Status IngestFrames(const uint8_t* data, size_t size,
+                      IngestFramesResult* result = nullptr);
+  Status IngestFrames(const std::vector<uint8_t>& stream,
+                      IngestFramesResult* result = nullptr);
 
   // ---- Query -------------------------------------------------------------
 

@@ -12,6 +12,7 @@
 #ifndef LDPM_ENGINE_INGEST_BUDGET_H_
 #define LDPM_ENGINE_INGEST_BUDGET_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -21,6 +22,12 @@ namespace engine {
 
 /// Counting gate on in-flight work items across engines (see file
 /// comment). Thread-safe; slots are not tied to the acquiring thread.
+///
+/// Producers that must stay responsive while the budget is exhausted — a
+/// network reader thread that has to notice a server shutdown, an accept
+/// loop that sheds load instead of queueing it — use TryAcquire or
+/// AcquireFor and re-check their own stop conditions between attempts;
+/// only producers that may block indefinitely call Acquire.
 class IngestBudget {
  public:
   explicit IngestBudget(size_t max_in_flight) : limit_(max_in_flight) {}
@@ -33,6 +40,25 @@ class IngestBudget {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return in_flight_ < limit_; });
     ++in_flight_;
+  }
+
+  /// Takes a slot if one is free right now; never blocks.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ >= limit_) return false;
+    ++in_flight_;
+    return true;
+  }
+
+  /// Waits up to `timeout` for a slot; true when one was taken. A zero or
+  /// negative timeout degenerates to TryAcquire.
+  bool AcquireFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return in_flight_ < limit_; })) {
+      return false;
+    }
+    ++in_flight_;
+    return true;
   }
 
   /// Returns a slot taken by Acquire. Notified after the lock is released

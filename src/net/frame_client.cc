@@ -1,0 +1,89 @@
+#include "net/frame_client.h"
+
+#include <utility>
+
+#include "net/protocol.h"
+#include "protocols/wire.h"
+
+namespace ldpm {
+namespace net {
+
+namespace {
+
+uint64_t ReadU64(const uint8_t* bytes) {
+  uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) value |= uint64_t{bytes[b]} << (8 * b);
+  return value;
+}
+
+}  // namespace
+
+StatusOr<FrameClient> FrameClient::Connect(const std::string& address,
+                                           uint16_t port) {
+  auto socket = Socket::Connect(address, port);
+  if (!socket.ok()) return socket.status();
+  FrameClient client(*std::move(socket));
+  LDPM_RETURN_IF_ERROR(client.socket_.WriteAll(kPreamble, kPreambleBytes));
+  return client;
+}
+
+Status FrameClient::SendFrame(std::string_view collection_id,
+                              const uint8_t* payload, size_t payload_size) {
+  if (!connected()) {
+    return Status::FailedPrecondition("FrameClient: not connected");
+  }
+  std::vector<uint8_t> frame;
+  LDPM_RETURN_IF_ERROR(
+      AppendCollectionFrame(collection_id, payload, payload_size, frame));
+  return socket_.WriteAll(frame.data(), frame.size());
+}
+
+Status FrameClient::SendFrame(std::string_view collection_id,
+                              const std::vector<uint8_t>& payload) {
+  return SendFrame(collection_id, payload.data(), payload.size());
+}
+
+Status FrameClient::SendBytes(const uint8_t* data, size_t size) {
+  if (!connected()) {
+    return Status::FailedPrecondition("FrameClient: not connected");
+  }
+  return socket_.WriteAll(data, size);
+}
+
+StatusOr<StreamReply> FrameClient::Finish() {
+  if (!connected()) {
+    return Status::FailedPrecondition("FrameClient: not connected");
+  }
+  LDPM_RETURN_IF_ERROR(socket_.ShutdownWrite());
+  uint8_t code = 0;
+  LDPM_RETURN_IF_ERROR(socket_.ReadExact(&code, 1));
+  StreamReply reply;
+  if (code == kReplyOk) {
+    uint8_t counters[16];
+    LDPM_RETURN_IF_ERROR(socket_.ReadExact(counters, sizeof(counters)));
+    reply.frames_routed = ReadU64(counters);
+    reply.bytes_routed = ReadU64(counters + 8);
+  } else if (code == kReplyError) {
+    uint8_t header[10];
+    LDPM_RETURN_IF_ERROR(socket_.ReadExact(header, sizeof(header)));
+    reply.stream_offset = ReadU64(header);
+    const size_t message_size = static_cast<size_t>(header[8]) |
+                                static_cast<size_t>(header[9]) << 8;
+    std::string message(message_size, '\0');
+    LDPM_RETURN_IF_ERROR(socket_.ReadExact(
+        reinterpret_cast<uint8_t*>(message.data()), message_size));
+    reply.status = Status::InvalidArgument(
+        "server rejected stream at byte " +
+        std::to_string(reply.stream_offset) + ": " + message);
+  } else {
+    return Status::InvalidArgument(
+        "FrameClient: unknown reply code " + std::to_string(code));
+  }
+  socket_.Close();
+  return reply;
+}
+
+void FrameClient::Abort() { socket_.Close(); }
+
+}  // namespace net
+}  // namespace ldpm

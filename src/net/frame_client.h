@@ -1,0 +1,84 @@
+// Client side of the network ingest stream: connects to a
+// net::IngestServer, streams collection frames, and reads the server's
+// close reply.
+//
+// The client is a thin framing layer over one blocking socket — callers
+// bring their own wire batches (protocols/wire.h) exactly as they would
+// hand them to Collector::IngestFrames, and the kernel's TCP flow control
+// is the only queue: a saturated server makes Send block, pushing the
+// backpressure all the way into the producer.
+
+#ifndef LDPM_NET_FRAME_CLIENT_H_
+#define LDPM_NET_FRAME_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "net/socket.h"
+
+namespace ldpm {
+namespace net {
+
+/// The server's close reply, decoded (see net/protocol.h).
+struct StreamReply {
+  /// OK for a fully acked stream; otherwise the server's error, with the
+  /// byte-precise stream offset below.
+  Status status;
+  /// On error: offset of the first unconsumed frame byte (counted from
+  /// after the preamble) — everything before it is ingested.
+  uint64_t stream_offset = 0;
+  /// On success: whole frames / frame bytes the server routed.
+  uint64_t frames_routed = 0;
+  uint64_t bytes_routed = 0;
+};
+
+/// One ingest connection (see the file comment). Move-only; not
+/// thread-safe — one streaming thread per client.
+class FrameClient {
+ public:
+  FrameClient() = default;
+  FrameClient(FrameClient&&) = default;
+  FrameClient& operator=(FrameClient&&) = default;
+
+  /// Connects and sends the protocol preamble.
+  static StatusOr<FrameClient> Connect(const std::string& address,
+                                       uint16_t port);
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Frames `payload` (a wire batch, possibly empty) for `collection_id`
+  /// and streams it. Blocks while the server applies backpressure.
+  Status SendFrame(std::string_view collection_id, const uint8_t* payload,
+                   size_t payload_size);
+  Status SendFrame(std::string_view collection_id,
+                   const std::vector<uint8_t>& payload);
+
+  /// Streams pre-framed stream bytes verbatim (a concatenation of
+  /// collection frames, e.g. a spooled mux file). The caller is
+  /// responsible for frame integrity; the server rejects violations with
+  /// a byte-precise error.
+  Status SendBytes(const uint8_t* data, size_t size);
+
+  /// Marks end-of-stream (half-close), waits for the server to absorb
+  /// everything, and returns its decoded reply. The connection is done
+  /// afterwards.
+  StatusOr<StreamReply> Finish();
+
+  /// Hard-closes without end-of-stream — the "client died mid-stream"
+  /// path. Whole frames already received stay ingested; a partial
+  /// trailing frame is discarded by the server.
+  void Abort();
+
+ private:
+  explicit FrameClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+};
+
+}  // namespace net
+}  // namespace ldpm
+
+#endif  // LDPM_NET_FRAME_CLIENT_H_

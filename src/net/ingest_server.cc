@@ -1,0 +1,404 @@
+#include "net/ingest_server.h"
+
+#include <cstring>
+#include <utility>
+
+#include "net/protocol.h"
+#include "protocols/wire.h"
+
+namespace ldpm {
+namespace net {
+
+namespace {
+
+void AppendU64(uint64_t value, std::vector<uint8_t>& out) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * b)));
+  }
+}
+
+}  // namespace
+
+IngestServer::IngestServer(engine::Collector* collector,
+                           const IngestServerOptions& options)
+    : collector_(collector), options_(options) {}
+
+StatusOr<std::unique_ptr<IngestServer>> IngestServer::Start(
+    engine::Collector* collector, const IngestServerOptions& options) {
+  if (collector == nullptr) {
+    return Status::InvalidArgument("IngestServer: collector must not be null");
+  }
+  if (options.read_chunk_bytes == 0 || options.max_frame_bytes == 0) {
+    return Status::InvalidArgument(
+        "IngestServer: read_chunk_bytes and max_frame_bytes must be > 0");
+  }
+  auto listener =
+      Socket::Listen(options.bind_address, options.port, options.accept_backlog);
+  if (!listener.ok()) return listener.status();
+  auto port = listener->local_port();
+  if (!port.ok()) return port.status();
+  std::unique_ptr<IngestServer> server(new IngestServer(collector, options));
+  server->listener_ = *std::move(listener);
+  server->port_ = *port;
+  // Only a server that actually served may Drain() the collector on
+  // Stop(): an error return from here must not flush/checkpoint a shared
+  // collector as a side effect of its destructor.
+  server->started_ = true;
+  server->accept_thread_ =
+      std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+IngestServer::~IngestServer() { (void)Stop(); }
+
+Status IngestServer::Stop() {
+  // The graceful-stop sequence: stop accepting -> wake and drain every
+  // reader -> Drain() the collector. Serialized so concurrent/second
+  // Stop() calls observe the first one's result.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return stop_status_;
+  stopping_.store(true, std::memory_order_release);
+  // Wakes the accept thread out of its blocking accept.
+  (void)listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Wake readers blocked in recv with a READ-side half-close only: the
+    // write side must stay usable so each reader can still deliver its
+    // 'server is stopping' error reply (offset + message) before closing.
+    // Readers waiting on the ingest budget observe stopping_ at their
+    // next timed probe.
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) {
+      (void)connection->socket.ShutdownRead();
+    }
+  }
+  // The accept thread is joined, so connections_ can no longer grow;
+  // join the readers without holding the lock they briefly take.
+  for (auto& connection : connections_) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    // Abortive close (RST), not a graceful FIN: a mid-stream client
+    // blocked in send() against our now-unread receive window must be
+    // woken immediately — after the shutdown above, a graceful close
+    // would leave it probing a zero window until the kernel's orphan
+    // timeout, a minute-scale stall for every saturated client.
+    for (auto& connection : connections_) {
+      connection->socket.CloseWithReset();
+    }
+    connections_.clear();
+  }
+  listener_.Close();
+  stop_status_ = options_.drain_collector_on_stop && started_
+                     ? collector_->Drain()
+                     : Status::OK();
+  stopped_ = true;
+  return stop_status_;
+}
+
+IngestServerStats IngestServer::stats() const {
+  IngestServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  stats.frames_routed = frames_routed_.load(std::memory_order_relaxed);
+  stats.batches_enqueued =
+      batches_enqueued_.load(std::memory_order_relaxed);
+  stats.bytes_routed = bytes_routed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t IngestServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  size_t active = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->finished.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+void IngestServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping()) return;
+      // Transient accept failures (EMFILE, aborted handshakes) must not
+      // spin the thread hot; anything persistent repeats through here.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (stopping()) return;
+    ReapFinishedLocked();
+    if (options_.max_connections > 0 &&
+        connections_.size() >= static_cast<size_t>(options_.max_connections)) {
+      // Shed at the door: an explicit rejection beats an accepted
+      // connection nobody will ever read. Consume what the client already
+      // sent (typically its preamble) before replying and again before
+      // closing — closing with unread data resets the connection, which
+      // can destroy the reply in flight. Non-blocking and capped: the
+      // accept thread must never stall on a shed peer, so a client that
+      // keeps blasting can still race the close; best effort by design.
+      const auto drain_available = [&accepted] {
+        uint8_t sink[4096];
+        size_t total = 0;
+        while (total < sizeof(sink) * 16) {
+          auto n = accepted->ReadAvailable(sink, sizeof(sink));
+          if (!n.ok() || *n == 0) break;
+          total += *n;
+        }
+      };
+      drain_available();
+      StreamOutcome outcome;
+      outcome.status = Status::ResourceExhausted(
+          "IngestServer: connection limit (" +
+          std::to_string(options_.max_connections) + ") reached");
+      SendReply(*accepted, outcome, 0, 0);
+      drain_available();
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    connections_.push_back(
+        std::make_unique<Connection>(*std::move(accepted)));
+    Connection* connection = connections_.back().get();
+    connection->reader = std::thread(
+        [this, connection] { ServeConnection(*connection); });
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IngestServer::ReapFinishedLocked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      // A finished flag means the reader is past its last shared access;
+      // the join returns as soon as the thread unwinds.
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IngestServer::ServeConnection(Connection& connection) {
+  const StreamOutcome outcome = ServeStream(connection.socket);
+  SendReply(connection.socket, outcome, outcome.frames, outcome.bytes);
+  if (!outcome.status.ok()) {
+    // On a mid-stream rejection the peer usually has more frames in
+    // flight. Closing with unread data makes TCP send a reset, which can
+    // destroy the reply sitting in the peer's receive buffer before it is
+    // read — so sip the remainder until the peer reacts (EOF) or a cap.
+    // Stop() still wakes this recv via the socket shutdown.
+    uint8_t sink[4096];
+    size_t drained = 0;
+    constexpr size_t kMaxErrorDrainBytes = 1 << 20;
+    while (drained < kMaxErrorDrainBytes) {
+      auto n = connection.socket.ReadSome(sink, sizeof(sink));
+      if (!n.ok() || *n == 0) break;
+      drained += *n;
+    }
+  }
+  (void)connection.socket.Shutdown();
+  connection.finished.store(true, std::memory_order_release);
+}
+
+Status IngestServer::GateOnBudget() {
+  engine::IngestBudget* budget = collector_->shared_budget().get();
+  if (budget == nullptr) return Status::OK();
+  // The probe (acquire-then-release) costs one slot for an instant and
+  // answers "is there headroom right now". It keeps readers responsive:
+  // the engines' own internal Acquire blocks indefinitely, but after a
+  // successful probe it is nearly always immediate, and in the worst race
+  // it is bounded by the shard workers draining one item. Between probes
+  // the reader re-checks the stop flag, so a saturated collector can
+  // never wedge Stop().
+  if (budget->TryAcquire()) {
+    budget->Release();
+    return Status::OK();
+  }
+  const bool shed_enabled = options_.budget_shed_after.count() > 0;
+  const auto shed_deadline =
+      std::chrono::steady_clock::now() + options_.budget_shed_after;
+  while (!stopping()) {
+    if (budget->AcquireFor(options_.budget_poll)) {
+      budget->Release();
+      return Status::OK();
+    }
+    if (shed_enabled && std::chrono::steady_clock::now() >= shed_deadline) {
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "IngestServer: no ingest-budget headroom for " +
+          std::to_string(options_.budget_shed_after.count()) +
+          "ms; shedding connection");
+    }
+  }
+  return Status::FailedPrecondition("IngestServer: server is stopping");
+}
+
+IngestServer::StreamOutcome IngestServer::ServeStream(Socket& socket) {
+  StreamOutcome outcome;
+
+  // Connection preamble: 7 magic bytes + 1 version byte.
+  uint8_t preamble[kPreambleBytes];
+  Status read = socket.ReadExact(preamble, kPreambleBytes);
+  if (!read.ok()) {
+    outcome.status = Status(read.code(),
+                            "reading connection preamble: " + read.message());
+    return outcome;
+  }
+  if (std::memcmp(preamble, kPreamble, kPreambleBytes - 1) != 0) {
+    outcome.status = Status::InvalidArgument(
+        "connection preamble does not start with \"LDPMNET\"");
+    return outcome;
+  }
+  if (preamble[kPreambleBytes - 1] != kPreamble[kPreambleBytes - 1]) {
+    outcome.status = Status::InvalidArgument(
+        "unsupported protocol version " +
+        std::to_string(preamble[kPreambleBytes - 1]) + " (expected " +
+        std::to_string(kPreamble[kPreambleBytes - 1]) + ")");
+    return outcome;
+  }
+
+  std::vector<uint8_t> buffer;
+  uint64_t consumed = 0;  // stream bytes fully routed and discarded
+  for (;;) {
+    const size_t old_size = buffer.size();
+    buffer.resize(old_size + options_.read_chunk_bytes);
+    auto n = socket.ReadSome(buffer.data() + old_size,
+                             options_.read_chunk_bytes);
+    if (!n.ok()) {
+      buffer.resize(old_size);
+      outcome.status =
+          stopping()
+              ? Status::FailedPrecondition("IngestServer: server is stopping")
+              : n.status();
+      outcome.stream_offset = consumed;
+      return outcome;
+    }
+    buffer.resize(old_size + *n);
+
+    // Route every whole frame the buffer now holds, one frame at a time
+    // with a budget-headroom gate before each, keeping the partial tail;
+    // reading no further until the collector absorbed these is the whole
+    // backpressure story. Per-frame gating matters: a frame is exactly
+    // one wire batch (one budget slot), so each engine-side acquisition
+    // is preceded by its own stop-aware probe — a reader never commits to
+    // a long run of stop-unaware engine waits off one probe. One scan per
+    // read finds the whole-frame prefix; a frame reader then walks its
+    // (already structurally validated) frames linearly.
+    FrameStreamPrefix prefix;
+    const Status scan =
+        ScanCompleteFrames(buffer.data(), buffer.size(), &prefix,
+                           options_.max_frame_bytes);
+    size_t routed = 0;  // bytes of this buffer already routed
+    CollectionFrameReader frames(buffer.data(), prefix.bytes);
+    std::string_view frame_id;
+    const uint8_t* frame_payload = nullptr;
+    size_t frame_payload_size = 0;
+    while (frames.Next(frame_id, frame_payload, frame_payload_size)) {
+      Status gate = GateOnBudget();
+      if (!gate.ok()) {
+        outcome.status = std::move(gate);
+        outcome.stream_offset = consumed + routed;
+        return outcome;
+      }
+      engine::Collector::IngestFramesResult result;
+      Status ingest = collector_->IngestFrames(
+          buffer.data() + frames.frame_offset(),
+          frames.frame_end_offset() - frames.frame_offset(), &result);
+      outcome.frames += result.frames_routed;
+      outcome.bytes += result.bytes_consumed;
+      frames_routed_.fetch_add(result.frames_routed,
+                               std::memory_order_relaxed);
+      batches_enqueued_.fetch_add(result.batches_enqueued,
+                                  std::memory_order_relaxed);
+      bytes_routed_.fetch_add(result.bytes_consumed,
+                              std::memory_order_relaxed);
+      if (!ingest.ok()) {
+        // Anchor the message at the stream-absolute frame start: the
+        // collector saw a one-frame slice, so its own offsets are
+        // frame-relative (the reply's stream_offset field is always the
+        // authoritative absolute anchor either way).
+        outcome.status = Status(
+            ingest.code(),
+            "frame at stream byte " + std::to_string(consumed + routed) +
+                ": " + ingest.message());
+        outcome.stream_offset = consumed + routed;
+        return outcome;
+      }
+      routed = frames.frame_end_offset();
+    }
+    buffer.erase(buffer.begin(), buffer.begin() + routed);
+    consumed += routed;
+    if (!scan.ok()) {
+      // Structurally unrepairable (empty collection id): the offending
+      // frame starts right where the routed prefix ended — rewrite the
+      // scanner's buffer-relative anchor as a stream-absolute one.
+      outcome.status = Status(
+          scan.code(), "collection frame at stream byte " +
+                           std::to_string(consumed) + ": " + scan.message());
+      outcome.stream_offset = consumed;
+      return outcome;
+    }
+    if (prefix.pending_frame_bytes > options_.max_frame_bytes) {
+      // The scan stops at an over-cap frame whether or not it arrived
+      // whole, so this rejection is independent of TCP segmentation.
+      outcome.status = Status::InvalidArgument(
+          "collection frame of " +
+          std::to_string(prefix.pending_frame_bytes) +
+          " bytes exceeds the server's max_frame_bytes (" +
+          std::to_string(options_.max_frame_bytes) + ")");
+      outcome.stream_offset = consumed;
+      return outcome;
+    }
+
+    if (*n == 0) {
+      if (!buffer.empty()) {
+        outcome.status = Status::InvalidArgument(
+            "connection closed mid-frame with " +
+            std::to_string(buffer.size()) + " unconsumed bytes");
+        outcome.stream_offset = consumed;
+        return outcome;
+      }
+      if (stopping()) {
+        // Indistinguishable from a clean end (the shutdown wake reads as
+        // EOF) — report the stop; everything routed stays ingested.
+        outcome.status =
+            Status::FailedPrecondition("IngestServer: server is stopping");
+        outcome.stream_offset = consumed;
+        return outcome;
+      }
+      outcome.status = Status::OK();
+      outcome.stream_offset = consumed;
+      return outcome;
+    }
+  }
+}
+
+void IngestServer::SendReply(Socket& socket, const StreamOutcome& outcome,
+                             uint64_t frames, uint64_t bytes) {
+  // Best effort throughout: the peer may already be gone, and the reply
+  // is advisory — ingested frames stay ingested either way.
+  std::vector<uint8_t> reply;
+  if (outcome.status.ok()) {
+    reply.push_back(kReplyOk);
+    AppendU64(frames, reply);
+    AppendU64(bytes, reply);
+  } else {
+    reply.push_back(kReplyError);
+    AppendU64(outcome.stream_offset, reply);
+    std::string message = outcome.status.message();
+    if (message.size() > kMaxReplyMessageBytes) {
+      message.resize(kMaxReplyMessageBytes);
+    }
+    reply.push_back(static_cast<uint8_t>(message.size() & 0xFF));
+    reply.push_back(static_cast<uint8_t>(message.size() >> 8));
+    reply.insert(reply.end(), message.begin(), message.end());
+  }
+  (void)socket.WriteAll(reply.data(), reply.size());
+}
+
+}  // namespace net
+}  // namespace ldpm

@@ -1,0 +1,200 @@
+// Blocking-socket network ingest front-end for the Collector.
+//
+// The paper's deployment model is millions of users each sending one
+// perturbed report to an aggregator; this server is that aggregator's
+// listening edge. Each accepted TCP connection carries one preamble-tagged
+// stream of collection frames (protocols/wire.h) which a dedicated reader
+// thread routes through Collector::IngestFrames into the zero-copy wire
+// path — one socket can interleave every registered collection.
+//
+// Design points:
+//
+//   * Blocking sockets, one reader thread per connection. The scaling
+//     unit is the collector's shard worker pool, not the connection
+//     count: readers only move bytes and route frames; all protocol work
+//     happens on shard workers.
+//   * Backpressure, not buffering. A reader ingests the whole frames its
+//     receive buffer holds before reading more, so when the collector is
+//     saturated the reader stops consuming the socket and the kernel's
+//     TCP flow control pushes back on the client. With a shared
+//     IngestBudget configured, readers additionally gate on budget
+//     headroom with stop-aware timed probes (IngestBudget::AcquireFor) —
+//     a saturated collector never wedges server shutdown, and an optional
+//     shed timeout turns sustained overload into a clean connection
+//     rejection instead of an unbounded stall.
+//   * Byte-precise failure. A mid-stream violation (unknown collection
+//     id, malformed frame, oversized frame) stops the connection with an
+//     error reply naming the exact stream offset of the first unconsumed
+//     byte; frames before it stay ingested (the Collector's documented
+//     partial-stream semantics, surfaced by IngestFramesResult).
+//   * Graceful stop. Stop() stops accepting, wakes and joins every
+//     reader at a frame boundary, then runs Collector::Drain() — so a
+//     server shutdown flushes every queued batch and (when configured)
+//     writes the shutdown checkpoint. The destructor calls Stop().
+//
+// The Collector must outlive the server. See docs/wire-format.md
+// ("Network stream framing") for the connection protocol bytes and
+// net::FrameClient for the matching client.
+
+#ifndef LDPM_NET_INGEST_SERVER_H_
+#define LDPM_NET_INGEST_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/collector.h"
+#include "net/socket.h"
+
+namespace ldpm {
+namespace net {
+
+/// Tuning knobs for an IngestServer. The defaults run a loopback server
+/// on an ephemeral port with generous frame and connection bounds.
+struct IngestServerOptions {
+  /// Numeric IPv4 address to bind.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Kernel accept backlog.
+  int accept_backlog = 64;
+  /// Live connection cap; connections beyond it are shed at accept with
+  /// an error reply. 0 = unbounded.
+  int max_connections = 64;
+  /// A single collection frame larger than this rejects its connection
+  /// (the bound on per-connection receive buffering).
+  size_t max_frame_bytes = 64 * 1024 * 1024;
+  /// Socket read size per recv call.
+  size_t read_chunk_bytes = 64 * 1024;
+  /// Slice of the stop-aware budget wait: while the collector's shared
+  /// IngestBudget has no headroom, readers re-probe at this period and
+  /// re-check the server's stop flag in between.
+  std::chrono::milliseconds budget_poll{20};
+  /// When > 0: a reader that has seen no budget headroom for this long
+  /// sheds its connection with an overload error instead of waiting
+  /// longer. 0 = wait as long as it takes (still stop-aware).
+  std::chrono::milliseconds budget_shed_after{0};
+  /// Run Collector::Drain() at the end of Stop() — the graceful-shutdown
+  /// step that flushes all collections and writes the shutdown
+  /// checkpoint when the collector is configured for one.
+  bool drain_collector_on_stop = true;
+};
+
+/// Monotonic counters describing everything the server has done so far.
+struct IngestServerStats {
+  uint64_t connections_accepted = 0;
+  /// Connections rejected at accept (connection cap) or dropped by the
+  /// budget shed timeout.
+  uint64_t connections_shed = 0;
+  /// Whole collection frames routed into the collector.
+  uint64_t frames_routed = 0;
+  /// Wire batches handed to engines (empty-payload frames route without
+  /// enqueueing work).
+  uint64_t batches_enqueued = 0;
+  /// Bytes of routed frames (excluding preambles and partial tails).
+  uint64_t bytes_routed = 0;
+};
+
+/// The listening front-end (see the file comment).
+class IngestServer {
+ public:
+  /// Binds, listens, and starts the accept thread. The collector must
+  /// outlive the returned server.
+  static StatusOr<std::unique_ptr<IngestServer>> Start(
+      engine::Collector* collector,
+      const IngestServerOptions& options = IngestServerOptions());
+
+  /// Stop(), ignoring its Status (call Stop() first when it matters).
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful stop: stop accepting, wake and join every connection
+  /// reader, then (by default) Drain() the collector. Idempotent; every
+  /// call returns the first stop's drain Status. Safe to call while
+  /// clients are mid-stream: their connections end with a server-stopping
+  /// error reply (best effort — a client still blasting may observe the
+  /// closing reset before reading it) and everything already routed
+  /// stays ingested.
+  Status Stop();
+
+  /// True once Stop() has begun (readers observe this between blocking
+  /// operations).
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  IngestServerStats stats() const;
+
+  /// Connections currently being served (accepted, not yet finished).
+  size_t active_connections() const;
+
+ private:
+  struct Connection {
+    explicit Connection(Socket s) : socket(std::move(s)) {}
+    Socket socket;
+    std::thread reader;
+    std::atomic<bool> finished{false};
+  };
+
+  /// A reader's verdict on its stream: OK for a clean end-of-stream, or
+  /// the error to report, anchored at the stream offset of the first
+  /// unconsumed frame byte (counted from after the preamble) — plus what
+  /// this connection routed, for the reply record.
+  struct StreamOutcome {
+    Status status;
+    uint64_t stream_offset = 0;
+    uint64_t frames = 0;
+    uint64_t bytes = 0;
+  };
+
+  IngestServer(engine::Collector* collector,
+               const IngestServerOptions& options);
+
+  void AcceptLoop();
+  void ServeConnection(Connection& connection);
+  StreamOutcome ServeStream(Socket& socket);
+  /// Waits (stop-aware) until the collector's shared budget shows
+  /// headroom; non-OK on stop or shed timeout.
+  Status GateOnBudget();
+  void SendReply(Socket& socket, const StreamOutcome& outcome,
+                 uint64_t frames, uint64_t bytes);
+  /// Joins and drops connections whose readers have finished (called from
+  /// the accept thread so a long-lived server does not accumulate them).
+  void ReapFinishedLocked();
+
+  engine::Collector* const collector_;
+  const IngestServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  /// True once Start fully succeeded; a half-constructed server's Stop()
+  /// must not Drain() the collector.
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::mutex stop_mu_;  // serializes Stop(); guards stopped_/stop_status_
+  bool stopped_ = false;
+  Status stop_status_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> frames_routed_{0};
+  std::atomic<uint64_t> batches_enqueued_{0};
+  std::atomic<uint64_t> bytes_routed_{0};
+};
+
+}  // namespace net
+}  // namespace ldpm
+
+#endif  // LDPM_NET_INGEST_SERVER_H_

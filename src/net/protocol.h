@@ -1,0 +1,52 @@
+// The network ingest stream protocol shared by net::IngestServer and
+// net::FrameClient (see docs/wire-format.md, "Network stream framing").
+//
+// A connection is one uni-directional frame stream plus a one-shot reply:
+//
+//   client -> server:  8-byte preamble ("LDPMNET" + version byte 0x01),
+//                      then a concatenation of collection frames
+//                      (protocols/wire.h), then shutdown(SHUT_WR).
+//   server -> client:  one reply record once the stream ends (cleanly or
+//                      not), then close:
+//
+//     ok    :=  u8 0x00 | u64 frames_routed | u64 bytes_routed
+//     error :=  u8 0x01 | u64 stream_offset | u16 message_length
+//               | message bytes
+//
+//   All integers little-endian. `stream_offset` is the byte offset of the
+//   first unconsumed byte, counted from the first frame byte after the
+//   preamble — frames before it are ingested and stay ingested; the
+//   offset is byte-precise so a spooling client can resync or replay.
+//
+// The server may also reply with an error and close mid-stream (unknown
+// collection id, oversized frame, overload shedding, server stop); the
+// client then sees its sends fail or its Finish() read the error record.
+
+#ifndef LDPM_NET_PROTOCOL_H_
+#define LDPM_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldpm {
+namespace net {
+
+/// The 8 bytes every connection must open with: 7 magic bytes naming the
+/// protocol plus one version byte. Distinct from the checkpoint file magic
+/// ("LDPMCKPT") so a file accidentally piped at the port is rejected.
+inline constexpr uint8_t kPreamble[8] = {'L', 'D', 'P', 'M',
+                                         'N', 'E', 'T', 0x01};
+inline constexpr size_t kPreambleBytes = sizeof(kPreamble);
+
+/// Reply status bytes.
+inline constexpr uint8_t kReplyOk = 0x00;
+inline constexpr uint8_t kReplyError = 0x01;
+
+/// Longest error message a reply carries (the u16 length prefix's range;
+/// longer messages are truncated by the server).
+inline constexpr size_t kMaxReplyMessageBytes = 0xFFFF;
+
+}  // namespace net
+}  // namespace ldpm
+
+#endif  // LDPM_NET_PROTOCOL_H_

@@ -1,0 +1,182 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ldpm {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::FailedPrecondition(what + ": " + std::strerror(err));
+}
+
+StatusOr<sockaddr_in> MakeAddress(const std::string& address, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "Socket: \"" + address + "\" is not a numeric IPv4 address");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<Socket> Socket::Connect(const std::string& address, uint16_t port) {
+  auto addr = MakeAddress(address, port);
+  if (!addr.ok()) return addr.status();
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return ErrnoStatus("socket", errno);
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&*addr),
+                sizeof(*addr)) != 0) {
+    return ErrnoStatus("connect to " + address + ":" + std::to_string(port),
+                       errno);
+  }
+  // The ingest stream is built of already-batched frames; coalescing
+  // delays (Nagle) only add latency between a client's last frame and the
+  // server's reply.
+  const int one = 1;
+  (void)::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+  return socket;
+}
+
+StatusOr<Socket> Socket::Listen(const std::string& address, uint16_t port,
+                                int backlog) {
+  auto addr = MakeAddress(address, port);
+  if (!addr.ok()) return addr.status();
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  (void)::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0) {
+    return ErrnoStatus("bind to " + address + ":" + std::to_string(port),
+                       errno);
+  }
+  if (::listen(socket.fd(), backlog) != 0) {
+    return ErrnoStatus("listen", errno);
+  }
+  return socket;
+}
+
+StatusOr<Socket> Socket::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EINVAL is how Linux reports accept on a listener another thread
+    // Shutdown() — the normal stop path, same message either way.
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+StatusOr<size_t> Socket::ReadSome(uint8_t* data, size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+StatusOr<size_t> Socket::ReadAvailable(uint8_t* data, size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, MSG_DONTWAIT);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Status Socket::ReadExact(uint8_t* data, size_t size) {
+  size_t have = 0;
+  while (have < size) {
+    auto n = ReadSome(data + have, size - have);
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      return Status::FailedPrecondition(
+          "recv: connection closed after " + std::to_string(have) + " of " +
+          std::to_string(size) + " bytes");
+    }
+    have += *n;
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteAll(const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that vanished must surface as a Status the
+    // caller can handle, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send", errno);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::ShutdownWrite() {
+  if (::shutdown(fd_, SHUT_WR) != 0) return ErrnoStatus("shutdown", errno);
+  return Status::OK();
+}
+
+Status Socket::ShutdownRead() {
+  if (::shutdown(fd_, SHUT_RD) != 0) return ErrnoStatus("shutdown", errno);
+  return Status::OK();
+}
+
+Status Socket::Shutdown() {
+  if (::shutdown(fd_, SHUT_RDWR) != 0) return ErrnoStatus("shutdown", errno);
+  return Status::OK();
+}
+
+StatusOr<uint16_t> Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return ntohs(addr.sin_port);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::CloseWithReset() {
+  if (fd_ >= 0) {
+    const linger reset{1, 0};
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &reset, sizeof(reset));
+  }
+  Close();
+}
+
+}  // namespace net
+}  // namespace ldpm

@@ -340,7 +340,7 @@ Status AppendCollectionFrame(std::string_view collection_id,
   out.push_back(static_cast<uint8_t>(len >> 8));
   out.push_back(static_cast<uint8_t>(len >> 16));
   out.push_back(static_cast<uint8_t>(len >> 24));
-  out.insert(out.end(), payload, payload + payload_size);
+  if (payload_size > 0) out.insert(out.end(), payload, payload + payload_size);
   return Status::OK();
 }
 
@@ -408,7 +408,51 @@ bool CollectionFrameReader::Next(std::string_view& collection_id,
   payload_size = static_cast<size_t>(payload_len);
   cursor_ += payload_size;
   frame_offset_ = frame_start;
+  frame_end_offset_ = cursor_;
   return true;
+}
+
+Status ScanCompleteFrames(const uint8_t* data, size_t size,
+                          FrameStreamPrefix* prefix,
+                          size_t max_frame_bytes) {
+  *prefix = FrameStreamPrefix();
+  size_t cursor = 0;
+  while (cursor < size) {
+    // Header: u16 id length, id, u32 payload length (see the frame spec).
+    if (size - cursor < 2) break;
+    const size_t id_len = static_cast<size_t>(data[cursor]) |
+                          static_cast<size_t>(data[cursor + 1]) << 8;
+    if (id_len == 0) {
+      return Status::InvalidArgument(
+          "collection frame: empty collection id at byte " +
+          std::to_string(cursor));
+    }
+    if (size - cursor < 2 + id_len + 4) {
+      // Not enough header yet to even size the frame.
+      break;
+    }
+    const size_t len_at = cursor + 2 + id_len;
+    const uint64_t payload_len = static_cast<uint64_t>(data[len_at]) |
+                                 static_cast<uint64_t>(data[len_at + 1]) << 8 |
+                                 static_cast<uint64_t>(data[len_at + 2]) << 16 |
+                                 static_cast<uint64_t>(data[len_at + 3]) << 24;
+    const size_t frame_bytes =
+        2 + id_len + 4 + static_cast<size_t>(payload_len);
+    if ((max_frame_bytes > 0 && frame_bytes > max_frame_bytes) ||
+        size - cursor < frame_bytes) {
+      // Incomplete, or over the caller's cap (even when fully buffered —
+      // the cap must not depend on how the transport segmented the bytes).
+      prefix->pending_frame_bytes = frame_bytes;
+      break;
+    }
+    cursor += frame_bytes;
+    prefix->bytes = cursor;
+    ++prefix->frames;
+    if (prefix->first_frame_bytes == 0) {
+      prefix->first_frame_bytes = frame_bytes;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ldpm

@@ -190,13 +190,50 @@ class CollectionFrameReader {
   /// Next() returned — the anchor for routing-level error messages.
   size_t frame_offset() const { return frame_offset_; }
 
+  /// Byte offset one past the frame the last successful Next() returned
+  /// (i.e. frame_offset() plus that frame's full encoded size) — the exact
+  /// resync point for callers consuming a stream incrementally.
+  size_t frame_end_offset() const { return frame_end_offset_; }
+
  private:
   const uint8_t* data_;
   size_t size_;
   size_t cursor_ = 0;
   size_t frame_offset_ = 0;
+  size_t frame_end_offset_ = 0;
   Status status_ = Status::OK();
 };
+
+/// The longest prefix of a byte buffer that is whole collection frames, as
+/// computed by ScanCompleteFrames. `pending_frame_bytes` is the full
+/// encoded size of the first frame NOT included in `bytes` — because it is
+/// still incomplete, or because it exceeds the caller's frame-size cap —
+/// as soon as enough of its header has arrived to know it (0 otherwise).
+/// A streaming receiver uses it to reject a frame that would exceed its
+/// buffer bound uniformly, whether or not the frame happens to have
+/// arrived whole within one read.
+struct FrameStreamPrefix {
+  size_t bytes = 0;                ///< bytes of whole frames at the front
+  size_t frames = 0;               ///< number of whole frames in `bytes`
+  size_t first_frame_bytes = 0;    ///< encoded size of the first whole frame
+  size_t pending_frame_bytes = 0;  ///< full size of the first excluded frame
+};
+
+/// Scans a buffer that holds a *prefix* of a collection-frame stream (e.g.
+/// the receive buffer of a socket) and reports how many whole frames it
+/// starts with. A frame cut short by the end of the buffer is NOT an error
+/// here — the rest of it may still be in flight — but a violation no
+/// further bytes can repair (an empty collection id) is. On error `prefix`
+/// is still filled with the whole frames BEFORE the violation, so a
+/// streaming receiver can route them and then fail at exactly
+/// prefix->bytes, where the offending frame starts. With a non-zero
+/// `max_frame_bytes`, any frame larger than it — complete or not — stops
+/// the scan the same way an incomplete frame does, with its full size in
+/// pending_frame_bytes; enforcement is then independent of how the bytes
+/// were segmented in transit.
+Status ScanCompleteFrames(const uint8_t* data, size_t size,
+                          FrameStreamPrefix* prefix,
+                          size_t max_frame_bytes = 0);
 
 }  // namespace ldpm
 

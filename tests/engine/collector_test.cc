@@ -8,9 +8,12 @@
 #include "engine/collector.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -447,6 +450,190 @@ TEST(Collector, ShutdownCheckpointWritesFinalState) {
   ASSERT_TRUE(absorbed.ok());
   EXPECT_EQ(*absorbed, reports.size());
   std::filesystem::remove(path);
+}
+
+TEST(Collector, DestructorShutdownCheckpointIncludesQueuedTail) {
+  // Regression: the destructor must run the FULL Drain() path — flush the
+  // coalescing buffers and queued batches of every collection BEFORE the
+  // snapshot cut — not a bare CheckpointTo. Queue work on two collections
+  // (batches plus a partially filled single-report coalescing buffer) and
+  // destroy the collector with no explicit Drain(): the restored state
+  // must hold every report.
+  const std::string path = TempPath("ldpm_collector_dtor_tail.ckpt");
+  std::filesystem::remove(path);
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto encoder_a = CreateProtocol(ProtocolKind::kInpHT, config);
+  auto encoder_b = CreateProtocol(ProtocolKind::kMargPS, config);
+  ASSERT_TRUE(encoder_a.ok());
+  ASSERT_TRUE(encoder_b.ok());
+  const std::vector<Report> batch_a = EncodeReportStream(**encoder_a, 500, 21);
+  const std::vector<Report> tail_a = EncodeReportStream(**encoder_a, 37, 22);
+  const std::vector<Report> batch_b = EncodeReportStream(**encoder_b, 400, 23);
+
+  {
+    CollectorOptions options;
+    options.engine_defaults.num_shards = 2;
+    options.checkpoint_path = path;
+    options.checkpoint_on_shutdown = true;
+    auto collector = MustCreate(options);
+    auto a = collector->Register("a", ProtocolKind::kInpHT, config);
+    auto b = collector->Register("b", ProtocolKind::kMargPS, config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(a->IngestBatch(batch_a).ok());
+    ASSERT_TRUE(b->IngestBatch(batch_b).ok());
+    // These stay in the engine's single-report coalescing buffer (far
+    // below the default batch size) — the classic shutdown tail.
+    for (const Report& report : tail_a) {
+      ASSERT_TRUE(a->Ingest(report).ok());
+    }
+    // No Drain(), no Flush(): the destructor alone must not lose them.
+  }
+
+  auto reloaded = MustCreate();
+  auto a = reloaded->Register("a", ProtocolKind::kInpHT, config);
+  auto b = reloaded->Register("b", ProtocolKind::kMargPS, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(reloaded->RestoreFrom(path).ok());
+  auto absorbed_a = a->ReportsAbsorbed();
+  auto absorbed_b = b->ReportsAbsorbed();
+  ASSERT_TRUE(absorbed_a.ok());
+  ASSERT_TRUE(absorbed_b.ok());
+  EXPECT_EQ(*absorbed_a, batch_a.size() + tail_a.size());
+  EXPECT_EQ(*absorbed_b, batch_b.size());
+  std::filesystem::remove(path);
+}
+
+TEST(Collector, UnregisterReleasesEngineOutsideTheRegistryLock) {
+  // Unregister of a collection with a deep work backlog joins that
+  // engine's shard workers (draining everything queued) — which must NOT
+  // happen under the registry lock, or every concurrent Find/Query stalls
+  // for the whole drain. Queue slow per-row encode work on "slow", then
+  // measure Handle("fast") latency while Unregister("slow") runs.
+  auto collector = MustCreate();
+  EngineOptions one_shard;
+  one_shard.num_shards = 1;
+  auto slow = collector->Register("slow", ProtocolKind::kInpRR,
+                                  MakeConfig(10, 2), one_shard);
+  auto fast = collector->Register("fast", ProtocolKind::kInpHT,
+                                  MakeConfig(6, 2), one_shard);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  // ~50k rows of per-row InpRR encoding (1024 Bernoullis each) on one
+  // shard: a drain measured in hundreds of milliseconds on typical
+  // hardware, enqueued in small batches so it is underway, not pending.
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<uint64_t> rows(1000, 0x2A5);
+    ASSERT_TRUE(slow->IngestRows(std::move(rows), /*fast_path=*/false).ok());
+  }
+
+  const auto unregister_start = std::chrono::steady_clock::now();
+  std::atomic<bool> started{false};
+  std::thread unregisterer([&] {
+    started.store(true);
+    EXPECT_TRUE(collector->Unregister("slow").ok());
+  });
+  while (!started.load()) std::this_thread::yield();
+  // Registry reads must keep flowing while the drain runs. Measure the
+  // Handle call FIRST each round: under the broken locking it is the call
+  // that blocks for the whole drain, and the loop must capture that.
+  std::chrono::nanoseconds max_find_latency{0};
+  for (;;) {
+    const auto find_start = std::chrono::steady_clock::now();
+    auto handle = collector->Handle("fast");
+    const auto find_latency = std::chrono::steady_clock::now() - find_start;
+    ASSERT_TRUE(handle.ok());
+    max_find_latency = std::max(max_find_latency, find_latency);
+    if (collector->collection_count() == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  unregisterer.join();
+  const auto unregister_elapsed =
+      std::chrono::steady_clock::now() - unregister_start;
+
+  // Self-scaling bound: registry reads are microseconds; the drain is the
+  // long pole. Allow generous slack for scheduling noise — the broken
+  // code (engine torn down under mu_) makes max_find_latency track the
+  // WHOLE drain, failing this by an order of magnitude. Note the drain
+  // overlaps Unregister's return here: the registry entry disappears
+  // first, then the engine is released outside the lock — so time the
+  // unregisterer thread's full lifetime, which includes the join.
+  const auto bound = std::max(
+      std::chrono::nanoseconds(std::chrono::milliseconds(100)),
+      std::chrono::nanoseconds(unregister_elapsed) / 4);
+  EXPECT_LT(max_find_latency, bound)
+      << "Handle() stalled "
+      << std::chrono::duration<double>(max_find_latency).count()
+      << "s during an Unregister that took "
+      << std::chrono::duration<double>(unregister_elapsed).count() << "s";
+}
+
+TEST(Collector, IngestFramesReportsBytesConsumedAndFramesRouted) {
+  // The partial-stream contract the network front-end resyncs on: on any
+  // mid-stream error, bytes_consumed is the exact offset of the offending
+  // frame, frames before it stay ingested, and the counters say how much
+  // work was actually handed to engines.
+  auto collector = MustCreate();
+  const ProtocolConfig config = MakeConfig(6, 2);
+  auto handle = collector->Register("known", ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(handle.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(encoder.ok());
+  auto batch = SerializeReportBatch(ProtocolKind::kInpHT, config,
+                                    EncodeReportStream(**encoder, 40, 5));
+  ASSERT_TRUE(batch.ok());
+
+  std::vector<uint8_t> stream;
+  ASSERT_TRUE(AppendCollectionFrame("known", *batch, stream).ok());
+  ASSERT_TRUE(
+      AppendCollectionFrame("known", std::vector<uint8_t>(), stream).ok());
+  const size_t rogue_at = stream.size();
+  ASSERT_TRUE(AppendCollectionFrame("rogue", *batch, stream).ok());
+  ASSERT_TRUE(AppendCollectionFrame("known", *batch, stream).ok());
+
+  engine::Collector::IngestFramesResult result;
+  const Status status = collector->IngestFrames(stream, &result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(result.bytes_consumed, rogue_at);
+  EXPECT_EQ(result.frames_routed, 2u);     // the data frame + the empty one
+  EXPECT_EQ(result.batches_enqueued, 1u);  // empty payloads enqueue nothing
+  auto absorbed = handle->ReportsAbsorbed();
+  ASSERT_TRUE(absorbed.ok());
+  EXPECT_EQ(*absorbed, 40u);  // the prefix stayed ingested
+
+  // Resync exactly where the result points: skip the rogue frame and feed
+  // the remainder — the stream completes.
+  ldpm::CollectionFrameReader skip(stream.data() + result.bytes_consumed,
+                                   stream.size() - result.bytes_consumed);
+  std::string_view id;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+  ASSERT_TRUE(skip.Next(id, payload, payload_size));
+  EXPECT_EQ(id, "rogue");
+  const size_t resume_at = result.bytes_consumed + skip.frame_end_offset();
+  engine::Collector::IngestFramesResult tail_result;
+  ASSERT_TRUE(collector
+                  ->IngestFrames(stream.data() + resume_at,
+                                 stream.size() - resume_at, &tail_result)
+                  .ok());
+  EXPECT_EQ(tail_result.bytes_consumed, stream.size() - resume_at);
+  EXPECT_EQ(tail_result.frames_routed, 1u);
+  absorbed = handle->ReportsAbsorbed();
+  ASSERT_TRUE(absorbed.ok());
+  EXPECT_EQ(*absorbed, 80u);
+
+  // A truncated trailing frame: everything whole consumed, the counters
+  // stop at the cut.
+  std::vector<uint8_t> truncated(stream.begin() + resume_at, stream.end());
+  const size_t whole = truncated.size();
+  truncated.insert(truncated.end(), {0x05, 0x00, 'k'});  // partial header
+  engine::Collector::IngestFramesResult cut_result;
+  EXPECT_FALSE(
+      collector->IngestFrames(truncated.data(), truncated.size(), &cut_result)
+          .ok());
+  EXPECT_EQ(cut_result.bytes_consumed, whole);
+  EXPECT_EQ(cut_result.frames_routed, 1u);
 }
 
 TEST(ShardedAggregator, CheckpointOnShutdownFlagWritesInDrainAndDestructor) {
