@@ -9,6 +9,11 @@
 //     absorb), including the Flush barrier;
 //   * net.cN_mbps     — stream megabytes/sec over the same window.
 //
+// The last (highest-concurrency) run also reports the server's per-frame
+// routing latency from its own ldpm_net_frame_route_latency_ns histogram
+// as net.latency_p50_us / net.latency_p99_us — the obs layer measuring
+// the bench that gates the obs layer's overhead.
+//
 // The direct baseline lands in net.direct_frame_rps; the gap is the
 // network front-end's overhead (loopback syscalls + reassembly — the
 // protocol work is identical by construction). With --json the keys merge
@@ -235,6 +240,22 @@ int main(int argc, char** argv) {
              static_cast<double>(reports) / seconds);
     json.Add("net.c" + std::to_string(clients) + "_mbps",
              static_cast<double>(bytes) / 1e6 / seconds);
+
+    if (clients == max_clients) {
+      // Routing-latency quantiles from the server's own histogram (the
+      // collector owns the registry the server published into).
+      auto latency = (*collector)->metrics()->HistogramValues(
+          "ldpm_net_frame_route_latency_ns");
+      LDPM_CHECK(latency.ok());
+      const double p50_us = latency->Quantile(0.5) / 1e3;
+      const double p99_us = latency->Quantile(0.99) / 1e3;
+      char quantiles[64];
+      std::snprintf(quantiles, sizeof(quantiles),
+                    "p50 %.3g us, p99 %.3g us", p50_us, p99_us);
+      ldpm::bench::Row({"route latency", quantiles}, 22);
+      json.Add("net.latency_p50_us", p50_us);
+      json.Add("net.latency_p99_us", p99_us);
+    }
   }
 
   if (!args.json_path.empty()) {

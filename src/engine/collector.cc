@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/file_io.h"
 #include "engine/checkpoint.h"
 #include "protocols/inp_es_adapter.h"
 #include "protocols/wire.h"
@@ -35,6 +36,10 @@ struct CollectionHandle::Collection {
   ProtocolKind kind;
   ProtocolConfig config;
   std::unique_ptr<ShardedAggregator> engine;
+  /// Multiplexed-ingest counters for this collection, owned by the
+  /// collector's registry (which outlives the collection).
+  obs::Counter* frames_total = nullptr;
+  obs::Counter* frame_bytes_total = nullptr;
 };
 
 // ---- CollectionHandle ------------------------------------------------------
@@ -108,6 +113,32 @@ Collector::Collector(const CollectorOptions& options) : options_(options) {
     budget_ =
         std::make_shared<IngestBudget>(options_.max_pending_batches_total);
   }
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  collections_gauge_ = metrics_->GetGauge("ldpm_collector_collections",
+                                          "Live registered collections");
+  unknown_collection_total_ = metrics_->GetCounter(
+      "ldpm_collector_unknown_collection_total",
+      "Multiplexed frames rejected for naming no registered collection");
+  ckpt_writes_total_ = metrics_->GetCounter(
+      "ldpm_collector_checkpoint_writes_total",
+      "Successful all-collection container checkpoint writes");
+  ckpt_errors_total_ =
+      metrics_->GetCounter("ldpm_collector_checkpoint_errors_total",
+                           "Failed container checkpoint attempts");
+  ckpt_bytes_total_ = metrics_->GetCounter(
+      "ldpm_collector_checkpoint_bytes_total",
+      "Encoded container checkpoint bytes successfully written");
+  ckpt_duration_ = metrics_->GetHistogram(
+      "ldpm_collector_checkpoint_duration_ns", obs::LatencyBuckets(),
+      "Container checkpoint capture+encode+write duration");
+  LDPM_CHECK(collections_gauge_ && unknown_collection_total_ &&
+             ckpt_writes_total_ && ckpt_errors_total_ && ckpt_bytes_total_ &&
+             ckpt_duration_);
 }
 
 StatusOr<std::unique_ptr<Collector>> Collector::Create(
@@ -148,6 +179,9 @@ EngineOptions Collector::EffectiveOptions(const EngineOptions& base,
     options.checkpoint_on_shutdown = false;
   }
   options.shared_budget = budget_;
+  // Engines publish into the collector's registry (labeled by collection
+  // id in RegisterInternal) unless an override brought its own.
+  if (options.metrics == nullptr) options.metrics = metrics_;
   return options;
 }
 
@@ -176,6 +210,7 @@ StatusOr<CollectionHandle> Collector::RegisterInternal(
   // is preserved, bitwise-shared randomness across collections is not.
   EngineOptions options = base_options;
   options.seed = PerCollectionSeed(options.seed, id);
+  if (options.metrics_collection.empty()) options.metrics_collection = id;
   if (id.empty() || id.size() > kMaxCollectionIdBytes) {
     return Status::InvalidArgument(
         "Collector: collection id must be 1.." +
@@ -208,9 +243,18 @@ StatusOr<CollectionHandle> Collector::RegisterInternal(
   collection->kind = kind;
   collection->config = (*engine)->config();
   collection->engine = *std::move(engine);
+  collection->frames_total = metrics_->GetCounter(
+      obs::WithLabels("ldpm_collector_frames_routed_total",
+                      {{"collection", collection->id}}),
+      "Multiplexed collection frames routed to this collection");
+  collection->frame_bytes_total = metrics_->GetCounter(
+      obs::WithLabels("ldpm_collector_frame_bytes_total",
+                      {{"collection", collection->id}}),
+      "Whole-frame bytes (header + payload) routed to this collection");
   threads_in_use_ += options.num_shards;
   CollectionHandle handle(collection);
   collections_.emplace(collection->id, std::move(collection));
+  collections_gauge_->Set(static_cast<int64_t>(collections_.size()));
   return handle;
 }
 
@@ -227,6 +271,7 @@ Status Collector::Unregister(std::string_view id) {
     shards = it->second->engine->num_shards();
     released = std::move(it->second);
     collections_.erase(it);
+    collections_gauge_->Set(static_cast<int64_t>(collections_.size()));
   }
   // The release happens OUTSIDE mu_. When this was the last reference,
   // the engine teardown drains its queues, joins every shard worker, and
@@ -291,6 +336,7 @@ Status Collector::IngestFrames(const uint8_t* data, size_t size,
   while (reader.Next(id, payload, payload_size)) {
     auto collection = Find(id);
     if (!collection.ok()) {
+      unknown_collection_total_->Increment();
       return Status::InvalidArgument(
           "collection frame at byte " + std::to_string(reader.frame_offset()) +
           ": unknown collection id \"" + std::string(id) + "\"");
@@ -304,6 +350,9 @@ Status Collector::IngestFrames(const uint8_t* data, size_t size,
     // error above, bytes_consumed still points at the frame that failed.
     result->bytes_consumed = reader.frame_end_offset();
     ++result->frames_routed;
+    (*collection)->frames_total->Increment();
+    (*collection)->frame_bytes_total->Increment(reader.frame_end_offset() -
+                                                reader.frame_offset());
   }
   return reader.status();
 }
@@ -346,6 +395,17 @@ Status Collector::Flush() {
 }
 
 Status Collector::CheckpointTo(const std::string& path) {
+  Status status = CheckpointToInternal(path);
+  if (!status.ok()) {
+    ckpt_errors_total_->Increment();
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (ckpt_error_.ok()) ckpt_error_ = status;
+  }
+  return status;
+}
+
+Status Collector::CheckpointToInternal(const std::string& path) {
+  obs::ScopedTimer ckpt_timer(ckpt_duration_);
   // Snapshot under a registry copy: collections registered mid-call may or
   // may not be included, but every included collection's cut is exact.
   std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
@@ -368,7 +428,46 @@ Status Collector::CheckpointTo(const std::string& path) {
     entry.snapshots = *std::move(snapshots);
     checkpoint.push_back(std::move(entry));
   }
-  return WriteCollectorCheckpoint(path, checkpoint);
+  // Encode and write as separate steps (rather than through
+  // WriteCollectorCheckpoint) so the image size is observable.
+  auto image = EncodeCollectorCheckpoint(checkpoint);
+  if (!image.ok()) return image.status();
+  LDPM_RETURN_IF_ERROR(WriteBinaryFileAtomic(path, *image));
+  ckpt_writes_total_->Increment();
+  ckpt_bytes_total_->Increment(image->size());
+  container_checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t Collector::checkpoints_written() const {
+  uint64_t total =
+      container_checkpoints_written_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, collection] : collections_) {
+    total += collection->engine->checkpoints_written();
+  }
+  return total;
+}
+
+Status Collector::LastCheckpointError() const {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (!ckpt_error_.ok()) return ckpt_error_;
+  }
+  std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(collections_.size());
+    for (const auto& [id, collection] : collections_) live.push_back(collection);
+  }
+  for (const auto& collection : live) {
+    Status status = collection->engine->LastCheckpointError();
+    if (!status.ok()) {
+      return Status(status.code(), "collection \"" + collection->id +
+                                       "\": " + status.message());
+    }
+  }
+  return Status::OK();
 }
 
 Status Collector::Checkpoint() {

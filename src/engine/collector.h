@@ -30,6 +30,7 @@
 #ifndef LDPM_ENGINE_COLLECTOR_H_
 #define LDPM_ENGINE_COLLECTOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,7 @@
 
 #include "core/encoding.h"
 #include "engine/sharded_aggregator.h"
+#include "obs/metrics.h"
 
 namespace ldpm {
 namespace engine {
@@ -62,6 +64,12 @@ struct CollectorOptions {
   /// Write a final all-collection checkpoint in Drain() and (best-effort)
   /// the destructor. Requires a non-empty checkpoint_path.
   bool checkpoint_on_shutdown = false;
+  /// Metrics registry the collector and every collection engine publish
+  /// into (must outlive the collector). Null makes the collector own a
+  /// private registry, exposed via metrics() — so a StatsServer can serve
+  /// it either way. Explicit Register overrides with their own non-null
+  /// EngineOptions::metrics keep theirs.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Collector;
@@ -171,6 +179,24 @@ class Collector {
     return budget_;
   }
 
+  /// The registry all collector/engine metrics land in: the configured
+  /// CollectorOptions::metrics, or the collector-owned private registry
+  /// when none was configured. Never null; valid for the collector's
+  /// lifetime. Wire a net::StatsServer to this to expose /stats.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Checkpoints written since construction: successful CheckpointTo /
+  /// Checkpoint / Drain / shutdown container writes, plus the background
+  /// checkpoints of every live collection engine (per-collection cadence
+  /// overrides). Unregistered collections' counts drop out.
+  uint64_t checkpoints_written() const;
+
+  /// First checkpoint error since construction, sticky until it is
+  /// reported: collector-level container write failures take precedence,
+  /// then the first live engine's background-checkpointer error. OK when
+  /// every attempt so far succeeded.
+  Status LastCheckpointError() const;
+
   // ---- Multiplexed ingest ------------------------------------------------
 
   /// What IngestFrames did with a (possibly partially consumed) stream.
@@ -258,14 +284,34 @@ class Collector {
   StatusOr<std::shared_ptr<CollectionHandle::Collection>> Find(
       std::string_view id) const;
 
+  /// CheckpointTo minus the error bookkeeping (the public wrapper records
+  /// the sticky error and the failure counter).
+  Status CheckpointToInternal(const std::string& path);
+
   CollectorOptions options_;
   std::shared_ptr<IngestBudget> budget_;  // null when unbounded
+
+  /// See metrics(): points at options_.metrics or owned_metrics_.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Gauge* collections_gauge_ = nullptr;
+  obs::Counter* unknown_collection_total_ = nullptr;
+  obs::Counter* ckpt_writes_total_ = nullptr;
+  obs::Counter* ckpt_errors_total_ = nullptr;
+  obs::Counter* ckpt_bytes_total_ = nullptr;
+  obs::Histogram* ckpt_duration_ = nullptr;
 
   mutable std::mutex mu_;  // guards collections_ and threads_in_use_
   std::map<std::string, std::shared_ptr<CollectionHandle::Collection>,
            std::less<>>
       collections_;
   int threads_in_use_ = 0;
+
+  /// Collector-level checkpoint outcomes (see checkpoints_written /
+  /// LastCheckpointError); engines keep their own.
+  mutable std::mutex ckpt_mu_;
+  Status ckpt_error_;
+  std::atomic<uint64_t> container_checkpoints_written_{0};
 };
 
 }  // namespace engine

@@ -1,9 +1,11 @@
 #include "engine/sharded_aggregator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
+#include "core/file_io.h"
 #include "engine/checkpoint.h"
 
 namespace ldpm {
@@ -14,6 +16,23 @@ namespace {
 /// Hard cap on shard count; far above any sensible core count, it only
 /// guards against accidental huge values spawning thousands of threads.
 constexpr int kMaxShards = 1024;
+
+/// Series name for an engine metric, labeled with the collection id when
+/// the engine runs under one (plus an optional shard label).
+std::string MetricName(const char* base, const std::string& collection) {
+  if (collection.empty()) return base;
+  return obs::WithLabels(base, {{"collection", collection}});
+}
+
+std::string ShardMetricName(const char* base, const std::string& collection,
+                            size_t shard) {
+  const std::string shard_label = std::to_string(shard);
+  if (collection.empty()) {
+    return obs::WithLabels(base, {{"shard", shard_label}});
+  }
+  return obs::WithLabels(base,
+                         {{"collection", collection}, {"shard", shard_label}});
+}
 
 }  // namespace
 
@@ -62,6 +81,9 @@ StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
     shard->rng = seeder.Fork();
     engine->shards_.push_back(std::move(shard));
   }
+  // Instruments must exist before any worker runs (workers time absorbs
+  // and decrement queue-depth gauges from their first item).
+  engine->InitMetrics();
   for (auto& shard : engine->shards_) {
     Shard* s = shard.get();
     s->worker = std::thread([engine_ptr = engine.get(), s] {
@@ -78,6 +100,57 @@ StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
 ShardedAggregator::ShardedAggregator(ProtocolFactory factory,
                                      const EngineOptions& options)
     : factory_(std::move(factory)), options_(options) {}
+
+void ShardedAggregator::InitMetrics() {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  const std::string& id = options_.metrics_collection;
+  reports_total_ = metrics_->GetCounter(
+      MetricName("ldpm_engine_reports_absorbed_total", id),
+      "Reports absorbed across all shards");
+  batches_total_ = metrics_->GetCounter(
+      MetricName("ldpm_engine_batches_enqueued_total", id),
+      "Work items enqueued onto shard queues");
+  report_bits_total_ = metrics_->GetCounter(
+      MetricName("ldpm_engine_report_bits_total", id),
+      "Measured communication absorbed, in bits (paper Table 2)");
+  absorb_latency_ = metrics_->GetHistogram(
+      MetricName("ldpm_engine_absorb_latency_ns", id), obs::LatencyBuckets(),
+      "Shard-worker latency absorbing one work item");
+  budget_wait_ = metrics_->GetHistogram(
+      MetricName("ldpm_engine_budget_wait_ns", id), obs::LatencyBuckets(),
+      "Producer wait for a shared ingest-budget slot");
+  ckpt_writes_total_ = metrics_->GetCounter(
+      MetricName("ldpm_engine_checkpoint_writes_total", id),
+      "Successful checkpoint writes (explicit, background, shutdown)");
+  ckpt_errors_total_ = metrics_->GetCounter(
+      MetricName("ldpm_engine_checkpoint_errors_total", id),
+      "Failed checkpoint write attempts");
+  ckpt_bytes_total_ = metrics_->GetCounter(
+      MetricName("ldpm_engine_checkpoint_bytes_total", id),
+      "Encoded checkpoint bytes successfully written");
+  ckpt_duration_ = metrics_->GetHistogram(
+      MetricName("ldpm_engine_checkpoint_duration_ns", id),
+      obs::LatencyBuckets(), "Checkpoint capture+encode+write duration");
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->queue_depth = metrics_->GetGauge(
+        ShardMetricName("ldpm_engine_queue_depth", id, s),
+        "Work items pending on this shard's queue");
+    shards_[s]->queue_depth_hwm = metrics_->GetGauge(
+        ShardMetricName("ldpm_engine_queue_depth_high_water", id, s),
+        "Highest queue depth this shard has reached");
+  }
+  // A shared registry can refuse a name only on a kind collision — a
+  // programmer error (two subsystems fighting over one series name), not
+  // a recoverable state, so fail loudly at construction.
+  LDPM_CHECK(reports_total_ && batches_total_ && report_bits_total_ &&
+             absorb_latency_ && budget_wait_ && ckpt_writes_total_ &&
+             ckpt_errors_total_ && ckpt_bytes_total_ && ckpt_duration_);
+}
 
 ShardedAggregator::~ShardedAggregator() {
   // Push the single-report coalescing buffer while the workers still run:
@@ -106,34 +179,47 @@ ShardedAggregator::~ShardedAggregator() {
 void ShardedAggregator::WorkerLoop(Shard& shard) {
   WorkItem item;
   while (shard.queue.Pop(item)) {
-    std::lock_guard<std::mutex> state_lock(shard.state_mu);
-    // After the first error the shard keeps draining (so Flush terminates)
-    // but stops mutating state; the sticky error surfaces at Flush.
-    if (shard.error.ok()) {
-      if (!item.reports.empty()) {
-        shard.error =
-            shard.protocol->AbsorbBatch(item.reports.data(), item.reports.size());
-      }
-      if (shard.error.ok() && !item.wire.empty()) {
-        shard.error =
-            shard.protocol->AbsorbWireBatch(item.wire.data(), item.wire.size());
-      }
-      if (shard.error.ok() && !item.rows.empty()) {
-        if (item.fast_path) {
-          shard.error = shard.protocol->AbsorbPopulation(item.rows, shard.rng);
-        } else {
-          for (uint64_t row : item.rows) {
-            Status status =
-                shard.protocol->Absorb(shard.protocol->Encode(row, shard.rng));
-            if (!status.ok()) {
-              shard.error = std::move(status);
-              break;
+    {
+      std::lock_guard<std::mutex> state_lock(shard.state_mu);
+      const uint64_t reports_before = shard.protocol->reports_absorbed();
+      const double bits_before = shard.protocol->total_report_bits();
+      // After the first error the shard keeps draining (so Flush terminates)
+      // but stops mutating state; the sticky error surfaces at Flush.
+      if (shard.error.ok()) {
+        obs::ScopedTimer absorb_timer(absorb_latency_);
+        if (!item.reports.empty()) {
+          shard.error = shard.protocol->AbsorbBatch(item.reports.data(),
+                                                    item.reports.size());
+        }
+        if (shard.error.ok() && !item.wire.empty()) {
+          shard.error = shard.protocol->AbsorbWireBatch(item.wire.data(),
+                                                        item.wire.size());
+        }
+        if (shard.error.ok() && !item.rows.empty()) {
+          if (item.fast_path) {
+            shard.error = shard.protocol->AbsorbPopulation(item.rows, shard.rng);
+          } else {
+            for (uint64_t row : item.rows) {
+              Status status =
+                  shard.protocol->Absorb(shard.protocol->Encode(row, shard.rng));
+              if (!status.ok()) {
+                shard.error = std::move(status);
+                break;
+              }
             }
           }
         }
       }
+      reports_total_->Increment(shard.protocol->reports_absorbed() -
+                                reports_before);
+      const double bits_delta = shard.protocol->total_report_bits() - bits_before;
+      if (bits_delta > 0.0) {
+        report_bits_total_->Increment(
+            static_cast<uint64_t>(std::llround(bits_delta)));
+      }
     }
     shard.queue.Done();
+    shard.queue_depth->Add(-1);
     // Release the group-wide slot no matter how absorption went; an error
     // must not leak budget and wedge sibling collections.
     if (options_.shared_budget) options_.shared_budget->Release();
@@ -164,60 +250,52 @@ Status ShardedAggregator::Ingest(const Report& report) {
   return IngestBatch(std::move(ready));
 }
 
-Status ShardedAggregator::IngestBatch(std::vector<Report> reports) {
-  if (reports.empty()) return Status::OK();
-  NoteIngestStarted();
+Status ShardedAggregator::EnqueueWork(WorkItem item) {
   const size_t target =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
-  WorkItem item;
-  item.reports = std::move(reports);
-  if (options_.shared_budget) options_.shared_budget->Acquire();
-  if (!shards_[target]->queue.Push(std::move(item))) {
+  if (options_.shared_budget) {
+    obs::ScopedTimer wait_timer(budget_wait_);
+    options_.shared_budget->Acquire();
+  }
+  Shard& shard = *shards_[target];
+  // Bump the depth gauge before Push so a worker's decrement can never
+  // land first and swing the gauge negative.
+  shard.queue_depth_hwm->UpdateMax(shard.queue_depth->Add(1));
+  if (!shard.queue.Push(std::move(item))) {
+    shard.queue_depth->Add(-1);
     if (options_.shared_budget) options_.shared_budget->Release();
     return Status::FailedPrecondition(
         "ShardedAggregator: engine is shutting down");
   }
-  MaybeWakeCheckpointer(
-      batches_enqueued_.fetch_add(1, std::memory_order_relaxed) + 1);
+  batches_total_->Increment();
+  MaybeWakeCheckpointer();
   return Status::OK();
+}
+
+Status ShardedAggregator::IngestBatch(std::vector<Report> reports) {
+  if (reports.empty()) return Status::OK();
+  NoteIngestStarted();
+  WorkItem item;
+  item.reports = std::move(reports);
+  return EnqueueWork(std::move(item));
 }
 
 Status ShardedAggregator::IngestWireBatch(std::vector<uint8_t> frame) {
   if (frame.empty()) return Status::OK();
   NoteIngestStarted();
-  const size_t target =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   WorkItem item;
   item.wire = std::move(frame);
-  if (options_.shared_budget) options_.shared_budget->Acquire();
-  if (!shards_[target]->queue.Push(std::move(item))) {
-    if (options_.shared_budget) options_.shared_budget->Release();
-    return Status::FailedPrecondition(
-        "ShardedAggregator: engine is shutting down");
-  }
-  MaybeWakeCheckpointer(
-      batches_enqueued_.fetch_add(1, std::memory_order_relaxed) + 1);
-  return Status::OK();
+  return EnqueueWork(std::move(item));
 }
 
 Status ShardedAggregator::IngestRows(std::vector<uint64_t> rows,
                                      bool fast_path) {
   if (rows.empty()) return Status::OK();
   NoteIngestStarted();
-  const size_t target =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   WorkItem item;
   item.rows = std::move(rows);
   item.fast_path = fast_path;
-  if (options_.shared_budget) options_.shared_budget->Acquire();
-  if (!shards_[target]->queue.Push(std::move(item))) {
-    if (options_.shared_budget) options_.shared_budget->Release();
-    return Status::FailedPrecondition(
-        "ShardedAggregator: engine is shutting down");
-  }
-  MaybeWakeCheckpointer(
-      batches_enqueued_.fetch_add(1, std::memory_order_relaxed) + 1);
-  return Status::OK();
+  return EnqueueWork(std::move(item));
 }
 
 Status ShardedAggregator::IngestPopulation(const std::vector<uint64_t>& rows,
@@ -304,7 +382,12 @@ StatusOr<MarginalTable> ShardedAggregator::EstimateMarginal(uint64_t beta) {
 StatusOr<IngestStats> ShardedAggregator::Stats() {
   LDPM_RETURN_IF_ERROR(Flush());
   IngestStats stats;
-  stats.batches = batches_enqueued_.load(std::memory_order_relaxed);
+  {
+    // The registry counter is monotonic (the Prometheus contract); the
+    // stats window subtracts the baseline recorded at the last Reset().
+    std::lock_guard<std::mutex> lock(window_mu_);
+    stats.batches = batches_total_->Value() - window_base_batches_;
+  }
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> state_lock(shard->state_mu);
     stats.per_shard_reports.push_back(shard->protocol->reports_absorbed());
@@ -397,6 +480,7 @@ Status ShardedAggregator::LastCheckpointError() {
 }
 
 Status ShardedAggregator::WriteCheckpointNow(const std::string& path) {
+  obs::ScopedTimer ckpt_timer(ckpt_duration_);
   std::vector<AggregatorSnapshot> snapshots;
   snapshots.reserve(shards_.size());
   {
@@ -407,13 +491,23 @@ Status ShardedAggregator::WriteCheckpointNow(const std::string& path) {
     }
   }
   // The disk write happens outside the cut lock: only the in-memory
-  // capture needs atomicity against Reset/RestoreShards.
-  return WriteCheckpoint(path, snapshots);
+  // capture needs atomicity against Reset/RestoreShards. Encode and write
+  // as separate steps so the image size is observable.
+  auto image = EncodeCheckpoint(snapshots);
+  Status status =
+      image.ok() ? WriteBinaryFileAtomic(path, *image) : image.status();
+  if (status.ok()) {
+    ckpt_writes_total_->Increment();
+    ckpt_bytes_total_->Increment(image->size());
+  } else {
+    ckpt_errors_total_->Increment();
+  }
+  return status;
 }
 
-void ShardedAggregator::MaybeWakeCheckpointer(uint64_t batches_enqueued) {
+void ShardedAggregator::MaybeWakeCheckpointer() {
   if (options_.checkpoint_every_batches == 0) return;
-  if (batches_enqueued -
+  if (batches_total_->Value() -
           last_checkpoint_batches_.load(std::memory_order_relaxed) >=
       options_.checkpoint_every_batches) {
     // Synchronize through the mutex so the wakeup cannot slip between the
@@ -430,7 +524,7 @@ void ShardedAggregator::CheckpointLoop() {
   for (;;) {
     ckpt_cv_.wait(lock, [&] {
       return ckpt_stop_ ||
-             batches_enqueued_.load(std::memory_order_relaxed) -
+             batches_total_->Value() -
                      last_checkpoint_batches_.load(
                          std::memory_order_relaxed) >=
                  options_.checkpoint_every_batches;
@@ -438,9 +532,8 @@ void ShardedAggregator::CheckpointLoop() {
     if (ckpt_stop_) return;
     // Record the trigger point before writing so a steady ingest stream
     // produces one checkpoint per cadence interval, not one per batch.
-    last_checkpoint_batches_.store(
-        batches_enqueued_.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
+    last_checkpoint_batches_.store(batches_total_->Value(),
+                                   std::memory_order_relaxed);
     lock.unlock();
     // Without a flush barrier: the background checkpoint is a consistent
     // per-shard prefix of the stream (each shard snapshot is atomic with
@@ -468,12 +561,12 @@ Status ShardedAggregator::Reset() {
   }
   ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
   {
-    // Hold ckpt_mu_ so the checkpointer's predicate never sees the batch
-    // counter and the last-checkpoint mark mid-reset (the unsigned
-    // difference would wrap and trigger a spurious checkpoint).
+    // The registry counter stays monotonic across Reset (the Prometheus
+    // contract), so restart the cadence from its current value instead of
+    // zeroing; the unsigned difference can never wrap.
     std::lock_guard<std::mutex> ckpt_lock(ckpt_mu_);
-    batches_enqueued_.store(0, std::memory_order_relaxed);
-    last_checkpoint_batches_.store(0, std::memory_order_relaxed);
+    last_checkpoint_batches_.store(batches_total_->Value(),
+                                   std::memory_order_relaxed);
     ckpt_error_ = Status::OK();
   }
   {
@@ -482,6 +575,7 @@ Status ShardedAggregator::Reset() {
   }
   std::lock_guard<std::mutex> lock(window_mu_);
   window_open_ = false;
+  window_base_batches_ = batches_total_->Value();
   return Status::OK();
 }
 

@@ -38,6 +38,7 @@
 #include "engine/ingest_budget.h"
 #include "engine/ingest_stats.h"
 #include "engine/shard_queue.h"
+#include "obs/metrics.h"
 #include "protocols/factory.h"
 
 namespace ldpm {
@@ -76,6 +77,18 @@ struct EngineOptions {
   /// whole group's in-flight work is at the budget's limit — and the shard
   /// worker releases it after absorbing the item.
   std::shared_ptr<IngestBudget> shared_budget;
+  /// Where this engine publishes its operational metrics (throughput
+  /// counters, queue-depth gauges, absorb/budget-wait/checkpoint latency
+  /// histograms — docs/observability.md catalogs them). Null gives the
+  /// engine a private registry, so instrumentation is always on (the
+  /// counters double as the IngestStats source of truth) but invisible
+  /// until a registry is shared. The registry must outlive the engine.
+  /// Two engines sharing a registry AND a metrics_collection label share
+  /// series — give each engine a distinct label (the Collector does).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Value of the {collection="..."} label on every metric this engine
+  /// emits; empty emits unlabeled series (single-engine deployments).
+  std::string metrics_collection;
 };
 
 /// Builds one aggregator instance; called once per shard plus once for the
@@ -212,6 +225,11 @@ class ShardedAggregator {
   /// when checkpointing is disabled or has always succeeded.
   Status LastCheckpointError();
 
+  /// The registry this engine's metrics live in (the options' registry,
+  /// or the engine-private one when none was given). Valid for the
+  /// engine's lifetime; scrape it or hand it to a net::StatsServer.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   struct Shard {
     std::unique_ptr<MarginalProtocol> protocol;
@@ -223,14 +241,25 @@ class ShardedAggregator {
     /// (merge, stats, snapshot); held per work item, so uncontended in
     /// steady state.
     std::mutex state_mu;
+    /// Live work items on this shard's queue (producer +1, worker -1
+    /// after absorb) and the high-water mark it has reached.
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* queue_depth_hwm = nullptr;
 
     explicit Shard(size_t max_pending) : queue(max_pending) {}
   };
 
   ShardedAggregator(ProtocolFactory factory, const EngineOptions& options);
 
+  /// Creates/caches this engine's metric instruments in metrics_ (labeled
+  /// with options.metrics_collection). Called once from Create.
+  void InitMetrics();
+
   void WorkerLoop(Shard& shard);
   void NoteIngestStarted();
+  /// The common enqueue tail: budget acquire (timed), queue push, depth
+  /// gauges, batch counter, checkpointer wakeup.
+  Status EnqueueWork(WorkItem item);
   Status FlushPending();  // pushes the coalescing buffer, if any
   Status DrainAndCollectErrors();
 
@@ -240,17 +269,32 @@ class ShardedAggregator {
   /// consistent per-shard prefix of the absorbed stream.
   Status WriteCheckpointNow(const std::string& path);
   void CheckpointLoop();
-  void MaybeWakeCheckpointer(uint64_t batches_enqueued);
+  void MaybeWakeCheckpointer();
 
   ProtocolFactory factory_;
   EngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Metrics destination (never null after Create) and, when the options
+  /// brought no registry, the engine-private one backing it. These
+  /// counters ARE the throughput accounting: IngestStats is a windowed
+  /// view over them (see Stats()/Reset()), not a parallel tally.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* reports_total_ = nullptr;        // absorbed, all shards
+  obs::Counter* batches_total_ = nullptr;        // work items enqueued
+  obs::Counter* report_bits_total_ = nullptr;    // paper Table-2 bits
+  obs::Histogram* absorb_latency_ = nullptr;     // per work item, ns
+  obs::Histogram* budget_wait_ = nullptr;        // shared-budget waits, ns
+  obs::Counter* ckpt_writes_total_ = nullptr;    // successful writes (all)
+  obs::Counter* ckpt_errors_total_ = nullptr;
+  obs::Counter* ckpt_bytes_total_ = nullptr;     // encoded bytes written
+  obs::Histogram* ckpt_duration_ = nullptr;      // encode+write, ns
+
   std::mutex pending_mu_;
   std::vector<Report> pending_;  // single-report coalescing buffer
 
   std::atomic<uint64_t> next_shard_{0};
-  std::atomic<uint64_t> batches_enqueued_{0};
 
   /// Monotonic count of ingest/restore/reset events. The merged cache is
   /// valid only for the epoch it was built at; comparing epochs (instead of
@@ -271,6 +315,12 @@ class ShardedAggregator {
   std::mutex window_mu_;
   bool window_open_ = false;
   std::chrono::steady_clock::time_point window_start_;
+  /// Batch-counter value at the last Reset: the registry counter is
+  /// monotonic for the scrapers' sake, so the resettable IngestStats
+  /// window subtracts this baseline instead of zeroing it. (Reports and
+  /// bits need no baseline — Reset clears the shard protocols they are
+  /// read from.)
+  uint64_t window_base_batches_ = 0;
 
   /// Background checkpointer (started only when the cadence is enabled).
   /// The worker sleeps on ckpt_cv_ until the enqueued-batch counter runs

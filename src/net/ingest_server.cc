@@ -21,7 +21,38 @@ void AppendU64(uint64_t value, std::vector<uint8_t>& out) {
 
 IngestServer::IngestServer(engine::Collector* collector,
                            const IngestServerOptions& options)
-    : collector_(collector), options_(options) {}
+    : collector_(collector), options_(options) {
+  metrics_ =
+      options_.metrics != nullptr ? options_.metrics : collector_->metrics();
+  connections_accepted_ =
+      metrics_->GetCounter("ldpm_net_connections_accepted_total",
+                           "TCP connections accepted and handed a reader");
+  connections_shed_ = metrics_->GetCounter(
+      "ldpm_net_connections_shed_total",
+      "Connections rejected at the cap or dropped by the budget shed "
+      "timeout");
+  frames_routed_ =
+      metrics_->GetCounter("ldpm_net_frames_routed_total",
+                           "Whole collection frames routed into the collector");
+  batches_enqueued_ = metrics_->GetCounter(
+      "ldpm_net_batches_enqueued_total",
+      "Wire batches handed to engines (empty-payload frames route without "
+      "enqueueing work)");
+  bytes_routed_ = metrics_->GetCounter(
+      "ldpm_net_bytes_routed_total",
+      "Bytes of routed frames (excluding preambles and partial tails)");
+  connections_active_ = metrics_->GetGauge(
+      "ldpm_net_connections_active", "Connections currently being served");
+  route_latency_ = metrics_->GetHistogram(
+      "ldpm_net_frame_route_latency_ns", obs::LatencyBuckets(),
+      "Per-frame latency of Collector::IngestFrames from a reader thread");
+  drain_duration_ = metrics_->GetHistogram(
+      "ldpm_net_drain_duration_ns", obs::LatencyBuckets(),
+      "Graceful-stop duration: accept join, reader drain, collector drain");
+  LDPM_CHECK(connections_accepted_ && connections_shed_ && frames_routed_ &&
+             batches_enqueued_ && bytes_routed_ && connections_active_ &&
+             route_latency_ && drain_duration_);
+}
 
 StatusOr<std::unique_ptr<IngestServer>> IngestServer::Start(
     engine::Collector* collector, const IngestServerOptions& options) {
@@ -57,6 +88,7 @@ Status IngestServer::Stop() {
   // Stop() calls observe the first one's result.
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (stopped_) return stop_status_;
+  obs::ScopedTimer drain_timer(drain_duration_);
   stopping_.store(true, std::memory_order_release);
   // Wakes the accept thread out of its blocking accept.
   (void)listener_.Shutdown();
@@ -99,13 +131,11 @@ Status IngestServer::Stop() {
 
 IngestServerStats IngestServer::stats() const {
   IngestServerStats stats;
-  stats.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  stats.connections_shed = connections_shed_.load(std::memory_order_relaxed);
-  stats.frames_routed = frames_routed_.load(std::memory_order_relaxed);
-  stats.batches_enqueued =
-      batches_enqueued_.load(std::memory_order_relaxed);
-  stats.bytes_routed = bytes_routed_.load(std::memory_order_relaxed);
+  stats.connections_accepted = connections_accepted_->Value();
+  stats.connections_shed = connections_shed_->Value();
+  stats.frames_routed = frames_routed_->Value();
+  stats.batches_enqueued = batches_enqueued_->Value();
+  stats.bytes_routed = bytes_routed_->Value();
   return stats;
 }
 
@@ -156,7 +186,7 @@ void IngestServer::AcceptLoop() {
           std::to_string(options_.max_connections) + ") reached");
       SendReply(*accepted, outcome, 0, 0);
       drain_available();
-      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      connections_shed_->Increment();
       continue;
     }
     connections_.push_back(
@@ -164,7 +194,7 @@ void IngestServer::AcceptLoop() {
     Connection* connection = connections_.back().get();
     connection->reader = std::thread(
         [this, connection] { ServeConnection(*connection); });
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_->Increment();
   }
 }
 
@@ -183,6 +213,7 @@ void IngestServer::ReapFinishedLocked() {
 }
 
 void IngestServer::ServeConnection(Connection& connection) {
+  connections_active_->Add(1);
   const StreamOutcome outcome = ServeStream(connection.socket);
   SendReply(connection.socket, outcome, outcome.frames, outcome.bytes);
   if (!outcome.status.ok()) {
@@ -201,6 +232,7 @@ void IngestServer::ServeConnection(Connection& connection) {
     }
   }
   (void)connection.socket.Shutdown();
+  connections_active_->Add(-1);
   connection.finished.store(true, std::memory_order_release);
 }
 
@@ -227,7 +259,7 @@ Status IngestServer::GateOnBudget() {
       return Status::OK();
     }
     if (shed_enabled && std::chrono::steady_clock::now() >= shed_deadline) {
-      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      connections_shed_->Increment();
       return Status::ResourceExhausted(
           "IngestServer: no ingest-budget headroom for " +
           std::to_string(options_.budget_shed_after.count()) +
@@ -305,17 +337,18 @@ IngestServer::StreamOutcome IngestServer::ServeStream(Socket& socket) {
         return outcome;
       }
       engine::Collector::IngestFramesResult result;
-      Status ingest = collector_->IngestFrames(
-          buffer.data() + frames.frame_offset(),
-          frames.frame_end_offset() - frames.frame_offset(), &result);
+      Status ingest;
+      {
+        obs::ScopedTimer route_timer(route_latency_);
+        ingest = collector_->IngestFrames(
+            buffer.data() + frames.frame_offset(),
+            frames.frame_end_offset() - frames.frame_offset(), &result);
+      }
       outcome.frames += result.frames_routed;
       outcome.bytes += result.bytes_consumed;
-      frames_routed_.fetch_add(result.frames_routed,
-                               std::memory_order_relaxed);
-      batches_enqueued_.fetch_add(result.batches_enqueued,
-                                  std::memory_order_relaxed);
-      bytes_routed_.fetch_add(result.bytes_consumed,
-                              std::memory_order_relaxed);
+      frames_routed_->Increment(result.frames_routed);
+      batches_enqueued_->Increment(result.batches_enqueued);
+      bytes_routed_->Increment(result.bytes_consumed);
       if (!ingest.ok()) {
         // Anchor the message at the stream-absolute frame start: the
         // collector saw a one-frame slice, so its own offsets are
@@ -387,6 +420,13 @@ void IngestServer::SendReply(Socket& socket, const StreamOutcome& outcome,
     AppendU64(frames, reply);
     AppendU64(bytes, reply);
   } else {
+    // Error replies are rare (one per failed connection), so the
+    // per-code counter lookup takes the registry path instead of a cache.
+    obs::Counter* errors = metrics_->GetCounter(
+        obs::WithLabels("ldpm_net_error_replies_total",
+                        {{"code", StatusCodeToString(outcome.status.code())}}),
+        "Error replies sent to clients, by status code");
+    if (errors != nullptr) errors->Increment();
     reply.push_back(kReplyError);
     AppendU64(outcome.stream_offset, reply);
     std::string message = outcome.status.message();

@@ -50,6 +50,7 @@
 
 #include "engine/collector.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace ldpm {
 namespace net {
@@ -83,9 +84,15 @@ struct IngestServerOptions {
   /// step that flushes all collections and writes the shutdown
   /// checkpoint when the collector is configured for one.
   bool drain_collector_on_stop = true;
+  /// Registry the server publishes its ldpm_net_* metrics into (must
+  /// outlive the server). Null uses the collector's registry — the common
+  /// wiring, putting the whole pipeline behind one /stats endpoint.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Monotonic counters describing everything the server has done so far.
+/// A point-in-time view over the server's registry counters (the same
+/// series /stats serves).
 struct IngestServerStats {
   uint64_t connections_accepted = 0;
   /// Connections rejected at accept (connection cap) or dropped by the
@@ -187,11 +194,18 @@ class IngestServer {
   bool stopped_ = false;
   Status stop_status_;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_shed_{0};
-  std::atomic<uint64_t> frames_routed_{0};
-  std::atomic<uint64_t> batches_enqueued_{0};
-  std::atomic<uint64_t> bytes_routed_{0};
+  /// Server metrics, owned by metrics_ (options_.metrics or the
+  /// collector's registry). The IngestServerStats accessors read the same
+  /// counters, so the admin endpoint and the in-process view always agree.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* connections_shed_ = nullptr;
+  obs::Counter* frames_routed_ = nullptr;
+  obs::Counter* batches_enqueued_ = nullptr;
+  obs::Counter* bytes_routed_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
+  obs::Histogram* route_latency_ = nullptr;
+  obs::Histogram* drain_duration_ = nullptr;
 };
 
 }  // namespace net

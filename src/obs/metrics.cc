@@ -1,0 +1,371 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ldpm {
+namespace obs {
+
+namespace {
+
+/// Prometheus metric-name grammar for the base name (the part before any
+/// label set): [a-zA-Z_:][a-zA-Z0-9_:]*
+bool ValidBaseName(std::string_view base) {
+  if (base.empty()) return false;
+  auto head_ok = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head_ok(base[0])) return false;
+  for (char c : base.substr(1)) {
+    if (!head_ok(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Splits a full series name into base and label block ("{...}" or empty).
+/// Validates the base; the label block is trusted to come from WithLabels
+/// (it must start with '{' and end with '}' when present).
+bool SplitName(std::string_view name, std::string_view& base,
+               std::string_view& labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    base = name;
+    labels = {};
+  } else {
+    base = name.substr(0, brace);
+    labels = name.substr(brace);
+    if (labels.size() < 2 || labels.back() != '}') return false;
+  }
+  return ValidBaseName(base);
+}
+
+void AppendEscaped(std::string_view value, std::string& out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Rebuilds a series name with one more label appended (the histogram
+/// exposition needs `le` merged into an existing label set).
+std::string NameWithExtraLabel(std::string_view base, std::string_view labels,
+                               std::string_view key, std::string_view value) {
+  std::string out(base);
+  if (labels.empty()) {
+    out += '{';
+  } else {
+    out.append(labels.substr(0, labels.size() - 1));  // drop '}'
+    out += ',';
+  }
+  out += key;
+  out += "=\"";
+  AppendEscaped(value, out);
+  out += "\"}";
+  return out;
+}
+
+std::string FormatValue(uint64_t value) { return std::to_string(value); }
+std::string FormatValue(int64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snapshot.count += snapshot.buckets[i];
+  }
+  // Read the sum AFTER the buckets: a racing Observe bumps its bucket
+  // before its sum, so this order can only over-read sum relative to
+  // count — and the snapshot stays a valid "at least this much" state.
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+Status HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (bounds != other.bounds) {
+    return Status::InvalidArgument(
+        "HistogramSnapshot: cannot merge histograms with different bucket "
+        "bounds");
+  }
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  return Status::OK();
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == bounds.size()) {
+        // Overflow bucket: no finite upper bound to interpolate toward.
+        return static_cast<double>(bounds.back());
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(bounds.back());
+}
+
+std::vector<uint64_t> ExponentialBuckets(uint64_t start, double factor,
+                                         int count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = static_cast<double>(start);
+  for (int i = 0; i < count; ++i) {
+    const auto rounded = static_cast<uint64_t>(std::llround(bound));
+    // Guarantee strict monotonicity even if rounding collapses two steps.
+    if (bounds.empty() || rounded > bounds.back()) {
+      bounds.push_back(rounded);
+    } else {
+      bounds.push_back(bounds.back() + 1);
+    }
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<uint64_t>& LatencyBuckets() {
+  static const std::vector<uint64_t> buckets =
+      ExponentialBuckets(256, 2.0, 26);
+  return buckets;
+}
+
+// ---- WithLabels ------------------------------------------------------------
+
+std::string WithLabels(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscaped(value, out);
+    out += "\"";
+  }
+  out += '}';
+  return out;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     std::string_view help) {
+  std::string_view base, labels;
+  if (!SplitName(name, base, labels)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    return it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                             : nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.help = std::string(help);
+  entry.counter = std::make_unique<Counter>();
+  Counter* counter = entry.counter.get();
+  metrics_.emplace(name, std::move(entry));
+  return counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 std::string_view help) {
+  std::string_view base, labels;
+  if (!SplitName(name, base, labels)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.help = std::string(help);
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* gauge = entry.gauge.get();
+  metrics_.emplace(name, std::move(entry));
+  return gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<uint64_t>& bounds,
+                                         std::string_view help) {
+  std::string_view base, labels;
+  if (!SplitName(name, base, labels)) return nullptr;
+  if (bounds.empty()) return nullptr;
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != Kind::kHistogram) return nullptr;
+    if (it->second.histogram->bounds() != bounds) return nullptr;
+    return it->second.histogram.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.help = std::string(help);
+  entry.histogram = std::make_unique<Histogram>(bounds);
+  Histogram* histogram = entry.histogram.get();
+  metrics_.emplace(name, std::move(entry));
+  return histogram;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindEntry(
+    std::string_view name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr && entry->kind == Kind::kCounter
+             ? entry->counter->Value()
+             : 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntry(name);
+  return entry != nullptr && entry->kind == Kind::kGauge
+             ? entry->gauge->Value()
+             : 0;
+}
+
+StatusOr<HistogramSnapshot> MetricsRegistry::HistogramValues(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr || entry->kind != Kind::kHistogram) {
+    return Status::NotFound("MetricsRegistry: no histogram \"" +
+                            std::string(name) + "\"");
+  }
+  return entry->histogram->Snapshot();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string previous_base;
+  for (const auto& [name, entry] : metrics_) {
+    std::string_view base, labels;
+    if (!SplitName(name, base, labels)) continue;  // unreachable by contract
+    if (base != previous_base) {
+      // One HELP/TYPE per family; map order keeps a family's label
+      // variants contiguous ('_' < '{' in ASCII keeps "foo_bucketish"
+      // names from interleaving differently-labeled "foo" series).
+      previous_base = std::string(base);
+      if (!entry.help.empty()) {
+        out += "# HELP ";
+        out += base;
+        out += ' ';
+        out += entry.help;
+        out += '\n';
+      }
+      out += "# TYPE ";
+      out += base;
+      switch (entry.kind) {
+        case Kind::kCounter: out += " counter\n"; break;
+        case Kind::kGauge: out += " gauge\n"; break;
+        case Kind::kHistogram: out += " histogram\n"; break;
+      }
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += name;
+        out += ' ';
+        out += FormatValue(entry.counter->Value());
+        out += '\n';
+        break;
+      case Kind::kGauge:
+        out += name;
+        out += ' ';
+        out += FormatValue(entry.gauge->Value());
+        out += '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snapshot = entry.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < snapshot.bounds.size(); ++i) {
+          cumulative += snapshot.buckets[i];
+          out += NameWithExtraLabel(std::string(base) + "_bucket", labels,
+                                    "le", std::to_string(snapshot.bounds[i]));
+          out += ' ';
+          out += FormatValue(cumulative);
+          out += '\n';
+        }
+        out += NameWithExtraLabel(std::string(base) + "_bucket", labels, "le",
+                                  "+Inf");
+        out += ' ';
+        out += FormatValue(snapshot.count);
+        out += '\n';
+        out += std::string(base) + "_sum" + std::string(labels);
+        out += ' ';
+        out += FormatValue(snapshot.sum);
+        out += '\n';
+        out += std::string(base) + "_count" + std::string(labels);
+        out += ' ';
+        out += FormatValue(snapshot.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  // Leaked on purpose: metrics outlive every component that might still
+  // increment them during static destruction.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace ldpm

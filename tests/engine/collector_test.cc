@@ -715,5 +715,117 @@ TEST(Collector, QueryAndQueryCategorical) {
             StatusCode::kNotFound);
 }
 
+TEST(Collector, CheckpointsWrittenCountsContainerAndEngineWrites) {
+  const std::string path = TempPath("collector_ckpt_count.bin");
+  std::filesystem::remove(path);
+  auto collector = MustCreate();
+  EXPECT_EQ(collector->checkpoints_written(), 0u);
+  EXPECT_TRUE(collector->LastCheckpointError().ok());
+
+  auto clicks =
+      collector->Register("clicks", ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(clicks.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(encoder.ok());
+  Rng rng(3);
+  ASSERT_TRUE(
+      clicks->IngestBatch(EncodeReportStream(**encoder, 100, 11)).ok());
+
+  ASSERT_TRUE(collector->CheckpointTo(path).ok());
+  EXPECT_EQ(collector->checkpoints_written(), 1u);
+  ASSERT_TRUE(collector->CheckpointTo(path).ok());
+  EXPECT_EQ(collector->checkpoints_written(), 2u);
+  EXPECT_TRUE(collector->LastCheckpointError().ok());
+
+  // A per-collection background checkpointer's writes are included.
+  const std::string engine_path = TempPath("collector_ckpt_engine.bin");
+  std::filesystem::remove(engine_path);
+  EngineOptions overrides;
+  overrides.num_shards = 1;
+  overrides.checkpoint_path = engine_path;
+  overrides.checkpoint_every_batches = 1;
+  auto crashes = collector->Register("crashes", ProtocolKind::kInpRR,
+                                     MakeConfig(5, 2), overrides);
+  ASSERT_TRUE(crashes.ok());
+  auto crash_encoder = CreateProtocol(ProtocolKind::kInpRR, MakeConfig(5, 2));
+  ASSERT_TRUE(crash_encoder.ok());
+  ASSERT_TRUE(
+      crashes->IngestBatch(EncodeReportStream(**crash_encoder, 50, 7)).ok());
+  ASSERT_TRUE(crashes->Flush().ok());
+  for (int i = 0; i < 200 && crashes->aggregator().checkpoints_written() == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(collector->checkpoints_written(),
+            2u + crashes->aggregator().checkpoints_written());
+  EXPECT_GT(crashes->aggregator().checkpoints_written(), 0u);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(engine_path);
+}
+
+TEST(Collector, LastCheckpointErrorIsStickyOnFailedContainerWrite) {
+  auto collector = MustCreate();
+  auto clicks =
+      collector->Register("clicks", ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(clicks.ok());
+  // An unwritable destination: the parent directory does not exist.
+  const std::string bad_path =
+      TempPath("collector_no_such_dir") + "/nested/ckpt.bin";
+  EXPECT_FALSE(collector->CheckpointTo(bad_path).ok());
+  EXPECT_FALSE(collector->LastCheckpointError().ok());
+  EXPECT_EQ(collector->checkpoints_written(), 0u);
+  // The sticky error does not block later successful writes (and stays).
+  const std::string good_path = TempPath("collector_ckpt_after_error.bin");
+  ASSERT_TRUE(collector->CheckpointTo(good_path).ok());
+  EXPECT_EQ(collector->checkpoints_written(), 1u);
+  EXPECT_FALSE(collector->LastCheckpointError().ok());
+  std::filesystem::remove(good_path);
+}
+
+TEST(Collector, MetricsRegistryExposesPipelineCounters) {
+  auto collector = MustCreate();
+  ASSERT_NE(collector->metrics(), nullptr);
+  auto clicks =
+      collector->Register("clicks", ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(clicks.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(encoder.ok());
+  std::vector<uint8_t> stream;
+  auto frame = SerializeReportBatch(ProtocolKind::kMargPS, MakeConfig(6, 2),
+                                    EncodeReportStream(**encoder, 60, 5));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(AppendCollectionFrame("clicks", *frame, stream).ok());
+  ASSERT_TRUE(collector->IngestFrames(stream).ok());
+  ASSERT_TRUE(collector->Flush().ok());
+
+  obs::MetricsRegistry* registry = collector->metrics();
+  EXPECT_EQ(registry->GaugeValue("ldpm_collector_collections"), 1);
+  EXPECT_EQ(registry->CounterValue(
+                "ldpm_collector_frames_routed_total{collection=\"clicks\"}"),
+            1u);
+  EXPECT_EQ(registry->CounterValue(
+                "ldpm_collector_frame_bytes_total{collection=\"clicks\"}"),
+            stream.size());
+  EXPECT_EQ(registry->CounterValue(
+                "ldpm_engine_reports_absorbed_total{collection=\"clicks\"}"),
+            60u);
+  // An unknown-collection frame bumps the rejection counter.
+  std::vector<uint8_t> bad;
+  ASSERT_TRUE(AppendCollectionFrame("nope", *frame, bad).ok());
+  EXPECT_FALSE(collector->IngestFrames(bad).ok());
+  EXPECT_EQ(registry->CounterValue("ldpm_collector_unknown_collection_total"),
+            1u);
+  // A caller-supplied registry is used instead of an owned one.
+  obs::MetricsRegistry external;
+  CollectorOptions options;
+  options.metrics = &external;
+  auto shared = MustCreate(options);
+  EXPECT_EQ(shared->metrics(), &external);
+  ASSERT_TRUE(shared->Register("c", ProtocolKind::kInpRR, MakeConfig(5, 2))
+                  .ok());
+  EXPECT_EQ(external.GaugeValue("ldpm_collector_collections"), 1);
+}
+
 }  // namespace
 }  // namespace ldpm

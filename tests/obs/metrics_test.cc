@@ -1,0 +1,397 @@
+// Tests for the obs metrics subsystem: counter exactness under
+// multi-threaded hammering, gauge arithmetic and the high-water ratchet,
+// histogram bucketing/quantiles/merging, snapshot consistency while
+// writers run, registry find-or-create semantics, and the Prometheus text
+// exposition. The multi-threaded cases are part of the TSan CI job.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace obs {
+namespace {
+
+TEST(Counter, SingleThreadedExactness) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(Counter, ConcurrentBulkIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Increment(static_cast<uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Sum over t of (t+1) * kPerThread.
+  uint64_t expected = 0;
+  for (int t = 0; t < kThreads; ++t) expected += (t + 1) * kPerThread;
+  EXPECT_EQ(counter.Value(), expected);
+}
+
+TEST(Counter, ValueIsMonotoneWhileWritersRun) {
+  Counter counter;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) counter.Increment();
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = counter.Value();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  EXPECT_EQ(gauge.Add(3), 10);
+  EXPECT_EQ(gauge.Add(-12), -2);
+  EXPECT_EQ(gauge.Value(), -2);
+}
+
+TEST(Gauge, UpdateMaxOnlyRaises) {
+  Gauge hwm;
+  hwm.UpdateMax(5);
+  EXPECT_EQ(hwm.Value(), 5);
+  hwm.UpdateMax(3);
+  EXPECT_EQ(hwm.Value(), 5);
+  hwm.UpdateMax(9);
+  EXPECT_EQ(hwm.Value(), 9);
+}
+
+TEST(Gauge, ConcurrentDepthAndHighWaterPair) {
+  // The engine's queue-depth pattern: each thread raises and lowers the
+  // depth; the high-water ratchet must end at least as high as any
+  // single thread's peak and the depth must return to zero.
+  Gauge depth;
+  Gauge hwm;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        hwm.UpdateMax(depth.Add(1));
+        depth.Add(-1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(depth.Value(), 0);
+  EXPECT_GE(hwm.Value(), 1);
+  EXPECT_LE(hwm.Value(), kThreads);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  Histogram histogram({10, 100, 1000});
+  histogram.Observe(10);    // le=10 (inclusive upper bound)
+  histogram.Observe(11);    // le=100
+  histogram.Observe(100);   // le=100
+  histogram.Observe(1001);  // overflow
+  const HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 10u + 11u + 100u + 1001u);
+}
+
+TEST(Histogram, SnapshotCountEqualsBucketSumWhileWriting) {
+  Histogram histogram(ExponentialBuckets(1, 2.0, 16));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      uint64_t value = static_cast<uint64_t>(t) + 1;
+      do {  // observe at least once even if the readers win the race to stop
+        histogram.Observe(value);
+        value = value * 2654435761u % 65537u;  // cheap value scrambling
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    const HistogramSnapshot snap = histogram.Snapshot();
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : snap.buckets) bucket_sum += b;
+    EXPECT_EQ(snap.count, bucket_sum);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  // Quiesced: the sum must now exactly reflect all observations.
+  const HistogramSnapshot final_snap = histogram.Snapshot();
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : final_snap.buckets) bucket_sum += b;
+  EXPECT_EQ(final_snap.count, bucket_sum);
+  EXPECT_GT(final_snap.count, 0u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram histogram({100, 200, 300});
+  for (int i = 0; i < 100; ++i) histogram.Observe(150);  // all in (100, 200]
+  const HistogramSnapshot snap = histogram.Snapshot();
+  const double p50 = snap.Quantile(0.5);
+  EXPECT_GT(p50, 100.0);
+  EXPECT_LE(p50, 200.0);
+  // Empty snapshot answers 0.
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileOverflowAnswersLastFiniteBound) {
+  Histogram histogram({10, 20});
+  for (int i = 0; i < 10; ++i) histogram.Observe(1000);
+  EXPECT_EQ(histogram.Snapshot().Quantile(0.99), 20.0);
+}
+
+TEST(HistogramSnapshot, MergeRequiresEqualBounds) {
+  Histogram a({10, 100});
+  Histogram b({10, 100});
+  Histogram c({10, 1000});
+  a.Observe(5);
+  b.Observe(50);
+  b.Observe(500);
+  HistogramSnapshot merged = a.Snapshot();
+  ASSERT_TRUE(merged.MergeFrom(b.Snapshot()).ok());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 5u + 50u + 500u);
+  EXPECT_EQ(merged.buckets[0], 1u);
+  EXPECT_EQ(merged.buckets[1], 1u);
+  EXPECT_EQ(merged.buckets[2], 1u);
+  EXPECT_FALSE(merged.MergeFrom(c.Snapshot()).ok());
+}
+
+TEST(Buckets, ExponentialBucketsAreStrictlyIncreasing) {
+  const std::vector<uint64_t> bounds = ExponentialBuckets(256, 2.0, 26);
+  ASSERT_EQ(bounds.size(), 26u);
+  EXPECT_EQ(bounds[0], 256u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+  EXPECT_EQ(LatencyBuckets(), ExponentialBuckets(256, 2.0, 26));
+}
+
+TEST(ScopedTimer, RecordsOnceAndNullIsNoop) {
+  Histogram histogram(LatencyBuckets());
+  {
+    ScopedTimer timer(&histogram);
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 1u);
+  {
+    ScopedTimer timer(&histogram);
+    EXPECT_GE(timer.ObserveNow(), 0u);
+  }  // destructor must not double-record
+  EXPECT_EQ(histogram.Snapshot().count, 2u);
+  {
+    ScopedTimer timer(&histogram);
+    timer.Cancel();
+  }
+  EXPECT_EQ(histogram.Snapshot().count, 2u);
+  { ScopedTimer null_timer(nullptr); }  // must not crash
+}
+
+TEST(Registry, FindOrCreateReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ldpm_test_total", "help");
+  Counter* b = registry.GetCounter("ldpm_test_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(registry.CounterValue("ldpm_test_total"), 3u);
+}
+
+TEST(Registry, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("ldpm_test_series"), nullptr);
+  EXPECT_EQ(registry.GetGauge("ldpm_test_series"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("ldpm_test_series", {1, 2}), nullptr);
+  // Histograms additionally pin their bounds.
+  ASSERT_NE(registry.GetHistogram("ldpm_test_ns", {1, 2}), nullptr);
+  EXPECT_EQ(registry.GetHistogram("ldpm_test_ns", {1, 3}), nullptr);
+  EXPECT_NE(registry.GetHistogram("ldpm_test_ns", {1, 2}), nullptr);
+}
+
+TEST(Registry, InvalidNamesAreRejected) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter(""), nullptr);
+  EXPECT_EQ(registry.GetCounter("7starts_with_digit"), nullptr);
+  EXPECT_EQ(registry.GetCounter("has space"), nullptr);
+  EXPECT_EQ(registry.GetCounter("unbalanced{label=\"x\""), nullptr);
+}
+
+TEST(Registry, LabeledSeriesAreDistinct) {
+  MetricsRegistry registry;
+  const std::string a =
+      WithLabels("ldpm_test_total", {{"collection", "clicks"}});
+  const std::string b =
+      WithLabels("ldpm_test_total", {{"collection", "crashes"}});
+  EXPECT_EQ(a, "ldpm_test_total{collection=\"clicks\"}");
+  Counter* ca = registry.GetCounter(a);
+  Counter* cb = registry.GetCounter(b);
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  EXPECT_NE(ca, cb);
+  ca->Increment(1);
+  cb->Increment(2);
+  EXPECT_EQ(registry.CounterValue(a), 1u);
+  EXPECT_EQ(registry.CounterValue(b), 2u);
+}
+
+TEST(Registry, WithLabelsEscapesValues) {
+  const std::string name = WithLabels("ldpm_test_total", {{"k", "a\"b\\c\nd"}});
+  EXPECT_EQ(name, "ldpm_test_total{k=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Registry, ConcurrentGetAndWriteFromManyThreads) {
+  // Threads race find-or-create on a shared name and hammer the result;
+  // the total must be exact and every thread must see the same pointer.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<Counter*> first{nullptr};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Counter* counter = registry.GetCounter("ldpm_test_race_total");
+      ASSERT_NE(counter, nullptr);
+      Counter* expected = nullptr;
+      first.compare_exchange_strong(expected, counter);
+      EXPECT_EQ(first.load(), counter);
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("ldpm_test_race_total"),
+            kThreads * kPerThread);
+}
+
+TEST(Registry, TextExpositionWhileWritersRun) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("ldpm_test_total");
+  Histogram* histogram = registry.GetHistogram("ldpm_test_ns", {10, 100});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter->Increment();
+      histogram->Observe(42);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = registry.TextExposition();
+    EXPECT_NE(text.find("ldpm_test_total"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(Registry, TextExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("ldpm_test_total", "A test counter")->Increment(5);
+  registry.GetGauge("ldpm_test_depth", "A test gauge")->Set(-3);
+  Histogram* histogram =
+      registry.GetHistogram("ldpm_test_ns", {10, 100}, "A test histogram");
+  histogram->Observe(7);
+  histogram->Observe(70);
+  histogram->Observe(700);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# HELP ldpm_test_total A test counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE ldpm_test_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("ldpm_test_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ldpm_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("ldpm_test_depth -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ldpm_test_ns histogram\n"), std::string::npos);
+  // Cumulative buckets: le="10" -> 1, le="100" -> 2, le="+Inf" -> 3.
+  EXPECT_NE(text.find("ldpm_test_ns_bucket{le=\"10\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ldpm_test_ns_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ldpm_test_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ldpm_test_ns_sum 777\n"), std::string::npos);
+  EXPECT_NE(text.find("ldpm_test_ns_count 3\n"), std::string::npos);
+}
+
+TEST(Registry, TextExpositionMergesLeIntoLabeledSeries) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram(
+      WithLabels("ldpm_test_ns", {{"collection", "clicks"}}), {10});
+  ASSERT_NE(histogram, nullptr);
+  histogram->Observe(5);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(
+      text.find("ldpm_test_ns_bucket{collection=\"clicks\",le=\"10\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ldpm_test_ns_sum{collection=\"clicks\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ldpm_test_ns_count{collection=\"clicks\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Registry, NamesAndPointReads) {
+  MetricsRegistry registry;
+  registry.GetCounter("ldpm_a_total");
+  registry.GetGauge("ldpm_b_depth")->Set(4);
+  registry.GetHistogram("ldpm_c_ns", {1});
+  const std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(registry.GaugeValue("ldpm_b_depth"), 4);
+  EXPECT_EQ(registry.CounterValue("ldpm_missing_total"), 0u);
+  EXPECT_FALSE(registry.HistogramValues("ldpm_missing_ns").ok());
+  EXPECT_FALSE(registry.HistogramValues("ldpm_a_total").ok());
+  auto snap = registry.HistogramValues("ldpm_c_ns");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->count, 0u);
+}
+
+TEST(Registry, DefaultIsAProcessSingleton) {
+  EXPECT_EQ(MetricsRegistry::Default(), MetricsRegistry::Default());
+  EXPECT_NE(MetricsRegistry::Default(), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ldpm
