@@ -6,9 +6,17 @@
 // (docs/wire-format.md specs every byte on the wire;
 // docs/observability.md catalogs every metric on /stats).
 //
-//   ./server_demo [num_shards [num_users]]
+//   ./server_demo [--chaos] [num_shards [num_users]]
 //
-// Exits nonzero on any regression — CI runs it as a smoke test.
+// With --chaos it instead walks the failure-recovery story of
+// docs/operations.md: failpoints drop connections at accept and
+// mid-stream while a resumable client retries and replays to an
+// exactly-once ingest, an injected fsync fault surfaces as a sticky
+// checkpoint error and clears on the next cut, and a corrupted newest
+// checkpoint generation is quarantined while restore falls back to the
+// previous one.
+//
+// Exits nonzero on any regression — CI runs both modes as smoke tests.
 
 #include <unistd.h>
 
@@ -20,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
+#include "core/file_io.h"
 #include "engine/collector.h"
 #include "net/frame_client.h"
 #include "net/ingest_server.h"
@@ -98,14 +108,190 @@ double SeriesValue(const std::string& body, const std::string& name) {
   return -1.0;
 }
 
+/// The --chaos walkthrough (docs/operations.md end to end). Every fault
+/// is injected through a failpoint; every recovery is checked exactly.
+int RunChaosWalkthrough(int num_shards, size_t num_users) {
+  using namespace ldpm;
+
+  const std::string checkpoint_path =
+      (std::filesystem::temp_directory_path() /
+       ("server_demo_chaos_" + std::to_string(::getpid()) + ".ckpt"))
+          .string();
+  failpoint::DisarmAll();
+
+  std::printf(
+      "== chaos: injected drops + retry/resume + generation fallback ==\n");
+
+  ProtocolConfig clicks_config;
+  clicks_config.d = 10;
+  clicks_config.k = 2;
+  clicks_config.epsilon = 1.0;
+
+  engine::CollectorOptions options;
+  options.engine_defaults.num_shards = num_shards;
+  options.checkpoint_generations = 2;
+  auto collector = engine::Collector::Create(options);
+  DEMO_CHECK(collector.ok(), "chaos collector create");
+  DEMO_CHECK(
+      (*collector)->Register("clicks", ProtocolKind::kInpHT, clicks_config).ok(),
+      "chaos register");
+
+  uint64_t cut1_reports = 0;
+  {
+    net::IngestServerOptions server_options;
+    server_options.read_chunk_bytes = 4096;  // drops land mid-stream
+    auto server = net::IngestServer::Start(collector->get(), server_options);
+    DEMO_CHECK(server.ok(), "chaos server start");
+
+    // One contiguous resumable session stream of collection frames.
+    const auto frames =
+        BuildFrames(ProtocolKind::kInpHT, clicks_config, num_users, 7);
+    DEMO_CHECK(!frames.empty(), "chaos frame build");
+    std::vector<uint8_t> stream;
+    for (const auto& frame : frames) {
+      DEMO_CHECK(AppendCollectionFrame("clicks", frame, stream).ok(),
+                 "chaos frame append");
+    }
+
+    // Faults: the first accepted connection is dropped with a reset
+    // (pure churn), then after three clean reads two mid-stream reads
+    // fail — each one severs the connection while the client is ahead
+    // of the server, stranding sent-but-unrouted frames for replay.
+    failpoint::Spec accept_drop;
+    accept_drop.count = 1;
+    failpoint::Arm("net.server.accept", accept_drop);
+    failpoint::Spec read_drop;
+    read_drop.count = 2;
+    read_drop.skip = 3;
+    failpoint::Arm("net.server.read", read_drop);
+
+    net::FrameClientOptions client_options;
+    client_options.retry.max_attempts = 10;
+    client_options.retry.initial_backoff = std::chrono::milliseconds(10);
+    client_options.retry.max_backoff = std::chrono::milliseconds(100);
+    auto client = net::FrameClient::Connect("127.0.0.1", (*server)->port(),
+                                            client_options);
+    DEMO_CHECK(client.ok(), "chaos client connect");
+    DEMO_CHECK(client->SendBytes(stream.data(), stream.size()).ok(),
+               "chaos stream send");
+    auto reply = client->Finish();
+    DEMO_CHECK(reply.ok(), "chaos reply read");
+    DEMO_CHECK(reply->status.ok(), "chaos stream acked");
+    DEMO_CHECK(reply->bytes_routed == stream.size(), "session bytes exact");
+    const uint64_t accept_drops = failpoint::HitCount("net.server.accept");
+    const uint64_t read_faults = failpoint::HitCount("net.server.read");
+    failpoint::DisarmAll();  // zeroes hit counts too
+
+    const net::IngestServerStats stats = (*server)->stats();
+    std::printf("  injected: %llu accept drop(s), %llu read fault(s)\n",
+                static_cast<unsigned long long>(accept_drops),
+                static_cast<unsigned long long>(read_faults));
+    DEMO_CHECK(accept_drops == 1 && read_faults == 2, "all faults fired");
+    std::printf(
+        "  client: %llu reconnect(s), %llu frame(s) replayed; "
+        "server resumed %llu session(s)\n",
+        static_cast<unsigned long long>(client->reconnects()),
+        static_cast<unsigned long long>(client->frames_replayed()),
+        static_cast<unsigned long long>(stats.sessions_resumed));
+    DEMO_CHECK(client->reconnects() >= 1, "resume exercised");
+
+    // Exactly-once: despite drops and replay, every report counts once.
+    DEMO_CHECK((*collector)->Flush().ok(), "chaos flush");
+    auto clicks = (*collector)->Handle("clicks");
+    DEMO_CHECK(clicks.ok(), "chaos handle");
+    auto absorbed = clicks->ReportsAbsorbed();
+    DEMO_CHECK(absorbed.ok(), "chaos count");
+    std::printf("  exactly-once: %llu reports absorbed (expected %zu)\n",
+                static_cast<unsigned long long>(*absorbed), num_users);
+    DEMO_CHECK(*absorbed == num_users, "exactly-once count");
+    DEMO_CHECK((*server)->Stop().ok(), "chaos server stop");
+    cut1_reports = *absorbed;
+  }
+
+  // A transient disk fault: the cut fails loudly, the error is sticky,
+  // and the next successful cut clears it.
+  failpoint::ArmError("file_io.fsync");
+  DEMO_CHECK(!(*collector)->CheckpointTo(checkpoint_path).ok(),
+             "fsync fault surfaces");
+  DEMO_CHECK(!(*collector)->LastCheckpointError().ok(), "sticky error set");
+  failpoint::DisarmAll();
+  DEMO_CHECK((*collector)->CheckpointTo(checkpoint_path).ok(),
+             "checkpoint lands");
+  DEMO_CHECK((*collector)->LastCheckpointError().ok(), "sticky error cleared");
+  std::printf("  fsync fault: cut failed loudly, next cut cleared it\n");
+
+  // A second cut so two generations exist, then a bit flip in the newest.
+  {
+    const auto extra =
+        BuildFrames(ProtocolKind::kInpHT, clicks_config, num_users / 2, 8);
+    std::vector<uint8_t> stream;
+    for (const auto& frame : extra) {
+      DEMO_CHECK(AppendCollectionFrame("clicks", frame, stream).ok(),
+                 "extra frame append");
+    }
+    DEMO_CHECK((*collector)->IngestFrames(stream).ok(), "extra ingest");
+    DEMO_CHECK((*collector)->Flush().ok(), "extra flush");
+  }
+  DEMO_CHECK((*collector)->CheckpointTo(checkpoint_path).ok(), "second cut");
+  auto image = ReadBinaryFile(checkpoint_path);
+  DEMO_CHECK(image.ok(), "read newest generation");
+  (*image)[image->size() / 2] ^= 0x01;
+  DEMO_CHECK(WriteBinaryFileAtomic(checkpoint_path, *image).ok(),
+             "corrupt newest generation");
+
+  // Restart: restore detects the corruption, quarantines the file to
+  // *.corrupt, and falls back to the previous generation (cut 1).
+  {
+    engine::CollectorOptions restart_options;
+    restart_options.engine_defaults.num_shards = num_shards;
+    restart_options.checkpoint_generations = 2;
+    auto restarted = engine::Collector::Create(restart_options);
+    DEMO_CHECK(restarted.ok(), "restart create");
+    DEMO_CHECK((*restarted)
+                   ->Register("clicks", ProtocolKind::kInpHT, clicks_config)
+                   .ok(),
+               "restart register");
+    DEMO_CHECK((*restarted)->RestoreFrom(checkpoint_path).ok(),
+               "fallback restore");
+    auto clicks = (*restarted)->Handle("clicks");
+    DEMO_CHECK(clicks.ok(), "restart handle");
+    auto absorbed = clicks->ReportsAbsorbed();
+    DEMO_CHECK(absorbed.ok(), "restart count");
+    DEMO_CHECK(std::filesystem::exists(checkpoint_path + ".corrupt"),
+               "corrupt generation quarantined");
+    std::printf(
+        "  fallback: newest generation corrupt -> quarantined to *.corrupt, "
+        "restored cut 1 (%llu reports)\n",
+        static_cast<unsigned long long>(*absorbed));
+    DEMO_CHECK(*absorbed == cut1_reports, "fallback restored cut 1");
+  }
+
+  std::filesystem::remove(checkpoint_path);
+  std::filesystem::remove(checkpoint_path + ".1");
+  std::filesystem::remove(checkpoint_path + ".corrupt");
+  std::printf("CHAOS OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ldpm;
 
-  const int num_shards = argc > 1 ? std::atoi(argv[1]) : 2;
-  const size_t num_users = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                    : size_t{1} << 18;
+  bool chaos = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--chaos") {
+      chaos = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int num_shards = positional.size() > 0 ? std::atoi(positional[0]) : 2;
+  const size_t num_users = positional.size() > 1
+                               ? std::strtoull(positional[1], nullptr, 10)
+                               : size_t{1} << 18;
+  if (chaos) return RunChaosWalkthrough(num_shards, num_users);
   const std::string checkpoint_path =
       (std::filesystem::temp_directory_path() /
        ("server_demo_" + std::to_string(::getpid()) + ".ckpt"))

@@ -1,0 +1,247 @@
+#include "core/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace ldpm {
+namespace failpoint {
+
+namespace {
+
+/// One armed site plus its lifetime accounting.
+struct Entry {
+  Spec spec;
+  int remaining_skip = 0;
+  int remaining_count = -1;
+  bool armed = false;        // false once count ran out (hits survive)
+  uint64_t hits = 0;
+};
+
+/// Armed-site count, constant-initialized so the disarmed fast path never
+/// touches the registry (or its initialization guard).
+std::atomic<int> g_armed_count{0};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // never destroyed: sites may
+  return *registry;                            // be evaluated during exit
+}
+
+/// Recomputes g_armed_count from the registry (called under its mutex).
+void RefreshArmedCount(const Registry& registry) {
+  int armed = 0;
+  for (const auto& [site, entry] : registry.entries) {
+    if (entry.armed) ++armed;
+  }
+  g_armed_count.store(armed, std::memory_order_relaxed);
+}
+
+StatusOr<StatusCode> ParseCodeName(const std::string& name) {
+  for (int c = 1; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+    if (name == StatusCodeToString(static_cast<StatusCode>(c))) {
+      return static_cast<StatusCode>(c);
+    }
+  }
+  return Status::InvalidArgument("unknown status code name \"" + name + "\"");
+}
+
+/// Parses one `site=MODE[*count][+skip]` entry.
+Status ArmOne(const std::string& entry) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry \"" + entry +
+                                   "\" is not site=mode");
+  }
+  const std::string site = entry.substr(0, eq);
+  std::string mode = entry.substr(eq + 1);
+  Spec spec;
+  // Trailing decorations first: +skip, then *count — but only past the
+  // mode's argument parenthesis, so "delay(5)+2" parses the +2 while a
+  // hypothetical "(a+b)" argument stays untouched.
+  const size_t close = mode.rfind(')');
+  const size_t anchor = close == std::string::npos ? 0 : close;
+  const size_t plus = mode.rfind('+');
+  if (plus != std::string::npos && plus > anchor) {
+    spec.skip = std::atoi(mode.c_str() + plus + 1);
+    mode.resize(plus);
+  }
+  const size_t star = mode.rfind('*');
+  if (star != std::string::npos && star > anchor) {
+    spec.count = std::atoi(mode.c_str() + star + 1);
+    mode.resize(star);
+  }
+  std::string arg;
+  const size_t open = mode.find('(');
+  if (open != std::string::npos) {
+    if (mode.back() != ')') {
+      return Status::InvalidArgument("failpoint mode \"" + mode +
+                                     "\" has an unclosed argument");
+    }
+    arg = mode.substr(open + 1, mode.size() - open - 2);
+    mode.resize(open);
+  }
+  if (mode == "error") {
+    spec.mode = Mode::kError;
+    if (!arg.empty()) {
+      auto code = ParseCodeName(arg);
+      if (!code.ok()) return code.status();
+      spec.code = *code;
+    }
+  } else if (mode == "delay") {
+    spec.mode = Mode::kDelay;
+    spec.delay = std::chrono::milliseconds(std::atoi(arg.c_str()));
+  } else if (mode == "abort") {
+    spec.mode = Mode::kAbort;
+  } else {
+    return Status::InvalidArgument("unknown failpoint mode \"" + mode +
+                                   "\" (expected error/delay/abort)");
+  }
+  Arm(site, std::move(spec));
+  return Status::OK();
+}
+
+/// Arms sites named by the LDPM_FAILPOINTS environment variable once per
+/// process, at static-initialization time — so env-armed sites fire even
+/// in code that never calls the programmatic API.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("LDPM_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      // A malformed env spec is a fatal misconfiguration: silently running
+      // a chaos experiment with no faults armed is worse than aborting.
+      Status status = ArmFromString(env);
+      if (!status.ok()) {
+        std::fprintf(stderr, "LDPM_FAILPOINTS: %s\n",
+                     status.ToString().c_str());
+        std::abort();
+      }
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+void Arm(const std::string& site, Spec spec) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  Entry& entry = registry.entries[site];
+  entry.remaining_skip = spec.skip;
+  entry.remaining_count = spec.count;
+  entry.armed = spec.count != 0;
+  entry.spec = std::move(spec);
+  RefreshArmedCount(registry);
+}
+
+void ArmError(const std::string& site, StatusCode code) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  spec.code = code;
+  Arm(site, std::move(spec));
+}
+
+void Disarm(const std::string& site) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.entries.erase(site);
+  RefreshArmedCount(registry);
+}
+
+void DisarmAll() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.entries.clear();
+  RefreshArmedCount(registry);
+}
+
+Status ArmFromString(const std::string& specs) {
+  size_t begin = 0;
+  while (begin < specs.size()) {
+    size_t end = specs.find(';', begin);
+    if (end == std::string::npos) end = specs.size();
+    if (end > begin) {
+      LDPM_RETURN_IF_ERROR(ArmOne(specs.substr(begin, end - begin)));
+    }
+    begin = end + 1;
+  }
+  return Status::OK();
+}
+
+uint64_t HitCount(const std::string& site) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(site);
+  return it == registry.entries.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> sites;
+  for (const auto& [site, entry] : registry.entries) {
+    if (entry.armed) sites.push_back(site);
+  }
+  return sites;
+}
+
+Status Evaluate(const char* site) {
+  Mode mode = Mode::kOff;
+  Status injected;
+  std::chrono::milliseconds delay{0};
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.entries.find(site);
+    if (it == registry.entries.end() || !it->second.armed) {
+      return Status::OK();
+    }
+    Entry& entry = it->second;
+    if (entry.remaining_skip > 0) {
+      --entry.remaining_skip;
+      return Status::OK();
+    }
+    if (entry.remaining_count > 0 && --entry.remaining_count == 0) {
+      entry.armed = false;  // last firing; hits stay queryable
+      RefreshArmedCount(registry);
+    }
+    ++entry.hits;
+    mode = entry.spec.mode;
+    delay = entry.spec.delay;
+    if (mode == Mode::kError) {
+      injected = Status(
+          entry.spec.code,
+          entry.spec.message.empty()
+              ? "failpoint " + std::string(site) + " injected error"
+              : entry.spec.message);
+    }
+  }
+  // Side effects happen outside the registry lock: a delay must not block
+  // concurrent evaluations of other sites.
+  switch (mode) {
+    case Mode::kOff:
+      return Status::OK();
+    case Mode::kError:
+      return injected;
+    case Mode::kDelay:
+      std::this_thread::sleep_for(delay);
+      return Status::OK();
+    case Mode::kAbort:
+      std::fprintf(stderr, "failpoint %s: aborting\n", site);
+      std::abort();
+  }
+  return Status::OK();
+}
+
+}  // namespace failpoint
+}  // namespace ldpm

@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "core/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -21,9 +23,27 @@ std::string ErrnoMessage() {
   return std::strerror(errno);
 }
 
+/// Owns the staged temp file until the rename commits it: every error
+/// return between creation and promotion — including failpoint-injected
+/// ones — unlinks the temp file, so a failed write never strands orphan
+/// `*.tmp.*` files next to the target.
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TempFileGuard() {
+    if (!committed_) std::remove(path_.c_str());
+  }
+  void Commit() { committed_ = true; }
+
+ private:
+  std::string path_;
+  bool committed_ = false;
+};
+
 }  // namespace
 
 StatusOr<std::vector<uint8_t>> ReadBinaryFile(const std::string& path) {
+  LDPM_FAILPOINT("file_io.read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path + ": " + ErrnoMessage());
@@ -52,35 +72,46 @@ Status WriteBinaryFileAtomic(const std::string& path, const uint8_t* data,
   const std::string tmp =
       path + ".tmp." +
       std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  LDPM_FAILPOINT("file_io.open");
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot create " + tmp + ": " + ErrnoMessage());
   }
+  // From here every error path — real or failpoint-injected — must unlink
+  // the temp file; the guard's destructor is that single cleanup point.
+  TempFileGuard guard(tmp);
   bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
   ok = ok && std::fflush(f) == 0;
+  Status injected;
+  LDPM_FAILPOINT_STATUS("file_io.write", injected);
 #ifdef LDPM_HAVE_FSYNC
   // Flush user-space and kernel buffers before the rename so a crash after
   // the rename cannot leave the new name pointing at unwritten blocks.
   ok = ok && fsync(fileno(f)) == 0;
 #endif
+  if (injected.ok()) LDPM_FAILPOINT_STATUS("file_io.fsync", injected);
   const std::string write_error = ok ? "" : ErrnoMessage();
   if (std::fclose(f) != 0) ok = false;
   if (!ok) {
-    std::remove(tmp.c_str());
     return Status::Internal("write of " + tmp + " failed: " +
                             (write_error.empty() ? ErrnoMessage()
                                                  : write_error));
   }
+  if (!injected.ok()) {
+    return Status(injected.code(),
+                  "write of " + tmp + " failed: " + injected.message());
+  }
+  LDPM_FAILPOINT("file_io.rename");
   // std::filesystem::rename has POSIX semantics everywhere: an existing
   // destination is replaced atomically (plain std::rename would fail on
   // an existing target on Windows).
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
-    std::remove(tmp.c_str());
     return Status::Internal("rename " + tmp + " -> " + path + " failed: " +
                             ec.message());
   }
+  guard.Commit();
 #ifdef LDPM_HAVE_FSYNC
   // Persist the directory entry as well: the rename itself lives in the
   // parent directory, and without this a power failure after we return OK

@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kNotFound = 6,          ///< Lookup key absent.
   kAlreadyExists = 7,     ///< Key registration collided with a live entry.
   kResourceExhausted = 8, ///< A configured capacity budget is used up.
+  kDeadlineExceeded = 9,  ///< A configured time bound elapsed before completion.
+  kUnavailable = 10,      ///< Transient transport/peer failure; retry may succeed.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -71,6 +73,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 
 #include "core/crc32c.h"
 #include "core/file_io.h"
@@ -491,6 +493,93 @@ StatusOr<std::vector<AggregatorSnapshot>> ReadCheckpoint(
                   path + ": " + snapshots.status().message());
   }
   return snapshots;
+}
+
+std::string CheckpointGenerationPath(const std::string& path,
+                                     int generation) {
+  if (generation <= 0) return path;
+  return path + "." + std::to_string(generation);
+}
+
+Status RotateCheckpointGenerations(const std::string& path, int generations) {
+  if (generations <= 1) return Status::OK();
+  namespace fs = std::filesystem;
+  // Oldest slot first, so every rename moves into a slot that was just
+  // vacated (or is the about-to-expire oldest, which it overwrites). A
+  // crash anywhere in the sequence leaves every generation present under
+  // some name the fallback walk visits.
+  for (int generation = generations - 2; generation >= 0; --generation) {
+    const std::string from = CheckpointGenerationPath(path, generation);
+    const std::string to = CheckpointGenerationPath(path, generation + 1);
+    std::error_code ec;
+    if (!fs::exists(from, ec)) continue;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::Internal("rotating checkpoint generation " + from +
+                              " -> " + to + " failed: " + ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared generation walk: `read` loads-and-validates one file. Corrupt
+/// files are quarantined; the newest clean one wins.
+template <typename T>
+StatusOr<T> ReadWithFallbackImpl(
+    const std::string& path, int generations, CheckpointFallbackInfo* info,
+    const std::function<StatusOr<T>(const std::string&)>& read) {
+  namespace fs = std::filesystem;
+  bool any_file = false;
+  Status last_error;
+  for (int generation = 0; generation < std::max(1, generations);
+       ++generation) {
+    const std::string generation_path =
+        CheckpointGenerationPath(path, generation);
+    auto result = read(generation_path);
+    if (result.ok()) {
+      if (info != nullptr) {
+        info->generation = generation;
+        info->path = generation_path;
+      }
+      return result;
+    }
+    if (result.status().code() == StatusCode::kNotFound) continue;
+    // The file exists but does not validate: pull it out of the rotation
+    // so a later checkpoint write cannot age it back into the restore
+    // path, and keep it on disk for inspection.
+    any_file = true;
+    last_error = result.status();
+    std::error_code ec;
+    fs::rename(generation_path, generation_path + ".corrupt", ec);
+    if (!ec && info != nullptr) {
+      info->quarantined.push_back(generation_path + ".corrupt");
+    }
+  }
+  if (!any_file) {
+    return Status::NotFound("no checkpoint generation found at " + path);
+  }
+  return Status(last_error.code(),
+                "no restorable checkpoint generation at " + path + ": " +
+                    last_error.message());
+}
+
+}  // namespace
+
+StatusOr<std::vector<CollectionCheckpoint>>
+ReadCollectorCheckpointWithFallback(const std::string& path, int generations,
+                                    CheckpointFallbackInfo* info) {
+  return ReadWithFallbackImpl<std::vector<CollectionCheckpoint>>(
+      path, generations, info,
+      [](const std::string& p) { return ReadCollectorCheckpoint(p); });
+}
+
+StatusOr<std::vector<AggregatorSnapshot>> ReadCheckpointWithFallback(
+    const std::string& path, int generations, CheckpointFallbackInfo* info) {
+  return ReadWithFallbackImpl<std::vector<AggregatorSnapshot>>(
+      path, generations, info,
+      [](const std::string& p) { return ReadCheckpoint(p); });
 }
 
 }  // namespace engine

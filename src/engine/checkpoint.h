@@ -132,6 +132,51 @@ Status WriteCheckpoint(const std::string& path,
 StatusOr<std::vector<AggregatorSnapshot>> ReadCheckpoint(
     const std::string& path);
 
+// ---- Checkpoint generations --------------------------------------------
+//
+// With N generations configured, a checkpoint write first rotates the
+// existing files (path.N-2 -> path.N-1, ..., path -> path.1, newest
+// first) and then atomically installs the new image at `path` — so the
+// last N successful checkpoints coexist on disk. Restore walks newest to
+// oldest: a generation that fails validation (truncation, bit flips) is
+// quarantined by renaming it to `<file>.corrupt` — out of the rotation,
+// available for inspection — and the walk falls back to the next older
+// generation. A crash between the rotation renames is safe: restore
+// simply finds the previous newest at `path.1`.
+
+/// The on-disk name of generation `generation` (0 = `path` itself, the
+/// newest; k > 0 = `path.k`).
+std::string CheckpointGenerationPath(const std::string& path, int generation);
+
+/// Rotates existing generation files to make room for a new write of
+/// `path` (see above). Missing generations are skipped; a rename failure
+/// is an Internal error. A no-op when `generations` <= 1.
+Status RotateCheckpointGenerations(const std::string& path, int generations);
+
+/// How a fallback restore found its file (all fields valid on success).
+struct CheckpointFallbackInfo {
+  /// Generation index actually restored (0 = the newest).
+  int generation = 0;
+  /// File actually restored.
+  std::string path;
+  /// Corrupt generation files renamed to `*.corrupt` during the walk.
+  std::vector<std::string> quarantined;
+};
+
+/// Reads the newest restorable generation of a multi-collection
+/// checkpoint, quarantining corrupt generations along the way (see above).
+/// NotFound when no generation file exists at all; otherwise the last
+/// validation error when every existing generation is corrupt.
+StatusOr<std::vector<CollectionCheckpoint>>
+ReadCollectorCheckpointWithFallback(const std::string& path, int generations,
+                                    CheckpointFallbackInfo* info = nullptr);
+
+/// Single-collection (v1) variant of the fallback read, for
+/// ShardedAggregator-level checkpoints.
+StatusOr<std::vector<AggregatorSnapshot>> ReadCheckpointWithFallback(
+    const std::string& path, int generations,
+    CheckpointFallbackInfo* info = nullptr);
+
 }  // namespace engine
 }  // namespace ldpm
 

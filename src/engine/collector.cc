@@ -133,12 +133,16 @@ Collector::Collector(const CollectorOptions& options) : options_(options) {
   ckpt_bytes_total_ = metrics_->GetCounter(
       "ldpm_collector_checkpoint_bytes_total",
       "Encoded container checkpoint bytes successfully written");
+  ckpt_quarantined_total_ = metrics_->GetCounter(
+      "ldpm_collector_checkpoint_quarantined_total",
+      "Corrupt checkpoint generation files quarantined as *.corrupt "
+      "during restore");
   ckpt_duration_ = metrics_->GetHistogram(
       "ldpm_collector_checkpoint_duration_ns", obs::LatencyBuckets(),
       "Container checkpoint capture+encode+write duration");
   LDPM_CHECK(collections_gauge_ && unknown_collection_total_ &&
              ckpt_writes_total_ && ckpt_errors_total_ && ckpt_bytes_total_ &&
-             ckpt_duration_);
+             ckpt_quarantined_total_ && ckpt_duration_);
 }
 
 StatusOr<std::unique_ptr<Collector>> Collector::Create(
@@ -396,11 +400,11 @@ Status Collector::Flush() {
 
 Status Collector::CheckpointTo(const std::string& path) {
   Status status = CheckpointToInternal(path);
-  if (!status.ok()) {
-    ckpt_errors_total_->Increment();
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
-    if (ckpt_error_.ok()) ckpt_error_ = status;
-  }
+  if (!status.ok()) ckpt_errors_total_->Increment();
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  // The sticky error tracks the *unresolved* failure: a later successful
+  // write means the durable state is current again and clears it.
+  ckpt_error_ = status;
   return status;
 }
 
@@ -432,6 +436,8 @@ Status Collector::CheckpointToInternal(const std::string& path) {
   // WriteCollectorCheckpoint) so the image size is observable.
   auto image = EncodeCollectorCheckpoint(checkpoint);
   if (!image.ok()) return image.status();
+  LDPM_RETURN_IF_ERROR(
+      RotateCheckpointGenerations(path, options_.checkpoint_generations));
   LDPM_RETURN_IF_ERROR(WriteBinaryFileAtomic(path, *image));
   ckpt_writes_total_->Increment();
   ckpt_bytes_total_->Increment(image->size());
@@ -479,7 +485,15 @@ Status Collector::Checkpoint() {
 }
 
 Status Collector::RestoreFrom(const std::string& path) {
-  auto collections = ReadCollectorCheckpoint(path);
+  // Newest-to-oldest generation walk: a corrupt newest file (torn write,
+  // bit rot) is quarantined as *.corrupt and the restore falls back to
+  // the previous generation instead of failing the restart.
+  CheckpointFallbackInfo fallback;
+  auto collections = ReadCollectorCheckpointWithFallback(
+      path, options_.checkpoint_generations, &fallback);
+  if (!fallback.quarantined.empty()) {
+    ckpt_quarantined_total_->Increment(fallback.quarantined.size());
+  }
   if (!collections.ok()) return collections.status();
 
   if (collections->size() == 1 && (*collections)[0].id.empty()) {

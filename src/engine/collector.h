@@ -64,6 +64,12 @@ struct CollectorOptions {
   /// Write a final all-collection checkpoint in Drain() and (best-effort)
   /// the destructor. Requires a non-empty checkpoint_path.
   bool checkpoint_on_shutdown = false;
+  /// Container checkpoint generations kept on disk: each write rotates
+  /// checkpoint_path -> .1 -> .2 ... before atomically installing the new
+  /// file, and RestoreFrom falls back newest-to-oldest past corrupt
+  /// generations, quarantining them as *.corrupt
+  /// (engine/checkpoint.h). 1 keeps only the newest file.
+  int checkpoint_generations = 1;
   /// Metrics registry the collector and every collection engine publish
   /// into (must outlive the collector). Null makes the collector own a
   /// private registry, exposed via metrics() — so a StatsServer can serve
@@ -191,10 +197,11 @@ class Collector {
   /// overrides). Unregistered collections' counts drop out.
   uint64_t checkpoints_written() const;
 
-  /// First checkpoint error since construction, sticky until it is
-  /// reported: collector-level container write failures take precedence,
-  /// then the first live engine's background-checkpointer error. OK when
-  /// every attempt so far succeeded.
+  /// Most recent unresolved checkpoint error: a collector-level container
+  /// write failure stays sticky until the next successful container write
+  /// clears it; after that, the first live engine's unresolved
+  /// background-checkpointer error (same clear-on-success rule) is
+  /// reported. OK when the durable state is current.
   Status LastCheckpointError() const;
 
   // ---- Multiplexed ingest ------------------------------------------------
@@ -299,6 +306,7 @@ class Collector {
   obs::Counter* ckpt_writes_total_ = nullptr;
   obs::Counter* ckpt_errors_total_ = nullptr;
   obs::Counter* ckpt_bytes_total_ = nullptr;
+  obs::Counter* ckpt_quarantined_total_ = nullptr;
   obs::Histogram* ckpt_duration_ = nullptr;
 
   mutable std::mutex mu_;  // guards collections_ and threads_in_use_

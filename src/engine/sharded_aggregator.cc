@@ -469,7 +469,12 @@ Status ShardedAggregator::CheckpointTo(const std::string& path) {
 }
 
 Status ShardedAggregator::RestoreFrom(const std::string& path) {
-  auto snapshots = ReadCheckpoint(path);
+  // Walk the generations newest-to-oldest: a corrupt newest checkpoint
+  // (torn write, bit rot) falls back to the previous one instead of
+  // failing the restart, and the corrupt file is quarantined as
+  // *.corrupt.
+  auto snapshots =
+      ReadCheckpointWithFallback(path, options_.checkpoint_generations);
   if (!snapshots.ok()) return snapshots.status();
   return RestoreShards(*snapshots);
 }
@@ -494,8 +499,11 @@ Status ShardedAggregator::WriteCheckpointNow(const std::string& path) {
   // capture needs atomicity against Reset/RestoreShards. Encode and write
   // as separate steps so the image size is observable.
   auto image = EncodeCheckpoint(snapshots);
-  Status status =
-      image.ok() ? WriteBinaryFileAtomic(path, *image) : image.status();
+  Status status = image.status();
+  if (status.ok()) {
+    status = RotateCheckpointGenerations(path, options_.checkpoint_generations);
+  }
+  if (status.ok()) status = WriteBinaryFileAtomic(path, *image);
   if (status.ok()) {
     ckpt_writes_total_->Increment();
     ckpt_bytes_total_->Increment(image->size());
@@ -521,14 +529,24 @@ void ShardedAggregator::MaybeWakeCheckpointer() {
 
 void ShardedAggregator::CheckpointLoop() {
   std::unique_lock<std::mutex> lock(ckpt_mu_);
+  auto backoff = options_.checkpoint_retry_initial_backoff;
+  bool retrying = false;
   for (;;) {
-    ckpt_cv_.wait(lock, [&] {
-      return ckpt_stop_ ||
-             batches_total_->Value() -
-                     last_checkpoint_batches_.load(
-                         std::memory_order_relaxed) >=
-                 options_.checkpoint_every_batches;
-    });
+    if (retrying) {
+      // The last write failed (disk full, transient I/O error): hold the
+      // trigger and retry after a capped backoff instead of waiting for
+      // the next cadence crossing — the failed interval's data is exactly
+      // what a crash would lose. Stop-aware: shutdown interrupts the wait.
+      ckpt_cv_.wait_for(lock, backoff, [&] { return ckpt_stop_; });
+    } else {
+      ckpt_cv_.wait(lock, [&] {
+        return ckpt_stop_ ||
+               batches_total_->Value() -
+                       last_checkpoint_batches_.load(
+                           std::memory_order_relaxed) >=
+                   options_.checkpoint_every_batches;
+      });
+    }
     if (ckpt_stop_) return;
     // Record the trigger point before writing so a steady ingest stream
     // produces one checkpoint per cadence interval, not one per batch.
@@ -542,8 +560,15 @@ void ShardedAggregator::CheckpointLoop() {
     lock.lock();
     if (status.ok()) {
       checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
-    } else if (ckpt_error_.ok()) {
+      // The durable state on disk is current again; an error left sticky
+      // here would outlive the condition it reported.
+      ckpt_error_ = Status::OK();
+      retrying = false;
+      backoff = options_.checkpoint_retry_initial_backoff;
+    } else {
       ckpt_error_ = std::move(status);
+      retrying = true;
+      backoff = std::min(backoff * 2, options_.checkpoint_retry_max_backoff);
     }
   }
 }

@@ -71,6 +71,19 @@ struct EngineOptions {
   /// between two background-cadence checkpoints. Requires a non-empty
   /// checkpoint_path (cadence may stay 0 for a shutdown-only checkpoint).
   bool checkpoint_on_shutdown = false;
+  /// Checkpoint generations kept on disk (engine/checkpoint.h): each
+  /// write rotates checkpoint_path -> .1 -> .2 ... before installing the
+  /// new file, and RestoreFrom falls back newest-to-oldest past corrupt
+  /// generations (quarantining them as *.corrupt). 1 keeps only the
+  /// newest file — the original behavior.
+  int checkpoint_generations = 1;
+  /// Backoff schedule of the background checkpointer's write retries: a
+  /// failed cadence checkpoint (disk full, transient I/O error) is retried
+  /// after this delay, doubling up to the max, until it succeeds or the
+  /// engine stops. The sticky LastCheckpointError() is set while failing
+  /// and cleared by the first success.
+  std::chrono::milliseconds checkpoint_retry_initial_backoff{100};
+  std::chrono::milliseconds checkpoint_retry_max_backoff{5000};
   /// Optional engine-wide backpressure budget shared with other engines
   /// (the Collector gives every collection the same one). When set, each
   /// ingest call acquires a slot before enqueueing — blocking while the
@@ -221,7 +234,9 @@ class ShardedAggregator {
     return checkpoints_written_.load(std::memory_order_relaxed);
   }
 
-  /// First error of the background checkpointer, sticky until Reset. OK
+  /// Most recent unresolved error of the background checkpointer: set by
+  /// a failed cadence write, sticky until the retry loop's next success
+  /// (or Reset) clears it. OK
   /// when checkpointing is disabled or has always succeeded.
   Status LastCheckpointError();
 

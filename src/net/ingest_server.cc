@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "net/protocol.h"
 #include "protocols/wire.h"
 
@@ -15,6 +16,16 @@ void AppendU64(uint64_t value, std::vector<uint8_t>& out) {
   for (int b = 0; b < 8; ++b) {
     out.push_back(static_cast<uint8_t>(value >> (8 * b)));
   }
+}
+
+uint64_t ReadU64(const uint8_t* bytes) {
+  uint64_t value = 0;
+  for (int b = 0; b < 8; ++b) value |= uint64_t{bytes[b]} << (8 * b);
+  return value;
+}
+
+void WriteU64(uint64_t value, uint8_t* bytes) {
+  for (int b = 0; b < 8; ++b) bytes[b] = uint8_t(value >> (8 * b));
 }
 
 }  // namespace
@@ -46,11 +57,20 @@ IngestServer::IngestServer(engine::Collector* collector,
   route_latency_ = metrics_->GetHistogram(
       "ldpm_net_frame_route_latency_ns", obs::LatencyBuckets(),
       "Per-frame latency of Collector::IngestFrames from a reader thread");
+  connections_reaped_ = metrics_->GetCounter(
+      "ldpm_net_connections_reaped_total",
+      "Idle connections reaped by the read deadline");
+  sessions_resumed_ = metrics_->GetCounter(
+      "ldpm_net_sessions_resumed_total",
+      "v2 resume sessions re-attached by a reconnecting client");
+  acks_sent_ = metrics_->GetCounter("ldpm_net_acks_sent_total",
+                                    "Ack records written to v2 clients");
   drain_duration_ = metrics_->GetHistogram(
       "ldpm_net_drain_duration_ns", obs::LatencyBuckets(),
       "Graceful-stop duration: accept join, reader drain, collector drain");
   LDPM_CHECK(connections_accepted_ && connections_shed_ && frames_routed_ &&
-             batches_enqueued_ && bytes_routed_ && connections_active_ &&
+             batches_enqueued_ && bytes_routed_ && connections_reaped_ &&
+             sessions_resumed_ && acks_sent_ && connections_active_ &&
              route_latency_ && drain_duration_);
 }
 
@@ -136,6 +156,9 @@ IngestServerStats IngestServer::stats() const {
   stats.frames_routed = frames_routed_->Value();
   stats.batches_enqueued = batches_enqueued_->Value();
   stats.bytes_routed = bytes_routed_->Value();
+  stats.connections_reaped = connections_reaped_->Value();
+  stats.sessions_resumed = sessions_resumed_->Value();
+  stats.acks_sent = acks_sent_->Value();
   return stats;
 }
 
@@ -156,6 +179,14 @@ void IngestServer::AcceptLoop() {
       // Transient accept failures (EMFILE, aborted handshakes) must not
       // spin the thread hot; anything persistent repeats through here.
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    Status accept_fault;
+    LDPM_FAILPOINT_STATUS("net.server.accept", accept_fault);
+    if (!accept_fault.ok()) {
+      // Chaos hook: the accept path drops the fresh connection on the
+      // floor (reset, no reply) — the client sees pure connection churn.
+      accepted->CloseWithReset();
       continue;
     }
     std::lock_guard<std::mutex> lock(connections_mu_);
@@ -215,6 +246,18 @@ void IngestServer::ReapFinishedLocked() {
 void IngestServer::ServeConnection(Connection& connection) {
   connections_active_->Add(1);
   const StreamOutcome outcome = ServeStream(connection.socket);
+  if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+    connections_reaped_->Increment();
+  }
+  if (outcome.status.code() == StatusCode::kUnavailable) {
+    // The transport itself failed (peer reset, injected connection drop):
+    // there is no one to reply to, and a reply record would read as a
+    // server verdict to a resuming client. Reset and move on.
+    connection.socket.CloseWithReset();
+    connections_active_->Add(-1);
+    connection.finished.store(true, std::memory_order_release);
+    return;
+  }
   SendReply(connection.socket, outcome, outcome.frames, outcome.bytes);
   if (!outcome.status.ok()) {
     // On a mid-stream rejection the peer usually has more frames in
@@ -269,43 +312,200 @@ Status IngestServer::GateOnBudget() {
   return Status::FailedPrecondition("IngestServer: server is stopping");
 }
 
+Status IngestServer::AcquireSession(uint64_t token, Socket& socket,
+                                    StreamContext* context) {
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  const auto busy_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) {
+      if (options_.max_sessions > 0 &&
+          sessions_.size() >= options_.max_sessions) {
+        auto victim = sessions_.end();
+        for (auto s = sessions_.begin(); s != sessions_.end(); ++s) {
+          if (!s->second.active &&
+              (victim == sessions_.end() ||
+               s->second.last_used < victim->second.last_used)) {
+            victim = s;
+          }
+        }
+        if (victim == sessions_.end()) {
+          return Status::ResourceExhausted(
+              "IngestServer: session table full (" +
+              std::to_string(options_.max_sessions) +
+              " sessions, all active)");
+        }
+        sessions_.erase(victim);
+      }
+      Session& session = sessions_[token];
+      session.active = true;
+      session.owner = &socket;
+      session.last_used = ++session_tick_;
+      context->token = token;
+      context->start_offset = 0;
+      context->start_frames = 0;
+      return Status::OK();
+    }
+    Session& session = it->second;
+    if (!session.active) {
+      session.active = true;
+      session.owner = &socket;
+      session.last_used = ++session_tick_;
+      context->token = token;
+      context->start_offset = session.routed_bytes;
+      context->start_frames = session.routed_frames;
+      sessions_resumed_->Increment();
+      return Status::OK();
+    }
+    // The session is owned by another connection — almost always a
+    // half-open predecessor the client already gave up on. Wake its
+    // reader (EOF) and wait for it to publish final progress and release;
+    // only then is the resume offset authoritative.
+    if (session.owner != nullptr) (void)session.owner->Shutdown();
+    if (stopping()) {
+      return Status::FailedPrecondition("IngestServer: server is stopping");
+    }
+    if (std::chrono::steady_clock::now() >= busy_deadline) {
+      return Status::ResourceExhausted(
+          "IngestServer: session " + std::to_string(token) +
+          " is still owned by another connection");
+    }
+    sessions_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void IngestServer::ReleaseSession(uint64_t token) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(token);
+    if (it != sessions_.end()) {
+      it->second.active = false;
+      it->second.owner = nullptr;
+      it->second.last_used = ++session_tick_;
+    }
+  }
+  sessions_cv_.notify_all();
+}
+
+void IngestServer::RecordSessionProgress(uint64_t token,
+                                         uint64_t routed_bytes,
+                                         uint64_t frames_delta) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return;
+  it->second.routed_bytes = routed_bytes;
+  it->second.routed_frames += frames_delta;
+}
+
 IngestServer::StreamOutcome IngestServer::ServeStream(Socket& socket) {
   StreamOutcome outcome;
 
-  // Connection preamble: 7 magic bytes + 1 version byte.
+  // Connection preamble: 7 magic bytes + 1 version byte. The idle
+  // deadline applies from the first byte — a connection that never even
+  // sends its preamble is exactly the half-open client the reaper exists
+  // for.
   uint8_t preamble[kPreambleBytes];
-  Status read = socket.ReadExact(preamble, kPreambleBytes);
+  Status read =
+      socket.ReadExact(preamble, kPreambleBytes, options_.idle_timeout);
   if (!read.ok()) {
-    outcome.status = Status(read.code(),
-                            "reading connection preamble: " + read.message());
+    outcome.status =
+        read.code() == StatusCode::kDeadlineExceeded
+            ? Status::DeadlineExceeded(
+                  "idle connection: no preamble within " +
+                  std::to_string(options_.idle_timeout.count()) +
+                  "ms; reaping")
+            : Status(read.code(),
+                     "reading connection preamble: " + read.message());
     return outcome;
   }
-  if (std::memcmp(preamble, kPreamble, kPreambleBytes - 1) != 0) {
+  if (std::memcmp(preamble, kPreambleMagic, sizeof(kPreambleMagic)) != 0) {
     outcome.status = Status::InvalidArgument(
         "connection preamble does not start with \"LDPMNET\"");
     return outcome;
   }
-  if (preamble[kPreambleBytes - 1] != kPreamble[kPreambleBytes - 1]) {
+  const uint8_t version = preamble[kPreambleBytes - 1];
+  if (version == kVersionOneShot) {
+    return ServeStreamBody(socket, StreamContext{});
+  }
+  if (version != kVersionResume) {
     outcome.status = Status::InvalidArgument(
-        "unsupported protocol version " +
-        std::to_string(preamble[kPreambleBytes - 1]) + " (expected " +
-        std::to_string(kPreamble[kPreambleBytes - 1]) + ")");
+        "unsupported protocol version " + std::to_string(version) +
+        " (expected " + std::to_string(kVersionOneShot) + " or " +
+        std::to_string(kVersionResume) + ")");
     return outcome;
   }
 
+  // v2: session token, then our hello record naming the resume offset.
+  uint8_t token_bytes[8];
+  Status token_read =
+      socket.ReadExact(token_bytes, sizeof(token_bytes), options_.idle_timeout);
+  if (!token_read.ok()) {
+    outcome.status = Status(
+        token_read.code(), "reading session token: " + token_read.message());
+    return outcome;
+  }
+  const uint64_t token = ReadU64(token_bytes);
+  if (token == 0) {
+    outcome.status =
+        Status::InvalidArgument("session token must be nonzero");
+    return outcome;
+  }
+  StreamContext context;
+  Status acquired = AcquireSession(token, socket, &context);
+  if (!acquired.ok()) {
+    outcome.status = std::move(acquired);
+    return outcome;
+  }
+  uint8_t hello[9];
+  hello[0] = kReplyHello;
+  WriteU64(context.start_offset, hello + 1);
+  Status hello_write =
+      socket.WriteAll(hello, sizeof(hello), options_.reply_write_timeout);
+  if (!hello_write.ok()) {
+    ReleaseSession(token);
+    outcome.status = Status::Unavailable("writing hello record: " +
+                                         hello_write.message());
+    outcome.stream_offset = context.start_offset;
+    return outcome;
+  }
+  outcome = ServeStreamBody(socket, context);
+  ReleaseSession(token);
+  return outcome;
+}
+
+IngestServer::StreamOutcome IngestServer::ServeStreamBody(
+    Socket& socket, const StreamContext& context) {
+  StreamOutcome outcome;
+  outcome.frames = context.start_frames;
+  outcome.bytes = context.start_offset;
+
   std::vector<uint8_t> buffer;
-  uint64_t consumed = 0;  // stream bytes fully routed and discarded
+  // Session-absolute offset of the stream bytes fully routed and
+  // discarded (v1 streams start at 0, so it is the plain stream offset).
+  uint64_t consumed = context.start_offset;
   for (;;) {
     const size_t old_size = buffer.size();
     buffer.resize(old_size + options_.read_chunk_bytes);
-    auto n = socket.ReadSome(buffer.data() + old_size,
-                             options_.read_chunk_bytes);
+    Status read_fault;
+    LDPM_FAILPOINT_STATUS("net.server.read", read_fault);
+    auto n = read_fault.ok()
+                 ? socket.ReadSome(buffer.data() + old_size,
+                                   options_.read_chunk_bytes,
+                                   options_.idle_timeout)
+                 : StatusOr<size_t>(read_fault);
     if (!n.ok()) {
       buffer.resize(old_size);
-      outcome.status =
-          stopping()
-              ? Status::FailedPrecondition("IngestServer: server is stopping")
-              : n.status();
+      if (stopping()) {
+        outcome.status =
+            Status::FailedPrecondition("IngestServer: server is stopping");
+      } else if (n.status().code() == StatusCode::kDeadlineExceeded) {
+        outcome.status = Status::DeadlineExceeded(
+            "idle connection: no bytes for " +
+            std::to_string(options_.idle_timeout.count()) + "ms; reaping");
+      } else {
+        outcome.status = n.status();
+      }
       outcome.stream_offset = consumed;
       return outcome;
     }
@@ -362,9 +562,31 @@ IngestServer::StreamOutcome IngestServer::ServeStream(Socket& socket) {
         return outcome;
       }
       routed = frames.frame_end_offset();
+      if (context.token != 0) {
+        // Publish progress the instant the frame is routed: if this
+        // connection dies right now, the resume offset already covers the
+        // frame and the client will not replay it.
+        RecordSessionProgress(context.token, consumed + routed,
+                              result.frames_routed);
+      }
     }
     buffer.erase(buffer.begin(), buffer.begin() + routed);
     consumed += routed;
+    if (context.token != 0 && routed > 0) {
+      // Ack the routing round so the client can trim its replay buffer.
+      uint8_t ack[9];
+      ack[0] = kReplyAck;
+      WriteU64(consumed, ack + 1);
+      Status ack_write =
+          socket.WriteAll(ack, sizeof(ack), options_.reply_write_timeout);
+      if (!ack_write.ok()) {
+        outcome.status =
+            Status::Unavailable("writing ack record: " + ack_write.message());
+        outcome.stream_offset = consumed;
+        return outcome;
+      }
+      acks_sent_->Increment();
+    }
     if (!scan.ok()) {
       // Structurally unrepairable (empty collection id): the offending
       // frame starts right where the routed prefix ended — rewrite the

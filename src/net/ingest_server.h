@@ -27,6 +27,14 @@
 //     error reply naming the exact stream offset of the first unconsumed
 //     byte; frames before it stay ingested (the Collector's documented
 //     partial-stream semantics, surfaced by IngestFramesResult).
+//   * Resumable sessions. A v2 client names its stream with a session
+//     token; the server remembers how many session-stream bytes it has
+//     routed, tells a reconnecting client exactly where to resume (hello
+//     record), and acks progress as it routes — exactly-once frame
+//     delivery through connection churn (see net/protocol.h).
+//   * Idle reaping. With idle_timeout set, a connection that delivers no
+//     bytes within the deadline is reaped with an error reply instead of
+//     holding a connection-cap slot forever (half-open clients).
 //   * Graceful stop. Stop() stops accepting, wakes and joins every
 //     reader at a frame boundary, then runs Collector::Drain() — so a
 //     server shutdown flushes every queued batch and (when configured)
@@ -41,7 +49,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -80,6 +90,21 @@ struct IngestServerOptions {
   /// sheds its connection with an overload error instead of waiting
   /// longer. 0 = wait as long as it takes (still stop-aware).
   std::chrono::milliseconds budget_shed_after{0};
+  /// When > 0: a connection that delivers no bytes for this long is
+  /// reaped — its reader sends a DeadlineExceeded error reply and closes,
+  /// so half-open or stalled clients cannot hold connection-cap slots
+  /// forever. Applies to the preamble/handshake reads too. 0 = wait
+  /// indefinitely (the original behavior).
+  std::chrono::milliseconds idle_timeout{0};
+  /// When > 0: deadline on server-to-client record writes (hello, ack,
+  /// final reply) so a peer that stopped reading cannot wedge a reader.
+  /// 0 = blocking writes.
+  std::chrono::milliseconds reply_write_timeout{0};
+  /// Cap on remembered v2 resume sessions; creating one past the cap
+  /// evicts the least-recently-used inactive session (a client resuming an
+  /// evicted session restarts at offset 0 and fails its replay loudly).
+  /// 0 = unbounded.
+  size_t max_sessions = 1024;
   /// Run Collector::Drain() at the end of Stop() — the graceful-shutdown
   /// step that flushes all collections and writes the shutdown
   /// checkpoint when the collector is configured for one.
@@ -105,6 +130,12 @@ struct IngestServerStats {
   uint64_t batches_enqueued = 0;
   /// Bytes of routed frames (excluding preambles and partial tails).
   uint64_t bytes_routed = 0;
+  /// Idle connections reaped by the read deadline.
+  uint64_t connections_reaped = 0;
+  /// v2 sessions re-attached by a reconnecting client.
+  uint64_t sessions_resumed = 0;
+  /// Ack records written to v2 clients.
+  uint64_t acks_sent = 0;
 };
 
 /// The listening front-end (see the file comment).
@@ -162,12 +193,43 @@ class IngestServer {
     uint64_t bytes = 0;
   };
 
+  /// One v2 resume session: how far into the session's logical frame
+  /// stream the server has routed. Lives in server memory — it survives
+  /// connection churn (its purpose), not server restarts.
+  struct Session {
+    uint64_t routed_bytes = 0;
+    uint64_t routed_frames = 0;
+    /// A connection currently owns this session; its socket (valid while
+    /// the owning reader runs) lets a superseding reconnect wake it.
+    bool active = false;
+    Socket* owner = nullptr;
+    uint64_t last_used = 0;  // logical tick for LRU eviction
+  };
+
+  /// Where a (re)attached stream starts: the session's routed state.
+  struct StreamContext {
+    uint64_t token = 0;  // 0 = one-shot v1 stream, no session
+    uint64_t start_offset = 0;
+    uint64_t start_frames = 0;
+  };
+
   IngestServer(engine::Collector* collector,
                const IngestServerOptions& options);
 
   void AcceptLoop();
   void ServeConnection(Connection& connection);
   StreamOutcome ServeStream(Socket& socket);
+  StreamOutcome ServeStreamBody(Socket& socket, const StreamContext& context);
+  /// Claims the session for `socket`, waking and waiting out a half-open
+  /// previous owner. Fills `context` on success.
+  Status AcquireSession(uint64_t token, Socket& socket,
+                        StreamContext* context);
+  void ReleaseSession(uint64_t token);
+  /// Publishes the owning reader's routing progress into the session the
+  /// instant a frame is routed — the exactly-once line a reconnect
+  /// resumes from.
+  void RecordSessionProgress(uint64_t token, uint64_t routed_bytes,
+                             uint64_t frames_delta);
   /// Waits (stop-aware) until the collector's shared budget shows
   /// headroom; non-OK on stop or shed timeout.
   Status GateOnBudget();
@@ -190,6 +252,11 @@ class IngestServer {
   mutable std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
+  std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;  // signaled on session release
+  std::map<uint64_t, Session> sessions_;
+  uint64_t session_tick_ = 0;
+
   std::mutex stop_mu_;  // serializes Stop(); guards stopped_/stop_status_
   bool stopped_ = false;
   Status stop_status_;
@@ -203,6 +270,9 @@ class IngestServer {
   obs::Counter* frames_routed_ = nullptr;
   obs::Counter* batches_enqueued_ = nullptr;
   obs::Counter* bytes_routed_ = nullptr;
+  obs::Counter* connections_reaped_ = nullptr;
+  obs::Counter* sessions_resumed_ = nullptr;
+  obs::Counter* acks_sent_ = nullptr;
   obs::Gauge* connections_active_ = nullptr;
   obs::Histogram* route_latency_ = nullptr;
   obs::Histogram* drain_duration_ = nullptr;

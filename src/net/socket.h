@@ -11,6 +11,7 @@
 #ifndef LDPM_NET_SOCKET_H_
 #define LDPM_NET_SOCKET_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -41,8 +42,14 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Connects to a numeric IPv4 address ("127.0.0.1") and port.
-  static StatusOr<Socket> Connect(const std::string& address, uint16_t port);
+  /// Connects to a numeric IPv4 address ("127.0.0.1") and port. With a
+  /// positive `timeout` the connect races a deadline (non-blocking connect
+  /// + poll) and a slow peer surfaces as DeadlineExceeded; <= 0 blocks
+  /// indefinitely. A refused/reset/unreachable peer is Unavailable — the
+  /// retryable transport category (see RetryPolicy in net/frame_client.h).
+  static StatusOr<Socket> Connect(
+      const std::string& address, uint16_t port,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
 
   /// Binds and listens on a numeric IPv4 address; port 0 picks an
   /// ephemeral port (read it back with local_port()).
@@ -57,6 +64,15 @@ class Socket {
   /// error. Returns the byte count, 0 at EOF.
   StatusOr<size_t> ReadSome(uint8_t* data, size_t size);
 
+  /// ReadSome racing a deadline: DeadlineExceeded when no byte (and no
+  /// EOF) arrives within `timeout`. <= 0 blocks indefinitely — the
+  /// deadline-free overload above. The connection stays usable after a
+  /// timeout (nothing was consumed); callers decide whether a deadline
+  /// miss reaps the connection (net::IngestServer's idle reaper) or just
+  /// retries (net::FrameClient ack polling).
+  StatusOr<size_t> ReadSome(uint8_t* data, size_t size,
+                            std::chrono::milliseconds timeout);
+
   /// Non-blocking read: whatever is available right now, possibly 0 (also
   /// 0 at EOF). Never blocks; errors other than would-block surface as a
   /// Status.
@@ -66,9 +82,23 @@ class Socket {
   /// EOF mid-buffer).
   Status ReadExact(uint8_t* data, size_t size);
 
+  /// ReadExact under one overall deadline across all the reads it takes.
+  /// <= 0 blocks indefinitely.
+  Status ReadExact(uint8_t* data, size_t size,
+                   std::chrono::milliseconds timeout);
+
   /// Writes all `size` bytes (handling short writes). A peer that closed
   /// or shut down its read side surfaces as a Status, never a SIGPIPE.
   Status WriteAll(const uint8_t* data, size_t size);
+
+  /// WriteAll under an overall deadline (non-blocking sends + poll):
+  /// DeadlineExceeded when the whole buffer is not accepted by the kernel
+  /// within `timeout` — the guard against a peer that stopped reading and
+  /// left our send buffer full. <= 0 blocks indefinitely. After a timeout
+  /// an unknown prefix is in flight; the stream is no longer frame-aligned
+  /// and the caller should close.
+  Status WriteAll(const uint8_t* data, size_t size,
+                  std::chrono::milliseconds timeout);
 
   /// Half-closes the write side (the client's end-of-stream marker).
   Status ShutdownWrite();

@@ -1,0 +1,192 @@
+// Failpoint registry tests: disarmed fast path, error/delay modes,
+// count/skip windows with auto-disarm, hit counting, and the
+// LDPM_FAILPOINTS spec-string grammar.
+
+#include "core/failpoint.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpm {
+namespace {
+
+using failpoint::Arm;
+using failpoint::ArmError;
+using failpoint::ArmFromString;
+using failpoint::ArmedSites;
+using failpoint::AnyArmed;
+using failpoint::Disarm;
+using failpoint::DisarmAll;
+using failpoint::Evaluate;
+using failpoint::HitCount;
+using failpoint::Mode;
+using failpoint::Spec;
+
+// The registry is process-global; every test starts and ends clean.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+Status Guarded(const char* site) {
+  LDPM_FAILPOINT(site);
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, DisarmedSiteIsTransparent) {
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_TRUE(Evaluate("fp_test.nowhere").ok());
+  EXPECT_TRUE(Guarded("fp_test.nowhere").ok());
+  EXPECT_EQ(HitCount("fp_test.nowhere"), 0u);
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ArmErrorInjectsSelfIdentifyingStatus) {
+  ArmError("fp_test.site");
+  EXPECT_TRUE(AnyArmed());
+  const Status s = Guarded("fp_test.site");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("fp_test.site"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(HitCount("fp_test.site"), 1u);
+}
+
+TEST_F(FailpointTest, ArmingOneSiteDoesNotAffectOthers) {
+  ArmError("fp_test.a");
+  EXPECT_FALSE(Guarded("fp_test.a").ok());
+  EXPECT_TRUE(Guarded("fp_test.b").ok());
+  EXPECT_EQ(HitCount("fp_test.b"), 0u);
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"fp_test.a"}));
+}
+
+TEST_F(FailpointTest, CustomCodeAndMessage) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  spec.code = StatusCode::kInternal;
+  spec.message = "simulated torn write";
+  Arm("fp_test.custom", spec);
+  const Status s = Evaluate("fp_test.custom");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "simulated torn write");
+}
+
+TEST_F(FailpointTest, CountLimitsFiringsThenAutoDisarms) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  spec.count = 2;
+  Arm("fp_test.count", spec);
+  EXPECT_FALSE(Evaluate("fp_test.count").ok());
+  EXPECT_FALSE(Evaluate("fp_test.count").ok());
+  // Budget exhausted: the site auto-disarmed, and stays transparent.
+  EXPECT_TRUE(Evaluate("fp_test.count").ok());
+  EXPECT_TRUE(Evaluate("fp_test.count").ok());
+  EXPECT_EQ(HitCount("fp_test.count"), 2u);
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, SkipPassesThroughEarlyEvaluations) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  spec.skip = 3;
+  spec.count = 1;
+  Arm("fp_test.skip", spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(Evaluate("fp_test.skip").ok()) << "evaluation " << i;
+  }
+  EXPECT_FALSE(Evaluate("fp_test.skip").ok());
+  EXPECT_TRUE(Evaluate("fp_test.skip").ok());
+  EXPECT_EQ(HitCount("fp_test.skip"), 1u);
+}
+
+TEST_F(FailpointTest, DelayFiresThenContinues) {
+  Spec spec;
+  spec.mode = Mode::kDelay;
+  spec.delay = std::chrono::milliseconds(30);
+  spec.count = 1;
+  Arm("fp_test.delay", spec);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Evaluate("fp_test.delay").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_EQ(HitCount("fp_test.delay"), 1u);
+}
+
+TEST_F(FailpointTest, DisarmRestoresTransparency) {
+  ArmError("fp_test.disarm");
+  EXPECT_FALSE(Evaluate("fp_test.disarm").ok());
+  Disarm("fp_test.disarm");
+  EXPECT_TRUE(Evaluate("fp_test.disarm").ok());
+  EXPECT_FALSE(AnyArmed());
+}
+
+TEST_F(FailpointTest, HitCountsSurviveAutoDisarmUntilDisarmAll) {
+  Spec spec;
+  spec.mode = Mode::kError;
+  spec.count = 1;
+  Arm("fp_test.hits", spec);
+  EXPECT_FALSE(Evaluate("fp_test.hits").ok());
+  // Auto-disarmed (count exhausted), but the hit stays queryable.
+  EXPECT_FALSE(AnyArmed());
+  EXPECT_EQ(HitCount("fp_test.hits"), 1u);
+  DisarmAll();
+  EXPECT_EQ(HitCount("fp_test.hits"), 0u);
+}
+
+TEST_F(FailpointTest, RearmReplacesSpec) {
+  ArmError("fp_test.rearm", StatusCode::kUnavailable);
+  ArmError("fp_test.rearm", StatusCode::kInternal);
+  const Status s = Evaluate("fp_test.rearm");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultipleSites) {
+  ASSERT_TRUE(
+      ArmFromString("fp_test.x=error;fp_test.y=error(NotFound)*2+1").ok());
+  EXPECT_EQ(ArmedSites(),
+            (std::vector<std::string>{"fp_test.x", "fp_test.y"}));
+  EXPECT_EQ(Evaluate("fp_test.x").code(), StatusCode::kUnavailable);
+  // y: skip 1, then NotFound twice, then auto-disarm.
+  EXPECT_TRUE(Evaluate("fp_test.y").ok());
+  EXPECT_EQ(Evaluate("fp_test.y").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Evaluate("fp_test.y").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Evaluate("fp_test.y").ok());
+}
+
+TEST_F(FailpointTest, SpecStringDelayMode) {
+  ASSERT_TRUE(ArmFromString("fp_test.slow=delay(20)*1").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(Evaluate("fp_test.slow").ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+}
+
+TEST_F(FailpointTest, MalformedSpecStringsAreRejected) {
+  for (const char* bad : {"no-equals", "=error", "site=", "site=bogus",
+                          "site=error(", "site=error(NoSuchCode)"}) {
+    const Status s = ArmFromString(bad);
+    EXPECT_FALSE(s.ok()) << "accepted: " << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    DisarmAll();
+  }
+}
+
+TEST_F(FailpointTest, EntriesBeforeMalformedOneStayArmed) {
+  const Status s = ArmFromString("fp_test.good=error;fp_test.bad=bogus");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(ArmedSites(), (std::vector<std::string>{"fp_test.good"}));
+}
+
+TEST_F(FailpointTest, EmptySpecStringIsOkNoop) {
+  EXPECT_TRUE(ArmFromString("").ok());
+  EXPECT_FALSE(AnyArmed());
+}
+
+}  // namespace
+}  // namespace ldpm

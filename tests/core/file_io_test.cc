@@ -1,5 +1,6 @@
-// Binary file I/O: round trips, missing-file errors, atomic overwrite, and
-// no leftover temp files.
+// Binary file I/O: round trips, missing-file errors, atomic overwrite, no
+// leftover temp files, and failpoint-injected failures at every stage of
+// the write-fsync-rename sequence leaving the directory clean.
 
 #include "core/file_io.h"
 
@@ -9,6 +10,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "core/failpoint.h"
 
 namespace ldpm {
 namespace {
@@ -75,6 +78,63 @@ TEST(FileIo, WriteIntoMissingDirectoryFails) {
   const Status s = WriteBinaryFileAtomic(
       TestPath("file_io_no_such_dir") + "/x.bin", {1});
   EXPECT_FALSE(s.ok());
+}
+
+/// Entries in `dir` whose names contain ".tmp." — the orphan staging files
+/// an interrupted atomic write could strand.
+std::vector<std::string> TempOrphans(const std::string& dir) {
+  std::vector<std::string> orphans;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) orphans.push_back(name);
+  }
+  return orphans;
+}
+
+// An injected failure at any stage of the write-fsync-rename sequence must
+// return the injected error, leave no *.tmp.* orphan behind, and preserve
+// the previous committed contents of the target.
+TEST(FileIo, InjectedFailuresLeaveNoTempOrphansAndPreserveTarget) {
+  for (const char* site : {"file_io.write", "file_io.fsync",
+                           "file_io.rename", "file_io.open"}) {
+    SCOPED_TRACE(site);
+    const std::string dir =
+        TestPath(std::string("file_io_faults_") + site);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directory(dir);
+    const std::string path = dir + "/target.bin";
+    ASSERT_TRUE(WriteBinaryFileAtomic(path, {7, 7, 7}).ok());
+
+    failpoint::ArmError(site);
+    const Status s = WriteBinaryFileAtomic(path, {1, 2, 3});
+    failpoint::DisarmAll();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+
+    EXPECT_TRUE(TempOrphans(dir).empty())
+        << "orphan temp file after injected " << site << " failure";
+    auto read = ReadBinaryFile(path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(*read, (std::vector<uint8_t>{7, 7, 7}));
+
+    // Once disarmed, the same write goes through and replaces the target.
+    ASSERT_TRUE(WriteBinaryFileAtomic(path, {1, 2, 3}).ok());
+    read = ReadBinaryFile(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, (std::vector<uint8_t>{1, 2, 3}));
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(FileIo, InjectedReadFailureIsReturned) {
+  const std::string path = TestPath("file_io_read_fault.bin");
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, {5}).ok());
+  failpoint::ArmError("file_io.read", StatusCode::kInternal);
+  const auto read = ReadBinaryFile(path);
+  failpoint::DisarmAll();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

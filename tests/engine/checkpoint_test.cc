@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "core/crc32c.h"
+#include "core/failpoint.h"
 #include "core/file_io.h"
 #include "engine/sharded_aggregator.h"
 #include "protocols/factory.h"
@@ -335,6 +336,177 @@ TEST(Checkpoint, BackgroundCadenceWritesRestorableCheckpoints) {
       ShardedAggregator::Create(ProtocolKind::kInpHT, config, restore_options);
   ASSERT_TRUE(restored.ok());
   EXPECT_TRUE((*restored)->RestoreFrom(path).ok());
+  std::filesystem::remove(path);
+}
+
+// ---- Checkpoint generations --------------------------------------------
+
+TEST(CheckpointGenerations, GenerationPathNaming) {
+  EXPECT_EQ(engine::CheckpointGenerationPath("/x/ckpt.bin", 0), "/x/ckpt.bin");
+  EXPECT_EQ(engine::CheckpointGenerationPath("/x/ckpt.bin", 1),
+            "/x/ckpt.bin.1");
+  EXPECT_EQ(engine::CheckpointGenerationPath("/x/ckpt.bin", 3),
+            "/x/ckpt.bin.3");
+}
+
+TEST(CheckpointGenerations, RotationKeepsNewestNMinusOneAndDropsOlder) {
+  const std::string dir = TestPath("ckpt_gen_rotate");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/ckpt.bin";
+  // Four writes through a 3-generation rotation: A, B, C, D. The rotation
+  // before each write shifts existing files one slot older, so at the end
+  // path=D, path.1=C, path.2=B, and A has been rotated out of existence.
+  for (uint8_t content : {'A', 'B', 'C', 'D'}) {
+    ASSERT_TRUE(engine::RotateCheckpointGenerations(path, 3).ok());
+    ASSERT_TRUE(WriteBinaryFileAtomic(path, {content}).ok());
+  }
+  auto newest = ReadBinaryFile(path);
+  auto gen1 = ReadBinaryFile(path + ".1");
+  auto gen2 = ReadBinaryFile(path + ".2");
+  ASSERT_TRUE(newest.ok());
+  ASSERT_TRUE(gen1.ok());
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_EQ(*newest, std::vector<uint8_t>{'D'});
+  EXPECT_EQ(*gen1, std::vector<uint8_t>{'C'});
+  EXPECT_EQ(*gen2, std::vector<uint8_t>{'B'});
+  EXPECT_FALSE(std::filesystem::exists(path + ".3"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointGenerations, SingleGenerationRotationIsNoop) {
+  const std::string path = TestPath("ckpt_gen_single.bin");
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, {1}).ok());
+  ASSERT_TRUE(engine::RotateCheckpointGenerations(path, 1).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".1"));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointGenerations, FallbackSkipsCorruptNewestAndQuarantines) {
+  const std::string dir = TestPath("ckpt_gen_fallback");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/ckpt.bin";
+  // Two checkpoints of the same engine at different cuts: gen 1 holds the
+  // 400-report cut, gen 0 the 700-report cut.
+  EngineOptions options;
+  options.num_shards = 2;
+  options.checkpoint_generations = 2;
+  auto eng = ShardedAggregator::Create(ProtocolKind::kInpHT, MakeConfig(6, 2),
+                                       options);
+  ASSERT_TRUE(eng.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, MakeConfig(6, 2));
+  ASSERT_TRUE(encoder.ok());
+  ASSERT_TRUE((*eng)->IngestBatch(EncodeReportStream(**encoder, 400, 3)).ok());
+  ASSERT_TRUE((*eng)->Flush().ok());
+  ASSERT_TRUE((*eng)->CheckpointTo(path).ok());
+  ASSERT_TRUE((*eng)->IngestBatch(EncodeReportStream(**encoder, 300, 5)).ok());
+  ASSERT_TRUE((*eng)->Flush().ok());
+  ASSERT_TRUE((*eng)->CheckpointTo(path).ok());
+
+  // Corrupt the newest generation in place.
+  auto bytes = ReadBinaryFile(path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 3] ^= 0x10;
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, *bytes).ok());
+
+  engine::CheckpointFallbackInfo info;
+  auto snapshots = engine::ReadCheckpointWithFallback(path, 2, &info);
+  ASSERT_TRUE(snapshots.ok()) << snapshots.status().ToString();
+  EXPECT_EQ(info.generation, 1);
+  EXPECT_EQ(info.path, path + ".1");
+  ASSERT_EQ(info.quarantined.size(), 1u);
+  EXPECT_EQ(info.quarantined[0], path + ".corrupt");
+  // The corrupt file moved aside — inspectable, out of the rotation.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  uint64_t total = 0;
+  for (const AggregatorSnapshot& s : *snapshots) total += s.reports_absorbed;
+  EXPECT_EQ(total, 400u);
+
+  // The engine-level restore takes the same fallback path.
+  EngineOptions restore_options;
+  restore_options.checkpoint_generations = 2;
+  auto restored = ShardedAggregator::Create(ProtocolKind::kInpHT,
+                                            MakeConfig(6, 2), restore_options);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->RestoreFrom(path).ok());
+  auto merged = (*restored)->Merged();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ((*merged)->reports_absorbed(), 400u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointGenerations, AllGenerationsCorruptReportsLastErrorNotFound) {
+  const std::string dir = TestPath("ckpt_gen_all_corrupt");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/ckpt.bin";
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, {0xDE, 0xAD}).ok());
+  ASSERT_TRUE(WriteBinaryFileAtomic(path + ".1", {0xBE, 0xEF}).ok());
+
+  engine::CheckpointFallbackInfo info;
+  auto snapshots = engine::ReadCheckpointWithFallback(path, 2, &info);
+  ASSERT_FALSE(snapshots.ok());
+  EXPECT_NE(snapshots.status().code(), StatusCode::kNotFound)
+      << snapshots.status().ToString();
+  EXPECT_EQ(info.quarantined.size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(path + ".1.corrupt"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointGenerations, NoGenerationAtAllIsNotFound) {
+  auto snapshots = engine::ReadCheckpointWithFallback(
+      TestPath("ckpt_gen_none.bin"), 3);
+  ASSERT_FALSE(snapshots.ok());
+  EXPECT_EQ(snapshots.status().code(), StatusCode::kNotFound);
+}
+
+// The background checkpointer must retry a transiently failing write with
+// backoff and clear the sticky LastCheckpointError once a write lands.
+TEST(Checkpoint, BackgroundCheckpointerRetriesAndClearsStickyError) {
+  const std::string path = TestPath("ckpt_retry.bin");
+  std::filesystem::remove(path);
+  const ProtocolConfig config = MakeConfig(6, 2);
+  EngineOptions options;
+  options.num_shards = 2;
+  options.checkpoint_path = path;
+  options.checkpoint_every_batches = 1;
+  options.checkpoint_retry_initial_backoff = std::chrono::milliseconds(10);
+  options.checkpoint_retry_max_backoff = std::chrono::milliseconds(50);
+  auto eng = ShardedAggregator::Create(ProtocolKind::kInpHT, config, options);
+  ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, config);
+  ASSERT_TRUE(encoder.ok());
+
+  failpoint::ArmError("file_io.write");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((*eng)->LastCheckpointError().ok()) {
+    ASSERT_TRUE(
+        (*eng)->IngestBatch(EncodeReportStream(**encoder, 50, 7)).ok());
+    if (std::chrono::steady_clock::now() > deadline) {
+      failpoint::DisarmAll();
+      FAIL() << "injected checkpoint failure never surfaced";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(failpoint::HitCount("file_io.write"), 0u);
+  failpoint::DisarmAll();
+
+  // The retry loop recovers on its own — no new batches needed — and the
+  // success clears the sticky error.
+  while (!(*eng)->LastCheckpointError().ok()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "checkpointer never recovered after disarm: "
+        << (*eng)->LastCheckpointError().ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT((*eng)->checkpoints_written(), 0u);
+  auto snapshots = ReadCheckpoint(path);
+  EXPECT_TRUE(snapshots.ok()) << snapshots.status().ToString();
   std::filesystem::remove(path);
 }
 

@@ -764,7 +764,7 @@ TEST(Collector, CheckpointsWrittenCountsContainerAndEngineWrites) {
   std::filesystem::remove(engine_path);
 }
 
-TEST(Collector, LastCheckpointErrorIsStickyOnFailedContainerWrite) {
+TEST(Collector, LastCheckpointErrorStickyUntilNextSuccessfulWrite) {
   auto collector = MustCreate();
   auto clicks =
       collector->Register("clicks", ProtocolKind::kMargPS, MakeConfig(6, 2));
@@ -775,12 +775,58 @@ TEST(Collector, LastCheckpointErrorIsStickyOnFailedContainerWrite) {
   EXPECT_FALSE(collector->CheckpointTo(bad_path).ok());
   EXPECT_FALSE(collector->LastCheckpointError().ok());
   EXPECT_EQ(collector->checkpoints_written(), 0u);
-  // The sticky error does not block later successful writes (and stays).
+  // A later successful write means the durable state is current again —
+  // the sticky error clears (it used to outlive the condition it
+  // reported).
   const std::string good_path = TempPath("collector_ckpt_after_error.bin");
   ASSERT_TRUE(collector->CheckpointTo(good_path).ok());
   EXPECT_EQ(collector->checkpoints_written(), 1u);
-  EXPECT_FALSE(collector->LastCheckpointError().ok());
+  EXPECT_TRUE(collector->LastCheckpointError().ok());
   std::filesystem::remove(good_path);
+}
+
+TEST(Collector, RestoreFallsBackPastCorruptNewestGeneration) {
+  const std::string dir = TempPath("collector_gen_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/ckpt.bin";
+  CollectorOptions options;
+  options.checkpoint_generations = 2;
+  auto collector = MustCreate(options);
+  auto clicks =
+      collector->Register("clicks", ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(clicks.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kMargPS, MakeConfig(6, 2));
+  ASSERT_TRUE(encoder.ok());
+  ASSERT_TRUE(
+      clicks->IngestBatch(EncodeReportStream(**encoder, 100, 21)).ok());
+  ASSERT_TRUE(clicks->Flush().ok());
+  ASSERT_TRUE(collector->CheckpointTo(path).ok());
+  ASSERT_TRUE(
+      clicks->IngestBatch(EncodeReportStream(**encoder, 50, 23)).ok());
+  ASSERT_TRUE(clicks->Flush().ok());
+  ASSERT_TRUE(collector->CheckpointTo(path).ok());
+
+  // Corrupt the newest generation; the 100-report cut survives at path.1.
+  auto bytes = ReadBinaryFile(path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x08;
+  ASSERT_TRUE(WriteBinaryFileAtomic(path, *bytes).ok());
+
+  auto reloaded = MustCreate(options);
+  auto reloaded_clicks = reloaded->Register("clicks", ProtocolKind::kMargPS,
+                                            MakeConfig(6, 2));
+  ASSERT_TRUE(reloaded_clicks.ok());
+  ASSERT_TRUE(reloaded->RestoreFrom(path).ok());
+  auto merged = reloaded_clicks->aggregator().Merged();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ((*merged)->reports_absorbed(), 100u);
+  // The walk quarantined the corrupt newest generation and counted it.
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_EQ(reloaded->metrics()->CounterValue(
+                "ldpm_collector_checkpoint_quarantined_total"),
+            1u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Collector, MetricsRegistryExposesPipelineCounters) {

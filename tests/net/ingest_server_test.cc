@@ -33,6 +33,7 @@ using engine::Collector;
 using engine::CollectorOptions;
 using engine::EngineOptions;
 using net::FrameClient;
+using net::FrameClientOptions;
 using net::IngestServer;
 using net::IngestServerOptions;
 using test::EncodeReportStream;
@@ -597,6 +598,95 @@ TEST(ScanCompleteFrames, ReportsWholePrefixPendingSizeAndEmptyIdError) {
   EXPECT_EQ(prefix.bytes, whole);
   EXPECT_EQ(prefix.frames, 2u);
   EXPECT_NE(status.message().find("empty collection id"), std::string::npos);
+}
+
+TEST(IngestServer, IdleConnectionIsReapedByReadDeadline) {
+  auto collector = MustCreate();
+  ASSERT_TRUE(
+      collector->Register("clicks", ProtocolKind::kInpHT, MakeConfig(6, 2))
+          .ok());
+  IngestServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  auto server = MustStart(collector.get(), options);
+
+  // A connection that never sends a byte: the reaper must close it, not
+  // hold the slot forever.
+  auto silent = net::Socket::Connect(kLoopback, server->port());
+  ASSERT_TRUE(silent.ok());
+  uint8_t buf[256];
+  // The server ends the connection within the deadline (error record or
+  // plain close — either unblocks this read with data or EOF).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->stats().connections_reaped == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "idle connection was never reaped";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  (void)silent->ReadSome(buf, sizeof(buf),
+                         std::chrono::milliseconds(2000));
+  EXPECT_EQ(server->stats().connections_reaped, 1u);
+
+  // A live client on the same server is unaffected by the reaper.
+  auto client = FrameClient::Connect(kLoopback, server->port());
+  ASSERT_TRUE(client.ok());
+  auto encoder = CreateProtocol(ProtocolKind::kInpHT, MakeConfig(6, 2));
+  ASSERT_TRUE(encoder.ok());
+  auto batch = SerializeReportBatch(ProtocolKind::kInpHT, MakeConfig(6, 2),
+                                    EncodeReportStream(**encoder, 32, 3));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(client->SendFrame("clicks", *batch).ok());
+  auto reply = client->Finish();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->status.ok()) << reply->status.ToString();
+  ASSERT_TRUE(server->Stop().ok());
+}
+
+// The resumable (v2) session protocol end to end against the real server:
+// acked frames, session counters in the final reply, and results bitwise
+// equal to direct ingest. (Resume across connection drops is exercised in
+// tests/integration/chaos_test.cc.)
+TEST(IngestServer, ResumableSessionStreamsAndAcksEndToEnd) {
+  const NetFixture fixture = NetFixture::Build(1, 4, 80);
+  auto networked = MustCreate();
+  fixture.RegisterAll(networked.get());
+  auto server = MustStart(networked.get());
+
+  FrameClientOptions options;
+  options.resume = true;
+  auto client = FrameClient::Connect(kLoopback, server->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_NE(client->session_token(), 0u);
+  const std::vector<uint8_t>& stream = fixture.client_streams[0];
+  ASSERT_TRUE(client->SendBytes(stream.data(), stream.size()).ok());
+  auto reply = client->Finish();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->status.ok()) << reply->status.ToString();
+  EXPECT_EQ(reply->bytes_routed, stream.size());
+  EXPECT_EQ(reply->frames_routed, 4u * fixture.streams.size());
+  // Everything acked: nothing left in the replay buffer.
+  EXPECT_EQ(client->unacked_bytes(), 0u);
+  EXPECT_EQ(client->reconnects(), 0u);
+  EXPECT_GT(server->stats().acks_sent, 0u);
+  EXPECT_EQ(server->stats().sessions_resumed, 0u);
+  ASSERT_TRUE(networked->Flush().ok());
+  ASSERT_TRUE(server->Stop().ok());
+
+  auto direct = MustCreate();
+  fixture.RegisterAll(direct.get());
+  ASSERT_TRUE(direct->IngestFrames(stream).ok());
+  ASSERT_TRUE(direct->Flush().ok());
+  for (const auto& s : fixture.streams) {
+    auto networked_handle = networked->Handle(s.id);
+    auto direct_handle = direct->Handle(s.id);
+    ASSERT_TRUE(networked_handle.ok());
+    ASSERT_TRUE(direct_handle.ok());
+    auto networked_merged = networked_handle->aggregator().Merged();
+    auto direct_merged = direct_handle->aggregator().Merged();
+    ASSERT_TRUE(networked_merged.ok());
+    ASSERT_TRUE(direct_merged.ok());
+    ExpectBitwiseEqualEstimates(**networked_merged, **direct_merged);
+  }
 }
 
 }  // namespace
