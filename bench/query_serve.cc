@@ -1,0 +1,227 @@
+// Query-serving throughput: the epoch-cached read path vs the library
+// calls it replaces.
+//
+// One collection (InpHT, d = 10, k = 2) is ingested once; then four ways
+// of answering "give me a consistent 2-way marginal" are timed:
+//
+//   * query.cache_hit_rps   — query::MarginalCache::Marginal on a warm
+//     snapshot: an atomic load, a hash lookup, and a copy of 2^k doubles.
+//     This is the number the QueryServer's endpoint throughput tracks,
+//     and the release CI gate watches it in BENCH_ingest.json.
+//   * query.direct_rps      — CollectionHandle::Query per request: the
+//     pre-cache library path (flush check + merged-state estimate), with
+//     the merge itself amortized by the engine's epoch cache. No
+//     consistency: overlapping answers can disagree.
+//   * query.consistent_rps  — what a consistent answer costs without the
+//     cache: every selector up to k queried + MakeConsistent over the
+//     whole set, per request. This is the work a snapshot rebuild does
+//     once per epoch and the cache then amortizes over millions of hits.
+//   * query.http_rps        — end to end through net::QueryServer over
+//     loopback (connection setup + parse + serve + teardown per request,
+//     one request per connection by design). Informational.
+//
+// query.refresh_ms is the mean forced-rebuild latency (the once-per-epoch
+// cost). The bench asserts the acceptance ratio — a cache hit must be
+// >= 10x the per-request consistent path — and exits nonzero otherwise.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/consistency.h"
+#include "bench_common.h"
+#include "core/marginal.h"
+#include "engine/collector.h"
+#include "net/query_server.h"
+#include "net/socket.h"
+#include "query/marginal_cache.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string Rate(double units, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g/s", units / seconds);
+  return buf;
+}
+
+/// One-shot HTTP GET over a fresh loopback connection; returns the whole
+/// response ("" on any socket error).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  auto socket = ldpm::net::Socket::Connect("127.0.0.1", port);
+  if (!socket.ok()) return "";
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  if (!socket
+           ->WriteAll(reinterpret_cast<const uint8_t*>(request.data()),
+                      request.size())
+           .ok()) {
+    return "";
+  }
+  std::string response;
+  uint8_t chunk[4096];
+  for (;;) {
+    auto n = socket->ReadSome(chunk, sizeof(chunk));
+    if (!n.ok() || *n == 0) break;
+    response.append(reinterpret_cast<const char*>(chunk), *n);
+  }
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ldpm;
+
+  const bench::BenchArgs args = bench::Parse(argc, argv);
+  bench::Banner("query_serve",
+                "epoch-cached marginal serving vs per-query library calls",
+                args);
+  bench::JsonWriter json;
+  json.Add("bench", std::string("query_serve"));
+
+  ProtocolConfig config;
+  config.d = 10;
+  config.k = 2;
+  config.epsilon = 1.0;
+  const size_t num_reports = args.smoke ? 50000 : 500000;
+
+  engine::CollectorOptions options;
+  options.engine_defaults.num_shards = 2;
+  auto collector = engine::Collector::Create(options);
+  LDPM_CHECK(collector.ok());
+  auto handle =
+      (*collector)->Register("clicks", ProtocolKind::kInpHT, config);
+  LDPM_CHECK(handle.ok());
+  Rng rng(args.seed);
+  const uint64_t mask = (uint64_t{1} << config.d) - 1;
+  std::vector<uint64_t> rows;
+  rows.reserve(num_reports);
+  for (size_t i = 0; i < num_reports; ++i) rows.push_back(rng() & mask);
+  LDPM_CHECK(handle->IngestPopulation(rows, /*fast=*/true).ok());
+  LDPM_CHECK(handle->Flush().ok());
+  std::printf("collection: InpHT d=%d k=%d, %zu reports, 2 shards\n\n",
+              config.d, config.k, num_reports);
+
+  const std::vector<uint64_t> selectors = FullKWaySelectors(config.d, config.k);
+
+  auto cache = query::MarginalCache::Create(collector->get(), "clicks");
+  LDPM_CHECK(cache.ok());
+
+  // Once-per-epoch cost: forced rebuilds (query every selector from the
+  // merged engine state + one MakeConsistent fit + publish).
+  {
+    const int refreshes = args.smoke ? 5 : 20;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < refreshes; ++i) {
+      LDPM_CHECK((*cache)->Refresh().ok());
+    }
+    const double ms = Seconds(start) * 1e3 / refreshes;
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "%.3g ms", ms);
+    bench::Row({"snapshot refresh", cell}, 22);
+    json.Add("query.refresh_ms", ms);
+  }
+
+  // Cache hits: every request is an atomic load + lookup + tiny copy.
+  double cache_hit_rps = 0.0;
+  {
+    const size_t requests = args.smoke ? 200000 : 2000000;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < requests; ++i) {
+      auto answer = (*cache)->Marginal(selectors[i % selectors.size()]);
+      LDPM_CHECK(answer.ok());
+    }
+    const double seconds = Seconds(start);
+    cache_hit_rps = static_cast<double>(requests) / seconds;
+    bench::Row({"cache hit", Rate(static_cast<double>(requests), seconds)},
+               22);
+    json.Add("query.cache_hit_rps", cache_hit_rps);
+  }
+
+  // Per-request library query (no consistency, merge amortized).
+  {
+    const size_t requests = args.smoke ? 20000 : 100000;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < requests; ++i) {
+      auto table = handle->Query(selectors[i % selectors.size()]);
+      LDPM_CHECK(table.ok());
+    }
+    const double seconds = Seconds(start);
+    bench::Row({"direct Query", Rate(static_cast<double>(requests), seconds)},
+               22);
+    json.Add("query.direct_rps", static_cast<double>(requests) / seconds);
+  }
+
+  // Per-request consistent answer without the cache: the full selector
+  // sweep + MakeConsistent every time.
+  double consistent_rps = 0.0;
+  {
+    const size_t requests = args.smoke ? 20 : 100;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < requests; ++i) {
+      std::vector<MarginalTable> raw;
+      raw.reserve(selectors.size());
+      for (uint64_t beta : selectors) {
+        auto table = handle->Query(beta);
+        LDPM_CHECK(table.ok());
+        raw.push_back(*std::move(table));
+      }
+      auto consistent = MakeConsistent(raw, config.d);
+      LDPM_CHECK(consistent.ok());
+    }
+    const double seconds = Seconds(start);
+    consistent_rps = static_cast<double>(requests) / seconds;
+    bench::Row({"consistent (no cache)",
+                Rate(static_cast<double>(requests), seconds)},
+               22);
+    json.Add("query.consistent_rps", consistent_rps);
+  }
+
+  // End to end over loopback HTTP (one connection per request).
+  {
+    auto server = net::QueryServer::Start(collector->get());
+    LDPM_CHECK(server.ok());
+    const uint16_t port = (*server)->port();
+    // Warm the server-side cache so the loop measures hits, not a rebuild.
+    LDPM_CHECK(
+        HttpGet(port, "/v1/marginal?collection=clicks&attrs=0,1")
+            .find("200 OK") != std::string::npos);
+    const size_t requests = args.smoke ? 2000 : 10000;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < requests; ++i) {
+      const int a = static_cast<int>(i % (config.d - 1));
+      const std::string path = "/v1/marginal?collection=clicks&attrs=" +
+                               std::to_string(a) + "," +
+                               std::to_string(a + 1);
+      LDPM_CHECK(HttpGet(port, path).find("200 OK") != std::string::npos);
+    }
+    const double seconds = Seconds(start);
+    bench::Row({"HTTP end to end",
+                Rate(static_cast<double>(requests), seconds)},
+               22);
+    json.Add("query.http_rps", static_cast<double>(requests) / seconds);
+    (*server)->Stop();
+  }
+
+  const double speedup = cache_hit_rps / consistent_rps;
+  std::printf("\ncache hit vs per-request consistent sweep: x%.3g\n", speedup);
+  json.Add("query.cache_speedup_vs_consistent", speedup);
+  // The acceptance floor: serving from the snapshot must beat redoing the
+  // consistency fit per request by at least 10x, on any hardware.
+  LDPM_CHECK(speedup >= 10.0);
+
+  if (!args.json_path.empty()) {
+    if (json.WriteFile(args.json_path)) {
+      std::printf("\nwrote %s\n", args.json_path.c_str());
+    } else {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -6,7 +6,7 @@
 // (docs/wire-format.md specs every byte on the wire;
 // docs/observability.md catalogs every metric on /stats).
 //
-//   ./server_demo [--chaos] [num_shards [num_users]]
+//   ./server_demo [--chaos|--query] [num_shards [num_users]]
 //
 // With --chaos it instead walks the failure-recovery story of
 // docs/operations.md: failpoints drop connections at accept and
@@ -16,7 +16,13 @@
 // checkpoint generation is quarantined while restore falls back to the
 // previous one.
 //
-// Exits nonzero on any regression — CI runs both modes as smoke tests.
+// With --query it walks the read side (docs/querying.md): a
+// net::QueryServer over a live collector serving consistency-post-
+// processed marginals whose cells are bitwise the library answer, epoch
+// advance on ingest, the byte-precise error surface, and the Chow-Liu
+// model endpoint.
+//
+// Exits nonzero on any regression — CI runs all modes as smoke tests.
 
 #include <unistd.h>
 
@@ -28,11 +34,14 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/consistency.h"
 #include "core/failpoint.h"
 #include "core/file_io.h"
+#include "core/marginal.h"
 #include "engine/collector.h"
 #include "net/frame_client.h"
 #include "net/ingest_server.h"
+#include "net/query_server.h"
 #include "net/socket.h"
 #include "net/stats_server.h"
 #include "protocols/factory.h"
@@ -273,16 +282,154 @@ int RunChaosWalkthrough(int num_shards, size_t num_users) {
   return 0;
 }
 
+/// The --query walkthrough: the read-side HTTP endpoint end to end
+/// (docs/querying.md). A QueryServer over a live collector serves a
+/// marginal whose cells must be bitwise the library's own
+/// Query-every-selector + MakeConsistent answer, the epoch advances with
+/// the ingest watermark, the error surface is byte-precise, and the
+/// Chow-Liu model endpoint fits over the same snapshot.
+int RunQueryWalkthrough(int num_shards, size_t num_users) {
+  using namespace ldpm;
+
+  std::printf("== query plane: cached consistent marginals over HTTP ==\n");
+
+  ProtocolConfig clicks_config;
+  clicks_config.d = 10;
+  clicks_config.k = 2;
+  clicks_config.epsilon = 1.0;
+  ProtocolConfig crashes_config;
+  crashes_config.d = 8;
+  crashes_config.k = 2;
+  crashes_config.epsilon = 0.5;
+
+  engine::CollectorOptions options;
+  options.engine_defaults.num_shards = num_shards;
+  auto collector = engine::Collector::Create(options);
+  DEMO_CHECK(collector.ok(), "query collector create");
+  auto clicks =
+      (*collector)->Register("clicks", ProtocolKind::kInpHT, clicks_config);
+  DEMO_CHECK(clicks.ok(), "query register clicks");
+  DEMO_CHECK(
+      (*collector)
+          ->Register("crashes", ProtocolKind::kMargPS, crashes_config)
+          .ok(),
+      "query register crashes");
+
+  Rng rng(29);
+  const uint64_t mask = (uint64_t{1} << clicks_config.d) - 1;
+  std::vector<uint64_t> rows;
+  rows.reserve(num_users);
+  for (size_t i = 0; i < num_users; ++i) rows.push_back(rng() & mask);
+  DEMO_CHECK(clicks->IngestPopulation(rows, /*fast=*/true).ok(),
+             "query ingest");
+  DEMO_CHECK((*collector)->Flush().ok(), "query flush");
+
+  auto server = net::QueryServer::Start(collector->get());
+  DEMO_CHECK(server.ok(), "query server start");
+  const uint16_t port = (*server)->port();
+  std::printf("query endpoint on 127.0.0.1:%u\n", port);
+
+  DEMO_CHECK(HttpGet(port, "/healthz").find("200 OK") != std::string::npos,
+             "query healthz");
+  const std::string listing = HttpGet(port, "/v1/collections");
+  DEMO_CHECK(listing.find("\"id\":\"clicks\"") != std::string::npos &&
+                 listing.find("\"id\":\"crashes\"") != std::string::npos,
+             "collections listing");
+
+  // The served cells must be bitwise the library's own consistent answer:
+  // Query every selector up to k, MakeConsistent, render with 17
+  // significant digits — the exact bytes the endpoint emits.
+  const uint64_t beta = 0b11;
+  const std::string marginal_path =
+      "/v1/marginal?collection=clicks&attrs=0,1";
+  const std::string answer = HttpGet(port, marginal_path);
+  DEMO_CHECK(answer.find("200 OK") != std::string::npos, "marginal serve");
+  {
+    const std::vector<uint64_t> selectors =
+        FullKWaySelectors(clicks_config.d, clicks_config.k);
+    std::vector<MarginalTable> raw;
+    size_t beta_index = 0;
+    for (size_t i = 0; i < selectors.size(); ++i) {
+      if (selectors[i] == beta) beta_index = i;
+      auto table = (*collector)->Query("clicks", selectors[i]);
+      DEMO_CHECK(table.ok(), "library query");
+      raw.push_back(*std::move(table));
+    }
+    auto consistent = MakeConsistent(raw, clicks_config.d);
+    DEMO_CHECK(consistent.ok(), "library MakeConsistent");
+    std::string cells = "\"cells\":[";
+    for (uint64_t c = 0; c < (*consistent)[beta_index].size(); ++c) {
+      if (c != 0) cells += ",";
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g",
+                    (*consistent)[beta_index].at_compact(c));
+      cells += buffer;
+    }
+    cells += "]";
+    DEMO_CHECK(answer.find(cells) != std::string::npos,
+               "HTTP cells bitwise-equal to the library answer");
+    std::printf("  /v1/marginal attrs=0,1: cells bitwise-equal to "
+                "Query+MakeConsistent\n");
+  }
+  DEMO_CHECK(answer.find("\"epoch\":1") != std::string::npos,
+             "first epoch is 1");
+
+  // More ingest advances the watermark; the next read serves a new epoch.
+  DEMO_CHECK(clicks->IngestPopulation(rows, /*fast=*/true).ok(),
+             "query ingest 2");
+  DEMO_CHECK((*collector)->Flush().ok(), "query flush 2");
+  const std::string refreshed = HttpGet(port, marginal_path);
+  DEMO_CHECK(refreshed.find("200 OK") != std::string::npos, "re-serve");
+  DEMO_CHECK(refreshed.find("\"epoch\":2") != std::string::npos,
+             "ingest advanced the epoch");
+  std::printf("  ingest watermark advanced -> epoch 2 served\n");
+
+  // Byte-precise error surface (tests/net/query_server_test pins more).
+  const std::string bad =
+      HttpGet(port, "/v1/marginal?collection=clicks&attrs=zero");
+  DEMO_CHECK(bad.find("400 Bad Request") != std::string::npos &&
+                 bad.find("attrs: expected comma-separated attribute ids, "
+                          "got \"zero\"") != std::string::npos,
+             "byte-precise 400");
+  DEMO_CHECK(HttpGet(port, "/v1/marginal?collection=nope&attrs=0")
+                     .find("404 Not Found") != std::string::npos,
+             "unknown collection 404");
+
+  // The model endpoint: a Chow-Liu tree over the same snapshot — d-1
+  // edges and one CPT per attribute.
+  const std::string model = HttpGet(port, "/v1/model?collection=clicks");
+  DEMO_CHECK(model.find("200 OK") != std::string::npos, "model serve");
+  DEMO_CHECK(model.find("\"total_mutual_information\":") != std::string::npos,
+             "model total MI");
+  size_t cpts = 0;
+  for (size_t pos = 0;
+       (pos = model.find("\"attribute\":", pos)) != std::string::npos;
+       pos += 12) {
+    ++cpts;
+  }
+  DEMO_CHECK(cpts == static_cast<size_t>(clicks_config.d),
+             "one CPT per attribute");
+  std::printf("  /v1/model: %zu CPTs, tree fitted over the cached 2-way "
+              "marginals\n", cpts);
+
+  (*server)->Stop();
+  std::printf("QUERY OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ldpm;
 
   bool chaos = false;
+  bool query = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--chaos") {
       chaos = true;
+    } else if (std::string(argv[i]) == "--query") {
+      query = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -292,6 +439,7 @@ int main(int argc, char** argv) {
                                ? std::strtoull(positional[1], nullptr, 10)
                                : size_t{1} << 18;
   if (chaos) return RunChaosWalkthrough(num_shards, num_users);
+  if (query) return RunQueryWalkthrough(num_shards, num_users);
   const std::string checkpoint_path =
       (std::filesystem::temp_directory_path() /
        ("server_demo_" + std::to_string(::getpid()) + ".ckpt"))

@@ -180,4 +180,20 @@ StatusOr<double> TreeModel::AttributeMean(int attribute) const {
   return mean[attribute];
 }
 
+std::vector<TreeModel::CptEntry> TreeModel::Cpts() const {
+  std::vector<CptEntry> cpts;
+  cpts.reserve(topological_order_.size());
+  for (int v : topological_order_) {
+    const Node& node = nodes_[v];
+    CptEntry entry;
+    entry.attribute = v;
+    entry.parent = node.parent;
+    entry.p_root = node.p_root;
+    entry.p_given_parent[0] = node.p_given_parent[0];
+    entry.p_given_parent[1] = node.p_given_parent[1];
+    cpts.push_back(entry);
+  }
+  return cpts;
+}
+
 }  // namespace ldpm

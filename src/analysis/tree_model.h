@@ -53,6 +53,21 @@ class TreeModel {
   /// Marginal mean P[attribute = 1] implied by the model.
   StatusOr<double> AttributeMean(int attribute) const;
 
+  /// One fitted conditional probability table, the release format of the
+  /// model (net::QueryServer's /v1/model serves these verbatim).
+  struct CptEntry {
+    int attribute = 0;
+    /// Parent attribute in the tree; -1 for the root.
+    int parent = -1;
+    /// P[attribute = 1] — the root's unconditional table (parent == -1).
+    double p_root = 0.5;
+    /// P[attribute = 1 | parent = 0], P[attribute = 1 | parent = 1].
+    double p_given_parent[2] = {0.5, 0.5};
+  };
+
+  /// Every node's CPT in topological order (parents before children).
+  std::vector<CptEntry> Cpts() const;
+
  private:
   struct Node {
     int parent = -1;          // -1 for the root

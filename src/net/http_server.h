@@ -1,0 +1,155 @@
+// Shared HTTP plumbing for the admin/read endpoints.
+//
+// net::StatsServer and net::QueryServer are both tiny GET-only HTTP
+// services whose traffic is rare and small next to ingest: one request
+// per connection, served serially on a single accept thread, close after
+// the response. HttpServer is that plumbing factored out once — socket
+// accept loop, request-head collection with byte caps and an idle
+// timeout, request-line parsing, and response rendering — so the
+// endpoints above it are pure `HttpRequest -> HttpResponse` functions.
+//
+// Protocol surface (deliberately minimal, byte-precise, and tested in
+// tests/net/http_server_test.cc):
+//
+//   * GET only: any other method is answered `405 Method Not Allowed`
+//     before the handler runs.
+//   * The request head is read until CRLFCRLF (or LFLF); bodies are never
+//     read. A head that exceeds max_request_bytes without terminating is
+//     answered `400 Bad Request` ("request too large"); one that does not
+//     parse as a request line is answered `400` ("malformed request").
+//   * With a positive idle_timeout, a connection that goes silent
+//     mid-head for longer than the timeout is answered
+//     `408 Request Timeout` and closed — the slowloris defense.
+//   * No keep-alive: every response carries `Connection: close` and the
+//     server closes after writing it. A pipelined second request on the
+//     same connection is ignored by design.
+//   * The query string is split off the path and exposed to the handler
+//     (HttpRequest::Param); no percent-decoding is performed.
+
+#ifndef LDPM_NET_HTTP_SERVER_H_
+#define LDPM_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/status.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace ldpm {
+namespace net {
+
+struct HttpServerOptions {
+  /// Numeric IPv4 address to bind.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Kernel accept backlog (requests queue here while one is served).
+  int accept_backlog = 16;
+  /// Cap on request-head bytes read before answering; a client that
+  /// streams an oversized head is answered 400 and closed.
+  size_t max_request_bytes = 8 * 1024;
+  /// Per-read deadline while collecting the request head: a connection
+  /// silent longer than this mid-request is answered 408 and closed
+  /// (slowloris defense). <= 0 disables the deadline — reads then block
+  /// until bytes, EOF, or Stop().
+  std::chrono::milliseconds idle_timeout{0};
+  /// Optional counter incremented once per answered request, any status
+  /// (must outlive the server). The endpoint's operational request count.
+  obs::Counter* requests_counter = nullptr;
+};
+
+/// One parsed GET request as handed to the handler.
+struct HttpRequest {
+  std::string method;
+  /// Path with any query string removed ("/v1/marginal").
+  std::string path;
+  /// Raw query string after '?', possibly empty ("collection=x&attrs=0,2").
+  std::string query;
+
+  /// Value of `key` in the query string ("k=v" pairs joined by '&');
+  /// nullopt when absent. A bare "k" (no '=') yields an empty value. No
+  /// percent-decoding. The first occurrence wins.
+  std::optional<std::string> Param(std::string_view key) const;
+};
+
+/// What a handler returns; rendered with Content-Length and
+/// `Connection: close`.
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+/// The standard reason phrase for the codes this layer emits; "Status"
+/// for anything unrecognized (the response stays well-formed).
+std::string_view HttpReasonPhrase(int code);
+
+/// Renders a full HTTP/1.1 response (status line, Content-Type,
+/// Content-Length, Connection: close, body).
+std::string RenderHttpResponse(const HttpResponse& response);
+
+/// Routes one parsed request. Runs on the serve thread; must not block
+/// indefinitely (the next request waits behind it).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// The shared one-request-per-connection GET server (see file comment).
+class HttpServer {
+ public:
+  /// Binds, listens, and starts the serving thread. Anything the handler
+  /// captures must outlive the returned server.
+  static StatusOr<std::unique_ptr<HttpServer>> Start(
+      HttpHandler handler, const HttpServerOptions& options = HttpServerOptions());
+
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, wakes any in-flight request read, joins the serving
+  /// thread. Idempotent.
+  void Stop();
+
+  /// Requests answered so far (any status, including 4xx).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpServer(HttpHandler handler, const HttpServerOptions& options);
+
+  void ServeLoop();
+  void ServeOne(Socket socket);
+
+  const HttpHandler handler_;
+  const HttpServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread serve_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  /// The connection currently being served, so Stop() can wake a serve
+  /// blocked mid-read on a stalled client.
+  std::mutex active_mu_;
+  Socket* active_ = nullptr;
+
+  std::mutex stop_mu_;  // serializes Stop()
+  bool stopped_ = false;
+};
+
+}  // namespace net
+}  // namespace ldpm
+
+#endif  // LDPM_NET_HTTP_SERVER_H_

@@ -5,46 +5,6 @@
 namespace ldpm {
 namespace net {
 
-namespace {
-
-std::string HttpResponse(int code, std::string_view reason,
-                         std::string_view content_type,
-                         std::string_view body) {
-  std::string out = "HTTP/1.1 " + std::to_string(code) + " ";
-  out += reason;
-  out += "\r\nContent-Type: ";
-  out += content_type;
-  out += "\r\nContent-Length: " + std::to_string(body.size());
-  out += "\r\nConnection: close\r\n\r\n";
-  out += body;
-  return out;
-}
-
-/// Extracts the request path from "METHOD SP PATH SP VERSION...". Returns
-/// false on anything that does not parse as a request line.
-bool ParseRequestLine(std::string_view request, std::string_view& method,
-                      std::string_view& path) {
-  const size_t line_end = request.find("\r\n");
-  std::string_view line =
-      line_end == std::string_view::npos ? request : request.substr(0, line_end);
-  const size_t sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) return false;
-  const size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp2 == std::string_view::npos) return false;
-  method = line.substr(0, sp1);
-  path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Drop any query string: /stats?foo=1 serves /stats.
-  const size_t query = path.find('?');
-  if (query != std::string_view::npos) path = path.substr(0, query);
-  return !method.empty() && !path.empty();
-}
-
-}  // namespace
-
-StatsServer::StatsServer(obs::MetricsRegistry* registry,
-                         const StatsServerOptions& options)
-    : registry_(registry), options_(options) {}
-
 StatusOr<std::unique_ptr<StatsServer>> StatsServer::Start(
     obs::MetricsRegistry* registry, const StatsServerOptions& options) {
   if (registry == nullptr) {
@@ -54,98 +14,28 @@ StatusOr<std::unique_ptr<StatsServer>> StatsServer::Start(
     return Status::InvalidArgument(
         "StatsServer: max_request_bytes must be > 0");
   }
-  auto listener =
-      Socket::Listen(options.bind_address, options.port, options.accept_backlog);
-  if (!listener.ok()) return listener.status();
-  auto port = listener->local_port();
-  if (!port.ok()) return port.status();
-  std::unique_ptr<StatsServer> server(new StatsServer(registry, options));
-  server->listener_ = *std::move(listener);
-  server->port_ = *port;
-  server->requests_counter_ = registry->GetCounter(
+  HttpServerOptions http_options;
+  http_options.bind_address = options.bind_address;
+  http_options.port = options.port;
+  http_options.accept_backlog = options.accept_backlog;
+  http_options.max_request_bytes = options.max_request_bytes;
+  http_options.idle_timeout = options.idle_timeout;
+  http_options.requests_counter = registry->GetCounter(
       "ldpm_stats_requests_total", "Requests the /stats endpoint answered");
-  server->serve_thread_ =
-      std::thread([raw = server.get()] { raw->ServeLoop(); });
-  return server;
-}
-
-StatsServer::~StatsServer() { Stop(); }
-
-void StatsServer::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
-  if (stopped_) return;
-  stopping_.store(true, std::memory_order_release);
-  (void)listener_.Shutdown();
-  {
-    // Wake a serve blocked reading a stalled scraper's request.
-    std::lock_guard<std::mutex> lock(active_mu_);
-    if (active_ != nullptr) (void)active_->Shutdown();
-  }
-  if (serve_thread_.joinable()) serve_thread_.join();
-  listener_.Close();
-  stopped_ = true;
-}
-
-void StatsServer::ServeLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    auto accepted = listener_.Accept();
-    if (!accepted.ok()) {
-      if (stopping_.load(std::memory_order_acquire)) return;
-      continue;  // transient accept failure; the listener persists
-    }
-    ServeOne(*std::move(accepted));
-  }
-}
-
-void StatsServer::ServeOne(Socket socket) {
-  {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    active_ = &socket;
-  }
-  // Read until the end of the request headers (we never read a body: the
-  // endpoint is GET-only), a cap, EOF, or stop.
-  std::string request;
-  uint8_t chunk[1024];
-  bool complete = false;
-  while (request.size() < options_.max_request_bytes &&
-         !stopping_.load(std::memory_order_acquire)) {
-    auto n = socket.ReadSome(chunk, sizeof(chunk));
-    if (!n.ok() || *n == 0) break;
-    request.append(reinterpret_cast<const char*>(chunk), *n);
-    if (request.find("\r\n\r\n") != std::string::npos ||
-        request.find("\n\n") != std::string::npos) {
-      complete = true;
-      break;
-    }
-  }
-
-  std::string response;
-  std::string_view method, path;
-  if (!complete || !ParseRequestLine(request, method, path)) {
-    response = HttpResponse(400, "Bad Request", "text/plain",
-                            "malformed request\n");
-  } else if (method != "GET") {
-    response = HttpResponse(405, "Method Not Allowed", "text/plain",
-                            "only GET is supported\n");
-  } else if (path == "/stats" || path == "/metrics") {
-    response = HttpResponse(200, "OK",
-                            "text/plain; version=0.0.4; charset=utf-8",
-                            registry_->TextExposition());
-  } else if (path == "/healthz") {
-    response = HttpResponse(200, "OK", "text/plain", "ok\n");
-  } else {
-    response = HttpResponse(404, "Not Found", "text/plain",
-                            "unknown path; try /stats or /healthz\n");
-  }
-  (void)socket.WriteAll(reinterpret_cast<const uint8_t*>(response.data()),
-                        response.size());
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
-  if (requests_counter_ != nullptr) requests_counter_->Increment();
-  {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    active_ = nullptr;
-  }
-  (void)socket.Shutdown();
+  auto http = HttpServer::Start(
+      [registry](const HttpRequest& request) -> HttpResponse {
+        if (request.path == "/stats" || request.path == "/metrics") {
+          return {200, "text/plain; version=0.0.4; charset=utf-8",
+                  registry->TextExposition()};
+        }
+        if (request.path == "/healthz") {
+          return {200, "text/plain", "ok\n"};
+        }
+        return {404, "text/plain", "unknown path; try /stats or /healthz\n"};
+      },
+      http_options);
+  if (!http.ok()) return http.status();
+  return std::unique_ptr<StatsServer>(new StatsServer(*std::move(http)));
 }
 
 }  // namespace net

@@ -1,17 +1,17 @@
 // Minimal HTTP admin endpoint serving live metrics.
 //
-// One tiny blocking HTTP/1.0-style server over net::Socket, answering:
+// A thin routing layer over net::HttpServer (the shared one-request-per-
+// connection GET plumbing), answering:
 //
 //   GET /stats    -> 200 text/plain: the registry's Prometheus text
 //   GET /metrics     exposition (the conventional scrape alias)
 //   GET /healthz  -> 200 "ok" (liveness probe)
 //   anything else -> 404 (non-GET methods -> 405)
 //
-// Scrapes are rare and tiny next to ingest traffic, so the server handles
-// one request per connection, serially, on its own accept thread: no
-// worker pool, no keep-alive, close after the response. Every read the
-// exposition performs is a relaxed atomic load — scraping never blocks a
-// shard worker or a connection reader.
+// Scrapes are rare and tiny next to ingest traffic, so one serial request
+// per connection is plenty. Every read the exposition performs is a
+// relaxed atomic load — scraping never blocks a shard worker or a
+// connection reader.
 //
 // The registry must outlive the server. server_demo wires one next to a
 // net::IngestServer; the bench/CI smoke scrapes it and reconciles the
@@ -20,15 +20,13 @@
 #ifndef LDPM_NET_STATS_SERVER_H_
 #define LDPM_NET_STATS_SERVER_H_
 
-#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "core/status.h"
-#include "net/socket.h"
+#include "net/http_server.h"
 #include "obs/metrics.h"
 
 namespace ldpm {
@@ -45,6 +43,10 @@ struct StatsServerOptions {
   /// Cap on request bytes read before answering; a client that streams
   /// an oversized request is answered 400 and closed.
   size_t max_request_bytes = 8 * 1024;
+  /// Idle deadline while reading a request: a scraper silent longer than
+  /// this mid-request is answered 408 and closed instead of pinning the
+  /// serve thread (slowloris defense). <= 0 disables.
+  std::chrono::milliseconds idle_timeout{0};
 };
 
 /// The admin endpoint (see the file comment). Start() binds and serves
@@ -57,47 +59,27 @@ class StatsServer {
       obs::MetricsRegistry* registry,
       const StatsServerOptions& options = StatsServerOptions());
 
-  ~StatsServer();
+  ~StatsServer() = default;
 
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
 
   /// The bound port (the ephemeral one when options.port was 0).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return http_->port(); }
 
   /// Stops accepting, wakes any in-flight request read, joins the serving
   /// thread. Idempotent.
-  void Stop();
+  void Stop() { http_->Stop(); }
 
   /// Requests answered so far (any status). Also published into the
   /// served registry as ldpm_stats_requests_total.
-  uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
-  }
+  uint64_t requests_served() const { return http_->requests_served(); }
 
  private:
-  StatsServer(obs::MetricsRegistry* registry,
-              const StatsServerOptions& options);
+  explicit StatsServer(std::unique_ptr<HttpServer> http)
+      : http_(std::move(http)) {}
 
-  void ServeLoop();
-  void ServeOne(Socket socket);
-
-  obs::MetricsRegistry* const registry_;
-  const StatsServerOptions options_;
-  Socket listener_;
-  uint16_t port_ = 0;
-  std::thread serve_thread_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> requests_served_{0};
-  obs::Counter* requests_counter_ = nullptr;
-
-  /// The connection currently being served, so Stop() can wake a serve
-  /// blocked mid-read on a stalled scraper.
-  std::mutex active_mu_;
-  Socket* active_ = nullptr;
-
-  std::mutex stop_mu_;  // serializes Stop()
-  bool stopped_ = false;
+  std::unique_ptr<HttpServer> http_;
 };
 
 }  // namespace net

@@ -6,6 +6,7 @@
 #define LDPM_SIM_SIMULATOR_H_
 
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "protocols/factory.h"
@@ -29,6 +30,16 @@ struct SimulationOptions {
   /// loop; > 1 hosts the run as a collection of an engine::Collector
   /// (worker threads, per-shard Rng streams — distribution-equivalent).
   int num_shards = 1;
+  /// Non-empty hosts the run on a categorical domain (kind must be
+  /// kInpES, the one protocol speaking mixed-radix tuples). Each sampled
+  /// binary row is read as the domain's packed encoding — attribute i
+  /// takes ceil(log2 r_i) row bits (wrapped over the source's width),
+  /// folded mod r_i — and the derived tuple is absorbed as its
+  /// mixed-radix packing. Scoring runs EstimateCategorical against the
+  /// derived tuples' exact marginals; estimated mass on invalid codes
+  /// counts as error. Empty keeps the binary-marginal loop, which
+  /// previously ran (wrongly) even for categorical configs.
+  std::vector<uint32_t> cardinalities;
 };
 
 /// One simulation run's outcome.

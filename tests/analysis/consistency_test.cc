@@ -6,6 +6,7 @@
 
 #include "core/marginal.h"
 #include "core/random.h"
+#include "protocols/inp_ht.h"
 #include "protocols/marg_ps.h"
 
 namespace ldpm {
@@ -149,6 +150,85 @@ TEST(MakeConsistent, DoesNotHurtAccuracy) {
     consistent_tv += truth->TotalVariationDistance((*consistent)[i]);
   }
   EXPECT_LE(consistent_tv, raw_tv * 1.05);
+}
+
+TEST(MakeConsistent, SingleMarginalIsAFixedPoint) {
+  // One marginal, even a deliberately lopsided one, fits its own
+  // coefficients exactly: the rebuild is the identity.
+  MarginalTable m(4, 0b0110);
+  m.at_compact(0) = 0.55;
+  m.at_compact(1) = 0.05;
+  m.at_compact(2) = 0.30;
+  m.at_compact(3) = 0.10;
+  auto consistent = MakeConsistent({m}, 4);
+  ASSERT_TRUE(consistent.ok());
+  ASSERT_EQ(consistent->size(), 1u);
+  for (uint64_t cell = 0; cell < m.size(); ++cell) {
+    EXPECT_NEAR((*consistent)[0].at_compact(cell), m.at_compact(cell), 1e-12);
+  }
+}
+
+TEST(MakeConsistent, EmptyWeightsAndReportCountWeightsDisagree) {
+  // Two estimates of the same 1-way marginal from unequal report counts:
+  // the equal-weight fit (empty weights) lands midway, the count-weighted
+  // fit lands at the counts' weighted mean — distinct outputs, so a
+  // caller choosing one over the other is making a real decision.
+  MarginalTable light(3, 0b001), heavy(3, 0b001);
+  light.at_compact(0) = 0.9;
+  light.at_compact(1) = 0.1;  // 1k reports said P[a0=1] = 0.1
+  heavy.at_compact(0) = 0.5;
+  heavy.at_compact(1) = 0.5;  // 9k reports said P[a0=1] = 0.5
+  const std::vector<MarginalTable> inputs = {light, heavy};
+
+  auto equal = MakeConsistent(inputs, 3);
+  auto counted = MakeConsistent(inputs, 3, {1000.0, 9000.0});
+  ASSERT_TRUE(equal.ok());
+  ASSERT_TRUE(counted.ok());
+  EXPECT_NEAR((*equal)[0].at_compact(1), 0.3, 1e-9);  // (0.1 + 0.5) / 2
+  EXPECT_NEAR((*counted)[0].at_compact(1), 0.46, 1e-9);  // 0.1·0.1 + 0.9·0.5
+  EXPECT_GT(std::abs((*equal)[0].at_compact(1) - (*counted)[0].at_compact(1)),
+            0.1);
+  // Each fit is still internally consistent: both inputs rebuilt equal.
+  EXPECT_NEAR((*equal)[0].TotalVariationDistance((*equal)[1]), 0.0, 1e-12);
+  EXPECT_NEAR((*counted)[0].TotalVariationDistance((*counted)[1]), 0.0,
+              1e-12);
+}
+
+TEST(MakeConsistent, InpHtEstimatesPassThroughUnchanged) {
+  // The header's documented invariant: InpHT already reconstructs every
+  // marginal from one shared per-coefficient estimate, so its estimate
+  // set is a fixed point of the consistency fit.
+  const int d = 5;
+  ProtocolConfig config;
+  config.d = d;
+  config.k = 2;
+  config.epsilon = 1.0;
+  auto p = InpHtProtocol::Create(config);
+  ASSERT_TRUE(p.ok());
+  Rng data_rng(61);
+  std::vector<uint64_t> rows;
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back(data_rng() & 0x1F);
+  }
+  Rng rng(62);
+  ASSERT_TRUE((*p)->AbsorbPopulation(rows, rng).ok());
+
+  std::vector<MarginalTable> estimates;
+  const std::vector<uint64_t> selectors = FullKWaySelectors(d, 2);
+  for (uint64_t beta : selectors) {
+    auto m = (*p)->EstimateMarginal(beta);
+    ASSERT_TRUE(m.ok());
+    estimates.push_back(*std::move(m));
+  }
+  auto consistent = MakeConsistent(estimates, d);
+  ASSERT_TRUE(consistent.ok());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    for (uint64_t cell = 0; cell < estimates[i].size(); ++cell) {
+      EXPECT_NEAR((*consistent)[i].at_compact(cell),
+                  estimates[i].at_compact(cell), 1e-9)
+          << "beta=" << selectors[i] << " cell=" << cell;
+    }
+  }
 }
 
 TEST(MakeConsistent, WeightsShiftTheFit) {

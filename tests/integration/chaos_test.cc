@@ -7,9 +7,11 @@
 // once and restore query results bitwise-equal to an uninterrupted run.
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -273,6 +275,72 @@ TEST_F(ChaosTest, CrashBetweenRotationAndInstallRestoresPriorGeneration) {
   auto reloaded = RegisteredCollector(restore_options);
   ASSERT_TRUE(reloaded->RestoreFrom(path).ok());
   EXPECT_EQ(ReportsAbsorbed(*reloaded), cut1_reports);
+  std::filesystem::remove_all(dir);
+}
+
+// A real kill, not a simulated one: the abort-mode failpoint takes the
+// whole process down (SIGABRT) mid-checkpoint — in the rotation/install
+// window — in a forked child. The parent reaps the corpse, verifies the
+// crash left no installed newest generation, and restores the surviving
+// prior generation bitwise-equal to a collector that only ever saw the
+// checkpointed prefix.
+TEST_F(ChaosTest, AbortFailpointKillsProcessMidCheckpointSurvivorRestores) {
+  const std::string dir = TempPath("chaos_abort_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/ckpt.bin";
+  const std::vector<uint8_t> stream1 = BuildStream(4, 150, 51);
+  const std::vector<uint8_t> stream2 = BuildStream(3, 150, 53);
+
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child: plain control flow, no gtest — any pre-abort failure exits
+    // with a distinct code so the parent can tell it from the kill.
+    CollectorOptions options;
+    options.checkpoint_generations = 2;
+    auto collector = Collector::Create(options);
+    if (!collector.ok()) ::_exit(10);
+    if (!(*collector)
+             ->Register(kCollection, ProtocolKind::kInpHT, MakeConfig(6, 2))
+             .ok()) {
+      ::_exit(11);
+    }
+    if (!(*collector)->IngestFrames(stream1).ok()) ::_exit(12);
+    if (!(*collector)->Flush().ok()) ::_exit(13);
+    if (!(*collector)->CheckpointTo(path).ok()) ::_exit(14);
+    if (!(*collector)->IngestFrames(stream2).ok()) ::_exit(15);
+    if (!(*collector)->Flush().ok()) ::_exit(16);
+    failpoint::Spec kill_spec;
+    kill_spec.mode = failpoint::Mode::kAbort;
+    kill_spec.count = 1;
+    failpoint::Arm("file_io.rename", kill_spec);
+    (void)(*collector)->CheckpointTo(path);  // SIGABRT at the install rename
+    ::_exit(17);  // reached only if the abort failpoint never fired
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited instead of dying: code "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1);
+  EXPECT_EQ(WTERMSIG(wstatus), SIGABRT);
+
+  // The crash window is real: rotation preserved the prior generation,
+  // the new image was never installed.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(path + ".1"));
+
+  CollectorOptions restore_options;
+  restore_options.checkpoint_generations = 2;
+  auto reloaded = RegisteredCollector(restore_options);
+  ASSERT_TRUE(reloaded->RestoreFrom(path).ok());
+  EXPECT_EQ(ReportsAbsorbed(*reloaded), 4u * 150u);
+
+  auto prefix_only = RegisteredCollector();
+  ASSERT_TRUE(prefix_only->IngestFrames(stream1).ok());
+  ASSERT_TRUE(prefix_only->Flush().ok());
+  ExpectCollectorsBitwiseEqual(*prefix_only, *reloaded);
   std::filesystem::remove_all(dir);
 }
 

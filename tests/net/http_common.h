@@ -1,0 +1,76 @@
+// Shared raw-socket HTTP helpers for the endpoint tests (StatsServer,
+// HttpServer, QueryServer): one-shot requests, response splitting, and
+// Prometheus-text series extraction. Header-only — every test binary is
+// its own translation unit.
+
+#ifndef LDPM_TESTS_NET_HTTP_COMMON_H_
+#define LDPM_TESTS_NET_HTTP_COMMON_H_
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/socket.h"
+
+namespace ldpm {
+namespace test {
+
+inline constexpr char kHttpLoopback[] = "127.0.0.1";
+
+/// Reads a socket to EOF (the servers close after each response).
+inline std::string ReadToEof(net::Socket& socket) {
+  std::string response;
+  uint8_t chunk[4096];
+  for (;;) {
+    auto n = socket.ReadSome(chunk, sizeof(chunk));
+    if (!n.ok() || *n == 0) break;
+    response.append(reinterpret_cast<const char*>(chunk), *n);
+  }
+  return response;
+}
+
+/// One-shot HTTP request over a raw socket: sends `request` verbatim,
+/// half-closes the write side (so a server collecting an intentionally
+/// truncated head sees EOF instead of waiting forever), and reads to EOF.
+inline std::string HttpRequest(uint16_t port, const std::string& request) {
+  auto socket = net::Socket::Connect(kHttpLoopback, port);
+  EXPECT_TRUE(socket.ok()) << socket.status().ToString();
+  if (!socket.ok()) return "";
+  EXPECT_TRUE(socket
+                  ->WriteAll(reinterpret_cast<const uint8_t*>(request.data()),
+                             request.size())
+                  .ok());
+  (void)socket->ShutdownWrite();
+  return ReadToEof(*socket);
+}
+
+inline std::string HttpGet(uint16_t port, const std::string& path) {
+  return HttpRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+/// The body after the header terminator ("" when the response is
+/// malformed) — for byte-precise error-path assertions.
+inline std::string ResponseBody(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+/// Extracts the value of series `name` from a Prometheus text body; -1
+/// when the series is absent.
+inline double SeriesValue(const std::string& body, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = body.find(name + " ", pos)) != std::string::npos) {
+    // Must be at line start and not a prefix of a longer name.
+    if (pos != 0 && body[pos - 1] != '\n') {
+      pos += name.size();
+      continue;
+    }
+    return std::stod(body.substr(pos + name.size() + 1));
+  }
+  return -1.0;
+}
+
+}  // namespace test
+}  // namespace ldpm
+
+#endif  // LDPM_TESTS_NET_HTTP_COMMON_H_

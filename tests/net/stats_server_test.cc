@@ -1,5 +1,6 @@
 // Tests for the /stats admin endpoint: HTTP surface (status codes,
-// content type, the Prometheus payload) over a raw socket, stop behavior,
+// content type, the Prometheus payload) over a raw socket (shared
+// helpers in tests/net/http_common.h), stop behavior,
 // and THE observability acceptance test — a live IngestServer pipeline
 // whose /stats scrape reconciles exactly with the client-side reply
 // totals and the collector's absorbed-report count.
@@ -14,6 +15,7 @@
 
 #include "engine/collector.h"
 #include "net/frame_client.h"
+#include "net/http_common.h"
 #include "net/ingest_server.h"
 #include "protocols/test_util.h"
 #include "protocols/wire.h"
@@ -29,48 +31,10 @@ using net::IngestServerOptions;
 using net::Socket;
 using net::StatsServer;
 using net::StatsServerOptions;
+using test::HttpGet;
+using test::HttpRequest;
 using test::MakeConfig;
-
-constexpr char kLoopback[] = "127.0.0.1";
-
-/// One-shot HTTP request over a raw socket: sends `request` verbatim and
-/// reads to EOF (the server closes after each response).
-std::string HttpRequest(uint16_t port, const std::string& request) {
-  auto socket = Socket::Connect(kLoopback, port);
-  EXPECT_TRUE(socket.ok()) << socket.status().ToString();
-  if (!socket.ok()) return "";
-  EXPECT_TRUE(socket
-                  ->WriteAll(reinterpret_cast<const uint8_t*>(request.data()),
-                             request.size())
-                  .ok());
-  std::string response;
-  uint8_t chunk[4096];
-  for (;;) {
-    auto n = socket->ReadSome(chunk, sizeof(chunk));
-    if (!n.ok() || *n == 0) break;
-    response.append(reinterpret_cast<const char*>(chunk), *n);
-  }
-  return response;
-}
-
-std::string HttpGet(uint16_t port, const std::string& path) {
-  return HttpRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
-}
-
-/// Extracts the value of series `name` from a Prometheus text body; -1
-/// when the series is absent.
-double SeriesValue(const std::string& body, const std::string& name) {
-  size_t pos = 0;
-  while ((pos = body.find(name + " ", pos)) != std::string::npos) {
-    // Must be at line start and not a prefix of a longer name.
-    if (pos != 0 && body[pos - 1] != '\n') {
-      pos += name.size();
-      continue;
-    }
-    return std::stod(body.substr(pos + name.size() + 1));
-  }
-  return -1.0;
-}
+using test::SeriesValue;
 
 std::unique_ptr<StatsServer> MustStart(obs::MetricsRegistry* registry) {
   auto server = StatsServer::Start(registry);
@@ -128,7 +92,7 @@ TEST(StatsServer, StopIsIdempotentAndPortCloses) {
   EXPECT_NE(HttpGet(port, "/healthz").find("200"), std::string::npos);
   server->Stop();
   server->Stop();
-  auto probe = Socket::Connect(kLoopback, port);
+  auto probe = Socket::Connect(test::kHttpLoopback, port);
   if (probe.ok()) {
     // A racing connect may still land in the dead backlog; it must at
     // least never be answered.
@@ -196,7 +160,7 @@ TEST(StatsServer, LiveIngestPipelineStatsReconcile) {
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&] {
-      auto client = FrameClient::Connect(kLoopback, (*ingest)->port());
+      auto client = FrameClient::Connect(test::kHttpLoopback, (*ingest)->port());
       if (!client.ok() || !client->SendBytes(stream.data(), stream.size()).ok()) {
         ++failures;
         return;

@@ -19,15 +19,17 @@ import sys
 
 
 def wire_keys(record):
-    """The wire-ingest throughput keys: single-aggregator wire absorb,
-    engine wire ingest at every shard count, and the multiplexed
-    collection-frame path."""
+    """The gated throughput keys: single-aggregator wire absorb, engine
+    wire ingest at every shard count, the multiplexed collection-frame
+    path, and the query plane's cache-hit serving rate (a structural
+    regression there means reads fell off the lock-free snapshot path)."""
     return {
         key
         for key in record
         if key.endswith("wire_rps")
         or key.endswith("_frame_rps")
         or key.endswith(".frame_rps")
+        or key == "query.cache_hit_rps"
     }
 
 
