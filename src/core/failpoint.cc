@@ -2,9 +2,10 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "core/sync.h"
 
 namespace ldpm {
 namespace failpoint {
@@ -25,8 +26,8 @@ struct Entry {
 std::atomic<int> g_armed_count{0};
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Entry> entries;
+  core::Mutex mu;
+  std::map<std::string, Entry> entries LDPM_GUARDED_BY(mu);
 };
 
 Registry& GlobalRegistry() {
@@ -34,8 +35,9 @@ Registry& GlobalRegistry() {
   return *registry;                            // be evaluated during exit
 }
 
-/// Recomputes g_armed_count from the registry (called under its mutex).
-void RefreshArmedCount(const Registry& registry) {
+/// Recomputes g_armed_count from the registry.
+void RefreshArmedCount(const Registry& registry)
+    LDPM_REQUIRES(registry.mu) {
   int armed = 0;
   for (const auto& [site, entry] : registry.entries) {
     if (entry.armed) ++armed;
@@ -135,7 +137,7 @@ bool AnyArmed() {
 
 void Arm(const std::string& site, Spec spec) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  core::MutexLock lock(registry.mu);
   Entry& entry = registry.entries[site];
   entry.remaining_skip = spec.skip;
   entry.remaining_count = spec.count;
@@ -153,14 +155,14 @@ void ArmError(const std::string& site, StatusCode code) {
 
 void Disarm(const std::string& site) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  core::MutexLock lock(registry.mu);
   registry.entries.erase(site);
   RefreshArmedCount(registry);
 }
 
 void DisarmAll() {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  core::MutexLock lock(registry.mu);
   registry.entries.clear();
   RefreshArmedCount(registry);
 }
@@ -180,14 +182,14 @@ Status ArmFromString(const std::string& specs) {
 
 uint64_t HitCount(const std::string& site) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  core::MutexLock lock(registry.mu);
   auto it = registry.entries.find(site);
   return it == registry.entries.end() ? 0 : it->second.hits;
 }
 
 std::vector<std::string> ArmedSites() {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  core::MutexLock lock(registry.mu);
   std::vector<std::string> sites;
   for (const auto& [site, entry] : registry.entries) {
     if (entry.armed) sites.push_back(site);
@@ -201,7 +203,7 @@ Status Evaluate(const char* site) {
   std::chrono::milliseconds delay{0};
   {
     Registry& registry = GlobalRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    core::MutexLock lock(registry.mu);
     auto it = registry.entries.find(site);
     if (it == registry.entries.end() || !it->second.armed) {
       return Status::OK();

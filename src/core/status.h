@@ -39,7 +39,10 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a
 /// message. Statuses are ordered-comparable only on OK-ness.
-class Status {
+// Class-level [[nodiscard]]: every function returning a Status (or a
+// StatusOr below) is implicitly must-check; intentional drops are spelled
+// (void)Foo() at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -101,7 +104,7 @@ class Status {
 /// Either a value of type T or an error Status. Mirrors absl::StatusOr in
 /// miniature: check ok() before dereferencing.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit, so functions can `return value;`).
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT

@@ -226,7 +226,7 @@ StatusOr<CollectionHandle> Collector::RegisterInternal(
   // the LIVE collection's checkpoint file when its destructor runs), and
   // nothing here calls back into the collector, so holding mu_ across the
   // (rare, registration-time-only) engine build cannot deadlock.
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (collections_.count(id) != 0) {
     return Status::AlreadyExists("Collector: collection \"" + id +
                                  "\" is already registered");
@@ -266,7 +266,7 @@ Status Collector::Unregister(std::string_view id) {
   std::shared_ptr<CollectionHandle::Collection> released;
   int shards = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     auto it = collections_.find(id);
     if (it == collections_.end()) {
       return Status::NotFound("Collector: no collection \"" + std::string(id) +
@@ -287,7 +287,7 @@ Status Collector::Unregister(std::string_view id) {
   // budget is returned while their engine lives on, as documented.)
   released.reset();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     threads_in_use_ -= shards;
   }
   return Status::OK();
@@ -295,7 +295,7 @@ Status Collector::Unregister(std::string_view id) {
 
 StatusOr<std::shared_ptr<CollectionHandle::Collection>> Collector::Find(
     std::string_view id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = collections_.find(id);
   if (it == collections_.end()) {
     return Status::NotFound("Collector: no collection \"" + std::string(id) +
@@ -311,7 +311,7 @@ StatusOr<CollectionHandle> Collector::Handle(std::string_view id) const {
 }
 
 std::vector<std::string> Collector::CollectionIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(collections_.size());
   for (const auto& [id, collection] : collections_) ids.push_back(id);
@@ -319,12 +319,12 @@ std::vector<std::string> Collector::CollectionIds() const {
 }
 
 size_t Collector::collection_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return collections_.size();
 }
 
 int Collector::worker_threads_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return threads_in_use_;
 }
 
@@ -383,7 +383,7 @@ StatusOr<CategoricalMarginal> Collector::QueryCategorical(
 Status Collector::Flush() {
   std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     live.reserve(collections_.size());
     for (const auto& [id, collection] : collections_) live.push_back(collection);
   }
@@ -401,7 +401,7 @@ Status Collector::Flush() {
 Status Collector::CheckpointTo(const std::string& path) {
   Status status = CheckpointToInternal(path);
   if (!status.ok()) ckpt_errors_total_->Increment();
-  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  core::MutexLock lock(ckpt_mu_);
   // The sticky error tracks the *unresolved* failure: a later successful
   // write means the durable state is current again and clears it.
   ckpt_error_ = status;
@@ -414,7 +414,7 @@ Status Collector::CheckpointToInternal(const std::string& path) {
   // may not be included, but every included collection's cut is exact.
   std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     live.reserve(collections_.size());
     for (const auto& [id, collection] : collections_) live.push_back(collection);
   }
@@ -448,7 +448,7 @@ Status Collector::CheckpointToInternal(const std::string& path) {
 uint64_t Collector::checkpoints_written() const {
   uint64_t total =
       container_checkpoints_written_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   for (const auto& [id, collection] : collections_) {
     total += collection->engine->checkpoints_written();
   }
@@ -457,12 +457,12 @@ uint64_t Collector::checkpoints_written() const {
 
 Status Collector::LastCheckpointError() const {
   {
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    core::MutexLock lock(ckpt_mu_);
     if (!ckpt_error_.ok()) return ckpt_error_;
   }
   std::vector<std::shared_ptr<CollectionHandle::Collection>> live;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     live.reserve(collections_.size());
     for (const auto& [id, collection] : collections_) live.push_back(collection);
   }
@@ -500,7 +500,7 @@ Status Collector::RestoreFrom(const std::string& path) {
     // A v1 single-collection file: restore into the sole collection.
     std::shared_ptr<CollectionHandle::Collection> sole;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       if (collections_.size() != 1) {
         return Status::InvalidArgument(
             path + ": a single-collection (v1) checkpoint restores only "

@@ -33,7 +33,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -309,16 +308,16 @@ class Collector {
   obs::Counter* ckpt_quarantined_total_ = nullptr;
   obs::Histogram* ckpt_duration_ = nullptr;
 
-  mutable std::mutex mu_;  // guards collections_ and threads_in_use_
+  mutable core::Mutex mu_;  // guards collections_ and threads_in_use_
   std::map<std::string, std::shared_ptr<CollectionHandle::Collection>,
            std::less<>>
-      collections_;
-  int threads_in_use_ = 0;
+      collections_ LDPM_GUARDED_BY(mu_);
+  int threads_in_use_ LDPM_GUARDED_BY(mu_) = 0;
 
   /// Collector-level checkpoint outcomes (see checkpoints_written /
   /// LastCheckpointError); engines keep their own.
-  mutable std::mutex ckpt_mu_;
-  Status ckpt_error_;
+  mutable core::Mutex ckpt_mu_;
+  Status ckpt_error_ LDPM_GUARDED_BY(ckpt_mu_);
   std::atomic<uint64_t> container_checkpoints_written_{0};
 };
 

@@ -13,9 +13,9 @@
 #define LDPM_ENGINE_INGEST_BUDGET_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "core/sync.h"
 
 namespace ldpm {
 namespace engine {
@@ -36,15 +36,15 @@ class IngestBudget {
   IngestBudget& operator=(const IngestBudget&) = delete;
 
   /// Blocks until a slot is free, then takes it.
-  void Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return in_flight_ < limit_; });
+  void Acquire() LDPM_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    while (in_flight_ >= limit_) cv_.Wait(mu_);
     ++in_flight_;
   }
 
   /// Takes a slot if one is free right now; never blocks.
-  bool TryAcquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryAcquire() LDPM_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
     if (in_flight_ >= limit_) return false;
     ++in_flight_;
     return true;
@@ -52,10 +52,13 @@ class IngestBudget {
 
   /// Waits up to `timeout` for a slot; true when one was taken. A zero or
   /// negative timeout degenerates to TryAcquire.
-  bool AcquireFor(std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [&] { return in_flight_ < limit_; })) {
-      return false;
+  bool AcquireFor(std::chrono::nanoseconds timeout) LDPM_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    core::MutexLock lock(mu_);
+    while (in_flight_ >= limit_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      cv_.WaitFor(mu_, deadline - now);
     }
     ++in_flight_;
     return true;
@@ -63,17 +66,17 @@ class IngestBudget {
 
   /// Returns a slot taken by Acquire. Notified after the lock is released
   /// so a woken producer never immediately blocks on the notifier's mutex.
-  void Release() {
+  void Release() LDPM_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       --in_flight_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Work items currently holding a slot (enqueued or being absorbed).
-  size_t in_flight() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t in_flight() const LDPM_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
     return in_flight_;
   }
 
@@ -81,9 +84,9 @@ class IngestBudget {
 
  private:
   const size_t limit_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t in_flight_ = 0;
+  mutable core::Mutex mu_;
+  core::CondVar cv_;
+  size_t in_flight_ LDPM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace engine

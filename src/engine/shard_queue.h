@@ -30,14 +30,13 @@
 #define LDPM_ENGINE_SHARD_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
 #include "protocols/protocol.h"
 
 namespace ldpm {
@@ -98,15 +97,15 @@ class ShardQueue {
       // max_pending plus the ring capacity.)
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [&] {
-        return closed_.load(std::memory_order_relaxed) ||
-               items_.size() < max_pending_;
-      });
+      core::MutexLock lock(mu_);
+      while (!closed_.load(std::memory_order_relaxed) &&
+             items_.size() >= max_pending_) {
+        not_full_.Wait(mu_);
+      }
       if (closed_.load(std::memory_order_relaxed)) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -119,49 +118,46 @@ class ShardQueue {
       // observe an item gone from the ring but not yet marked in flight.
       busy_.store(true, std::memory_order_seq_cst);
       if (PopRing(out)) return true;
-      bool notify_drained = false;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        if (!items_.empty()) {
-          out = std::move(items_.front());
-          items_.pop_front();
-          // busy_ stays true until Done().
-          lock.unlock();
-          not_full_.notify_one();
-          return true;
-        }
-        busy_.store(false, std::memory_order_seq_cst);
-        notify_drained = RingEmpty();
-        if (closed_.load(std::memory_order_relaxed) && RingEmpty()) {
-          if (ring_push_pending_.load(std::memory_order_seq_cst)) {
-            // A ring push raced Close(): it read closed == false before the
-            // close landed but has not committed yet. Spin one iteration —
-            // either the item appears in the ring (and is drained) or the
-            // push aborts and the pending flag clears.
-            lock.unlock();
-            if (notify_drained) drained_.notify_all();
-            std::this_thread::yield();
-            continue;
-          }
-          lock.unlock();
-          if (notify_drained) drained_.notify_all();
-          return false;
-        }
-        if (notify_drained) {
-          // Notify with the mutex dropped (a waiter must not wake straight
-          // into our lock); the wait predicate below re-checks under lock,
-          // so releasing it briefly is safe.
-          lock.unlock();
-          drained_.notify_all();
-          lock.lock();
-        }
-        consumer_idle_.store(true, std::memory_order_seq_cst);
-        not_empty_.wait(lock, [&] {
-          return closed_.load(std::memory_order_relaxed) ||
-                 !items_.empty() || !RingEmpty();
-        });
-        consumer_idle_.store(false, std::memory_order_seq_cst);
+      core::ReleasableMutexLock lock(mu_);
+      if (!items_.empty()) {
+        out = std::move(items_.front());
+        items_.pop_front();
+        // busy_ stays true until Done().
+        lock.Release();
+        not_full_.NotifyOne();
+        return true;
       }
+      busy_.store(false, std::memory_order_seq_cst);
+      const bool notify_drained = RingEmpty();
+      if (closed_.load(std::memory_order_relaxed) && RingEmpty()) {
+        const bool push_in_flight =
+            ring_push_pending_.load(std::memory_order_seq_cst);
+        lock.Release();
+        if (notify_drained) drained_.NotifyAll();
+        if (push_in_flight) {
+          // A ring push raced Close(): it read closed == false before the
+          // close landed but has not committed yet. Spin one iteration —
+          // either the item appears in the ring (and is drained) or the
+          // push aborts and the pending flag clears.
+          std::this_thread::yield();
+          continue;
+        }
+        return false;
+      }
+      if (notify_drained) {
+        // Notify with the mutex dropped (a waiter must not wake straight
+        // into our lock); the wait loop below re-checks under lock, so
+        // releasing it briefly is safe.
+        lock.Release();
+        drained_.NotifyAll();
+        lock.Reacquire();
+      }
+      consumer_idle_.store(true, std::memory_order_seq_cst);
+      while (!closed_.load(std::memory_order_relaxed) && items_.empty() &&
+             RingEmpty()) {
+        not_empty_.Wait(mu_);
+      }
+      consumer_idle_.store(false, std::memory_order_seq_cst);
     }
   }
 
@@ -169,27 +165,27 @@ class ShardQueue {
   void Done() {
     bool notify = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       busy_.store(false, std::memory_order_seq_cst);
       notify = items_.empty() && RingEmpty();
     }
-    if (notify) drained_.notify_all();
+    if (notify) drained_.NotifyAll();
   }
 
   /// Blocks until every pushed item has been popped AND processed.
   void WaitDrained() {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_.wait(lock, [&] {
-      return items_.empty() && RingEmpty() &&
-             !busy_.load(std::memory_order_seq_cst);
-    });
+    core::MutexLock lock(mu_);
+    while (!items_.empty() || !RingEmpty() ||
+           busy_.load(std::memory_order_seq_cst)) {
+      drained_.Wait(mu_);
+    }
   }
 
   /// Wakes all waiters; subsequent pushes fail. The consumer drains what is
   /// already queued, then Pop returns false.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       closed_.store(true, std::memory_order_seq_cst);
     }
     // Wait out a ring push that read closed == false before the store
@@ -198,8 +194,8 @@ class ShardQueue {
     while (ring_push_pending_.load(std::memory_order_seq_cst)) {
       std::this_thread::yield();
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
  private:
@@ -245,8 +241,8 @@ class ShardQueue {
   /// consumer's empty-check and its wait, then notify.
   void WakeIdleConsumer() {
     if (!consumer_idle_.load(std::memory_order_seq_cst)) return;
-    { std::lock_guard<std::mutex> lock(mu_); }
-    not_empty_.notify_one();
+    { core::MutexLock lock(mu_); }
+    not_empty_.NotifyOne();
   }
 
   const size_t max_pending_;
@@ -259,12 +255,14 @@ class ShardQueue {
   std::atomic<bool> consumer_idle_{false};
   std::atomic<bool> ring_push_pending_{false};  // Close() handshake
 
-  // MPSC mutex path + shared control state.
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::condition_variable drained_;
-  std::deque<WorkItem> items_;
+  // MPSC mutex path + shared control state. The atomics below are
+  // deliberately unguarded: closed_/busy_ are read on lock-free paths and
+  // their cross-path handshakes are documented inline above.
+  core::Mutex mu_;
+  core::CondVar not_full_;
+  core::CondVar not_empty_;
+  core::CondVar drained_;
+  std::deque<WorkItem> items_ LDPM_GUARDED_BY(mu_);
   std::atomic<bool> closed_{false};
   std::atomic<bool> busy_{false};
 };

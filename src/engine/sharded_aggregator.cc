@@ -77,8 +77,13 @@ StatusOr<std::unique_ptr<ShardedAggregator>> ShardedAggregator::Create(
     auto shard = std::make_unique<Shard>(options.max_pending_batches);
     auto protocol = factory();
     if (!protocol.ok()) return protocol.status();
-    shard->protocol = *std::move(protocol);
-    shard->rng = seeder.Fork();
+    {
+      // No worker exists yet; the lock exists for the analysis (rng and the
+      // protocol state are guarded by state_mu) and is uncontended.
+      core::MutexLock state_lock(shard->state_mu);
+      shard->protocol = *std::move(protocol);
+      shard->rng = seeder.Fork();
+    }
     engine->shards_.push_back(std::move(shard));
   }
   // Instruments must exist before any worker runs (workers time absorbs
@@ -159,10 +164,10 @@ ShardedAggregator::~ShardedAggregator() {
   (void)FlushPending();
   // Stop the checkpointer first so it cannot observe shards mid-teardown.
   {
-    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    core::MutexLock lock(ckpt_mu_);
     ckpt_stop_ = true;
   }
-  ckpt_cv_.notify_all();
+  ckpt_cv_.NotifyAll();
   if (checkpoint_worker_.joinable()) checkpoint_worker_.join();
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
@@ -180,7 +185,7 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
   WorkItem item;
   while (shard.queue.Pop(item)) {
     {
-      std::lock_guard<std::mutex> state_lock(shard.state_mu);
+      core::MutexLock state_lock(shard.state_mu);
       const uint64_t reports_before = shard.protocol->reports_absorbed();
       const double bits_before = shard.protocol->total_report_bits();
       // After the first error the shard keeps draining (so Flush terminates)
@@ -228,7 +233,7 @@ void ShardedAggregator::WorkerLoop(Shard& shard) {
 
 void ShardedAggregator::NoteIngestStarted() {
   ingest_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lock(window_mu_);
+  core::MutexLock lock(window_mu_);
   if (!window_open_) {
     window_open_ = true;
     window_start_ = std::chrono::steady_clock::now();
@@ -238,7 +243,7 @@ void ShardedAggregator::NoteIngestStarted() {
 Status ShardedAggregator::Ingest(const Report& report) {
   std::vector<Report> ready;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    core::MutexLock lock(pending_mu_);
     pending_.push_back(report);
     if (pending_.size() < options_.batch_size) {
       NoteIngestStarted();
@@ -317,7 +322,7 @@ Status ShardedAggregator::IngestPopulation(const std::vector<uint64_t>& rows,
 Status ShardedAggregator::FlushPending() {
   std::vector<Report> ready;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    core::MutexLock lock(pending_mu_);
     if (pending_.empty()) return Status::OK();
     ready = std::move(pending_);
     pending_.clear();
@@ -328,7 +333,7 @@ Status ShardedAggregator::FlushPending() {
 Status ShardedAggregator::DrainAndCollectErrors() {
   for (auto& shard : shards_) shard->queue.WaitDrained();
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> state_lock(shards_[s]->state_mu);
+    core::MutexLock state_lock(shards_[s]->state_mu);
     if (!shards_[s]->error.ok()) {
       return Status(shards_[s]->error.code(),
                     "shard " + std::to_string(s) + ": " +
@@ -352,7 +357,7 @@ Status ShardedAggregator::Drain() {
 }
 
 StatusOr<const MarginalProtocol*> ShardedAggregator::Merged() {
-  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  core::MutexLock merge_lock(merge_mu_);
   // Push the coalescing buffer first (it bumps the epoch), THEN record the
   // epoch, then drain: work that lands during the drain or the merge is
   // included in the shard states we read but not in the recorded epoch, so
@@ -364,7 +369,7 @@ StatusOr<const MarginalProtocol*> ShardedAggregator::Merged() {
     auto merged = factory_();
     if (!merged.ok()) return merged.status();
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      core::MutexLock state_lock(shard->state_mu);
       LDPM_RETURN_IF_ERROR((*merged)->MergeFrom(*shard->protocol));
     }
     merged_ = *std::move(merged);
@@ -385,17 +390,17 @@ StatusOr<IngestStats> ShardedAggregator::Stats() {
   {
     // The registry counter is monotonic (the Prometheus contract); the
     // stats window subtracts the baseline recorded at the last Reset().
-    std::lock_guard<std::mutex> lock(window_mu_);
+    core::MutexLock lock(window_mu_);
     stats.batches = batches_total_->Value() - window_base_batches_;
   }
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    core::MutexLock state_lock(shard->state_mu);
     stats.per_shard_reports.push_back(shard->protocol->reports_absorbed());
     stats.reports += shard->protocol->reports_absorbed();
     stats.bits += shard->protocol->total_report_bits();
   }
   {
-    std::lock_guard<std::mutex> lock(window_mu_);
+    core::MutexLock lock(window_mu_);
     if (window_open_) {
       stats.wall_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - window_start_)
@@ -414,7 +419,7 @@ StatusOr<uint64_t> ShardedAggregator::ReportsAbsorbed() {
   LDPM_RETURN_IF_ERROR(Flush());
   uint64_t total = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    core::MutexLock state_lock(shard->state_mu);
     total += shard->protocol->reports_absorbed();
   }
   return total;
@@ -424,9 +429,9 @@ StatusOr<std::vector<AggregatorSnapshot>> ShardedAggregator::SnapshotShards() {
   LDPM_RETURN_IF_ERROR(Flush());
   std::vector<AggregatorSnapshot> snapshots;
   snapshots.reserve(shards_.size());
-  std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+  core::MutexLock cut_lock(state_cut_mu_);
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> state_lock(shard->state_mu);
+    core::MutexLock state_lock(shard->state_mu);
     snapshots.push_back(shard->protocol->Snapshot());
   }
   return snapshots;
@@ -446,14 +451,14 @@ Status ShardedAggregator::RestoreShards(
     staged.push_back(*std::move(scratch));
   }
   {
-    std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+    core::MutexLock cut_lock(state_cut_mu_);
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      core::MutexLock state_lock(shard->state_mu);
       shard->protocol->Reset();
     }
     for (size_t i = 0; i < staged.size(); ++i) {
       Shard& target = *shards_[i % shards_.size()];
-      std::lock_guard<std::mutex> state_lock(target.state_mu);
+      core::MutexLock state_lock(target.state_mu);
       LDPM_RETURN_IF_ERROR(target.protocol->MergeFrom(*staged[i]));
     }
   }
@@ -480,7 +485,7 @@ Status ShardedAggregator::RestoreFrom(const std::string& path) {
 }
 
 Status ShardedAggregator::LastCheckpointError() {
-  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  core::MutexLock lock(ckpt_mu_);
   return ckpt_error_;
 }
 
@@ -489,9 +494,9 @@ Status ShardedAggregator::WriteCheckpointNow(const std::string& path) {
   std::vector<AggregatorSnapshot> snapshots;
   snapshots.reserve(shards_.size());
   {
-    std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+    core::MutexLock cut_lock(state_cut_mu_);
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      core::MutexLock state_lock(shard->state_mu);
       snapshots.push_back(shard->protocol->Snapshot());
     }
   }
@@ -522,13 +527,13 @@ void ShardedAggregator::MaybeWakeCheckpointer() {
     // checkpointer's predicate check and its wait (same pattern as
     // ShardQueue::WakeIdleConsumer). Uncontended except in the short
     // window between crossing the cadence and the checkpoint starting.
-    { std::lock_guard<std::mutex> lock(ckpt_mu_); }
-    ckpt_cv_.notify_one();
+    { core::MutexLock lock(ckpt_mu_); }
+    ckpt_cv_.NotifyOne();
   }
 }
 
 void ShardedAggregator::CheckpointLoop() {
-  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  core::ReleasableMutexLock lock(ckpt_mu_);
   auto backoff = options_.checkpoint_retry_initial_backoff;
   bool retrying = false;
   for (;;) {
@@ -537,27 +542,31 @@ void ShardedAggregator::CheckpointLoop() {
       // trigger and retry after a capped backoff instead of waiting for
       // the next cadence crossing — the failed interval's data is exactly
       // what a crash would lose. Stop-aware: shutdown interrupts the wait.
-      ckpt_cv_.wait_for(lock, backoff, [&] { return ckpt_stop_; });
+      const auto deadline = std::chrono::steady_clock::now() + backoff;
+      while (!ckpt_stop_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        ckpt_cv_.WaitFor(ckpt_mu_, deadline - now);
+      }
     } else {
-      ckpt_cv_.wait(lock, [&] {
-        return ckpt_stop_ ||
-               batches_total_->Value() -
-                       last_checkpoint_batches_.load(
-                           std::memory_order_relaxed) >=
-                   options_.checkpoint_every_batches;
-      });
+      while (!ckpt_stop_ &&
+             batches_total_->Value() -
+                     last_checkpoint_batches_.load(std::memory_order_relaxed) <
+                 options_.checkpoint_every_batches) {
+        ckpt_cv_.Wait(ckpt_mu_);
+      }
     }
     if (ckpt_stop_) return;
     // Record the trigger point before writing so a steady ingest stream
     // produces one checkpoint per cadence interval, not one per batch.
     last_checkpoint_batches_.store(batches_total_->Value(),
                                    std::memory_order_relaxed);
-    lock.unlock();
+    lock.Release();
     // Without a flush barrier: the background checkpoint is a consistent
     // per-shard prefix of the stream (each shard snapshot is atomic with
     // respect to work items), captured and written while ingest continues.
     Status status = WriteCheckpointNow(options_.checkpoint_path);
-    lock.lock();
+    lock.Reacquire();
     if (status.ok()) {
       checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
       // The durable state on disk is current again; an error left sticky
@@ -577,9 +586,9 @@ Status ShardedAggregator::Reset() {
   LDPM_RETURN_IF_ERROR(FlushPending());
   for (auto& shard : shards_) shard->queue.WaitDrained();
   {
-    std::lock_guard<std::mutex> cut_lock(state_cut_mu_);
+    core::MutexLock cut_lock(state_cut_mu_);
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> state_lock(shard->state_mu);
+      core::MutexLock state_lock(shard->state_mu);
       shard->protocol->Reset();
       shard->error = Status::OK();
     }
@@ -589,16 +598,16 @@ Status ShardedAggregator::Reset() {
     // The registry counter stays monotonic across Reset (the Prometheus
     // contract), so restart the cadence from its current value instead of
     // zeroing; the unsigned difference can never wrap.
-    std::lock_guard<std::mutex> ckpt_lock(ckpt_mu_);
+    core::MutexLock ckpt_lock(ckpt_mu_);
     last_checkpoint_batches_.store(batches_total_->Value(),
                                    std::memory_order_relaxed);
     ckpt_error_ = Status::OK();
   }
   {
-    std::lock_guard<std::mutex> merge_lock(merge_mu_);
+    core::MutexLock merge_lock(merge_mu_);
     merged_.reset();
   }
-  std::lock_guard<std::mutex> lock(window_mu_);
+  core::MutexLock lock(window_mu_);
   window_open_ = false;
   window_base_batches_ = batches_total_->Value();
   return Status::OK();

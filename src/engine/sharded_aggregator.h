@@ -26,15 +26,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "engine/ingest_budget.h"
 #include "engine/ingest_stats.h"
 #include "engine/shard_queue.h"
@@ -138,9 +137,16 @@ class ShardedAggregator {
   /// Number of shards (== worker threads) this engine runs.
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// Display name of the hosted protocol ("InpHT", ...).
-  std::string_view protocol_name() const { return shards_[0]->protocol->name(); }
-  /// The configuration every shard protocol was created with.
-  const ProtocolConfig& config() const { return shards_[0]->protocol->config(); }
+  std::string_view protocol_name() const {
+    core::MutexLock lock(shards_[0]->state_mu);
+    return shards_[0]->protocol->name();
+  }
+  /// The configuration every shard protocol was created with (immutable
+  /// after construction, so the returned reference outlives the lock).
+  const ProtocolConfig& config() const {
+    core::MutexLock lock(shards_[0]->state_mu);
+    return shards_[0]->protocol->config();
+  }
 
   // ---- Ingest (thread-safe) ----------------------------------------------
 
@@ -247,15 +253,18 @@ class ShardedAggregator {
 
  private:
   struct Shard {
-    std::unique_ptr<MarginalProtocol> protocol;
-    Rng rng{0};
-    ShardQueue queue;
-    std::thread worker;
-    Status error;  // first absorb/encode error, sticky until Reset
     /// Serializes the worker's state mutation against control-plane reads
     /// (merge, stats, snapshot); held per work item, so uncontended in
     /// steady state.
-    std::mutex state_mu;
+    core::Mutex state_mu;
+    /// The pointer itself is set once in Create (before the worker starts);
+    /// the protocol state behind it mutates only under state_mu.
+    std::unique_ptr<MarginalProtocol> protocol LDPM_PT_GUARDED_BY(state_mu);
+    Rng rng LDPM_GUARDED_BY(state_mu){0};
+    ShardQueue queue;
+    std::thread worker;
+    /// First absorb/encode error, sticky until Reset.
+    Status error LDPM_GUARDED_BY(state_mu);
     /// Live work items on this shard's queue (producer +1, worker -1
     /// after absorb) and the high-water mark it has reached.
     obs::Gauge* queue_depth = nullptr;
@@ -282,9 +291,10 @@ class ShardedAggregator {
   /// the checkpoint file. Called by the background checkpointer; each
   /// shard's snapshot is taken under its state lock, so the set is a
   /// consistent per-shard prefix of the absorbed stream.
-  Status WriteCheckpointNow(const std::string& path);
-  void CheckpointLoop();
-  void MaybeWakeCheckpointer();
+  Status WriteCheckpointNow(const std::string& path)
+      LDPM_EXCLUDES(state_cut_mu_, ckpt_mu_);
+  void CheckpointLoop() LDPM_EXCLUDES(ckpt_mu_);
+  void MaybeWakeCheckpointer() LDPM_EXCLUDES(ckpt_mu_);
 
   ProtocolFactory factory_;
   EngineOptions options_;
@@ -306,8 +316,9 @@ class ShardedAggregator {
   obs::Counter* ckpt_bytes_total_ = nullptr;     // encoded bytes written
   obs::Histogram* ckpt_duration_ = nullptr;      // encode+write, ns
 
-  std::mutex pending_mu_;
-  std::vector<Report> pending_;  // single-report coalescing buffer
+  core::Mutex pending_mu_;
+  /// Single-report coalescing buffer.
+  std::vector<Report> pending_ LDPM_GUARDED_BY(pending_mu_);
 
   std::atomic<uint64_t> next_shard_{0};
 
@@ -315,37 +326,39 @@ class ShardedAggregator {
   /// valid only for the epoch it was built at; comparing epochs (instead of
   /// a clearable flag) cannot lose an invalidation that lands mid-merge.
   std::atomic<uint64_t> ingest_epoch_{0};
-  std::mutex merge_mu_;  // guards merged_ and merged_epoch_
-  std::unique_ptr<MarginalProtocol> merged_;
-  uint64_t merged_epoch_ = ~uint64_t{0};
+  core::Mutex merge_mu_;
+  std::unique_ptr<MarginalProtocol> merged_ LDPM_GUARDED_BY(merge_mu_);
+  uint64_t merged_epoch_ LDPM_GUARDED_BY(merge_mu_) = ~uint64_t{0};
 
   /// Makes cross-shard state transitions atomic against snapshot capture:
   /// held across the whole shard loop by Snapshot/checkpoint capture and
   /// by Reset/RestoreShards, so a background checkpoint racing a reset or
   /// restore sees all shards before or all shards after, never a mix
   /// (per-shard state_mu alone orders only within one shard). Always
-  /// acquired before any state_mu, never the other way around.
-  std::mutex state_cut_mu_;
+  /// acquired before any state_mu, never the other way around
+  /// (docs/operations.md, "Lock ordering").
+  core::Mutex state_cut_mu_;
 
-  std::mutex window_mu_;
-  bool window_open_ = false;
-  std::chrono::steady_clock::time_point window_start_;
+  core::Mutex window_mu_;
+  bool window_open_ LDPM_GUARDED_BY(window_mu_) = false;
+  std::chrono::steady_clock::time_point window_start_
+      LDPM_GUARDED_BY(window_mu_);
   /// Batch-counter value at the last Reset: the registry counter is
   /// monotonic for the scrapers' sake, so the resettable IngestStats
   /// window subtracts this baseline instead of zeroing it. (Reports and
   /// bits need no baseline — Reset clears the shard protocols they are
   /// read from.)
-  uint64_t window_base_batches_ = 0;
+  uint64_t window_base_batches_ LDPM_GUARDED_BY(window_mu_) = 0;
 
   /// Background checkpointer (started only when the cadence is enabled).
   /// The worker sleeps on ckpt_cv_ until the enqueued-batch counter runs
   /// checkpoint_every_batches past the last checkpoint; ingest paths only
   /// ever notify the condvar — they never touch the disk.
   std::thread checkpoint_worker_;
-  std::mutex ckpt_mu_;  // guards ckpt_stop_ / ckpt_error_ and the cv wait
-  std::condition_variable ckpt_cv_;
-  bool ckpt_stop_ = false;
-  Status ckpt_error_;
+  core::Mutex ckpt_mu_;  // guards ckpt_stop_ / ckpt_error_ and the cv wait
+  core::CondVar ckpt_cv_;
+  bool ckpt_stop_ LDPM_GUARDED_BY(ckpt_mu_) = false;
+  Status ckpt_error_ LDPM_GUARDED_BY(ckpt_mu_);
   std::atomic<uint64_t> last_checkpoint_batches_{0};
   std::atomic<uint64_t> checkpoints_written_{0};
 };

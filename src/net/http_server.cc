@@ -97,13 +97,13 @@ StatusOr<std::unique_ptr<HttpServer>> HttpServer::Start(
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  core::MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
   (void)listener_.Shutdown();
   {
     // Wake a serve blocked reading a stalled client's request.
-    std::lock_guard<std::mutex> lock(active_mu_);
+    core::MutexLock lock(active_mu_);
     if (active_ != nullptr) (void)active_->Shutdown();
   }
   if (serve_thread_.joinable()) serve_thread_.join();
@@ -124,7 +124,7 @@ void HttpServer::ServeLoop() {
 
 void HttpServer::ServeOne(Socket socket) {
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    core::MutexLock lock(active_mu_);
     active_ = &socket;
   }
   // Read until the end of the request head (bodies are never read: the
@@ -190,7 +190,7 @@ void HttpServer::ServeOne(Socket socket) {
     options_.requests_counter->Increment();
   }
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    core::MutexLock lock(active_mu_);
     active_ = nullptr;
   }
   (void)socket.Shutdown();

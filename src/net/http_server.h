@@ -34,13 +34,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 
 #include "core/status.h"
+#include "core/sync.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 
@@ -119,7 +119,7 @@ class HttpServer {
 
   /// Stops accepting, wakes any in-flight request read, joins the serving
   /// thread. Idempotent.
-  void Stop();
+  void Stop() LDPM_EXCLUDES(stop_mu_, active_mu_);
 
   /// Requests answered so far (any status, including 4xx).
   uint64_t requests_served() const {
@@ -142,11 +142,13 @@ class HttpServer {
 
   /// The connection currently being served, so Stop() can wake a serve
   /// blocked mid-read on a stalled client.
-  std::mutex active_mu_;
-  Socket* active_ = nullptr;
+  core::Mutex active_mu_;
+  Socket* active_ LDPM_GUARDED_BY(active_mu_) = nullptr;
 
-  std::mutex stop_mu_;  // serializes Stop()
-  bool stopped_ = false;
+  /// Serializes Stop(): deliberately held across the serve-thread join so
+  /// a second caller returns only once the first stop completed.
+  core::Mutex stop_mu_;
+  bool stopped_ LDPM_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace net

@@ -106,41 +106,43 @@ Status IngestServer::Stop() {
   // The graceful-stop sequence: stop accepting -> wake and drain every
   // reader -> Drain() the collector. Serialized so concurrent/second
   // Stop() calls observe the first one's result.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  core::MutexLock stop_lock(stop_mu_);
   if (stopped_) return stop_status_;
   obs::ScopedTimer drain_timer(drain_duration_);
   stopping_.store(true, std::memory_order_release);
   // Wakes the accept thread out of its blocking accept.
   (void)listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is joined, so connections_ can no longer grow: move
+  // the list out under its lock and run the whole drain on the local copy,
+  // so readers are joined without connections_mu_ held (a concurrent
+  // active_connections() probe must never block for the length of a
+  // drain).
+  std::vector<std::unique_ptr<Connection>> to_drain;
   {
+    core::MutexLock lock(connections_mu_);
     // Wake readers blocked in recv with a READ-side half-close only: the
     // write side must stay usable so each reader can still deliver its
     // 'server is stopping' error reply (offset + message) before closing.
     // Readers waiting on the ingest budget observe stopping_ at their
     // next timed probe.
-    std::lock_guard<std::mutex> lock(connections_mu_);
     for (auto& connection : connections_) {
       (void)connection->socket.ShutdownRead();
     }
+    to_drain.swap(connections_);
   }
-  // The accept thread is joined, so connections_ can no longer grow;
-  // join the readers without holding the lock they briefly take.
-  for (auto& connection : connections_) {
+  for (auto& connection : to_drain) {
     if (connection->reader.joinable()) connection->reader.join();
   }
-  {
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    // Abortive close (RST), not a graceful FIN: a mid-stream client
-    // blocked in send() against our now-unread receive window must be
-    // woken immediately — after the shutdown above, a graceful close
-    // would leave it probing a zero window until the kernel's orphan
-    // timeout, a minute-scale stall for every saturated client.
-    for (auto& connection : connections_) {
-      connection->socket.CloseWithReset();
-    }
-    connections_.clear();
+  // Abortive close (RST), not a graceful FIN: a mid-stream client
+  // blocked in send() against our now-unread receive window must be
+  // woken immediately — after the shutdown above, a graceful close
+  // would leave it probing a zero window until the kernel's orphan
+  // timeout, a minute-scale stall for every saturated client.
+  for (auto& connection : to_drain) {
+    connection->socket.CloseWithReset();
   }
+  to_drain.clear();
   listener_.Close();
   stop_status_ = options_.drain_collector_on_stop && started_
                      ? collector_->Drain()
@@ -163,7 +165,7 @@ IngestServerStats IngestServer::stats() const {
 }
 
 size_t IngestServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(connections_mu_);
+  core::MutexLock lock(connections_mu_);
   size_t active = 0;
   for (const auto& connection : connections_) {
     if (!connection->finished.load(std::memory_order_acquire)) ++active;
@@ -189,11 +191,25 @@ void IngestServer::AcceptLoop() {
       accepted->CloseWithReset();
       continue;
     }
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    if (stopping()) return;
-    ReapFinishedLocked();
-    if (options_.max_connections > 0 &&
-        connections_.size() >= static_cast<size_t>(options_.max_connections)) {
+    // Hold connections_mu_ only for the membership decision: the shed
+    // path's socket I/O and the reader spawn below run without it (a
+    // stats probe or a stopping server must never wait on a slow shed
+    // peer). Spawning outside the lock is safe because Stop() joins this
+    // thread before it touches connections_.
+    Connection* connection = nullptr;
+    {
+      core::MutexLock lock(connections_mu_);
+      if (stopping()) return;
+      ReapFinishedLocked();
+      if (options_.max_connections <= 0 ||
+          connections_.size() <
+              static_cast<size_t>(options_.max_connections)) {
+        connections_.push_back(
+            std::make_unique<Connection>(*std::move(accepted)));
+        connection = connections_.back().get();
+      }
+    }
+    if (connection == nullptr) {
       // Shed at the door: an explicit rejection beats an accepted
       // connection nobody will ever read. Consume what the client already
       // sent (typically its preamble) before replying and again before
@@ -220,9 +236,6 @@ void IngestServer::AcceptLoop() {
       connections_shed_->Increment();
       continue;
     }
-    connections_.push_back(
-        std::make_unique<Connection>(*std::move(accepted)));
-    Connection* connection = connections_.back().get();
     connection->reader = std::thread(
         [this, connection] { ServeConnection(*connection); });
     connections_accepted_->Increment();
@@ -314,7 +327,7 @@ Status IngestServer::GateOnBudget() {
 
 Status IngestServer::AcquireSession(uint64_t token, Socket& socket,
                                     StreamContext* context) {
-  std::unique_lock<std::mutex> lock(sessions_mu_);
+  core::MutexLock lock(sessions_mu_);
   const auto busy_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   for (;;) {
@@ -371,13 +384,13 @@ Status IngestServer::AcquireSession(uint64_t token, Socket& socket,
           "IngestServer: session " + std::to_string(token) +
           " is still owned by another connection");
     }
-    sessions_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    sessions_cv_.WaitFor(sessions_mu_, std::chrono::milliseconds(50));
   }
 }
 
 void IngestServer::ReleaseSession(uint64_t token) {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    core::MutexLock lock(sessions_mu_);
     auto it = sessions_.find(token);
     if (it != sessions_.end()) {
       it->second.active = false;
@@ -385,13 +398,13 @@ void IngestServer::ReleaseSession(uint64_t token) {
       it->second.last_used = ++session_tick_;
     }
   }
-  sessions_cv_.notify_all();
+  sessions_cv_.NotifyAll();
 }
 
 void IngestServer::RecordSessionProgress(uint64_t token,
                                          uint64_t routed_bytes,
                                          uint64_t frames_delta) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  core::MutexLock lock(sessions_mu_);
   auto it = sessions_.find(token);
   if (it == sessions_.end()) return;
   it->second.routed_bytes = routed_bytes;

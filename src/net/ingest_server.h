@@ -49,15 +49,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "engine/collector.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -163,7 +162,7 @@ class IngestServer {
   /// error reply (best effort — a client still blasting may observe the
   /// closing reset before reading it) and everything already routed
   /// stays ingested.
-  Status Stop();
+  Status Stop() LDPM_EXCLUDES(stop_mu_, connections_mu_);
 
   /// True once Stop() has begun (readers observe this between blocking
   /// operations).
@@ -222,14 +221,15 @@ class IngestServer {
   StreamOutcome ServeStreamBody(Socket& socket, const StreamContext& context);
   /// Claims the session for `socket`, waking and waiting out a half-open
   /// previous owner. Fills `context` on success.
-  Status AcquireSession(uint64_t token, Socket& socket,
-                        StreamContext* context);
-  void ReleaseSession(uint64_t token);
+  Status AcquireSession(uint64_t token, Socket& socket, StreamContext* context)
+      LDPM_EXCLUDES(sessions_mu_);
+  void ReleaseSession(uint64_t token) LDPM_EXCLUDES(sessions_mu_);
   /// Publishes the owning reader's routing progress into the session the
   /// instant a frame is routed — the exactly-once line a reconnect
   /// resumes from.
   void RecordSessionProgress(uint64_t token, uint64_t routed_bytes,
-                             uint64_t frames_delta);
+                             uint64_t frames_delta)
+      LDPM_EXCLUDES(sessions_mu_);
   /// Waits (stop-aware) until the collector's shared budget shows
   /// headroom; non-OK on stop or shed timeout.
   Status GateOnBudget();
@@ -237,7 +237,7 @@ class IngestServer {
                  uint64_t frames, uint64_t bytes);
   /// Joins and drops connections whose readers have finished (called from
   /// the accept thread so a long-lived server does not accumulate them).
-  void ReapFinishedLocked();
+  void ReapFinishedLocked() LDPM_REQUIRES(connections_mu_);
 
   engine::Collector* const collector_;
   const IngestServerOptions options_;
@@ -249,17 +249,18 @@ class IngestServer {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable core::Mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      LDPM_GUARDED_BY(connections_mu_);
 
-  std::mutex sessions_mu_;
-  std::condition_variable sessions_cv_;  // signaled on session release
-  std::map<uint64_t, Session> sessions_;
-  uint64_t session_tick_ = 0;
+  core::Mutex sessions_mu_;
+  core::CondVar sessions_cv_;  // signaled on session release
+  std::map<uint64_t, Session> sessions_ LDPM_GUARDED_BY(sessions_mu_);
+  uint64_t session_tick_ LDPM_GUARDED_BY(sessions_mu_) = 0;
 
-  std::mutex stop_mu_;  // serializes Stop(); guards stopped_/stop_status_
-  bool stopped_ = false;
-  Status stop_status_;
+  core::Mutex stop_mu_;  // serializes Stop(); guards stopped_/stop_status_
+  bool stopped_ LDPM_GUARDED_BY(stop_mu_) = false;
+  Status stop_status_ LDPM_GUARDED_BY(stop_mu_);
 
   /// Server metrics, owned by metrics_ (options_.metrics or the
   /// collector's registry). The IngestServerStats accessors read the same

@@ -126,15 +126,23 @@ StatusOr<std::unique_ptr<QueryServer>> QueryServer::Start(
 
 StatusOr<query::MarginalCache*> QueryServer::CacheFor(
     const std::string& collection) {
-  std::lock_guard<std::mutex> lock(caches_mu_);
-  auto it = caches_.find(collection);
-  if (it != caches_.end()) return it->second.get();
+  {
+    core::MutexLock lock(caches_mu_);
+    auto it = caches_.find(collection);
+    if (it != caches_.end()) return it->second.get();
+  }
+  // Built outside the lock: Create validates the collection against the
+  // collector and precomputes the full selector set, and one slow
+  // first-touch must not block queries against every other collection.
   auto cache = query::MarginalCache::Create(collector_, collection,
                                             options_.cache);
   if (!cache.ok()) return cache.status();
-  auto* raw = cache->get();
-  caches_.emplace(collection, *std::move(cache));
-  return raw;
+  core::MutexLock lock(caches_mu_);
+  // Two first-touch requests can race the build; emplace keeps the winner
+  // and both callers serve from the installed instance.
+  auto [it, inserted] = caches_.emplace(collection, *std::move(cache));
+  (void)inserted;
+  return it->second.get();
 }
 
 HttpResponse QueryServer::Handle(const HttpRequest& request) {

@@ -38,10 +38,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/status.h"
+#include "core/sync.h"
 #include "engine/collector.h"
 #include "net/http_server.h"
 #include "query/marginal_cache.h"
@@ -103,8 +103,9 @@ class QueryServer {
   engine::Collector* const collector_;
   const QueryServerOptions options_;
 
-  std::mutex caches_mu_;
-  std::map<std::string, std::unique_ptr<query::MarginalCache>> caches_;
+  core::Mutex caches_mu_;
+  std::map<std::string, std::unique_ptr<query::MarginalCache>> caches_
+      LDPM_GUARDED_BY(caches_mu_);
 
   std::unique_ptr<HttpServer> http_;
 };

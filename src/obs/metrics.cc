@@ -190,7 +190,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      std::string_view help) {
   std::string_view base, labels;
   if (!SplitName(name, base, labels)) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     return it->second.kind == Kind::kCounter ? it->second.counter.get()
@@ -209,7 +209,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  std::string_view help) {
   std::string_view base, labels;
   if (!SplitName(name, base, labels)) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
@@ -232,7 +232,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   for (size_t i = 1; i < bounds.size(); ++i) {
     if (bounds[i] <= bounds[i - 1]) return nullptr;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     if (it->second.kind != Kind::kHistogram) return nullptr;
@@ -255,7 +255,7 @@ const MetricsRegistry::Entry* MetricsRegistry::FindEntry(
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const Entry* entry = FindEntry(name);
   return entry != nullptr && entry->kind == Kind::kCounter
              ? entry->counter->Value()
@@ -263,7 +263,7 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
 }
 
 int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const Entry* entry = FindEntry(name);
   return entry != nullptr && entry->kind == Kind::kGauge
              ? entry->gauge->Value()
@@ -272,7 +272,7 @@ int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
 
 StatusOr<HistogramSnapshot> MetricsRegistry::HistogramValues(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const Entry* entry = FindEntry(name);
   if (entry == nullptr || entry->kind != Kind::kHistogram) {
     return Status::NotFound("MetricsRegistry: no histogram \"" +
@@ -282,7 +282,7 @@ StatusOr<HistogramSnapshot> MetricsRegistry::HistogramValues(
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(metrics_.size());
   for (const auto& [name, entry] : metrics_) names.push_back(name);
@@ -290,7 +290,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 std::string MetricsRegistry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   std::string out;
   std::string previous_base;
   for (const auto& [name, entry] : metrics_) {

@@ -34,13 +34,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
 
 namespace ldpm {
 namespace obs {
@@ -294,12 +294,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  const Entry* FindEntry(std::string_view name) const;
+  const Entry* FindEntry(std::string_view name) const LDPM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable core::Mutex mu_;
   /// Keyed by full series name. std::map: pointers stable, iteration
   /// sorted (so one family's series are contiguous in the exposition).
-  std::map<std::string, Entry, std::less<>> metrics_;
+  std::map<std::string, Entry, std::less<>> metrics_ LDPM_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

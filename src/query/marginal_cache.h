@@ -54,7 +54,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,6 +62,7 @@
 #include "analysis/tree_model.h"
 #include "core/contingency_table.h"
 #include "core/status.h"
+#include "core/sync.h"
 #include "engine/collector.h"
 #include "obs/metrics.h"
 
@@ -188,8 +188,8 @@ class MarginalCache {
   MarginalCache(engine::Collector* collector, engine::CollectionHandle handle,
                 std::string collection, const MarginalCacheOptions& options);
 
-  /// Cuts and publishes a fresh snapshot; refresh_mu_ must be held.
-  Status RebuildLocked();
+  /// Cuts and publishes a fresh snapshot.
+  Status RebuildLocked() LDPM_REQUIRES(refresh_mu_);
 
   engine::Collector* const collector_;
   engine::CollectionHandle handle_;
@@ -200,8 +200,8 @@ class MarginalCache {
   std::vector<uint64_t> selectors_;
 
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_{nullptr};
-  std::mutex refresh_mu_;
-  uint64_t epoch_seq_ = 0;  // guarded by refresh_mu_
+  core::Mutex refresh_mu_;
+  uint64_t epoch_seq_ LDPM_GUARDED_BY(refresh_mu_) = 0;
 
   obs::Counter* requests_ = nullptr;
   obs::Counter* hits_ = nullptr;

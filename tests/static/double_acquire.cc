@@ -1,0 +1,40 @@
+// Negative-compile fixture: acquires a non-reentrant core::Mutex twice on
+// one path (self-deadlock) and exits a function with the lock still held.
+// tools/check_thread_safety.sh asserts clang's Thread Safety Analysis
+// REJECTS this file.
+//
+// Not part of the CMake build (the *_test.cc glob skips it).
+
+#include "core/sync.h"
+
+namespace {
+
+class Deadlock {
+ public:
+  // BAD: scoped lock plus a manual re-acquire of the same mutex.
+  void AcquireTwice() {
+    ldpm::core::MutexLock lock(mu_);
+    mu_.Lock();
+    ++value_;
+    mu_.Unlock();
+  }
+
+  // BAD: returns with mu_ held (no matching release on the exit path).
+  void LeakLock() {
+    mu_.Lock();
+    ++value_;
+  }
+
+ private:
+  ldpm::core::Mutex mu_;
+  int value_ LDPM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Deadlock d;
+  d.AcquireTwice();
+  d.LeakLock();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Negative-compile fixture: reads and writes an LDPM_GUARDED_BY field
+// without holding its mutex. tools/check_thread_safety.sh asserts that
+// clang's Thread Safety Analysis REJECTS this file — if it ever compiles
+// cleanly, the -Werror=thread-safety gate has rotted into a no-op.
+//
+// Not part of the CMake build (the *_test.cc glob skips it).
+
+#include "core/sync.h"
+
+namespace {
+
+class Racy {
+ public:
+  // BAD: guarded field touched with no lock held.
+  void Increment() { ++value_; }
+
+  // BAD: lock taken, released, then the field is read anyway.
+  int ReadAfterUnlock() {
+    mu_.Lock();
+    mu_.Unlock();
+    return value_;
+  }
+
+ private:
+  ldpm::core::Mutex mu_;
+  int value_ LDPM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Racy r;
+  r.Increment();
+  return r.ReadAfterUnlock();
+}

@@ -1,0 +1,30 @@
+// Negative-compile fixture: calls an LDPM_REQUIRES(mu_) method without
+// holding mu_ — the "Locked-suffix helper called off the locked path"
+// bug class (e.g. MetricsRegistry::FindEntry, MarginalCache::
+// RebuildLocked). tools/check_thread_safety.sh asserts clang's Thread
+// Safety Analysis REJECTS this file.
+//
+// Not part of the CMake build (the *_test.cc glob skips it).
+
+#include "core/sync.h"
+
+namespace {
+
+class Registry {
+ public:
+  int FindLocked() LDPM_REQUIRES(mu_) { return entries_; }
+
+  // BAD: the *Locked helper is invoked with no lock held.
+  int Find() { return FindLocked(); }
+
+ private:
+  ldpm::core::Mutex mu_;
+  int entries_ LDPM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  return r.Find();
+}

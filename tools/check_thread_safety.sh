@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Negative-compile gate for the clang Thread Safety Analysis annotations in
+# src/core/sync.h (docs/static-analysis.md describes the conventions).
+#
+# Two-sided check:
+#   1. tests/static/thread_safety_positive.cc — correct locking over the
+#      real annotated headers — must compile CLEANLY. This proves the
+#      flags and macros are live (they are no-ops under gcc, so a
+#      misconfigured gate would otherwise pass everything).
+#   2. Every other tests/static/*.cc file is a deliberately race-y fixture
+#      that must FAIL, and fail specifically with a thread-safety
+#      diagnostic (an unrelated compile error would mean the fixture has
+#      rotted, not that the analysis works).
+#
+# Needs clang; exits 77 (the ctest SKIP_RETURN_CODE) when none is found,
+# so local gcc-only runs skip instead of lying. CI installs clang and runs
+# this for real. Override compiler discovery with CLANGXX=/path/to/clang++.
+set -u
+
+cd "$(dirname "$0")/.."
+
+find_clang() {
+  if [[ -n "${CLANGXX:-}" ]]; then
+    command -v "${CLANGXX}" && return 0
+    echo "CLANGXX=${CLANGXX} not found" >&2
+    return 1
+  fi
+  local candidate
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    command -v "${candidate}" && return 0
+  done
+  return 1
+}
+
+CXX="$(find_clang)" || {
+  echo "SKIP: no clang++ on PATH; thread-safety analysis needs clang." >&2
+  exit 77
+}
+echo "using ${CXX} ($(${CXX} --version | head -n 1))"
+
+FLAGS=(-std=c++20 -fsyntax-only -Isrc
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+failures=0
+
+# Positive control: must pass.
+positive=tests/static/thread_safety_positive.cc
+if output=$("${CXX}" "${FLAGS[@]}" "${positive}" 2>&1); then
+  echo "PASS  ${positive} (compiles cleanly, as it must)"
+else
+  echo "FAIL  ${positive} should compile cleanly but did not:"
+  echo "${output}" | sed 's/^/      /'
+  failures=$((failures + 1))
+fi
+
+# Negative fixtures: must be rejected, by the analysis specifically.
+for fixture in tests/static/*.cc; do
+  [[ "${fixture}" == "${positive}" ]] && continue
+  if output=$("${CXX}" "${FLAGS[@]}" "${fixture}" 2>&1); then
+    echo "FAIL  ${fixture} compiled cleanly; the analysis should reject it"
+    failures=$((failures + 1))
+  elif ! grep -q 'thread-safety' <<<"${output}"; then
+    echo "FAIL  ${fixture} failed for the wrong reason (fixture rot?):"
+    echo "${output}" | sed 's/^/      /'
+    failures=$((failures + 1))
+  else
+    count=$(grep -c 'error:' <<<"${output}")
+    echo "PASS  ${fixture} (rejected with ${count} thread-safety error(s))"
+  fi
+done
+
+if [[ ${failures} -gt 0 ]]; then
+  echo "thread-safety gate: ${failures} check(s) failed" >&2
+  exit 1
+fi
+echo "thread-safety gate: all checks passed"
