@@ -1,0 +1,34 @@
+// Fuzz harness: LDPM_FAILPOINTS env-grammar parsing (core/failpoint.cc).
+//
+// The grammar (`site=MODE[*count][+skip];...`) is parsed from an
+// environment variable at static-initialization time, so a malformed
+// value must produce a precise InvalidArgument — never undefined
+// behavior (the std::atoi it used to call was UB on out-of-range
+// numbers). The harness only parses and arms; Evaluate() is never called
+// (an armed delay would sleep, an armed abort would kill the process by
+// design), and the registry is cleared after every input so corpus order
+// cannot leak state between runs.
+
+#include <cstdint>
+#include <string>
+
+#include "core/failpoint.h"
+#include "fuzz/fuzz_input.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (4u << 10)) return 0;  // env values are short
+  const std::string specs(reinterpret_cast<const char*>(data), size);
+
+  const ldpm::Status status = ldpm::failpoint::ArmFromString(specs);
+  if (status.ok()) {
+    // Whatever parsed must be introspectable without surprises.
+    (void)ldpm::failpoint::ArmedSites();
+    (void)ldpm::failpoint::AnyArmed();
+  } else {
+    LDPM_FUZZ_ASSERT(status.code() == ldpm::StatusCode::kInvalidArgument,
+                     "parse failure is not InvalidArgument");
+  }
+  ldpm::failpoint::DisarmAll();
+  LDPM_FUZZ_ASSERT(!ldpm::failpoint::AnyArmed(), "DisarmAll left sites armed");
+  return 0;
+}

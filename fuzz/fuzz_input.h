@@ -1,0 +1,77 @@
+// Minimal deterministic input-splitting helpers shared by the libFuzzer
+// harnesses in this directory.
+//
+// Each harness receives one flat byte buffer; structure-aware harnesses
+// need to peel a few bounded control values off the front and treat the
+// rest as payload. FuzzInput is the tiny cursor that does that without
+// ever reading out of bounds — when the buffer runs dry it hands back
+// zeros, so every input prefix is a valid input. (Deliberately much
+// smaller than LLVM's FuzzedDataProvider: harnesses must also compile as
+// plain replay binaries with any C++20 compiler, so no LLVM headers.)
+//
+// LDPM_FUZZ_ASSERT is the harness-side invariant check: it must abort so
+// both libFuzzer and the corpus-replay driver count a violation as a
+// crash, and it stays armed in release builds (unlike <cassert>).
+
+#ifndef LDPM_FUZZ_FUZZ_INPUT_H_
+#define LDPM_FUZZ_FUZZ_INPUT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#define LDPM_FUZZ_ASSERT(cond, what)                                    \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "fuzz invariant violated: %s (%s:%d)\n",     \
+                   what, __FILE__, __LINE__);                           \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+namespace ldpm {
+namespace fuzz {
+
+/// Bounded front-cursor over the fuzz input (see file comment).
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Next byte, or 0 once the buffer is exhausted.
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  /// Little-endian u64 assembled from up to 8 remaining bytes.
+  uint64_t TakeU64() {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= uint64_t{TakeByte()} << (8 * b);
+    return v;
+  }
+
+  /// A value in [lo, hi] (inclusive); lo when the range is degenerate.
+  int TakeInRange(int lo, int hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int>(TakeByte() %
+                                 static_cast<unsigned>(hi - lo + 1));
+  }
+
+  /// The unconsumed tail as a string (for text-grammar harnesses).
+  std::string TakeRemainingString() {
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), size_ - pos_);
+    pos_ = size_;
+    return s;
+  }
+
+  const uint8_t* remaining_data() const { return data_ + pos_; }
+  size_t remaining_size() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace ldpm
+
+#endif  // LDPM_FUZZ_FUZZ_INPUT_H_

@@ -1,0 +1,76 @@
+// Plain-main corpus replay driver for the fuzz harnesses.
+//
+// Linked with each harness's LLVMFuzzerTestOneInput in place of
+// libFuzzer, so every harness also builds with any C++20 compiler (the
+// tier-1 toolchain is gcc, which ships no libFuzzer runtime). Each
+// argument is a corpus file or a directory walked recursively in sorted
+// order; every input is replayed through the harness exactly as the
+// fuzzer would feed it. Crashes crash the process — that is the point —
+// and replaying zero inputs overall is an error, so a mistyped corpus
+// path cannot masquerade as a green gate.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  size_t replayed = 0;
+  bool read_failures = false;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& file : files) {
+        if (ReplayFile(file)) {
+          ++replayed;
+        } else {
+          read_failures = true;
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      if (ReplayFile(root)) {
+        ++replayed;
+      } else {
+        read_failures = true;
+      }
+    } else {
+      std::fprintf(stderr, "no such corpus path: %s\n", root.c_str());
+      read_failures = true;
+    }
+  }
+  std::printf("replayed %zu corpus inputs\n", replayed);
+  if (read_failures || replayed == 0) {
+    std::fprintf(stderr, "corpus replay failed: %zu inputs, %s\n", replayed,
+                 read_failures ? "unreadable paths" : "empty corpus");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fuzz harness: wire-batch walking and per-record report decoding
+// (protocols/wire.h).
+//
+// The first two bytes pick a protocol kind and a bounded dimension d (d
+// is trusted registration data in production — collections are created by
+// operators, not by the byte stream — so the harness bounds it the same
+// way; an unbounded d would just make the harness enumerate 2^d cells).
+// The rest of the input is walked as a wire batch; every record that
+// deserializes must re-serialize canonically (serialize(parse(b)) parses
+// back to the same bytes — the decode/encode fixed point).
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzz_input.h"
+#include "protocols/factory.h"
+#include "protocols/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (64u << 10)) return 0;
+  ldpm::fuzz::FuzzInput input(data, size);
+
+  const auto& kinds = ldpm::RegisteredProtocolKinds();
+  const ldpm::ProtocolKind kind =
+      kinds[input.TakeByte() % kinds.size()];
+  ldpm::ProtocolConfig config;
+  config.d = input.TakeInRange(1, 12);
+  config.k = 2;
+  config.epsilon = 1.0;
+
+  ldpm::WireBatchReader reader(input.remaining_data(),
+                               input.remaining_size());
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  while (reader.Next(record, record_size)) {
+    LDPM_FUZZ_ASSERT(record >= input.remaining_data() &&
+                         record + record_size <=
+                             input.remaining_data() + input.remaining_size(),
+                     "record view out of bounds");
+    auto report = ldpm::DeserializeReport(kind, config, record, record_size);
+    if (!report.ok()) continue;
+    auto bytes = ldpm::SerializeReport(kind, config, *report);
+    LDPM_FUZZ_ASSERT(bytes.ok(), "accepted report refused to serialize");
+    auto again = ldpm::DeserializeReport(kind, config, *bytes);
+    LDPM_FUZZ_ASSERT(again.ok(), "serialized report refused to parse");
+    auto bytes_again = ldpm::SerializeReport(kind, config, *again);
+    LDPM_FUZZ_ASSERT(bytes_again.ok() && *bytes_again == *bytes,
+                     "serialize/parse is not a fixed point");
+  }
+  // reader.status() may be OK (clean end) or a framing error; both are
+  // fine — the walk just must terminate in bounds, which ASan enforces.
+  return 0;
+}

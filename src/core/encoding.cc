@@ -15,6 +15,18 @@ int BitsFor(uint32_t cardinality) {
 
 }  // namespace
 
+Status ByteCursor::ExpectEnd(const char* what) const {
+  if (cursor_ == size_) return Status::OK();
+  return Status::InvalidArgument(std::string(context_) + ": " +
+                                 std::to_string(size_ - cursor_) +
+                                 " trailing bytes after " + what);
+}
+
+Status ByteCursor::TruncatedError(size_t at, const char* field) const {
+  return Status::InvalidArgument(std::string(context_) + ": truncated " +
+                                 field + " at byte " + std::to_string(at));
+}
+
 CategoricalDomain::CategoricalDomain(std::vector<uint32_t> cardinalities)
     : cardinalities_(std::move(cardinalities)) {
   bits_.reserve(cardinalities_.size());

@@ -1,4 +1,6 @@
-// Categorical-attribute support (Section 6.3 of the paper).
+// Categorical-attribute support (Section 6.3 of the paper) and the
+// overflow-checked byte-decoding primitives shared by every parser that
+// consumes bytes from outside the process.
 //
 // A CategoricalDomain describes d attributes with cardinalities r_1..r_d.
 // Each attribute is binary-encoded into ceil(log2 r_i) bits, giving an
@@ -6,17 +8,156 @@
 // protocols then run unchanged over the encoded domain (Corollary 6.1), and
 // this header converts the reconstructed binary marginals back into
 // categorical marginal tables.
+//
+// ByteCursor is the bounded little-endian reader the untrusted-input
+// decoders (protocols/wire.h collection frames and wire batches,
+// engine/checkpoint.cc container records) are built on: every read is
+// bounds-checked against the span, offsets are byte-precise for error
+// messages, and no length arithmetic on attacker-controlled values can
+// wrap (see CheckedAdd / CheckedMul). The fuzz harnesses under fuzz/
+// hammer exactly these decoders.
 
 #ifndef LDPM_CORE_ENCODING_H_
 #define LDPM_CORE_ENCODING_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/contingency_table.h"
 #include "core/status.h"
 
 namespace ldpm {
+
+// ---- Overflow-checked length arithmetic ------------------------------------
+
+/// out = a + b, or false if the sum wraps uint64. Use for any length or
+/// offset computed from attacker-controlled bytes.
+[[nodiscard]] constexpr bool CheckedAdd(uint64_t a, uint64_t b,
+                                        uint64_t* out) {
+  if (b > UINT64_MAX - a) return false;
+  *out = a + b;
+  return true;
+}
+
+/// out = a * b, or false if the product wraps uint64.
+[[nodiscard]] constexpr bool CheckedMul(uint64_t a, uint64_t b,
+                                        uint64_t* out) {
+  if (a != 0 && b > UINT64_MAX / a) return false;
+  *out = a * b;
+  return true;
+}
+
+/// Bounded sequential little-endian reader over a byte span.
+///
+/// Invariant: offset() <= size at all times, so `n <= remaining()` is a
+/// complete bounds check for any uint64 n — there is no arithmetic a
+/// hostile length prefix can wrap. Failed reads never advance the cursor,
+/// so truncation errors report the exact byte offset of the field that
+/// could not be read; `context` prefixes every message ("checkpoint",
+/// "wire batch", ...).
+class ByteCursor {
+ public:
+  ByteCursor(const uint8_t* data, size_t size, const char* context)
+      : data_(data), size_(size), context_(context) {}
+
+  /// Current byte offset from the start of the span.
+  size_t offset() const { return cursor_; }
+  size_t remaining() const { return size_ - cursor_; }
+  bool AtEnd() const { return cursor_ == size_; }
+
+  /// True when `n` more bytes are available. Safe for any n: the
+  /// comparison is against remaining(), never `offset + n`.
+  bool CanRead(uint64_t n) const { return n <= size_ - cursor_; }
+
+  Status ReadU8(uint8_t& v, const char* field) {
+    if (!CanRead(1)) return TruncatedError(cursor_, field);
+    v = data_[cursor_++];
+    return Status::OK();
+  }
+
+  Status ReadU16(uint16_t& v, const char* field) {
+    if (!CanRead(2)) return TruncatedError(cursor_, field);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_ + cursor_, 2);
+    } else {
+      v = static_cast<uint16_t>(static_cast<uint16_t>(data_[cursor_]) |
+                                static_cast<uint16_t>(data_[cursor_ + 1])
+                                    << 8);
+    }
+    cursor_ += 2;
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t& v, const char* field) {
+    if (!CanRead(4)) return TruncatedError(cursor_, field);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_ + cursor_, 4);
+    } else {
+      v = static_cast<uint32_t>(data_[cursor_]) |
+          static_cast<uint32_t>(data_[cursor_ + 1]) << 8 |
+          static_cast<uint32_t>(data_[cursor_ + 2]) << 16 |
+          static_cast<uint32_t>(data_[cursor_ + 3]) << 24;
+    }
+    cursor_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t& v, const char* field) {
+    if (!CanRead(8)) return TruncatedError(cursor_, field);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_ + cursor_, 8);
+    } else {
+      v = 0;
+      for (int b = 0; b < 8; ++b) {
+        v |= uint64_t{data_[cursor_ + b]} << (8 * b);
+      }
+    }
+    cursor_ += 8;
+    return Status::OK();
+  }
+
+  Status ReadDouble(double& v, const char* field) {
+    uint64_t bits = 0;
+    LDPM_RETURN_IF_ERROR(ReadU64(bits, field));
+    v = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  /// Points `p` at the next `n` bytes and consumes them. `n` is uint64 on
+  /// purpose: length prefixes flow in unconverted, so no caller ever casts
+  /// an attacker-controlled u64 down to size_t before the bounds check.
+  Status ReadBytes(const uint8_t*& p, uint64_t n, const char* field) {
+    if (!CanRead(n)) return TruncatedError(cursor_, field);
+    p = data_ + cursor_;
+    cursor_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  /// Consumes `n` bytes without exposing them.
+  Status Skip(uint64_t n, const char* field) {
+    if (!CanRead(n)) return TruncatedError(cursor_, field);
+    cursor_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  /// OK at end-of-span; otherwise "<context>: N trailing bytes after
+  /// <what>". Decoders of complete images call this last so appended
+  /// garbage is rejected, not ignored.
+  Status ExpectEnd(const char* what) const;
+
+  /// "<context>: truncated <field> at byte <at>". Public so a caller can
+  /// anchor a truncation error at an enclosing structure's offset (e.g. a
+  /// payload error reported at its length prefix).
+  Status TruncatedError(size_t at, const char* field) const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  const char* context_;
+  size_t cursor_ = 0;
+};
 
 /// Describes a mixed categorical domain and its packed binary encoding.
 class CategoricalDomain {

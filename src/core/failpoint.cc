@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -54,6 +55,22 @@ StatusOr<StatusCode> ParseCodeName(const std::string& name) {
   return Status::InvalidArgument("unknown status code name \"" + name + "\"");
 }
 
+/// Parses a non-negative bounded decimal integer (digits only, value
+/// <= 1e9). Replaces std::atoi, whose behavior on the hostile inputs a
+/// fuzzer finds first — non-digits (silent 0) and out-of-int-range
+/// values (undefined behavior) — made the env grammar unsound.
+bool ParseBoundedInt(std::string_view text, int* out) {
+  if (text.empty() || text.size() > 10) return false;
+  int64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + (ch - '0');
+  }
+  if (value > 1000000000) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
 /// Parses one `site=MODE[*count][+skip]` entry.
 Status ArmOne(const std::string& entry) {
   const size_t eq = entry.find('=');
@@ -71,12 +88,20 @@ Status ArmOne(const std::string& entry) {
   const size_t anchor = close == std::string::npos ? 0 : close;
   const size_t plus = mode.rfind('+');
   if (plus != std::string::npos && plus > anchor) {
-    spec.skip = std::atoi(mode.c_str() + plus + 1);
+    if (!ParseBoundedInt(std::string_view(mode).substr(plus + 1),
+                         &spec.skip)) {
+      return Status::InvalidArgument("failpoint entry \"" + entry +
+                                     "\" has a malformed +skip count");
+    }
     mode.resize(plus);
   }
   const size_t star = mode.rfind('*');
   if (star != std::string::npos && star > anchor) {
-    spec.count = std::atoi(mode.c_str() + star + 1);
+    if (!ParseBoundedInt(std::string_view(mode).substr(star + 1),
+                         &spec.count)) {
+      return Status::InvalidArgument("failpoint entry \"" + entry +
+                                     "\" has a malformed *fire count");
+    }
     mode.resize(star);
   }
   std::string arg;
@@ -98,7 +123,12 @@ Status ArmOne(const std::string& entry) {
     }
   } else if (mode == "delay") {
     spec.mode = Mode::kDelay;
-    spec.delay = std::chrono::milliseconds(std::atoi(arg.c_str()));
+    int delay_ms = 0;  // a bare "delay" (no argument) means 0 ms
+    if (!arg.empty() && !ParseBoundedInt(arg, &delay_ms)) {
+      return Status::InvalidArgument("failpoint entry \"" + entry +
+                                     "\" has a malformed delay argument");
+    }
+    spec.delay = std::chrono::milliseconds(delay_ms);
   } else if (mode == "abort") {
     spec.mode = Mode::kAbort;
   } else {

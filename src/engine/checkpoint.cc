@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "core/crc32c.h"
+#include "core/encoding.h"
 #include "core/file_io.h"
 
 namespace ldpm {
@@ -37,75 +38,12 @@ void PutDouble(std::vector<uint8_t>& out, double v) {
   PutU64(out, std::bit_cast<uint64_t>(v));
 }
 
-/// Sequential little-endian reader over a byte span with precise
-/// truncation errors; offsets are relative to the start of the span.
-class ByteReader {
- public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  size_t cursor() const { return cursor_; }
-  size_t remaining() const { return size_ - cursor_; }
-
-  Status ReadU16(uint16_t& v, const char* field) {
-    LDPM_RETURN_IF_ERROR(Need(2, field));
-    v = static_cast<uint16_t>(static_cast<uint16_t>(data_[cursor_]) |
-                              static_cast<uint16_t>(data_[cursor_ + 1]) << 8);
-    cursor_ += 2;
-    return Status::OK();
-  }
-
-  Status ReadU32(uint32_t& v, const char* field) {
-    LDPM_RETURN_IF_ERROR(Need(4, field));
-    v = static_cast<uint32_t>(data_[cursor_]) |
-        static_cast<uint32_t>(data_[cursor_ + 1]) << 8 |
-        static_cast<uint32_t>(data_[cursor_ + 2]) << 16 |
-        static_cast<uint32_t>(data_[cursor_ + 3]) << 24;
-    cursor_ += 4;
-    return Status::OK();
-  }
-
-  Status ReadU64(uint64_t& v, const char* field) {
-    uint32_t lo = 0, hi = 0;
-    LDPM_RETURN_IF_ERROR(ReadU32(lo, field));
-    LDPM_RETURN_IF_ERROR(ReadU32(hi, field));
-    v = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
-    return Status::OK();
-  }
-
-  Status ReadDouble(double& v, const char* field) {
-    uint64_t bits = 0;
-    LDPM_RETURN_IF_ERROR(ReadU64(bits, field));
-    v = std::bit_cast<double>(bits);
-    return Status::OK();
-  }
-
-  Status ReadU8(uint8_t& v, const char* field) {
-    LDPM_RETURN_IF_ERROR(Need(1, field));
-    v = data_[cursor_++];
-    return Status::OK();
-  }
-
-  Status ReadBytes(const uint8_t*& p, size_t n, const char* field) {
-    LDPM_RETURN_IF_ERROR(Need(n, field));
-    p = data_ + cursor_;
-    cursor_ += n;
-    return Status::OK();
-  }
-
- private:
-  Status Need(size_t n, const char* field) {
-    if (size_ - cursor_ < n) {
-      return Status::InvalidArgument(
-          std::string("checkpoint: truncated ") + field + " at byte " +
-          std::to_string(cursor_));
-    }
-    return Status::OK();
-  }
-
-  const uint8_t* data_;
-  size_t size_;
-  size_t cursor_ = 0;
-};
+/// The container decoders read exclusively through the bounded ByteCursor
+/// (core/encoding.h) with context "checkpoint": every length prefix is
+/// bounds-checked before use and no offset arithmetic can wrap.
+ByteCursor CheckpointCursor(const uint8_t* data, size_t size) {
+  return ByteCursor(data, size, "checkpoint");
+}
 
 // Snapshot payload field sizes past the name: d, k (u32 each), epsilon
 // (u64), four u8 flags, reports_absorbed + total_report_bits (u64 each),
@@ -150,7 +88,7 @@ std::vector<uint8_t> SerializeSnapshot(const AggregatorSnapshot& snapshot) {
 
 StatusOr<AggregatorSnapshot> DeserializeSnapshot(const uint8_t* data,
                                                  size_t size) {
-  ByteReader reader(data, size);
+  ByteCursor reader = CheckpointCursor(data, size);
   AggregatorSnapshot snapshot;
 
   uint32_t name_len = 0;
@@ -191,11 +129,13 @@ StatusOr<AggregatorSnapshot> DeserializeSnapshot(const uint8_t* data,
 
   uint64_t reals_count = 0;
   LDPM_RETURN_IF_ERROR(reader.ReadU64(reals_count, "reals length"));
-  if (reals_count > reader.remaining() / 8) {
+  uint64_t reals_bytes = 0;
+  if (!CheckedMul(reals_count, 8, &reals_bytes) ||
+      !reader.CanRead(reals_bytes)) {
     return Status::InvalidArgument(
         "checkpoint: reals length " + std::to_string(reals_count) +
         " exceeds the remaining payload at byte " +
-        std::to_string(reader.cursor()));
+        std::to_string(reader.offset()));
   }
   snapshot.reals.resize(static_cast<size_t>(reals_count));
   for (double& v : snapshot.reals) {
@@ -204,22 +144,20 @@ StatusOr<AggregatorSnapshot> DeserializeSnapshot(const uint8_t* data,
 
   uint64_t counts_count = 0;
   LDPM_RETURN_IF_ERROR(reader.ReadU64(counts_count, "counts length"));
-  if (counts_count > reader.remaining() / 8) {
+  uint64_t counts_bytes = 0;
+  if (!CheckedMul(counts_count, 8, &counts_bytes) ||
+      !reader.CanRead(counts_bytes)) {
     return Status::InvalidArgument(
         "checkpoint: counts length " + std::to_string(counts_count) +
         " exceeds the remaining payload at byte " +
-        std::to_string(reader.cursor()));
+        std::to_string(reader.offset()));
   }
   snapshot.counts.resize(static_cast<size_t>(counts_count));
   for (uint64_t& v : snapshot.counts) {
     LDPM_RETURN_IF_ERROR(reader.ReadU64(v, "counts entry"));
   }
 
-  if (reader.remaining() != 0) {
-    return Status::InvalidArgument(
-        "checkpoint: " + std::to_string(reader.remaining()) +
-        " trailing bytes after snapshot payload");
-  }
+  LDPM_RETURN_IF_ERROR(reader.ExpectEnd("snapshot payload"));
   return snapshot;
 }
 
@@ -268,7 +206,7 @@ namespace {
 /// Reads `count` snapshot records (u32 length + payload + u32 CRC each)
 /// through `reader`; shared by both container versions. `file_size` bounds
 /// the reserve so a CRC-valid header cannot force a huge allocation.
-Status ReadSnapshotRecords(ByteReader& reader, uint32_t count,
+Status ReadSnapshotRecords(ByteCursor& reader, uint32_t count,
                            size_t file_size,
                            std::vector<AggregatorSnapshot>& out) {
   // Every record costs at least 8 framing bytes, so a CRC-valid header
@@ -276,7 +214,7 @@ Status ReadSnapshotRecords(ByteReader& reader, uint32_t count,
   out.reserve(std::min<size_t>(count, file_size / 8));
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t payload_len = 0;
-    const size_t record_start = reader.cursor();
+    const size_t record_start = reader.offset();
     LDPM_RETURN_IF_ERROR(reader.ReadU32(payload_len, "record length"));
     const uint8_t* payload = nullptr;
     LDPM_RETURN_IF_ERROR(
@@ -303,7 +241,7 @@ Status ReadSnapshotRecords(ByteReader& reader, uint32_t count,
 
 StatusOr<std::vector<CollectionCheckpoint>> DecodeCollectorCheckpoint(
     const uint8_t* data, size_t size) {
-  ByteReader reader(data, size);
+  ByteCursor reader = CheckpointCursor(data, size);
   const uint8_t* magic = nullptr;
   LDPM_RETURN_IF_ERROR(reader.ReadBytes(magic, 8, "magic"));
   if (std::memcmp(magic, kCheckpointMagic, 8) != 0) {
@@ -337,7 +275,7 @@ StatusOr<std::vector<CollectionCheckpoint>> DecodeCollectorCheckpoint(
   } else {
     collections.reserve(std::min<size_t>(count, size / 8));
     for (uint32_t c = 0; c < count; ++c) {
-      const size_t block_start = reader.cursor();
+      const size_t block_start = reader.offset();
       uint16_t id_len = 0;
       LDPM_RETURN_IF_ERROR(reader.ReadU16(id_len, "collection id length"));
       if (id_len == 0) {
@@ -349,7 +287,7 @@ StatusOr<std::vector<CollectionCheckpoint>> DecodeCollectorCheckpoint(
       LDPM_RETURN_IF_ERROR(reader.ReadBytes(id, id_len, "collection id"));
       uint32_t snapshot_count = 0, block_crc = 0;
       LDPM_RETURN_IF_ERROR(reader.ReadU32(snapshot_count, "snapshot count"));
-      const size_t block_header_size = reader.cursor() - block_start;
+      const size_t block_header_size = reader.offset() - block_start;
       LDPM_RETURN_IF_ERROR(reader.ReadU32(block_crc, "collection checksum"));
       if (Crc32c(data + block_start, block_header_size) != block_crc) {
         return Status::InvalidArgument(
@@ -371,11 +309,7 @@ StatusOr<std::vector<CollectionCheckpoint>> DecodeCollectorCheckpoint(
       collections.push_back(std::move(collection));
     }
   }
-  if (reader.remaining() != 0) {
-    return Status::InvalidArgument(
-        "checkpoint: " + std::to_string(reader.remaining()) +
-        " trailing bytes after the last record");
-  }
+  LDPM_RETURN_IF_ERROR(reader.ExpectEnd("the last record"));
   return collections;
 }
 

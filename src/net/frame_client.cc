@@ -99,7 +99,7 @@ Status FrameClient::EnsureConnected() {
   auto socket = Socket::Connect(address_, port_, options_.connect_timeout);
   if (!socket.ok()) return socket.status();
   socket_ = *std::move(socket);
-  reply_buf_.clear();
+  reply_parser_.Reset();
   ++connects_;
   if (connects_ > 1) ++reconnects_;
   Status status = Handshake();
@@ -193,56 +193,20 @@ void FrameClient::TrimAcked() {
   }
 }
 
-Status FrameClient::ParseReplies() {
-  size_t cursor = 0;
-  Status result;
-  while (cursor < reply_buf_.size()) {
-    const uint8_t code = reply_buf_[cursor];
-    const size_t have = reply_buf_.size() - cursor;
-    if (code == kReplyAck) {
-      if (have < 9) break;
-      const uint64_t acked = ReadU64(&reply_buf_[cursor + 1]);
-      if (acked > acked_offset_) {
-        acked_offset_ = acked;
-        TrimAcked();
-      }
-      cursor += 9;
-    } else if (code == kReplyOk) {
-      if (have < 17) break;
-      StreamReply reply;
-      reply.frames_routed = ReadU64(&reply_buf_[cursor + 1]);
-      reply.bytes_routed = ReadU64(&reply_buf_[cursor + 9]);
-      if (reply.bytes_routed > acked_offset_) {
-        acked_offset_ = reply.bytes_routed;
-        TrimAcked();
-      }
-      final_reply_ = std::move(reply);
-      cursor += 17;
-    } else if (code == kReplyError) {
-      if (have < 11) break;
-      const size_t message_size =
-          static_cast<size_t>(reply_buf_[cursor + 9]) |
-          static_cast<size_t>(reply_buf_[cursor + 10]) << 8;
-      if (have < 11 + message_size) break;
-      StreamReply reply;
-      reply.stream_offset = ReadU64(&reply_buf_[cursor + 1]);
-      std::string message(
-          reinterpret_cast<const char*>(&reply_buf_[cursor + 11]),
-          message_size);
-      reply.status = Status::InvalidArgument(
-          "server rejected stream at byte " +
-          std::to_string(reply.stream_offset) + ": " + message);
-      final_reply_ = std::move(reply);
-      cursor += 11 + message_size;
-    } else {
-      result = Status::InvalidArgument("FrameClient: unknown reply code " +
-                                       std::to_string(code));
-      break;
-    }
+Status FrameClient::AbsorbReplyBytes(const uint8_t* data, size_t size) {
+  // Decode is delegated to the pure StreamReplyParser; this shim applies
+  // what it learned to the client's replay state. The parser's
+  // acked_offset never decreases and Reset() preserves it, so a straight
+  // max-merge is correct across reconnects.
+  Status status = reply_parser_.Feed(data, size);
+  if (reply_parser_.acked_offset() > acked_offset_) {
+    acked_offset_ = reply_parser_.acked_offset();
+    TrimAcked();
   }
-  reply_buf_.erase(reply_buf_.begin(),
-                   reply_buf_.begin() + static_cast<ptrdiff_t>(cursor));
-  return result;
+  if (reply_parser_.final_reply().has_value() && !final_reply_) {
+    final_reply_ = *reply_parser_.final_reply();
+  }
+  return status;
 }
 
 Status FrameClient::PollAcksNonBlocking() {
@@ -251,8 +215,7 @@ Status FrameClient::PollAcksNonBlocking() {
     auto n = socket_.ReadAvailable(buf, sizeof(buf));
     if (!n.ok()) return n.status();
     if (*n == 0) return Status::OK();
-    reply_buf_.insert(reply_buf_.end(), buf, buf + *n);
-    LDPM_RETURN_IF_ERROR(ParseReplies());
+    LDPM_RETURN_IF_ERROR(AbsorbReplyBytes(buf, *n));
   }
   return Status::OK();
 }
@@ -265,8 +228,7 @@ Status FrameClient::WaitForReply(std::chrono::milliseconds timeout) {
     return Status::FailedPrecondition(
         "recv: connection closed while waiting for server reply");
   }
-  reply_buf_.insert(reply_buf_.end(), buf, buf + *n);
-  return ParseReplies();
+  return AbsorbReplyBytes(buf, *n);
 }
 
 void FrameClient::TrySalvageVerdict() {
@@ -279,8 +241,7 @@ void FrameClient::TrySalvageVerdict() {
     auto n = socket_.ReadSome(buf, sizeof(buf), std::chrono::milliseconds(250));
     if (!n.ok() || *n == 0) return;
     total += *n;
-    reply_buf_.insert(reply_buf_.end(), buf, buf + *n);
-    if (!ParseReplies().ok()) return;
+    if (!AbsorbReplyBytes(buf, *n).ok()) return;
   }
 }
 

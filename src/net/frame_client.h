@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "net/reply_parser.h"
 #include "net/socket.h"
 
 namespace ldpm {
@@ -77,19 +78,8 @@ struct FrameClientOptions {
   size_t max_unacked_bytes = 64u << 20;
 };
 
-/// The server's close reply, decoded (see net/protocol.h).
-struct StreamReply {
-  /// OK for a fully acked stream; otherwise the server's error, with the
-  /// byte-precise stream offset below.
-  Status status;
-  /// On error: offset of the first unconsumed frame byte (counted from
-  /// after the preamble; session-absolute on resumable streams) —
-  /// everything before it is ingested.
-  uint64_t stream_offset = 0;
-  /// On success: whole frames / frame bytes the server routed.
-  uint64_t frames_routed = 0;
-  uint64_t bytes_routed = 0;
-};
+// StreamReply — the server's close reply, decoded — lives in
+// net/reply_parser.h next to the record parser that produces it.
 
 /// One logical ingest stream (see the file comment). Move-only; not
 /// thread-safe — one streaming thread per client.
@@ -160,7 +150,7 @@ class FrameClient {
   Status PumpWithRetry();
   Status PumpOnce();
   Status FinishOnce();
-  Status ParseReplies();
+  Status AbsorbReplyBytes(const uint8_t* data, size_t size);
   Status PollAcksNonBlocking();
   Status WaitForReply(std::chrono::milliseconds timeout);
   void TrySalvageVerdict();
@@ -192,8 +182,9 @@ class FrameClient {
   /// High-water transmitted offset across all connections (replay stats).
   uint64_t high_water_ = 0;
 
-  /// Partially received server records (acks can split across reads).
-  std::vector<uint8_t> reply_buf_;
+  /// Decodes the server's reply records (acks can split across reads);
+  /// reset on reconnect — a new connection starts a new reply stream.
+  StreamReplyParser reply_parser_;
   /// Set once the server's final ok/error record arrives.
   std::optional<StreamReply> final_reply_;
 

@@ -25,6 +25,20 @@ bool ParseRequestLine(std::string_view request, std::string_view& method,
 
 }  // namespace
 
+bool ParseHttpRequestHead(std::string_view head, HttpRequest* out) {
+  std::string_view method, target;
+  if (!ParseRequestLine(head, method, target)) return false;
+  out->method = std::string(method);
+  const size_t q = target.find('?');
+  out->path = std::string(target.substr(0, q));
+  if (q != std::string_view::npos) {
+    out->query = std::string(target.substr(q + 1));
+  } else {
+    out->query.clear();
+  }
+  return !out->path.empty();
+}
+
 std::optional<std::string> HttpRequest::Param(std::string_view key) const {
   std::string_view rest = query;
   while (!rest.empty()) {
@@ -159,28 +173,17 @@ void HttpServer::ServeOne(Socket socket) {
   }
 
   HttpResponse response;
-  std::string_view method, target;
+  HttpRequest parsed;
   if (oversized) {
     response = {400, "text/plain", "request too large\n"};
   } else if (timed_out) {
     response = {408, "text/plain", "request timed out\n"};
-  } else if (!complete || !ParseRequestLine(request, method, target)) {
+  } else if (!complete || !ParseHttpRequestHead(request, &parsed)) {
     response = {400, "text/plain", "malformed request\n"};
-  } else if (method != "GET") {
+  } else if (parsed.method != "GET") {
     response = {405, "text/plain", "only GET is supported\n"};
   } else {
-    HttpRequest parsed;
-    parsed.method = std::string(method);
-    const size_t q = target.find('?');
-    parsed.path = std::string(target.substr(0, q));
-    if (q != std::string_view::npos) {
-      parsed.query = std::string(target.substr(q + 1));
-    }
-    if (parsed.path.empty()) {
-      response = {400, "text/plain", "malformed request\n"};
-    } else {
-      response = handler_(parsed);
-    }
+    response = handler_(parsed);
   }
   const std::string rendered = RenderHttpResponse(response);
   (void)socket.WriteAll(reinterpret_cast<const uint8_t*>(rendered.data()),

@@ -89,6 +89,15 @@ struct HttpResponse {
   std::string body;
 };
 
+/// Parses a collected request head ("METHOD SP TARGET SP VERSION..."),
+/// splitting the query string off the path, into `out`. Returns false on
+/// anything that does not parse as a request line with a non-empty path —
+/// the server answers 400 without consulting the handler. Accepts any
+/// method token (the GET-only policy is enforced separately, as 405).
+/// Pure and total over arbitrary bytes: this is the request-parsing seam
+/// the fuzz_http_request harness drives.
+bool ParseHttpRequestHead(std::string_view head, HttpRequest* out);
+
 /// The standard reason phrase for the codes this layer emits; "Status"
 /// for anything unrecognized (the response stays well-formed).
 std::string_view HttpReasonPhrase(int code);

@@ -354,61 +354,35 @@ Status AppendCollectionFrame(std::string_view collection_id,
 bool CollectionFrameReader::Next(std::string_view& collection_id,
                                  const uint8_t*& payload,
                                  size_t& payload_size) {
-  if (cursor_ == size_ || !status_.ok()) return false;
-  const size_t frame_start = cursor_;
-  if (size_ - cursor_ < 2) {
-    status_ = Status::InvalidArgument(
-        "collection frame: truncated id length prefix at byte " +
-        std::to_string(cursor_));
-    return false;
-  }
-  const size_t id_len = static_cast<size_t>(data_[cursor_]) |
-                        static_cast<size_t>(data_[cursor_ + 1]) << 8;
-  cursor_ += 2;
+  if (cursor_.AtEnd() || !status_.ok()) return false;
+  const size_t frame_start = cursor_.offset();
+  uint16_t id_len = 0;
+  status_ = cursor_.ReadU16(id_len, "id length prefix");
+  if (!status_.ok()) return false;
   if (id_len == 0) {
     status_ = Status::InvalidArgument(
         "collection frame: empty collection id at byte " +
         std::to_string(frame_start));
     return false;
   }
-  if (size_ - cursor_ < id_len) {
-    status_ = Status::InvalidArgument(
-        "collection frame: truncated collection id at byte " +
-        std::to_string(cursor_));
+  const uint8_t* id = nullptr;
+  status_ = cursor_.ReadBytes(id, id_len, "collection id");
+  if (!status_.ok()) return false;
+  collection_id =
+      std::string_view(reinterpret_cast<const char*>(id), id_len);
+  const size_t payload_len_at = cursor_.offset();
+  uint32_t payload_len = 0;
+  status_ = cursor_.ReadU32(payload_len, "payload length prefix");
+  if (!status_.ok()) return false;
+  if (!cursor_.ReadBytes(payload, payload_len, "payload").ok()) {
+    // Anchor at the payload's length prefix — the exact byte a resyncing
+    // caller must re-read once the rest of the frame arrives.
+    status_ = cursor_.TruncatedError(payload_len_at, "payload");
     return false;
   }
-  collection_id = std::string_view(
-      reinterpret_cast<const char*>(data_ + cursor_), id_len);
-  cursor_ += id_len;
-  if (size_ - cursor_ < 4) {
-    status_ = Status::InvalidArgument(
-        "collection frame: truncated payload length prefix at byte " +
-        std::to_string(cursor_));
-    return false;
-  }
-  uint64_t payload_len;
-  if constexpr (std::endian::native == std::endian::little) {
-    uint32_t raw;
-    std::memcpy(&raw, data_ + cursor_, 4);
-    payload_len = raw;
-  } else {
-    payload_len = static_cast<uint64_t>(data_[cursor_]) |
-                  static_cast<uint64_t>(data_[cursor_ + 1]) << 8 |
-                  static_cast<uint64_t>(data_[cursor_ + 2]) << 16 |
-                  static_cast<uint64_t>(data_[cursor_ + 3]) << 24;
-  }
-  cursor_ += 4;
-  if (size_ - cursor_ < payload_len) {
-    status_ = Status::InvalidArgument(
-        "collection frame: truncated payload at byte " +
-        std::to_string(cursor_ - 4));
-    return false;
-  }
-  payload = data_ + cursor_;
-  payload_size = static_cast<size_t>(payload_len);
-  cursor_ += payload_size;
+  payload_size = payload_len;
   frame_offset_ = frame_start;
-  frame_end_offset_ = cursor_;
+  frame_end_offset_ = cursor_.offset();
   return true;
 }
 
@@ -416,40 +390,39 @@ Status ScanCompleteFrames(const uint8_t* data, size_t size,
                           FrameStreamPrefix* prefix,
                           size_t max_frame_bytes) {
   *prefix = FrameStreamPrefix();
-  size_t cursor = 0;
-  while (cursor < size) {
+  ByteCursor cursor(data, size, "collection frame");
+  while (!cursor.AtEnd()) {
     // Header: u16 id length, id, u32 payload length (see the frame spec).
-    if (size - cursor < 2) break;
-    const size_t id_len = static_cast<size_t>(data[cursor]) |
-                          static_cast<size_t>(data[cursor + 1]) << 8;
+    const size_t frame_start = cursor.offset();
+    uint16_t id_len = 0;
+    if (!cursor.ReadU16(id_len, "id length prefix").ok()) break;
     if (id_len == 0) {
       return Status::InvalidArgument(
           "collection frame: empty collection id at byte " +
-          std::to_string(cursor));
+          std::to_string(frame_start));
     }
-    if (size - cursor < 2 + id_len + 4) {
-      // Not enough header yet to even size the frame.
-      break;
-    }
-    const size_t len_at = cursor + 2 + id_len;
-    const uint64_t payload_len = static_cast<uint64_t>(data[len_at]) |
-                                 static_cast<uint64_t>(data[len_at + 1]) << 8 |
-                                 static_cast<uint64_t>(data[len_at + 2]) << 16 |
-                                 static_cast<uint64_t>(data[len_at + 3]) << 24;
-    const size_t frame_bytes =
-        2 + id_len + 4 + static_cast<size_t>(payload_len);
+    // Not enough header yet to even size the frame? (u64 sum: id_len is a
+    // u16, so `id_len + 4` cannot wrap.)
+    if (!cursor.CanRead(uint64_t{id_len} + 4)) break;
+    (void)cursor.Skip(id_len, "collection id");
+    uint32_t payload_len = 0;
+    (void)cursor.ReadU32(payload_len, "payload length prefix");
+    // Full encoded frame size in wrap-proof u64 arithmetic: at most
+    // 2 + 0xFFFF + 4 + 0xFFFFFFFF, far below 2^64 — but never narrowed to
+    // size_t before the bounds checks below.
+    const uint64_t frame_bytes = 2 + uint64_t{id_len} + 4 + payload_len;
     if ((max_frame_bytes > 0 && frame_bytes > max_frame_bytes) ||
-        size - cursor < frame_bytes) {
+        !cursor.CanRead(payload_len)) {
       // Incomplete, or over the caller's cap (even when fully buffered —
       // the cap must not depend on how the transport segmented the bytes).
-      prefix->pending_frame_bytes = frame_bytes;
+      prefix->pending_frame_bytes = static_cast<size_t>(frame_bytes);
       break;
     }
-    cursor += frame_bytes;
-    prefix->bytes = cursor;
+    (void)cursor.Skip(payload_len, "payload");
+    prefix->bytes = cursor.offset();
     ++prefix->frames;
     if (prefix->first_frame_bytes == 0) {
-      prefix->first_frame_bytes = frame_bytes;
+      prefix->first_frame_bytes = static_cast<size_t>(frame_bytes);
     }
   }
   return Status::OK();

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/encoding.h"
 #include "protocols/factory.h"
 
 namespace ldpm {
@@ -93,50 +94,35 @@ inline uint64_t LoadWireWord(const uint8_t* bytes, size_t size) {
 
 /// Walks the records of a wire batch frame. Framing errors (truncated
 /// length prefix or payload) stop the walk with Next() == false and a
-/// non-OK status(); a clean end of frame leaves status() OK.
+/// non-OK status(); a clean end of frame leaves status() OK. Built on the
+/// bounded ByteCursor (core/encoding.h), so a hostile length prefix can
+/// never wrap the offset arithmetic.
 class WireBatchReader {
  public:
   WireBatchReader(const uint8_t* data, size_t size)
-      : data_(data), size_(size) {}
+      : cursor_(data, size, "wire batch") {}
 
   /// Advances to the next record; false at end-of-frame or on error.
   bool Next(const uint8_t*& record, size_t& record_size) {
-    if (cursor_ == size_) return false;
-    if (size_ - cursor_ < 4) {
-      status_ = Status::InvalidArgument(
-          "wire batch: truncated record length prefix at byte " +
-          std::to_string(cursor_));
+    if (cursor_.AtEnd() || !status_.ok()) return false;
+    const size_t record_start = cursor_.offset();
+    uint32_t len = 0;
+    status_ = cursor_.ReadU32(len, "record length prefix");
+    if (!status_.ok()) return false;
+    if (!cursor_.ReadBytes(record, len, "record payload").ok()) {
+      // Anchor at the record's length prefix: that is the byte a resyncing
+      // caller must re-read, not the middle of the missing payload.
+      status_ = cursor_.TruncatedError(record_start, "record payload");
       return false;
     }
-    uint64_t len;
-    if constexpr (std::endian::native == std::endian::little) {
-      uint32_t raw;
-      std::memcpy(&raw, data_ + cursor_, 4);
-      len = raw;
-    } else {
-      len = static_cast<uint64_t>(data_[cursor_]) |
-            static_cast<uint64_t>(data_[cursor_ + 1]) << 8 |
-            static_cast<uint64_t>(data_[cursor_ + 2]) << 16 |
-            static_cast<uint64_t>(data_[cursor_ + 3]) << 24;
-    }
-    if (size_ - cursor_ - 4 < len) {
-      status_ = Status::InvalidArgument(
-          "wire batch: truncated record payload at byte " +
-          std::to_string(cursor_));
-      return false;
-    }
-    record = data_ + cursor_ + 4;
-    record_size = static_cast<size_t>(len);
-    cursor_ += 4 + static_cast<size_t>(len);
+    record_size = len;
     return true;
   }
 
   const Status& status() const { return status_; }
 
  private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t cursor_ = 0;
+  ByteCursor cursor_;
   Status status_ = Status::OK();
 };
 
@@ -177,7 +163,7 @@ Status AppendCollectionFrame(std::string_view collection_id,
 class CollectionFrameReader {
  public:
   CollectionFrameReader(const uint8_t* data, size_t size)
-      : data_(data), size_(size) {}
+      : cursor_(data, size, "collection frame") {}
 
   /// Advances to the next frame; false at end-of-stream or on error. On
   /// success `collection_id` and `payload` view into the stream buffer.
@@ -196,9 +182,7 @@ class CollectionFrameReader {
   size_t frame_end_offset() const { return frame_end_offset_; }
 
  private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t cursor_ = 0;
+  ByteCursor cursor_;
   size_t frame_offset_ = 0;
   size_t frame_end_offset_ = 0;
   Status status_ = Status::OK();

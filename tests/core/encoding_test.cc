@@ -148,6 +148,102 @@ TEST(ToCategoricalMarginal, RejectsSelectorMismatch) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(CheckedArithmetic, AddDetectsWrap) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedAdd(0, 0, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(CheckedAdd(UINT64_MAX - 1, 1, &out));
+  EXPECT_EQ(out, UINT64_MAX);
+  EXPECT_FALSE(CheckedAdd(UINT64_MAX, 1, &out));
+  EXPECT_FALSE(CheckedAdd(1, UINT64_MAX, &out));
+  EXPECT_FALSE(CheckedAdd(UINT64_MAX, UINT64_MAX, &out));
+}
+
+TEST(CheckedArithmetic, MulDetectsWrap) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedMul(0, UINT64_MAX, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(CheckedMul(UINT64_MAX, 1, &out));
+  EXPECT_EQ(out, UINT64_MAX);
+  EXPECT_TRUE(CheckedMul(uint64_t{1} << 32, (uint64_t{1} << 32) - 1, &out));
+  EXPECT_FALSE(CheckedMul(uint64_t{1} << 32, uint64_t{1} << 32, &out));
+  EXPECT_FALSE(CheckedMul(UINT64_MAX, 2, &out));
+  // The classic checkpoint-shaped wrap: count * 8 back into a small value.
+  EXPECT_FALSE(CheckedMul(0x2000000000000001ull, 8, &out));
+}
+
+TEST(ByteCursor, ReadsScalarsLittleEndian) {
+  const uint8_t bytes[] = {0x01, 0x02, 0x03, 0x04, 0x05,
+                           0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B};
+  ByteCursor cursor(bytes, sizeof(bytes), "test");
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(cursor.ReadU8(u8, "u8").ok());
+  EXPECT_EQ(u8, 0x01);
+  ASSERT_TRUE(cursor.ReadU16(u16, "u16").ok());
+  EXPECT_EQ(u16, 0x0302);
+  ASSERT_TRUE(cursor.ReadU64(u64, "u64").ok());
+  EXPECT_EQ(u64, 0x0B0A090807060504ull);
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_TRUE(cursor.ExpectEnd("buffer").ok());
+}
+
+TEST(ByteCursor, FailedReadDoesNotAdvance) {
+  const uint8_t bytes[] = {0xAA, 0xBB};
+  ByteCursor cursor(bytes, sizeof(bytes), "test");
+  uint32_t u32 = 0;
+  const Status truncated = cursor.ReadU32(u32, "field");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.message().find("test: truncated field at byte 0"),
+            std::string::npos)
+      << truncated.ToString();
+  EXPECT_EQ(cursor.offset(), 0u);
+  // The two bytes are still there for a smaller read.
+  uint16_t u16 = 0;
+  ASSERT_TRUE(cursor.ReadU16(u16, "u16").ok());
+  EXPECT_EQ(u16, 0xBBAA);
+}
+
+TEST(ByteCursor, HostileLengthNeverWrapsBounds) {
+  const uint8_t bytes[] = {1, 2, 3, 4};
+  ByteCursor cursor(bytes, sizeof(bytes), "test");
+  // A u64 length just below 2^64: naive `cursor + n` arithmetic would
+  // wrap and pass a <= size check; CanRead/ReadBytes must reject it.
+  EXPECT_FALSE(cursor.CanRead(UINT64_MAX));
+  EXPECT_FALSE(cursor.CanRead(UINT64_MAX - 2));
+  const uint8_t* span = nullptr;
+  EXPECT_FALSE(cursor.ReadBytes(span, UINT64_MAX - 1, "span").ok());
+  EXPECT_FALSE(cursor.Skip(UINT64_MAX - 3, "span").ok());
+  EXPECT_EQ(cursor.offset(), 0u);
+  EXPECT_TRUE(cursor.CanRead(4));
+  ASSERT_TRUE(cursor.ReadBytes(span, 4, "span").ok());
+  EXPECT_EQ(span, bytes);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(ByteCursor, ExpectEndNamesTrailingBytes) {
+  const uint8_t bytes[] = {1, 2, 3};
+  ByteCursor cursor(bytes, sizeof(bytes), "test");
+  uint8_t u8 = 0;
+  ASSERT_TRUE(cursor.ReadU8(u8, "u8").ok());
+  const Status trailing = cursor.ExpectEnd("the header");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.message().find("2 trailing bytes after the header"),
+            std::string::npos)
+      << trailing.ToString();
+}
+
+TEST(ByteCursor, EmptyBufferBehaves) {
+  ByteCursor cursor(nullptr, 0, "test");
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_EQ(cursor.remaining(), 0u);
+  EXPECT_TRUE(cursor.CanRead(0));
+  EXPECT_TRUE(cursor.ExpectEnd("nothing").ok());
+  uint8_t u8 = 0;
+  EXPECT_FALSE(cursor.ReadU8(u8, "u8").ok());
+}
+
 TEST(CategoricalDomain, PowerOfTwoCardinalitiesHaveNoInvalidCodes) {
   auto dom = CategoricalDomain::Create({4, 2, 8});
   ASSERT_TRUE(dom.ok());

@@ -177,6 +177,32 @@ TEST_F(FailpointTest, MalformedSpecStringsAreRejected) {
   }
 }
 
+TEST_F(FailpointTest, MalformedNumbersAreRejectedNotZeroed) {
+  // std::atoi used to turn every one of these into a silent 0 — or into
+  // undefined behavior on the out-of-range ones. All must be errors now.
+  for (const char* bad :
+       {"site=error*abc", "site=error*", "site=error*-1", "site=error*1x",
+        "site=error+abc", "site=error+", "site=error+-2",
+        "site=error*99999999999999999999", "site=error+4294967296",
+        "site=delay(ms)", "site=delay(-5)", "site=delay(1e3)",
+        "site=delay(99999999999999999999)"}) {
+    const Status s = ArmFromString(bad);
+    EXPECT_FALSE(s.ok()) << "accepted: " << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    DisarmAll();
+  }
+}
+
+TEST_F(FailpointTest, BoundedNumbersStillParse) {
+  ASSERT_TRUE(
+      ArmFromString("fp_test.n=error(NotFound)*1000000000+0;fp_test.d=delay")
+          .ok());
+  EXPECT_EQ(ArmedSites(),
+            (std::vector<std::string>{"fp_test.d", "fp_test.n"}));
+  EXPECT_EQ(Evaluate("fp_test.n").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Evaluate("fp_test.d").ok());  // bare delay = 0 ms
+}
+
 TEST_F(FailpointTest, EntriesBeforeMalformedOneStayArmed) {
   const Status s = ArmFromString("fp_test.good=error;fp_test.bad=bogus");
   ASSERT_FALSE(s.ok());

@@ -5,6 +5,7 @@
 
 #include "engine/checkpoint.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -508,6 +509,45 @@ TEST(Checkpoint, BackgroundCheckpointerRetriesAndClearsStickyError) {
   auto snapshots = ReadCheckpoint(path);
   EXPECT_TRUE(snapshots.ok()) << snapshots.status().ToString();
   std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, HostileArrayLengthDoesNotWrapByteArithmetic) {
+  // Regression for the u64 wrap in the array-length guard: a reals length
+  // of 0x2000000000000001 multiplied by 8 wraps mod 2^64 to exactly 8, so
+  // the old `count * 8 <= remaining` check passed with 8 payload bytes in
+  // hand and the decoder then tried to materialize 2^61 doubles. The exact
+  // triggering bytes: a valid empty snapshot with the reals-length field
+  // patched and 8 trailing bytes appended to satisfy the wrapped check.
+  AggregatorSnapshot snapshot;
+  snapshot.protocol = "x";
+  std::vector<uint8_t> payload = engine::SerializeSnapshot(snapshot);
+  const size_t reals_len_at = 4 + 1 + 4 + 4 + 8 + 4 + 8 + 8;  // == 41
+  ASSERT_EQ(payload.size(), reals_len_at + 8 + 8);
+  const uint8_t wrapping_len[8] = {0x01, 0, 0, 0, 0, 0, 0, 0x20};
+  std::copy(wrapping_len, wrapping_len + 8, payload.begin() + reals_len_at);
+  payload.insert(payload.end(), 8, 0x00);
+
+  auto parsed = engine::DeserializeSnapshot(payload.data(), payload.size());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find(
+                "reals length 2305843009213693953 exceeds"),
+            std::string::npos)
+      << parsed.status().ToString();
+
+  // Same wrap on the counts-length field of an otherwise-valid payload.
+  std::vector<uint8_t> counts_payload = engine::SerializeSnapshot(snapshot);
+  const size_t counts_len_at = reals_len_at + 8;
+  std::copy(wrapping_len, wrapping_len + 8,
+            counts_payload.begin() + counts_len_at);
+  counts_payload.insert(counts_payload.end(), 8, 0x00);
+  auto counts_parsed =
+      engine::DeserializeSnapshot(counts_payload.data(), counts_payload.size());
+  ASSERT_FALSE(counts_parsed.ok());
+  EXPECT_NE(counts_parsed.status().message().find(
+                "counts length 2305843009213693953 exceeds"),
+            std::string::npos)
+      << counts_parsed.status().ToString();
 }
 
 }  // namespace

@@ -258,6 +258,175 @@ TEST(FrameClient, ResumableStreamRejectsPartialTrailingFrame) {
   client->Abort();
 }
 
+/// Accepts up to `connections` connections in sequence, handing each to
+/// `handler` with its 0-based index — for scripting reconnect scenarios.
+class MultiFakeServer {
+ public:
+  MultiFakeServer(int connections, std::function<void(Socket, int)> handler) {
+    auto listener = Socket::Listen(kLoopback, 0, 4);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = *std::move(listener);
+    auto port = listener_.local_port();
+    EXPECT_TRUE(port.ok());
+    port_ = *port;
+    thread_ = std::thread([this, connections, handler = std::move(handler)] {
+      for (int i = 0; i < connections; ++i) {
+        auto conn = listener_.Accept();
+        if (!conn.ok()) return;
+        handler(*std::move(conn), i);
+      }
+    });
+  }
+
+  ~MultiFakeServer() {
+    listener_.Shutdown();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  Socket listener_;
+  std::thread thread_;
+  uint16_t port_ = 0;
+};
+
+TEST(FrameClient, TruncatedHelloNeverHangs) {
+  // The server starts a hello record but sends only 3 of its 8 offset
+  // bytes before closing: the handshake read must fail within the recv
+  // deadline with a transport-category error, never block.
+  FakeServer server([](Socket conn) {
+    if (!ReadV2Preamble(conn)) return;
+    const uint8_t partial[4] = {net::kReplyHello, 0x01, 0x02, 0x03};
+    (void)conn.WriteAll(partial, sizeof(partial));
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto client = FrameClient::Connect(kLoopback, server.port(),
+                                     FastOptions(/*resume=*/true, 1));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(client.ok());
+  const StatusCode code = client.status().code();
+  EXPECT_TRUE(code == StatusCode::kFailedPrecondition ||
+              code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kUnavailable)
+      << client.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(FrameClient, ResumeOffsetPastSentBytesIsInternal) {
+  // A hello claiming the server already routed 999 bytes of a session
+  // that never sent any is a protocol violation, not a retry case.
+  FakeServer server([](Socket conn) {
+    if (!ReadV2Preamble(conn)) return;
+    SendHello(conn, 999);
+    DrainUntilEof(conn);
+  });
+  auto client = FrameClient::Connect(kLoopback, server.port(),
+                                     FastOptions(/*resume=*/true, 3));
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInternal);
+  EXPECT_NE(client.status().message().find("past the"), std::string::npos)
+      << client.status().ToString();
+}
+
+TEST(FrameClient, ResumeOffsetOffFrameBoundaryIsInternal) {
+  // Frame for ("c", {1,2,3}) is 2 + 1 + 4 + 3 = 10 bytes. The first
+  // connection consumes it and dies without acking; the reconnect hello
+  // resumes at byte 3 — inside the frame — which replay can never honor.
+  MultiFakeServer server(2, [](Socket conn, int index) {
+    uint8_t preamble[16];
+    if (!conn.ReadExact(preamble, sizeof(preamble)).ok()) return;
+    if (index == 0) {
+      SendHello(conn, 0);
+      uint8_t frame[10];
+      (void)conn.ReadExact(frame, sizeof(frame));
+      return;  // close without a verdict: client must reconnect
+    }
+    SendHello(conn, 3);
+    DrainUntilEof(conn);
+  });
+  auto client = FrameClient::Connect(kLoopback, server.port(),
+                                     FastOptions(/*resume=*/true, 3));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  Status status = client->SendFrame("c", payload);
+  if (status.ok()) {
+    auto reply = client->Finish();
+    ASSERT_FALSE(reply.ok());
+    status = reply.status();
+  }
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  EXPECT_NE(status.message().find("not on a frame boundary"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(FrameClient, SplitAckAndOkRecordsReassemble) {
+  // The server drips its ack and final-ok records one byte per write; the
+  // client must reassemble them regardless of segmentation. 10 = the
+  // encoded size of the single frame sent below.
+  FakeServer server([](Socket conn) {
+    if (!ReadV2Preamble(conn)) return;
+    SendHello(conn, 0);
+    DrainUntilEof(conn);
+    uint8_t records[9 + 17];
+    records[0] = net::kReplyAck;
+    WriteU64(10, records + 1);
+    records[9] = net::kReplyOk;
+    WriteU64(1, records + 10);   // frames routed
+    WriteU64(10, records + 18);  // bytes routed
+    for (uint8_t byte : records) {
+      if (!conn.WriteAll(&byte, 1).ok()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto client = FrameClient::Connect(kLoopback, server.port(),
+                                     FastOptions(/*resume=*/true, 2));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  ASSERT_TRUE(client->SendFrame("c", payload).ok());
+  auto reply = client->Finish();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->status.ok());
+  EXPECT_EQ(reply->frames_routed, 1u);
+  EXPECT_EQ(reply->bytes_routed, 10u);
+  EXPECT_EQ(client->unacked_bytes(), 0u);
+}
+
+TEST(FrameClient, TruncatedErrorReplyBodyNeverHangs) {
+  // An error record claiming a 100-byte message but delivering 10 before
+  // EOF: the client must keep waiting for the missing bytes only until
+  // the transport fails, then surface a bounded retryable error — never
+  // fabricate a verdict from a partial record.
+  FakeServer server([](Socket conn) {
+    if (!ReadV2Preamble(conn)) return;
+    SendHello(conn, 0);
+    DrainUntilEof(conn);
+    uint8_t record[11 + 10];
+    record[0] = net::kReplyError;
+    WriteU64(0, record + 1);
+    record[9] = 100;  // message length low byte
+    record[10] = 0;   // message length high byte
+    for (int i = 0; i < 10; ++i) record[11 + i] = 'x';
+    (void)conn.WriteAll(record, sizeof(record));
+  });
+  auto client = FrameClient::Connect(kLoopback, server.port(),
+                                     FastOptions(/*resume=*/true, 2));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const std::vector<uint8_t> payload = {7};
+  ASSERT_TRUE(client->SendFrame("c", payload).ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = client->Finish();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(reply.ok());
+  const StatusCode code = reply.status().code();
+  EXPECT_TRUE(code == StatusCode::kFailedPrecondition ||
+              code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kUnavailable)
+      << reply.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
 TEST(FrameClient, OneShotUnknownFinalReplyCodeIsInvalidArgument) {
   FakeServer server([](Socket conn) {
     uint8_t preamble[net::kPreambleBytes];

@@ -197,5 +197,59 @@ TEST(CollectionFrame, ErrorOffsetsAreExact) {
       << reader.status().ToString();
 }
 
+TEST(CollectionFrame, HostilePayloadLengthDoesNotWrapScanArithmetic) {
+  // Exact bytes: id length 1, id 'x', payload length 0xFFFFFFFF, no
+  // payload. The frame's full encoded size is 2 + 1 + 4 + 0xFFFFFFFF =
+  // 4294967302, which overflows 32-bit size arithmetic (the pre-cursor
+  // scanner computed it in size_t) down to 6 — a "complete" frame that
+  // would have walked 4 GiB past the buffer.
+  const uint8_t stream[] = {0x01, 0x00, 'x', 0xFF, 0xFF, 0xFF, 0xFF};
+  FrameStreamPrefix prefix;
+  ASSERT_TRUE(
+      ScanCompleteFrames(stream, sizeof(stream), &prefix).ok());
+  EXPECT_EQ(prefix.bytes, 0u);
+  EXPECT_EQ(prefix.frames, 0u);
+  EXPECT_EQ(prefix.pending_frame_bytes, 4294967302ull);
+
+  // With a frame cap the same frame is excluded for size, not treated as
+  // still-in-flight — same numbers, byte-precise.
+  FrameStreamPrefix capped;
+  ASSERT_TRUE(
+      ScanCompleteFrames(stream, sizeof(stream), &capped, 1024).ok());
+  EXPECT_EQ(capped.bytes, 0u);
+  EXPECT_EQ(capped.pending_frame_bytes, 4294967302ull);
+
+  // The strict reader must reject it as a truncated payload anchored at
+  // the payload length prefix (byte 3), not crash or over-read.
+  CollectionFrameReader reader(stream, sizeof(stream));
+  std::string_view id;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+  ASSERT_FALSE(reader.Next(id, payload, payload_size));
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_NE(reader.status().message().find("truncated payload at byte 3"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(CollectionFrame, HostileIdLengthIsIncompleteNotOverRead) {
+  // id length 0xFFFF with only 3 id bytes present: the scanner must wait
+  // for the rest, and the strict reader must report a truncated id.
+  const uint8_t stream[] = {0xFF, 0xFF, 'a', 'b', 'c'};
+  FrameStreamPrefix prefix;
+  ASSERT_TRUE(ScanCompleteFrames(stream, sizeof(stream), &prefix).ok());
+  EXPECT_EQ(prefix.bytes, 0u);
+  EXPECT_EQ(prefix.frames, 0u);
+
+  CollectionFrameReader reader(stream, sizeof(stream));
+  std::string_view id;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+  ASSERT_FALSE(reader.Next(id, payload, payload_size));
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+      << reader.status().ToString();
+}
+
 }  // namespace
 }  // namespace ldpm

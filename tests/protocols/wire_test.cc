@@ -217,5 +217,39 @@ TEST(Wire, EndToEndThroughWireMatchesDirectPath) {
   }
 }
 
+TEST(Wire, BatchReaderRejectsHostileLengthPrefixWithoutWrapping) {
+  // Exact bytes: one valid 2-byte record, then a record whose u32 length
+  // prefix claims 0xFFFFFFFF bytes with only 2 present. The reader must
+  // stop with a truncation error anchored at the second record's length
+  // prefix (byte 6) — never wrap the cursor or walk past the buffer.
+  const uint8_t batch[] = {0x02, 0x00, 0x00, 0x00, 0xAA, 0xBB,
+                           0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02};
+  WireBatchReader reader(batch, sizeof(batch));
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  ASSERT_TRUE(reader.Next(record, record_size));
+  EXPECT_EQ(record_size, 2u);
+  EXPECT_EQ(record, batch + 4);
+  ASSERT_FALSE(reader.Next(record, record_size));
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_NE(reader.status().message().find(
+                "truncated record payload at byte 6"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(Wire, BatchReaderRejectsTruncatedLengthPrefix) {
+  // A 3-byte tail cannot hold the u32 length prefix itself.
+  const uint8_t batch[] = {0x01, 0x00, 0x00};
+  WireBatchReader reader(batch, sizeof(batch));
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+  ASSERT_FALSE(reader.Next(record, record_size));
+  ASSERT_FALSE(reader.status().ok());
+  EXPECT_NE(reader.status().message().find("record length prefix"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
 }  // namespace
 }  // namespace ldpm

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Time-budgeted libFuzzer sweep over every harness in a build tree
+# (docs/static-analysis.md, "Fuzzing"). CI's fuzz job runs this after
+# configuring with clang and -DLDPM_FUZZERS=ON; locally the same
+# invocation works from any clang build dir:
+#
+#   tools/run_fuzzers.sh <build-dir> [seconds-per-harness]
+#
+# Each fuzz_* binary fuzzes for the per-harness budget (default 30s)
+# seeded from tests/fuzz/corpus/<name>, with tests/fuzz/regressions/<name>
+# replayed first so known crashers stay fixed. Any crash, OOM, leak, or
+# sanitizer report fails the sweep; crash artifacts are collected under
+# <build-dir>/fuzz-artifacts/ for triage and reproduce with
+#   ./fuzz_<name> fuzz-artifacts/<name>/<artifact>
+
+set -u
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 <build-dir> [seconds-per-harness]" >&2
+  exit 2
+fi
+
+build_dir=$1
+budget=${2:-30}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+corpus_root="$repo_root/tests/fuzz/corpus"
+regress_root="$repo_root/tests/fuzz/regressions"
+
+harnesses=()
+for bin in "$build_dir"/fuzz_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  case "$name" in
+    fuzz_replay_*|fuzz_gen_seeds) continue ;;  # replay/seed tools, not fuzzers
+  esac
+  harnesses+=("$name")
+done
+
+if [ ${#harnesses[@]} -eq 0 ]; then
+  echo "no fuzz_* binaries in $build_dir — configure with -DLDPM_FUZZERS=ON" >&2
+  exit 2
+fi
+
+failed=()
+for name in "${harnesses[@]}"; do
+  short=${name#fuzz_}
+  artifacts="$build_dir/fuzz-artifacts/$short/"
+  mkdir -p "$artifacts"
+  # A scratch corpus dir first so new discoveries this run get minimized
+  # into it instead of dirtying the committed seed corpus.
+  scratch="$build_dir/fuzz-corpus/$short"
+  mkdir -p "$scratch"
+
+  args=("$scratch")
+  [ -d "$corpus_root/$short" ] && args+=("$corpus_root/$short")
+  [ -d "$regress_root/$short" ] && args+=("$regress_root/$short")
+
+  echo "=== $name: ${budget}s (artifacts -> $artifacts)"
+  if ! "$build_dir/$name" \
+      -max_total_time="$budget" \
+      -timeout=10 \
+      -rss_limit_mb=2048 \
+      -artifact_prefix="$artifacts" \
+      -print_final_stats=1 \
+      "${args[@]}"; then
+    failed+=("$name")
+  fi
+done
+
+if [ ${#failed[@]} -gt 0 ]; then
+  echo ""
+  echo "FUZZING FAILED: ${failed[*]}" >&2
+  echo "crash artifacts under $build_dir/fuzz-artifacts/" >&2
+  exit 1
+fi
+echo ""
+echo "all ${#harnesses[@]} harnesses ran ${budget}s crash-free"
